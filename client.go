@@ -1,0 +1,200 @@
+package p4ce
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Exactly-once client sessions.
+//
+// A client that retries a proposal after a leader crash cannot know
+// whether the original committed — the classic SMR duplicate hazard: the
+// value may have been decided moments before the ack path died. Client
+// stamps every command with a (session, sequence) header and Session-
+// aware state machines discard re-executions, so retrying is always
+// safe.
+
+// envelope layout: magic u16 | session u32 | seq u64 | payload.
+const (
+	envelopeMagic = 0xC11E
+	envelopeBytes = 2 + 4 + 8
+)
+
+// ErrNotSessioned reports a command without a session envelope.
+var ErrNotSessioned = errors.New("p4ce: command carries no session envelope")
+
+// WrapSession prepends the session header to a payload.
+func WrapSession(session uint32, seq uint64, payload []byte) []byte {
+	buf := make([]byte, envelopeBytes+len(payload))
+	binary.BigEndian.PutUint16(buf[0:2], envelopeMagic)
+	binary.BigEndian.PutUint32(buf[2:6], session)
+	binary.BigEndian.PutUint64(buf[6:14], seq)
+	copy(buf[envelopeBytes:], payload)
+	return buf
+}
+
+// UnwrapSession splits a sessioned command.
+func UnwrapSession(cmd []byte) (session uint32, seq uint64, payload []byte, err error) {
+	if len(cmd) < envelopeBytes || binary.BigEndian.Uint16(cmd[0:2]) != envelopeMagic {
+		return 0, 0, nil, ErrNotSessioned
+	}
+	return binary.BigEndian.Uint32(cmd[2:6]),
+		binary.BigEndian.Uint64(cmd[6:14]),
+		cmd[envelopeBytes:], nil
+}
+
+// sessionState tracks which sequence numbers of one session have been
+// applied: a contiguous prefix plus a sparse set above it, so a delayed
+// retry of an old sequence number is recognized even after newer
+// commands from the same (pipelining) session already applied. Memory
+// stays bounded by the client's in-flight window.
+type sessionState struct {
+	contiguous uint64
+	sparse     map[uint64]bool
+}
+
+func (s *sessionState) seen(seq uint64) bool {
+	return seq <= s.contiguous || s.sparse[seq]
+}
+
+func (s *sessionState) mark(seq uint64) {
+	if seq <= s.contiguous {
+		return
+	}
+	if seq == s.contiguous+1 {
+		s.contiguous++
+		for s.sparse[s.contiguous+1] {
+			delete(s.sparse, s.contiguous+1)
+			s.contiguous++
+		}
+		return
+	}
+	if s.sparse == nil {
+		s.sparse = make(map[uint64]bool)
+	}
+	s.sparse[seq] = true
+}
+
+// Dedup wraps a state machine with per-session exactly-once semantics:
+// a command whose (session, sequence) was already applied is skipped,
+// even when commands commit out of submission order (a delayed retry
+// landing after newer pipelined commands). Commands without an envelope
+// pass through, so mixed workloads stay possible.
+type Dedup struct {
+	inner    StateMachine
+	sessions map[uint32]*sessionState
+	// Skipped counts suppressed duplicates.
+	Skipped uint64
+}
+
+var _ StateMachine = (*Dedup)(nil)
+
+// NewDedup wraps inner.
+func NewDedup(inner StateMachine) *Dedup {
+	return &Dedup{inner: inner, sessions: make(map[uint32]*sessionState)}
+}
+
+// Apply implements StateMachine.
+func (d *Dedup) Apply(index uint64, cmd []byte) {
+	session, seq, payload, err := UnwrapSession(cmd)
+	if err != nil {
+		d.inner.Apply(index, cmd)
+		return
+	}
+	st := d.sessions[session]
+	if st == nil {
+		st = &sessionState{}
+		d.sessions[session] = st
+	}
+	if st.seen(seq) {
+		d.Skipped++
+		return
+	}
+	st.mark(seq)
+	d.inner.Apply(index, payload)
+}
+
+// Client submits commands with automatic leader tracking, retry and
+// exactly-once semantics (when replicas run their state machines under
+// NewDedup). A Client belongs to one cluster and is driven entirely by
+// simulated time.
+type Client struct {
+	cluster *Cluster
+	session uint32
+	seq     uint64
+
+	// RetryDelay is the pause before re-submitting after a failure or a
+	// missing leader.
+	RetryDelay time.Duration
+	// MaxRetries bounds the attempts per command.
+	MaxRetries int
+
+	// Stats.
+	Submitted uint64
+	Acked     uint64
+	Retries   uint64
+}
+
+// NewClient opens a session against the cluster. Session identifiers
+// come from the cluster's deterministic random source.
+func (c *Cluster) NewClient() *Client {
+	return &Client{
+		cluster:    c,
+		session:    c.kernel.Rand().Uint32(),
+		RetryDelay: time.Millisecond,
+		MaxRetries: 100,
+	}
+}
+
+// Session returns the session identifier.
+func (cl *Client) Session() uint32 { return cl.session }
+
+// Submit proposes payload with exactly-once semantics. done is invoked
+// with nil once the command is decided, or with the final error after
+// MaxRetries attempts. Safe to call from simulation callbacks.
+func (cl *Client) Submit(payload []byte, done func(error)) {
+	cl.seq++
+	cmd := WrapSession(cl.session, cl.seq, payload)
+	cl.Submitted++
+	cl.attempt(cmd, 0, done)
+}
+
+func (cl *Client) attempt(cmd []byte, tries int, done func(error)) {
+	retry := func(cause error) {
+		if tries+1 > cl.MaxRetries {
+			if done != nil {
+				done(fmt.Errorf("p4ce: command failed after %d attempts: %w", tries+1, cause))
+			}
+			return
+		}
+		cl.Retries++
+		cl.cluster.After(cl.RetryDelay, func() { cl.attempt(cmd, tries+1, done) })
+	}
+	leader := cl.cluster.Leader()
+	if leader == nil {
+		retry(ErrNoLeader)
+		return
+	}
+	err := leader.Propose(cmd, func(err error) {
+		if err != nil {
+			// The proposal may or may not have been decided before the
+			// failure; re-submitting is safe because replicas dedup.
+			retry(err)
+			return
+		}
+		cl.Acked++
+		if done != nil {
+			done(nil)
+		}
+	})
+	if err != nil {
+		retry(err)
+	}
+}
+
+// SubmitKV is a convenience for replicated KV writes through a session.
+func (cl *Client) SubmitKV(key, value string, done func(error)) {
+	cl.Submit(SetCommand(key, value), done)
+}

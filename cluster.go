@@ -1,0 +1,242 @@
+package p4ce
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"p4ce/internal/core"
+	"p4ce/internal/mu"
+	swp4ce "p4ce/internal/p4ce"
+	"p4ce/internal/rnic"
+	"p4ce/internal/sim"
+	"p4ce/internal/simnet"
+	"p4ce/internal/tofino"
+	"p4ce/internal/trace"
+)
+
+// Cluster errors.
+var (
+	// ErrNoLeader reports that no machine leads within the deadline.
+	ErrNoLeader = errors.New("p4ce: no leader elected")
+)
+
+// Cluster is a simulated testbed: n machines star-cabled to a
+// programmable switch (and optionally to a plain backup fabric), running
+// the consensus engine. All activity happens on a deterministic virtual
+// clock that only advances through the Run methods.
+type Cluster struct {
+	opts   Options
+	kernel *sim.Kernel
+	sw     *tofino.Switch
+	backup *tofino.Switch
+	dp     *swp4ce.Dataplane
+	cp     *swp4ce.ControlPlane
+	nodes  []*Node
+}
+
+// NewCluster builds the testbed. Nothing runs until Run is called.
+func NewCluster(opts Options) *Cluster {
+	opts = opts.withDefaults()
+	k := sim.NewKernel(opts.Seed)
+	c := &Cluster{opts: opts, kernel: k}
+
+	swCfg := tofino.DefaultConfig()
+	if opts.TuneSwitch != nil {
+		opts.TuneSwitch(&swCfg)
+	}
+	c.sw = tofino.New(k, "tofino", simnet.AddrFrom(10, 0, 0, 254), swCfg)
+	dropMode := swp4ce.DropInIngress
+	if opts.AckDropInLeaderEgress {
+		dropMode = swp4ce.DropInLeaderEgress
+	}
+	c.dp = swp4ce.NewDataplane(dropMode)
+	c.sw.SetProgram(c.dp)
+	c.cp = swp4ce.NewControlPlane(c.sw, c.dp, swp4ce.DefaultCPConfig())
+
+	if opts.BackupFabric {
+		c.backup = tofino.New(k, "backup", simnet.AddrFrom(10, 0, 1, 254), tofino.DefaultConfig())
+		c.backup.SetProgram(&tofino.L3Program{})
+	}
+
+	peers := make([]mu.Peer, opts.Nodes)
+	for i := range peers {
+		peers[i] = mu.Peer{ID: i, Addr: simnet.AddrFrom(10, 0, 0, byte(i+1))}
+	}
+
+	for i := 0; i < opts.Nodes; i++ {
+		nicCfg := rnic.DefaultConfig()
+		if opts.PipelineDepth > 0 {
+			nicCfg.MaxOutstanding = opts.PipelineDepth
+		}
+		if opts.ResponderApplyDelay > 0 {
+			nicCfg.ApplyDelay = simDuration(opts.ResponderApplyDelay)
+		}
+		if opts.TuneNIC != nil {
+			opts.TuneNIC(i, &nicCfg)
+		}
+		nic := rnic.New(k, nicCfg, peers[i].Addr)
+
+		hostPort := simnet.NewPort(k, peers[i].Addr.String(), nil)
+		pid, swPort := c.sw.AddPort(fmt.Sprintf("eth%d", i))
+		simnet.Connect(hostPort, swPort, simnet.DefaultLinkConfig())
+		c.sw.BindAddr(peers[i].Addr, pid)
+		nic.AttachPort(hostPort)
+
+		var backupPort *simnet.Port
+		if c.backup != nil {
+			backupPort = simnet.NewPort(k, peers[i].Addr.String()+"-bk", nil)
+			bpid, bswPort := c.backup.AddPort(fmt.Sprintf("eth%d", i))
+			simnet.Connect(backupPort, bswPort, simnet.DefaultLinkConfig())
+			c.backup.BindAddr(peers[i].Addr, bpid)
+			nic.AttachBackupPort(backupPort)
+		}
+
+		muCfg := mu.DefaultConfig()
+		muCfg.DisableHeartbeats = opts.DisableHeartbeats
+		if opts.LogSize > 0 {
+			muCfg.LogSize = opts.LogSize
+		}
+		if opts.TuneNode != nil {
+			opts.TuneNode(i, &muCfg)
+		}
+
+		others := make([]mu.Peer, 0, opts.Nodes-1)
+		for j, p := range peers {
+			if j != i {
+				others = append(others, p)
+			}
+		}
+		node := mu.NewNode(muCfg, peers[i], others, nic)
+		node.SetPrimaryPort(hostPort)
+
+		engCfg := core.Config{}
+		if opts.Mode == ModeP4CE {
+			engCfg = core.DefaultConfig(c.sw.IP())
+			engCfg.AsyncReconfig = opts.AsyncReconfig
+			engCfg.Management = c.cp
+		}
+		engine := core.New(node, engCfg)
+		engine.SetPeers(others)
+
+		c.nodes = append(c.nodes, &Node{
+			cluster: c,
+			mu:      node,
+			engine:  engine,
+			port:    hostPort,
+			backup:  backupPort,
+		})
+	}
+	for _, n := range c.nodes {
+		n.mu.Start()
+	}
+	return c
+}
+
+// Run advances the simulation by d.
+func (c *Cluster) Run(d time.Duration) { c.kernel.RunFor(simDuration(d)) }
+
+// Step executes a single simulation event; it reports whether one ran.
+func (c *Cluster) Step() bool { return c.kernel.Step() }
+
+// After schedules fn to run d from now on the simulated clock (workload
+// generators use it for open-loop arrivals).
+func (c *Cluster) After(d time.Duration, fn func()) {
+	c.kernel.Schedule(simDuration(d), fn)
+}
+
+// Now returns the current simulated time.
+func (c *Cluster) Now() time.Duration { return time.Duration(c.kernel.Now()) }
+
+// Nodes returns the machines in identifier order.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Node returns machine i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Leader returns the current leader, or nil. Crashed machines are
+// skipped, and when a paused "zombie" still claims leadership the claim
+// with the highest term wins (the cluster's actual leader).
+func (c *Cluster) Leader() *Node {
+	var best *Node
+	for _, n := range c.nodes {
+		if n.mu.Crashed() || !n.mu.IsLeader() {
+			continue
+		}
+		if best == nil || n.mu.Term() > best.mu.Term() {
+			best = n
+		}
+	}
+	return best
+}
+
+// RunUntilLeader advances the simulation until a machine leads (and, in
+// P4CE mode with synchronous reconfiguration, until the switch group is
+// established), or the deadline passes.
+func (c *Cluster) RunUntilLeader(deadline time.Duration) (*Node, error) {
+	limit := c.kernel.Now() + simDuration(deadline)
+	for c.kernel.Now() < limit {
+		if !c.kernel.Step() {
+			break
+		}
+		if l := c.Leader(); l != nil {
+			if c.opts.Mode == ModeP4CE && !c.opts.AsyncReconfig && !l.Accelerated() {
+				continue
+			}
+			return l, nil
+		}
+	}
+	if l := c.Leader(); l != nil {
+		return l, nil
+	}
+	return nil, ErrNoLeader
+}
+
+// ForceLeader installs a leadership verdict on every machine, bypassing
+// failure detection. Benchmark clusters use it together with
+// DisableHeartbeats to reach a steady state without monitor traffic;
+// the permission switching, takeover and transport setup still run the
+// real protocol. Drive the cluster with Run afterwards until
+// Leader() != nil (and Accelerated(), in P4CE mode).
+func (c *Cluster) ForceLeader(id int) {
+	for _, n := range c.nodes {
+		n.mu.ForceView(id)
+	}
+}
+
+// CrashSwitch powers the programmable switch off.
+func (c *Cluster) CrashSwitch() { c.sw.Crash() }
+
+// RestoreSwitch powers it back on.
+func (c *Cluster) RestoreSwitch() { c.sw.Restore() }
+
+// SwitchCrashed reports the programmable switch's state.
+func (c *Cluster) SwitchCrashed() bool { return c.sw.Crashed() }
+
+// SwitchStats returns the data-plane program counters.
+func (c *Cluster) SwitchStats() swp4ce.DataplaneStats { return c.dp.Stats }
+
+// FabricStats returns the switch pipeline counters.
+func (c *Cluster) FabricStats() tofino.Stats { return c.sw.Stats }
+
+// Groups lists the communication groups installed on the switch.
+func (c *Cluster) Groups() []swp4ce.GroupInfo { return c.cp.Groups() }
+
+// EnableTrace taps every host port with a packet tracer that retains
+// the last ringSize frames (decoded RoCE summaries). Pass a non-nil w
+// to also stream each frame's one-line summary as it happens. The
+// returned tracer exposes the retained events and per-opcode counters.
+func (c *Cluster) EnableTrace(w io.Writer, ringSize int, filter trace.Filter) *trace.Tracer {
+	tr := trace.New(c.kernel, ringSize, filter)
+	if w != nil {
+		tr.StreamTo(w)
+	}
+	for i, n := range c.nodes {
+		tr.Tap(n.port, fmt.Sprintf("host%d", i))
+		if n.backup != nil {
+			tr.Tap(n.backup, fmt.Sprintf("host%d-bk", i))
+		}
+	}
+	return tr
+}

@@ -1,0 +1,298 @@
+// Command p4ce-bench regenerates the paper's evaluation (§V): every
+// figure and table, printed as the rows/series the paper reports.
+//
+//	p4ce-bench -experiment all        # everything (a few minutes)
+//	p4ce-bench -experiment fig5       # goodput vs item size
+//	p4ce-bench -experiment maxcps     # §V-C max consensus/s
+//	p4ce-bench -experiment fig6       # latency vs throughput
+//	p4ce-bench -experiment fig7       # burst latency
+//	p4ce-bench -experiment tab4       # fail-over times
+//	p4ce-bench -experiment lesson1    # ACK-drop placement ablation
+//	p4ce-bench -experiment ablations  # credit + async-reconfig ablations
+//
+// -ops scales the per-point operation count (the paper averages one
+// million operations per point; the default here keeps full sweeps fast).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"text/tabwriter"
+	"time"
+
+	"p4ce"
+	"p4ce/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id: all, fig5, maxcps, fig6, fig7, tab4, lesson1, ablations")
+		ops        = flag.Int("ops", 4000, "operations per measured point")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		csvDir     = flag.String("csv", "", "also write one CSV per experiment into this directory (for plotting)")
+	)
+	flag.Parse()
+	csvOut = *csvDir
+	if err := run(*experiment, *ops, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "p4ce-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, ops int, seed int64) error {
+	all := experiment == "all"
+	didAny := false
+	for _, exp := range []struct {
+		id string
+		fn func(int, int64) error
+	}{
+		{"fig5", fig5},
+		{"maxcps", maxcps},
+		{"fig6", fig6},
+		{"fig7", fig7},
+		{"tab4", tab4},
+		{"lesson1", lesson1},
+		{"ablations", ablations},
+	} {
+		if all || experiment == exp.id {
+			didAny = true
+			if err := exp.fn(ops, seed); err != nil {
+				return fmt.Errorf("%s: %w", exp.id, err)
+			}
+		}
+	}
+	if !didAny {
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+// csvOut, when non-empty, receives one CSV per experiment so the
+// figures can be re-plotted with any tool.
+var csvOut string
+
+func writeCSV(name string, headerRow []string, rows [][]string) {
+	if csvOut == "" {
+		return
+	}
+	if err := os.MkdirAll(csvOut, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "p4ce-bench: csv:", err)
+		return
+	}
+	f, err := os.Create(filepath.Join(csvOut, name))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4ce-bench: csv:", err)
+		return
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	_ = w.Write(headerRow)
+	_ = w.WriteAll(rows)
+}
+
+func fig5(ops int, seed int64) error {
+	header("Figure 5 — write goodput vs item size (GB/s of client payload)")
+	cfg := bench.DefaultGoodputConfig()
+	cfg.Ops = ops
+	cfg.Seed = seed
+	points, err := bench.RunGoodput(cfg)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.Mode.String(), strconv.Itoa(p.Replicas), strconv.Itoa(p.ItemSize),
+			strconv.FormatFloat(p.GoodputGBps, 'f', 4, 64),
+			strconv.FormatFloat(p.ThroughputMs, 'f', 4, 64),
+		})
+	}
+	writeCSV("fig5_goodput.csv", []string{"system", "replicas", "item_bytes", "goodput_gbps", "consensus_mps"}, rows)
+	for _, replicas := range cfg.Replicas {
+		fmt.Printf("\n(%c) with %d replicas\n", 'a'+replicas/2-1, replicas)
+		w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', 0)
+		fmt.Fprintln(w, "item size\tMu GB/s\tP4CE GB/s\tratio")
+		for _, size := range cfg.Sizes {
+			var mu, pc float64
+			for _, p := range points {
+				if p.Replicas != replicas || p.ItemSize != size {
+					continue
+				}
+				if p.Mode == p4ce.ModeMu {
+					mu = p.GoodputGBps
+				} else {
+					pc = p.GoodputGBps
+				}
+			}
+			fmt.Fprintf(w, "%d B\t%.2f\t%.2f\t%.2f×\n", size, mu, pc, pc/mu)
+		}
+		w.Flush()
+	}
+	return nil
+}
+
+func maxcps(ops int, seed int64) error {
+	header("§V-C — maximum consensus/s on 64 B values (leader CPU bound)")
+	rows, err := bench.RunMaxConsensus([]int{2, 4}, ops, seed)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "replicas\tsystem\tconsensus/s\tleader CPU\tspeedup vs Mu")
+	for _, r := range rows {
+		speed := ""
+		if r.SpeedupVsMu > 0 {
+			speed = fmt.Sprintf("%.2f×", r.SpeedupVsMu)
+		}
+		fmt.Fprintf(w, "%d\t%s\t%.2fM\t%.0f%%\t%s\n",
+			r.Replicas, r.Mode, r.ConsensusPerS/1e6, r.LeaderCPU*100, speed)
+	}
+	w.Flush()
+	return nil
+}
+
+func fig6(ops int, seed int64) error {
+	header("Figure 6 — latency vs throughput, 64 B requests")
+	cfg := bench.DefaultLatencyConfig()
+	cfg.Seed = seed
+	points, err := bench.RunLatencyThroughput(cfg)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.Mode.String(), strconv.Itoa(p.Replicas),
+			strconv.FormatFloat(p.OfferedMps, 'f', 3, 64),
+			strconv.FormatFloat(p.AchievedMps, 'f', 3, 64),
+			strconv.FormatInt(p.MeanLat.Nanoseconds(), 10),
+			strconv.FormatInt(p.P99Lat.Nanoseconds(), 10),
+		})
+	}
+	writeCSV("fig6_latency.csv", []string{"system", "replicas", "offered_mps", "achieved_mps", "mean_latency_ns", "p99_latency_ns"}, rows)
+	for _, replicas := range cfg.Replicas {
+		fmt.Printf("\n(%c) with %d replicas\n", 'a'+replicas/2-1, replicas)
+		w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', 0)
+		fmt.Fprintln(w, "offered M/s\tMu achieved\tMu mean lat\tP4CE achieved\tP4CE mean lat")
+		for _, offered := range cfg.OfferedMps {
+			var mu, pc bench.LatencyPoint
+			for _, p := range points {
+				if p.Replicas != replicas || p.OfferedMps != offered {
+					continue
+				}
+				if p.Mode == p4ce.ModeMu {
+					mu = p
+				} else {
+					pc = p
+				}
+			}
+			fmt.Fprintf(w, "%.1f\t%.2fM\t%v\t%.2fM\t%v\n",
+				offered, mu.AchievedMps, mu.MeanLat, pc.AchievedMps, pc.MeanLat)
+		}
+		w.Flush()
+	}
+	return nil
+}
+
+func fig7(ops int, seed int64) error {
+	header("Figure 7 — burst completion latency, 64 B requests, 2 replicas")
+	rounds := 5
+	points, err := bench.RunBurstLatency(2, nil, rounds, seed)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.Mode.String(), strconv.Itoa(p.BurstSize),
+			strconv.FormatInt(p.BurstLat.Nanoseconds(), 10),
+		})
+	}
+	writeCSV("fig7_burst.csv", []string{"system", "burst_size", "burst_latency_ns"}, rows)
+	w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "burst size\tMu\tP4CE\tMu/P4CE")
+	sizes := []int{1, 2, 5, 10, 20, 50, 100}
+	for _, k := range sizes {
+		var mu, pc time.Duration
+		for _, p := range points {
+			if p.BurstSize != k {
+				continue
+			}
+			if p.Mode == p4ce.ModeMu {
+				mu = p.BurstLat
+			} else {
+				pc = p.BurstLat
+			}
+		}
+		fmt.Fprintf(w, "%d\t%v\t%v\t%.2f×\n", k, mu, pc, float64(mu)/float64(pc))
+	}
+	w.Flush()
+	return nil
+}
+
+func tab4(ops int, seed int64) error {
+	header("Table IV — average fail-over times")
+	cfg := bench.DefaultFailoverConfig()
+	cfg.Seed = seed
+	mu, err := bench.RunFailover(p4ce.ModeMu, cfg)
+	if err != nil {
+		return err
+	}
+	pc, err := bench.RunFailover(p4ce.ModeP4CE, cfg)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "event\tMu\tP4CE")
+	fmt.Fprintf(w, "Configuring a communication group\t—\t%v\n", pc.GroupConfig.Round(100*time.Microsecond))
+	fmt.Fprintf(w, "Crashed replica\t%v\t%v\n",
+		mu.ReplicaCrash.Round(10*time.Microsecond), pc.ReplicaCrash.Round(100*time.Microsecond))
+	fmt.Fprintf(w, "Crashed leader\t%v\t%v\n",
+		mu.LeaderCrash.Round(10*time.Microsecond), pc.LeaderCrash.Round(100*time.Microsecond))
+	fmt.Fprintf(w, "Crashed switch\t%v\t%v\n",
+		mu.SwitchCrash.Round(100*time.Microsecond), pc.SwitchCrash.Round(100*time.Microsecond))
+	w.Flush()
+	return nil
+}
+
+func lesson1(ops int, seed int64) error {
+	header("§IV-D Lesson — ACK-drop placement (scaled-down parsers)")
+	res, err := bench.RunAckAggregationAblation(4, ops, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("parser capacity (scaled): %.0f kpps per port\n", res.ParserPPS/1e3)
+	fmt.Printf("drop in leader egress (first implementation): %.0f consensus/s\n", res.EgressDropRate)
+	fmt.Printf("drop in replica ingress (published design):   %.0f consensus/s\n", res.IngressDropRate)
+	fmt.Printf("speedup: %.2f× with %d replicas\n", res.Speedup, res.Replicas)
+	return nil
+}
+
+func ablations(ops int, seed int64) error {
+	header("Ablation — asynchronous switch reconfiguration (Lesson 3)")
+	ar, err := bench.RunAsyncReconfigAblation(3, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("leader fail-over, synchronous reconfig: %v\n", ar.SyncFailover.Round(100*time.Microsecond))
+	fmt.Printf("leader fail-over, asynchronous reconfig: %v (Mu-equivalent)\n", ar.AsyncFailover.Round(10*time.Microsecond))
+
+	header("Ablation — min-credit aggregation with a slow replica")
+	cr, err := bench.RunCreditAblation(2, ops, 3*time.Microsecond, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("slow replica apply delay: %v\n", cr.ApplyDelay)
+	fmt.Printf("sustained rate: %.0f consensus/s, slow-replica RNR NAKs: %d\n",
+		cr.ThroughputOps, cr.ReplicaRNRs)
+	return nil
+}

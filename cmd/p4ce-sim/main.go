@@ -1,0 +1,212 @@
+// Command p4ce-sim runs ad-hoc cluster scenarios: pick a size and a
+// communication mode, offer a workload, script failures, and read the
+// resulting protocol and switch statistics.
+//
+//	p4ce-sim -nodes 5 -mode p4ce -duration 200ms -rate 100000 -size 64
+//	p4ce-sim -nodes 3 -mode mu -crash leader@50ms
+//	p4ce-sim -nodes 5 -backup -crash replica4@30ms,leader@60ms,switch@120ms
+//
+// The -crash flag takes a comma-separated schedule of events:
+// "leader@<t>" (whoever leads at t), "replica<N>@<t>" (machine N), and
+// "switch@<t>" (the programmable switch).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"p4ce"
+	"p4ce/internal/trace"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 3, "total machines (leader + replicas)")
+		mode     = flag.String("mode", "p4ce", "communication mode: p4ce or mu")
+		duration = flag.Duration("duration", 100*time.Millisecond, "simulated run length")
+		rate     = flag.Float64("rate", 50_000, "offered load, consensus/s (0 = idle)")
+		size     = flag.Int("size", 64, "value size in bytes")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		backup   = flag.Bool("backup", false, "cable a backup fabric")
+		async    = flag.Bool("async-reconfig", false, "reconfigure the switch asynchronously (Lesson 3)")
+		crash    = flag.String("crash", "", "failure schedule, e.g. leader@50ms,replica4@80ms,switch@120ms")
+		doTrace  = flag.Bool("trace", false, "stream decoded packet summaries to stderr")
+	)
+	flag.Parse()
+	if err := run(*nodes, *mode, *duration, *rate, *size, *seed, *backup, *async, *crash, *doTrace); err != nil {
+		fmt.Fprintln(os.Stderr, "p4ce-sim:", err)
+		os.Exit(1)
+	}
+}
+
+type crashEvent struct {
+	at     time.Duration
+	target string // "leader", "switch", or a machine id as "replicaN"
+	id     int
+}
+
+func parseCrashes(spec string) ([]crashEvent, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []crashEvent
+	for _, part := range strings.Split(spec, ",") {
+		target, atStr, ok := strings.Cut(strings.TrimSpace(part), "@")
+		if !ok {
+			return nil, fmt.Errorf("bad crash event %q (want target@time)", part)
+		}
+		at, err := time.ParseDuration(atStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad crash time %q: %w", atStr, err)
+		}
+		ev := crashEvent{at: at, target: target}
+		if rest, found := strings.CutPrefix(target, "replica"); found {
+			id, err := strconv.Atoi(rest)
+			if err != nil {
+				return nil, fmt.Errorf("bad replica id %q", rest)
+			}
+			ev.target, ev.id = "replica", id
+		} else if target != "leader" && target != "switch" {
+			return nil, fmt.Errorf("unknown crash target %q", target)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+func run(nodes int, modeStr string, duration time.Duration, rate float64, size int, seed int64, backup, async bool, crashSpec string, doTrace bool) error {
+	var mode p4ce.Mode
+	switch strings.ToLower(modeStr) {
+	case "p4ce":
+		mode = p4ce.ModeP4CE
+	case "mu":
+		mode = p4ce.ModeMu
+	default:
+		return fmt.Errorf("unknown mode %q", modeStr)
+	}
+	crashes, err := parseCrashes(crashSpec)
+	if err != nil {
+		return err
+	}
+
+	cl := p4ce.NewCluster(p4ce.Options{
+		Nodes:         nodes,
+		Mode:          mode,
+		Seed:          seed,
+		BackupFabric:  backup,
+		AsyncReconfig: async,
+	})
+	var tracer *trace.Tracer
+	if doTrace {
+		tracer = cl.EnableTrace(os.Stderr, 1024, trace.Filter{})
+	}
+	leader, err := cl.RunUntilLeader(500 * time.Millisecond)
+	if err != nil {
+		return err
+	}
+	setupTime := cl.Now()
+	fmt.Printf("cluster up: %d machines, %v mode, node %d leads after %v (accelerated=%v)\n",
+		nodes, mode, leader.ID(), setupTime.Round(10*time.Microsecond), leader.Accelerated())
+
+	// Schedule the failure script.
+	for _, ev := range crashes {
+		ev := ev
+		cl.After(ev.at, func() {
+			switch ev.target {
+			case "leader":
+				if l := cl.Leader(); l != nil {
+					fmt.Printf("[%9v] crash: leader (node %d)\n", cl.Now().Round(10*time.Microsecond), l.ID())
+					l.Crash()
+				}
+			case "switch":
+				fmt.Printf("[%9v] crash: programmable switch\n", cl.Now().Round(10*time.Microsecond))
+				cl.CrashSwitch()
+			case "replica":
+				if ev.id < nodes {
+					fmt.Printf("[%9v] crash: node %d\n", cl.Now().Round(10*time.Microsecond), ev.id)
+					cl.Node(ev.id).Crash()
+				}
+			}
+		})
+	}
+
+	// Offered load: Poisson arrivals, retried on leader changes.
+	var (
+		rng             = rand.New(rand.NewSource(seed))
+		offered, acked  int
+		rejected, stale int
+		latencySum      time.Duration
+		payload         = make([]byte, size)
+		end             = cl.Now() + duration
+	)
+	if rate > 0 {
+		var arrive func()
+		arrive = func() {
+			if cl.Now() >= end {
+				return
+			}
+			offered++
+			l := cl.Leader()
+			if l == nil {
+				stale++
+			} else {
+				at := cl.Now()
+				if err := l.Propose(payload, func(err error) {
+					if err != nil {
+						rejected++
+						return
+					}
+					acked++
+					latencySum += cl.Now() - at
+				}); err != nil {
+					stale++
+				}
+			}
+			gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+			if gap <= 0 {
+				gap = time.Nanosecond
+			}
+			cl.After(gap, arrive)
+		}
+		arrive()
+	}
+
+	cl.Run(duration + 50*time.Millisecond)
+
+	fmt.Printf("\n--- results after %v simulated ---\n", (cl.Now() - setupTime).Round(time.Millisecond))
+	if l := cl.Leader(); l != nil {
+		fmt.Printf("leader: node %d (view %d, accelerated=%v, backup-route=%v)\n",
+			l.ID(), l.Term(), l.Accelerated(), l.OnBackupRoute())
+		fmt.Printf("commit index %d, leader CPU %.0f%% busy\n", l.CommitIndex(), l.CPUUtilization()*100)
+		st := l.Stats()
+		fmt.Printf("protocol: %d proposed, %d committed, %d view changes, %d fallbacks\n",
+			st.Proposed, st.Committed, st.ViewChanges, st.Fallbacks)
+	} else {
+		fmt.Println("no live leader")
+	}
+	if rate > 0 {
+		fmt.Printf("workload: %d offered, %d acked, %d failed, %d found no leader\n",
+			offered, acked, rejected, stale)
+		if acked > 0 {
+			fmt.Printf("mean commit latency: %v\n", (latencySum / time.Duration(acked)).Round(10*time.Nanosecond))
+		}
+	}
+	sw := cl.SwitchStats()
+	fmt.Printf("switch program: %d scattered, %d ACKs absorbed, %d forwarded, %d NAKs passed\n",
+		sw.Scattered, sw.AcksAggregated, sw.AcksForwarded, sw.NaksForwarded)
+	fab := cl.FabricStats()
+	fmt.Printf("switch fabric: %d in, %d out, %d multicast copies, %d punted to CPU\n",
+		fab.IngressPackets, fab.EgressPackets, fab.Copies, fab.Punted)
+	for _, g := range cl.Groups() {
+		fmt.Printf("group: leader %v, f=%d, %d replicas\n", g.Leader, g.F, len(g.Replicas))
+	}
+	if tracer != nil {
+		fmt.Printf("\npacket trace summary:\n%s", tracer.Summary())
+	}
+	return nil
+}

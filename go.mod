@@ -1,0 +1,3 @@
+module p4ce
+
+go 1.22

@@ -1,0 +1,148 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§V): the goodput sweep of Fig. 5, the consensus/s ceiling
+// of §V-C, the latency-throughput curves of Fig. 6, the burst latencies
+// of Fig. 7, the fail-over times of Table IV, and the design-choice
+// ablations DESIGN.md calls out. cmd/p4ce-bench prints the results in
+// the paper's shape; bench_test.go wraps them as testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"p4ce"
+	"p4ce/internal/mu"
+	"p4ce/internal/sim"
+)
+
+// ErrStalled reports a workload that stopped making progress.
+type stalledError struct{ stage string }
+
+func (e *stalledError) Error() string { return "bench: workload stalled during " + e.stage }
+
+// Steady builds a cluster in a measurable steady state: heartbeats off,
+// the view forced to node 0, the takeover shortcut applied, and — in
+// P4CE mode — the switch group established.
+func Steady(opts p4ce.Options) (*p4ce.Cluster, *p4ce.Node, error) {
+	opts.DisableHeartbeats = true
+	userTune := opts.TuneNode
+	opts.TuneNode = func(i int, cfg *mu.Config) {
+		// The election already happened by fiat; do not also charge the
+		// takeover delay in every benchmark run.
+		cfg.LeaderTakeoverDelay = 10 * sim.Microsecond
+		if userTune != nil {
+			userTune(i, cfg)
+		}
+	}
+	cl := p4ce.NewCluster(opts)
+	cl.ForceLeader(0)
+	deadline := cl.Now() + 500*time.Millisecond
+	for cl.Now() < deadline {
+		if !cl.Step() {
+			break
+		}
+		l := cl.Leader()
+		if l == nil {
+			continue
+		}
+		if opts.Mode == p4ce.ModeP4CE && !l.Accelerated() {
+			continue
+		}
+		// Wait for the full membership: measuring while a straggler's
+		// grant is still in flight would mix bulk catch-up into the
+		// steady-state numbers.
+		if l.ReplicationPaths() < opts.Nodes-1 {
+			continue
+		}
+		return cl, l, nil
+	}
+	return nil, nil, &stalledError{stage: "steady-state setup"}
+}
+
+// ClosedLoopResult summarizes a closed-loop run.
+type ClosedLoopResult struct {
+	Ops          int
+	Elapsed      time.Duration
+	Throughput   float64 // consensus operations per second
+	GoodputBytes float64 // client payload bytes per second
+	MeanLat      time.Duration
+	P99Lat       time.Duration
+	// LeaderCPU is the leader core's utilization across the measurement
+	// window.
+	LeaderCPU float64
+}
+
+// ClosedLoop keeps depth proposals outstanding, discards warmup
+// completions, then measures ops completions.
+func ClosedLoop(cl *p4ce.Cluster, leader *p4ce.Node, size, depth, warmup, ops int) (ClosedLoopResult, error) {
+	var (
+		res       ClosedLoopResult
+		issued    int
+		completed int
+		startAt   time.Duration
+		endAt     time.Duration
+		busyAt0   time.Duration
+		lat       = sim.NewLatencyRecorder(ops)
+		payload   = make([]byte, size)
+		stalled   error
+	)
+	total := warmup + ops
+	var issue func()
+	issue = func() {
+		if issued >= total {
+			return
+		}
+		issued++
+		proposedAt := cl.Now()
+		err := leader.Propose(payload, func(err error) {
+			if err != nil {
+				stalled = fmt.Errorf("bench: proposal failed: %w", err)
+				return
+			}
+			completed++
+			switch {
+			case completed == warmup:
+				startAt = cl.Now()
+				busyAt0 = leader.CPUBusy()
+			case completed > warmup:
+				lat.Record(sim.Time(cl.Now() - proposedAt))
+				if completed == total {
+					endAt = cl.Now()
+				}
+			}
+			issue()
+		})
+		if err != nil {
+			stalled = err
+		}
+	}
+	if warmup == 0 {
+		startAt = cl.Now()
+	}
+	for i := 0; i < depth; i++ {
+		issue()
+	}
+	for completed < total && stalled == nil {
+		if !cl.Step() {
+			stalled = &stalledError{stage: "closed loop"}
+		}
+	}
+	if stalled != nil {
+		return res, stalled
+	}
+	elapsed := endAt - startAt
+	if elapsed <= 0 {
+		return res, &stalledError{stage: "measurement window"}
+	}
+	res.Ops = ops
+	res.Elapsed = elapsed
+	res.Throughput = float64(ops) / elapsed.Seconds()
+	res.GoodputBytes = float64(ops) * float64(size) / elapsed.Seconds()
+	res.MeanLat = time.Duration(lat.Mean())
+	res.P99Lat = time.Duration(lat.Percentile(99))
+	res.LeaderCPU = float64(leader.CPUBusy()-busyAt0) / float64(elapsed)
+	if res.LeaderCPU > 1 {
+		res.LeaderCPU = 1
+	}
+	return res, nil
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"p4ce"
+)
+
+// Shape check, Fig. 6: below its knee each system's latency is flat;
+// past the knee (≈1.2 M/s for Mu at 2 replicas) latency blows up, while
+// P4CE stays flat to ≈2.2 M/s.
+func TestLatencyThroughputShape(t *testing.T) {
+	cfg := LatencyConfig{
+		Replicas:   []int{2},
+		OfferedMps: []float64{0.4, 1.6, 2.1},
+		ItemSize:   64,
+		Duration:   3 * time.Millisecond,
+		Warmup:     time.Millisecond,
+		Seed:       1,
+	}
+	points, err := RunLatencyThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(mode p4ce.Mode, offered float64) LatencyPoint {
+		for _, p := range points {
+			if p.Mode == mode && p.OfferedMps == offered {
+				return p
+			}
+		}
+		t.Fatalf("missing point %v/%v", mode, offered)
+		return LatencyPoint{}
+	}
+	muLow := get(p4ce.ModeMu, 0.4)
+	muHigh := get(p4ce.ModeMu, 1.6) // past Mu's ≈1.15 M/s knee
+	if muHigh.MeanLat < 3*muLow.MeanLat {
+		t.Fatalf("Mu latency did not blow past the knee: %v → %v", muLow.MeanLat, muHigh.MeanLat)
+	}
+	pcLow := get(p4ce.ModeP4CE, 0.4)
+	pcMid := get(p4ce.ModeP4CE, 1.6)
+	if pcMid.MeanLat > 3*pcLow.MeanLat {
+		t.Fatalf("P4CE latency rose below its knee: %v → %v", pcLow.MeanLat, pcMid.MeanLat)
+	}
+	// Below the knee P4CE is (slightly) faster than Mu (§V-D: ≈10%).
+	if pcLow.MeanLat >= muLow.MeanLat {
+		t.Fatalf("P4CE (%v) not faster than Mu (%v) at low load", pcLow.MeanLat, muLow.MeanLat)
+	}
+	// Mu cannot achieve the offered 1.6 M/s; P4CE can.
+	if muHigh.AchievedMps > 1.45 {
+		t.Fatalf("Mu achieved %.2f M/s past its knee, want ≈1.15", muHigh.AchievedMps)
+	}
+	if pcMid.AchievedMps < 1.45 {
+		t.Fatalf("P4CE achieved only %.2f M/s at 1.6 offered", pcMid.AchievedMps)
+	}
+}

@@ -1,0 +1,287 @@
+package cm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"p4ce/internal/rnic"
+	"p4ce/internal/sim"
+	"p4ce/internal/simnet"
+)
+
+type testNet struct {
+	k          *sim.Kernel
+	client     *rnic.NIC
+	server     *rnic.NIC
+	clientCM   *Agent
+	serverCM   *Agent
+	serverMR   *rnic.MR
+	clientPort *simnet.Port
+	serverPort *simnet.Port
+}
+
+func newTestNet(t *testing.T) *testNet {
+	t.Helper()
+	k := sim.NewKernel(3)
+	tn := &testNet{k: k}
+	tn.client = rnic.New(k, rnic.DefaultConfig(), simnet.AddrFrom(10, 0, 0, 1))
+	tn.server = rnic.New(k, rnic.DefaultConfig(), simnet.AddrFrom(10, 0, 0, 2))
+	tn.clientPort = simnet.NewPort(k, "client", nil)
+	tn.serverPort = simnet.NewPort(k, "server", nil)
+	simnet.Connect(tn.clientPort, tn.serverPort, simnet.DefaultLinkConfig())
+	tn.client.AttachPort(tn.clientPort)
+	tn.server.AttachPort(tn.serverPort)
+	tn.clientCM = NewAgent(tn.client, DefaultConfig())
+	tn.serverCM = NewAgent(tn.server, DefaultConfig())
+	tn.serverMR = tn.server.RegisterMR(0x40000, make([]byte, 4096), rnic.AccessRemoteRead|rnic.AccessRemoteWrite)
+	return tn
+}
+
+func TestHandshake(t *testing.T) {
+	tn := newTestNet(t)
+	var established *rnic.QP
+	tn.serverCM.SetAcceptFunc(func(from simnet.Addr, priv []byte) (*Accept, error) {
+		if from != tn.client.IP() {
+			t.Fatalf("request from %v", from)
+		}
+		if string(priv) != "hello" {
+			t.Fatalf("private data = %q", priv)
+		}
+		return &Accept{
+			MR:            tn.serverMR,
+			PrivateData:   []byte("welcome"),
+			OnEstablished: func(qp *rnic.QP) { established = qp },
+		}, nil
+	})
+
+	var conn *Conn
+	tn.clientCM.Dial(tn.server.IP(), []byte("hello"), func(c *Conn, err error) {
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		conn = c
+	})
+	tn.k.Run()
+	if conn == nil {
+		t.Fatal("dial never completed")
+	}
+	if conn.RemoteVA != tn.serverMR.Base() || conn.RemoteRKey != tn.serverMR.RKey() {
+		t.Fatalf("advertised region = (%#x, %#x)", conn.RemoteVA, conn.RemoteRKey)
+	}
+	if conn.RemoteBufLen != 4096 {
+		t.Fatalf("advertised length = %d", conn.RemoteBufLen)
+	}
+	if string(conn.PrivateData) != "welcome" {
+		t.Fatalf("reply private data = %q", conn.PrivateData)
+	}
+	if established == nil {
+		t.Fatal("server never saw ReadyToUse")
+	}
+	if conn.QP.State() != rnic.StateReady || established.State() != rnic.StateReady {
+		t.Fatal("queue pairs not ready after handshake")
+	}
+}
+
+func TestWriteOverEstablishedConnection(t *testing.T) {
+	tn := newTestNet(t)
+	tn.serverCM.SetAcceptFunc(func(simnet.Addr, []byte) (*Accept, error) {
+		return &Accept{MR: tn.serverMR}, nil
+	})
+	var conn *Conn
+	tn.clientCM.Dial(tn.server.IP(), nil, func(c *Conn, err error) {
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		conn = c
+	})
+	tn.k.Run()
+
+	var done bool
+	payload := []byte("written via negotiated keys")
+	if err := conn.QP.PostWrite(payload, conn.RemoteVA, conn.RemoteRKey, func(err error) {
+		if err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		done = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tn.k.Run()
+	if !done {
+		t.Fatal("write did not complete")
+	}
+	if !bytes.Equal(tn.serverMR.Bytes()[:len(payload)], payload) {
+		t.Fatal("payload not present in advertised region")
+	}
+}
+
+func TestReject(t *testing.T) {
+	tn := newTestNet(t)
+	tn.serverCM.SetAcceptFunc(func(simnet.Addr, []byte) (*Accept, error) {
+		return nil, errors.New("no capacity")
+	})
+	var gotErr error
+	tn.clientCM.Dial(tn.server.IP(), nil, func(c *Conn, err error) { gotErr = err })
+	tn.k.Run()
+	if !errors.Is(gotErr, ErrRejected) {
+		t.Fatalf("dial error = %v, want ErrRejected", gotErr)
+	}
+	if tn.client.QPCount() != 0 {
+		t.Fatalf("client leaked %d QPs after reject", tn.client.QPCount())
+	}
+}
+
+func TestNilPolicyRejects(t *testing.T) {
+	tn := newTestNet(t)
+	var gotErr error
+	tn.clientCM.Dial(tn.server.IP(), nil, func(c *Conn, err error) { gotErr = err })
+	tn.k.Run()
+	if !errors.Is(gotErr, ErrRejected) {
+		t.Fatalf("dial error = %v, want ErrRejected", gotErr)
+	}
+}
+
+func TestTimeoutOnDeadPeer(t *testing.T) {
+	tn := newTestNet(t)
+	tn.serverPort.SetUp(false)
+	var gotErr error
+	tn.clientCM.Dial(tn.server.IP(), nil, func(c *Conn, err error) { gotErr = err })
+	tn.k.Run()
+	if !errors.Is(gotErr, ErrTimeout) {
+		t.Fatalf("dial error = %v, want ErrTimeout", gotErr)
+	}
+	cfg := DefaultConfig()
+	want := sim.Time(cfg.MaxRetries+1) * cfg.RequestTimeout
+	if tn.k.Now() < want {
+		t.Fatalf("gave up at %v, want ≥ %v", tn.k.Now(), want)
+	}
+}
+
+func TestRequestRetransmission(t *testing.T) {
+	tn := newTestNet(t)
+	tn.serverCM.SetAcceptFunc(func(simnet.Addr, []byte) (*Accept, error) {
+		return &Accept{MR: tn.serverMR}, nil
+	})
+	// Lose the first request; the retry must succeed.
+	tn.clientPort.SetLoss(1.0)
+	var conn *Conn
+	tn.clientCM.Dial(tn.server.IP(), nil, func(c *Conn, err error) {
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		conn = c
+	})
+	tn.k.Schedule(sim.Millisecond, func() { tn.clientPort.SetLoss(0) })
+	tn.k.Run()
+	if conn == nil {
+		t.Fatal("dial did not recover from a lost request")
+	}
+}
+
+func TestDuplicateRequestSuppression(t *testing.T) {
+	tn := newTestNet(t)
+	accepts := 0
+	tn.serverCM.SetAcceptFunc(func(simnet.Addr, []byte) (*Accept, error) {
+		accepts++
+		return &Accept{MR: tn.serverMR}, nil
+	})
+	// Drop the reply so the client retries its request; the server must
+	// not create a second connection.
+	tn.serverPort.SetLoss(1.0)
+	var conn *Conn
+	tn.clientCM.Dial(tn.server.IP(), nil, func(c *Conn, err error) {
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		conn = c
+	})
+	tn.k.Schedule(150*sim.Millisecond, func() { tn.serverPort.SetLoss(0) })
+	tn.k.Run()
+	if conn == nil {
+		t.Fatal("dial did not complete")
+	}
+	if accepts != 1 {
+		t.Fatalf("accept callback ran %d times, want 1", accepts)
+	}
+	if tn.server.QPCount() != 1 {
+		t.Fatalf("server has %d QPs, want 1", tn.server.QPCount())
+	}
+}
+
+func TestConcurrentDials(t *testing.T) {
+	tn := newTestNet(t)
+	tn.serverCM.SetAcceptFunc(func(simnet.Addr, []byte) (*Accept, error) {
+		return &Accept{MR: tn.serverMR}, nil
+	})
+	got := 0
+	for i := 0; i < 5; i++ {
+		tn.clientCM.Dial(tn.server.IP(), nil, func(c *Conn, err error) {
+			if err != nil {
+				t.Fatalf("dial: %v", err)
+			}
+			got++
+		})
+	}
+	tn.k.Run()
+	if got != 5 {
+		t.Fatalf("established %d connections, want 5", got)
+	}
+	if tn.server.QPCount() != 5 || tn.client.QPCount() != 5 {
+		t.Fatalf("QP counts = (%d, %d), want (5, 5)", tn.client.QPCount(), tn.server.QPCount())
+	}
+}
+
+func TestDisconnect(t *testing.T) {
+	tn := newTestNet(t)
+	tn.serverCM.SetAcceptFunc(func(simnet.Addr, []byte) (*Accept, error) {
+		return &Accept{MR: tn.serverMR}, nil
+	})
+	var conn *Conn
+	tn.clientCM.Dial(tn.server.IP(), nil, func(c *Conn, err error) {
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		conn = c
+	})
+	tn.k.Run()
+	if tn.server.QPCount() != 1 || tn.client.QPCount() != 1 {
+		t.Fatalf("QP counts before disconnect = (%d, %d)", tn.client.QPCount(), tn.server.QPCount())
+	}
+	tn.clientCM.Disconnect(conn.QP)
+	tn.k.Run()
+	if tn.client.QPCount() != 0 {
+		t.Fatalf("client QPs after disconnect = %d", tn.client.QPCount())
+	}
+	if tn.server.QPCount() != 0 {
+		t.Fatalf("server QPs after disconnect = %d", tn.server.QPCount())
+	}
+	// Posting on the torn-down QP fails cleanly.
+	if err := conn.QP.PostWrite([]byte("x"), conn.RemoteVA, conn.RemoteRKey, nil); !errors.Is(err, rnic.ErrQPState) {
+		t.Fatalf("post after disconnect = %v, want ErrQPState", err)
+	}
+}
+
+func TestDisconnectFlushesInflight(t *testing.T) {
+	tn := newTestNet(t)
+	tn.serverCM.SetAcceptFunc(func(simnet.Addr, []byte) (*Accept, error) {
+		return &Accept{MR: tn.serverMR}, nil
+	})
+	var conn *Conn
+	tn.clientCM.Dial(tn.server.IP(), nil, func(c *Conn, err error) { conn = c })
+	tn.k.Run()
+	// Black-hole the path, post a write, then disconnect while it is
+	// still unacknowledged: the completion must be flushed, not lost.
+	tn.clientPort.SetLoss(1.0)
+	var gotErr error
+	if err := conn.QP.PostWrite([]byte("x"), conn.RemoteVA, conn.RemoteRKey, func(err error) {
+		gotErr = err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tn.clientCM.Disconnect(conn.QP)
+	if !errors.Is(gotErr, rnic.ErrFlushed) {
+		t.Fatalf("flushed completion = %v, want ErrFlushed", gotErr)
+	}
+	tn.k.Run()
+}

@@ -1,0 +1,79 @@
+package mu
+
+import "p4ce/internal/sim"
+
+// Config carries every protocol and calibration constant. Defaults are
+// tuned so the simulated cluster lands the paper's measured fail-over
+// and throughput numbers (see DESIGN.md §5).
+type Config struct {
+	// LogSize is the byte size of every machine's replicated log ring.
+	LogSize int
+	// ControlVA and LogVA are the virtual base addresses of the control
+	// region and the log region.
+	ControlVA uint64
+	LogVA     uint64
+
+	// HeartbeatInterval is how often a machine increments its heartbeat
+	// counter.
+	HeartbeatInterval sim.Time
+	// MonitorInterval is how often a machine RDMA-reads each peer's
+	// control region.
+	MonitorInterval sim.Time
+	// LivenessTimeout declares a peer dead when its heartbeat counter has
+	// not changed for this long.
+	LivenessTimeout sim.Time
+	// DisableHeartbeats turns failure detection off entirely (steady-state
+	// throughput benchmarks, where the monitor traffic is pure noise).
+	DisableHeartbeats bool
+
+	// LeaderTakeoverDelay aggregates what a new leader pays before it may
+	// write: reconfiguring queue-pair permissions on a majority of
+	// replicas (the 0.9 ms Table IV charges to Mu's leader change).
+	LeaderTakeoverDelay sim.Time
+
+	// CPUPostCost is the leader CPU time to build and post one RDMA
+	// request; CPUAckCost the time to process one completion. Together
+	// they reproduce the paper's consensus/s ceilings (§V-C).
+	CPUPostCost sim.Time
+	CPUAckCost  sim.Time
+
+	// CommitSyncInterval bounds how long a committed entry may remain
+	// unannounced to replicas before the leader appends a no-op carrying
+	// the new commit index.
+	CommitSyncInterval sim.Time
+
+	// RouteFailoverTimeout: when every peer has been silent this long the
+	// machine assumes the primary switch died and fails over to the
+	// backup route (if one exists) after RouteReconvergenceDelay.
+	RouteFailoverTimeout    sim.Time
+	RouteReconvergenceDelay sim.Time
+
+	// CatchUpWindow is how many recent entries the leader keeps encoded
+	// in memory for re-replication during view changes. Peers lagging
+	// further than this are excluded (snapshot transfer is out of scope,
+	// as it is in the paper's evaluation).
+	CatchUpWindow int
+}
+
+// DefaultConfig returns the calibrated testbed configuration.
+func DefaultConfig() Config {
+	return Config{
+		LogSize:                 4 << 20,
+		ControlVA:               0x1000,
+		LogVA:                   0x100000,
+		HeartbeatInterval:       20 * sim.Microsecond,
+		MonitorInterval:         20 * sim.Microsecond,
+		LivenessTimeout:         60 * sim.Microsecond,
+		LeaderTakeoverDelay:     750 * sim.Microsecond,
+		CPUPostCost:             250 * sim.Nanosecond,
+		CPUAckCost:              185 * sim.Nanosecond,
+		CommitSyncInterval:      500 * sim.Microsecond,
+		RouteFailoverTimeout:    1500 * sim.Microsecond,
+		RouteReconvergenceDelay: 55 * sim.Millisecond,
+		CatchUpWindow:           4096,
+	}
+}
+
+// controlRegionBytes is the layout read by peers: heartbeat | term |
+// lastIndex | lastTerm | commitIndex | ringOffset (u64 each).
+const controlRegionBytes = 48

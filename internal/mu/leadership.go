@@ -1,0 +1,496 @@
+package mu
+
+import (
+	"encoding/binary"
+
+	"p4ce/internal/cm"
+	"p4ce/internal/sim"
+)
+
+// startTakeover begins the view change on the machine that just became
+// the lowest live identifier. The takeover delay aggregates the
+// queue-pair permission reconfiguration Mu charges to leader election
+// (0.9 ms in Table IV).
+func (n *Node) startTakeover() {
+	n.role = RoleElecting
+	if n.maxSeen > n.term {
+		n.term = n.maxSeen
+	}
+	n.term++
+	n.maxSeen = n.term
+	n.publishState()
+	n.takeoverSeq++
+	seq := n.takeoverSeq
+	n.k.Schedule(n.cfg.LeaderTakeoverDelay, func() {
+		if n.crashed || n.role != RoleElecting || n.takeoverSeq != seq || n.leaderID != n.self.ID {
+			return
+		}
+		n.dialReplicas(seq)
+	})
+}
+
+// dialReplicas opens the replication connections. A majority of grants
+// (the leader counts toward it) lets the takeover proceed.
+func (n *Node) dialReplicas(seq int) {
+	var (
+		answers  int
+		finished bool
+		granted  = make(map[int]*cm.Conn)
+		targets  []*peerState
+	)
+	for _, ps := range n.peerStates {
+		if n.peerAlive(ps) {
+			targets = append(targets, ps)
+		}
+	}
+	majority := n.ClusterSize()/2 + 1 // machines, the leader included
+	if 1+len(targets) < majority {
+		n.abortTakeover()
+		return
+	}
+	priv := make([]byte, 13)
+	priv[0] = dialKindRepl
+	binary.BigEndian.PutUint64(priv[1:9], n.term)
+	binary.BigEndian.PutUint32(priv[9:13], uint32(n.self.ID))
+	finish := func() {
+		if finished || n.crashed || n.takeoverSeq != seq || n.role != RoleElecting {
+			return
+		}
+		finished = true
+		if len(granted)+1 < majority {
+			n.abortTakeover()
+			return
+		}
+		n.catchUp(seq, granted)
+	}
+	for _, ps := range targets {
+		ps := ps
+		n.agent.Dial(ps.peer.Addr, priv, func(c *cm.Conn, err error) {
+			answers++
+			if err == nil {
+				if finished {
+					// A grant that arrived after the takeover proceeded:
+					// fold the replica in rather than leak the connection.
+					if n.role == RoleLeader && n.takeoverSeq == seq {
+						n.addReplPath(ps.peer.ID, c)
+					} else {
+						n.nic.DestroyQP(c.QP)
+					}
+				} else {
+					granted[ps.peer.ID] = c
+				}
+			}
+			// Proceed as soon as a majority granted — a dead target must
+			// not stall the view change for its full dial timeout — or
+			// once every answer is in.
+			if len(granted)+1 >= majority || answers == len(targets) {
+				finish()
+			}
+		})
+	}
+}
+
+func (n *Node) abortTakeover() {
+	n.role = RoleFollower
+	// Forget the verdict so the next monitor pass re-evaluates.
+	n.leaderID = -1
+}
+
+// catchUp adopts the longest log among the granted majority, brings
+// laggards up to date, and switches the node into active leadership
+// (the view-change procedure P4CE inherits from Mu, §III).
+func (n *Node) catchUp(seq int, granted map[int]*cm.Conn) {
+	// Pick the most advanced machine among self and granted peers, using
+	// the control-region values the monitor keeps fresh.
+	bestID := n.self.ID
+	bestTerm, bestIndex := uint64(n.lastTerm), n.lastIndex
+	for id := range granted {
+		ps := n.peerStates[id]
+		if ps.lastTerm > bestTerm || (ps.lastTerm == bestTerm && ps.lastIndex > bestIndex) {
+			bestID, bestTerm, bestIndex = id, ps.lastTerm, ps.lastIndex
+		}
+	}
+	if bestID == n.self.ID || bestIndex <= n.lastIndex {
+		n.finishTakeover(seq, granted)
+		return
+	}
+	// Read only the bytes the advanced peer has that this machine lacks:
+	// its ring between this machine's offset and the peer's published
+	// write offset (at most two chunks when it wraps). Reading the whole
+	// ring would hog the donor's uplink long enough to trip everyone
+	// else's failure detectors.
+	ps := n.peerStates[bestID]
+	if ps.conn == nil || ps.logLen == 0 {
+		n.finishTakeover(seq, granted)
+		return
+	}
+	myOff := n.ring.Offset()
+	donorOff := int(ps.ringOff)
+	type chunk struct{ off, length int }
+	var chunks []chunk
+	switch {
+	case donorOff > myOff:
+		chunks = []chunk{{myOff, donorOff - myOff}}
+	case donorOff < myOff:
+		chunks = []chunk{{myOff, int(ps.logLen) - myOff}, {0, donorOff}}
+	default:
+		// Identical offsets with a longer log should not happen without
+		// a full ring lap; adopt nothing rather than read 4 MB blind.
+		n.finishTakeover(seq, granted)
+		return
+	}
+	// The suffix is scanned against a snapshot of this machine's own
+	// ring with the donor's missing ranges patched in.
+	snapshot := append([]byte(nil), n.logBuf...)
+	pending := 0
+	failed := false
+	finish := func() {
+		if failed || n.crashed || n.takeoverSeq != seq || n.role != RoleElecting {
+			n.abortTakeover()
+			return
+		}
+		scan := NewConsumer(snapshot, n.lastIndex+1)
+		scan.readOff = myOff
+		scan.OnReceive = func(e Entry) { n.adoptEntry(&e) }
+		scan.Poll()
+		n.finishTakeover(seq, granted)
+	}
+	for _, c := range chunks {
+		if c.length <= 0 {
+			continue
+		}
+		pending++
+		c := c
+		err := ps.conn.QP.PostRead(snapshot[c.off:c.off+c.length], ps.logVA+uint64(c.off), ps.logRKey, func(err error) {
+			if err != nil {
+				failed = true
+			}
+			n.Stats.CatchUpBytes += uint64(c.length)
+			pending--
+			if pending == 0 {
+				finish()
+			}
+		})
+		if err != nil {
+			failed = true
+			pending--
+		}
+	}
+	if pending == 0 {
+		finish()
+	}
+}
+
+// finishTakeover installs the replication paths, re-replicates whatever
+// the laggards are missing, and opens the new view with a no-op entry.
+func (n *Node) finishTakeover(seq int, granted map[int]*cm.Conn) {
+	if n.crashed || n.takeoverSeq != seq || n.role != RoleElecting {
+		return
+	}
+	n.direct = NewDirectTransport(n.ClusterSize())
+	n.replConns = make(map[int]*cm.Conn, len(granted))
+	n.role = RoleLeader
+	n.firstOwnIdx = n.lastIndex + 1 // the new-view no-op
+	for id, c := range granted {
+		n.addReplPath(id, c)
+	}
+	n.fenceTo(n.self.ID)
+	n.publishState()
+	if n.OnBecameLeader != nil {
+		n.OnBecameLeader()
+	}
+	// Open the view: a no-op announces the term and commits the adopted
+	// suffix once f replicas acknowledge it.
+	n.proposeEntry(nil, FlagNoop, nil)
+}
+
+// adoptEntry folds a catch-up entry into the local log and the apply
+// queue.
+func (n *Node) adoptEntry(e *Entry) {
+	n.appendLocal(e)
+	n.pendingApply = append(n.pendingApply, *e)
+}
+
+// reReplicateTo writes every cached entry the peer is missing. Writes
+// are ordered on the queue pair, so subsequent proposals land after.
+func (n *Node) reReplicateTo(id int, c *cm.Conn) {
+	ps := n.peerStates[id]
+	if ps.lastIndex >= n.lastIndex {
+		return
+	}
+	from := ps.lastIndex + 1
+	if low := n.lowestCached(); from < low {
+		// Too far behind the window: exclude (snapshots out of scope).
+		n.direct.RemovePath(id)
+		return
+	}
+	for idx := from; idx <= n.lastIndex; idx++ {
+		ent, ok := n.recent[idx]
+		if !ok {
+			n.direct.RemovePath(id)
+			return
+		}
+		_ = c.QP.PostWrite(ent.bytes, c.RemoteVA+uint64(ent.off), c.RemoteRKey, nil)
+	}
+}
+
+func (n *Node) lowestCached() uint64 {
+	if n.lastIndex < uint64(n.cfg.CatchUpWindow) {
+		return 1
+	}
+	return n.lastIndex - uint64(n.cfg.CatchUpWindow) + 1
+}
+
+// stepDown abandons leadership, failing whatever was in flight.
+func (n *Node) stepDown(cause error) {
+	if n.role == RoleFollower {
+		return
+	}
+	n.role = RoleFollower
+	if n.leaderID == n.self.ID {
+		// The node deposed itself (lost quorum): forget the verdict so
+		// the monitor can re-run the election once peers are reachable.
+		n.leaderID = -1
+	}
+	for _, c := range n.replConns {
+		n.nic.DestroyQP(c.QP)
+	}
+	n.replConns = make(map[int]*cm.Conn)
+	n.direct = nil
+	n.preferred = nil
+	flushed := n.proposals
+	n.proposals = make(map[uint64]*proposal)
+	for _, p := range flushed {
+		if p.done != nil && !p.committed {
+			p.done(cause)
+		}
+	}
+	// Resume consuming as a replica from the current ring position.
+	n.consumer.readOff = n.ring.Offset()
+	n.consumer.nextIndex = n.lastIndex + 1
+	if n.OnLostLeader != nil {
+		n.OnLostLeader()
+	}
+}
+
+// Propose replicates a client value. done fires with nil once the value
+// is decided (f replica acknowledgments), or with an error if the value
+// must be retried on the new leader.
+func (n *Node) Propose(data []byte, done func(error)) error {
+	if n.role != RoleLeader {
+		return ErrNotLeader
+	}
+	n.proposeEntry(data, 0, done)
+	return nil
+}
+
+// proposeEntry appends locally, then drives the transport.
+func (n *Node) proposeEntry(data []byte, flags uint8, done func(error)) {
+	e := &Entry{
+		Term:        uint32(n.term),
+		Index:       n.lastIndex + 1,
+		CommitIndex: n.commitIndex,
+		Flags:       flags,
+		Data:        data,
+	}
+	off, markOff := n.appendLocal(e)
+	n.Stats.Proposed++
+	p := &proposal{
+		index:   e.Index,
+		bytes:   n.recent[e.Index].bytes,
+		off:     off,
+		markOff: markOff,
+		done:    done,
+		noop:    flags&FlagNoop != 0,
+	}
+	if flags&FlagNoop == 0 {
+		n.maxDataIdx = e.Index
+	}
+	n.sentCommit = e.CommitIndex
+	// Queue for application on commit. The payload references the
+	// encoded copy, so callers may reuse their buffers.
+	n.pendingApply = append(n.pendingApply, Entry{
+		Term:  e.Term,
+		Index: e.Index,
+		Flags: e.Flags,
+		Data:  entryData(p.bytes),
+	})
+	n.proposals[p.index] = p
+	n.dispatch(p)
+}
+
+// transportFor picks the accelerated transport when it is usable.
+func (n *Node) transportFor() Transport {
+	if n.preferred != nil && n.preferred.Ready() {
+		return n.preferred
+	}
+	return n.direct
+}
+
+// dispatch drives one proposal through the current transport, charging
+// the leader's CPU for request generation and acknowledgment handling.
+func (n *Node) dispatch(p *proposal) {
+	t := n.transportFor()
+	if t == nil || !t.Ready() {
+		n.stepDown(ErrLostQuorum)
+		return
+	}
+	p.gen++
+	gen := p.gen
+	p.needed = t.AcksNeeded()
+	p.got = 0
+	// Building and posting the work requests costs CPU per request —
+	// this is the §V-C bottleneck.
+	n.cpu.Do(n.cfg.CPUPostCost*sim.Time(t.Requests()), func() {
+		if n.role != RoleLeader || p.gen != gen {
+			return
+		}
+		if p.markOff >= 0 {
+			// The ring wrapped: replicate the wrap marker first (ordered
+			// ahead of the entry on every path).
+			_ = t.Replicate(WrapMarkBytes(), p.markOff, func(error) {})
+		}
+		err := t.Replicate(p.bytes, p.off, func(err error) {
+			// Processing each acknowledgment costs CPU too.
+			n.cpu.Do(n.cfg.CPUAckCost, func() { n.onAck(p, t, gen, err) })
+		})
+		if err != nil {
+			n.onAck(p, t, gen, err)
+		}
+	})
+}
+
+// onAck accounts one acknowledgment event for a proposal.
+func (n *Node) onAck(p *proposal, t Transport, gen int, err error) {
+	if n.role != RoleLeader || p.committed || p.gen != gen {
+		return
+	}
+	if err != nil {
+		if t == n.preferred {
+			n.fallback()
+			return
+		}
+		// A direct path failed; the transport already dropped it. Check
+		// we still have a quorum of paths at all.
+		if n.direct != nil && !n.direct.Ready() {
+			n.stepDown(ErrLostQuorum)
+		}
+		return
+	}
+	p.got++
+	if p.got >= p.needed {
+		p.committed = true
+		n.drainCommits()
+	}
+}
+
+// Fallback abandons the accelerated transport and re-drives every
+// uncommitted proposal through the direct one. Engines call it when
+// they detect the switch path failing out-of-band (e.g. a queue pair
+// timeout between proposals).
+func (n *Node) Fallback() { n.fallback() }
+
+// fallback reverts to un-accelerated communication: every uncommitted
+// proposal is re-driven through the direct transport, in log order
+// (§III, "Faulty replica" / "Faulty switch").
+func (n *Node) fallback() {
+	if n.preferred == nil {
+		return
+	}
+	n.Stats.Fallbacks++
+	n.preferred = nil
+	if n.OnFallback != nil {
+		n.OnFallback()
+	}
+	idxs := make([]uint64, 0, len(n.proposals))
+	for idx, p := range n.proposals {
+		if !p.committed {
+			idxs = append(idxs, idx)
+		}
+	}
+	sortUint64s(idxs)
+	for _, idx := range idxs {
+		n.dispatch(n.proposals[idx])
+	}
+}
+
+// drainCommits advances the commit index over the contiguous committed
+// prefix, completing proposals in order. The first committed proposal of
+// a leadership also commits the adopted prefix before it: acknowledging
+// the new-view no-op means f replicas hold everything the queue pair
+// ordered ahead of it.
+func (n *Node) drainCommits() {
+	for {
+		idx := n.commitIndex + 1
+		if idx < n.firstOwnIdx {
+			idx = n.firstOwnIdx
+		}
+		p, ok := n.proposals[idx]
+		if !ok || !p.committed {
+			break
+		}
+		n.commitIndex = p.index
+		delete(n.proposals, p.index)
+		n.Stats.Committed++
+		n.applyUpTo(n.commitIndex)
+		if p.done != nil {
+			p.done(nil)
+		}
+	}
+	n.publishState()
+}
+
+// entryData re-extracts the payload from an encoded entry.
+func entryData(encoded []byte) []byte {
+	length := binary.BigEndian.Uint32(encoded[0:4])
+	if length == 0 {
+		return nil
+	}
+	return encoded[entryHeaderBytes : entryHeaderBytes+int(length)]
+}
+
+// appendLocal encodes the entry into the local ring, updating the
+// re-replication window. It returns the entry's ring offset and the
+// wrap-marker offset (-1 when no wrap happened).
+func (n *Node) appendLocal(e *Entry) (off, markOff int) {
+	bytes := EncodeEntry(e)
+	off, markOff, mark, err := n.ring.Place(len(bytes))
+	if err != nil {
+		// An entry larger than the whole log: reject at Propose level.
+		panic("mu: entry exceeds log size")
+	}
+	if markOff >= 0 && mark {
+		copy(n.logBuf[markOff:], WrapMarkBytes())
+	} else {
+		markOff = -1
+	}
+	copy(n.logBuf[off:], bytes)
+	n.lastIndex = e.Index
+	n.lastTerm = e.Term
+	n.recent[e.Index] = recentEntry{off: off, bytes: bytes}
+	if prune := int64(e.Index) - int64(n.cfg.CatchUpWindow); prune > 0 {
+		delete(n.recent, uint64(prune))
+	}
+	n.publishState()
+	return off, markOff
+}
+
+// commitSyncTick appends a no-op when committed client entries have not
+// yet been announced to the replicas (idle cluster).
+func (n *Node) commitSyncTick() {
+	if n.role != RoleLeader {
+		return
+	}
+	if n.sentCommit < n.commitIndex && n.sentCommit < n.maxDataIdx {
+		n.proposeEntry(nil, FlagNoop, nil)
+	}
+}
+
+// sortUint64s is a tiny insertion sort (proposal sets are small).
+func sortUint64s(v []uint64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j-1] > v[j]; j-- {
+			v[j-1], v[j] = v[j], v[j-1]
+		}
+	}
+}

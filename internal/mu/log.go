@@ -1,0 +1,245 @@
+// Package mu implements the decision plane P4CE adopts unchanged from
+// Mu (Aguilera et al., OSDI '20): every machine keeps a log in RDMA-
+// registered memory; the machine with the lowest identifier among the
+// live ones is the leader; liveness is established through heartbeat
+// counters that every machine reads over RDMA; replicas grant log-write
+// permission exclusively to the machine they believe is the leader,
+// which fences deposed leaders at the NIC level; and a value is decided
+// once the NICs of f replicas have acknowledged the leader's write.
+//
+// The replication *transport* — how the leader's write physically
+// reaches the replicas — is pluggable: package mu provides the direct
+// per-replica transport (Mu proper), and package core provides the
+// switch-accelerated transport (P4CE).
+package mu
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// Entry flags.
+const (
+	// FlagNoop marks commit-propagation entries that carry no client data.
+	FlagNoop uint8 = 1 << iota
+)
+
+// Entry is one decided (or proposed) log record.
+type Entry struct {
+	Term        uint32
+	Index       uint64
+	CommitIndex uint64 // leader's commit index when the entry was appended
+	Flags       uint8
+	Data        []byte
+}
+
+// IsNoop reports whether the entry is a commit bump.
+func (e *Entry) IsNoop() bool { return e.Flags&FlagNoop != 0 }
+
+const (
+	entryHeaderBytes  = 4 + 4 + 8 + 8 + 1 // len, term, index, commit, flags
+	entryTrailerBytes = 4                 // CRC-32 over header+data
+	// wrapMark written in the length field tells the consumer the ring
+	// wrapped to offset zero.
+	wrapMark = uint32(0xFFFFFFFF)
+)
+
+// EncodedSize returns the ring footprint of the entry.
+func (e *Entry) EncodedSize() int {
+	return entryHeaderBytes + len(e.Data) + entryTrailerBytes
+}
+
+// EncodeEntry serializes the entry into a fresh buffer.
+func EncodeEntry(e *Entry) []byte {
+	buf := make([]byte, e.EncodedSize())
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(e.Data)))
+	binary.BigEndian.PutUint32(buf[4:8], e.Term)
+	binary.BigEndian.PutUint64(buf[8:16], e.Index)
+	binary.BigEndian.PutUint64(buf[16:24], e.CommitIndex)
+	buf[24] = e.Flags
+	copy(buf[entryHeaderBytes:], e.Data)
+	crc := crc32.ChecksumIEEE(buf[:entryHeaderBytes+len(e.Data)])
+	binary.BigEndian.PutUint32(buf[entryHeaderBytes+len(e.Data):], crc)
+	return buf
+}
+
+// DecodeEntryAt parses the entry at off. It returns the entry and the
+// offset of the next record, or ok=false when the bytes at off do not
+// (yet) hold a complete valid entry. A wrap marker returns ok=false with
+// wrapped=true.
+func DecodeEntryAt(buf []byte, off int) (e Entry, next int, wrapped, ok bool) {
+	if len(buf)-off < 4 {
+		return Entry{}, 0, true, false // implicit wrap: no room for a marker
+	}
+	length := binary.BigEndian.Uint32(buf[off : off+4])
+	if length == wrapMark {
+		return Entry{}, 0, true, false
+	}
+	total := entryHeaderBytes + int(length) + entryTrailerBytes
+	if int(length) > len(buf) || off+total > len(buf) {
+		return Entry{}, 0, false, false
+	}
+	end := off + entryHeaderBytes + int(length)
+	want := binary.BigEndian.Uint32(buf[end : end+4])
+	if crc32.ChecksumIEEE(buf[off:end]) != want {
+		return Entry{}, 0, false, false
+	}
+	e = Entry{
+		Term:        binary.BigEndian.Uint32(buf[off+4 : off+8]),
+		Index:       binary.BigEndian.Uint64(buf[off+8 : off+16]),
+		CommitIndex: binary.BigEndian.Uint64(buf[off+16 : off+24]),
+		Flags:       buf[off+24],
+	}
+	if length > 0 {
+		e.Data = append([]byte(nil), buf[off+entryHeaderBytes:end]...)
+	}
+	return e, off + total, false, true
+}
+
+// ErrLogFull reports an entry that cannot fit in the ring at all.
+var ErrLogFull = errors.New("mu: entry larger than log")
+
+// Ring is the append-side view of a log region: it assigns deterministic
+// ring positions to successive entries, so the leader's local append and
+// its remote writes land at identical offsets on every machine.
+type Ring struct {
+	size int
+	off  int // next append position
+}
+
+// NewRing returns an appender over a region of the given size.
+func NewRing(size int) *Ring { return &Ring{size: size} }
+
+// Place returns the ring offset where an entry of encoded size n lands,
+// and whether a wrap marker must be written at the previous position
+// (markOff) first. It advances the appender.
+func (r *Ring) Place(n int) (off int, markOff int, mark bool, err error) {
+	if n > r.size {
+		return 0, 0, false, ErrLogFull
+	}
+	if r.off+n > r.size {
+		markOff = r.off
+		mark = r.size-r.off >= 4
+		r.off = 0
+	} else {
+		markOff = -1
+	}
+	off = r.off
+	r.off += n
+	return off, markOff, mark, nil
+}
+
+// Offset returns the next append position.
+func (r *Ring) Offset() int { return r.off }
+
+// SetOffset forces the append position (used when adopting a peer's log).
+func (r *Ring) SetOffset(off int) { r.off = off }
+
+// WrapMarkBytes returns the encoded wrap marker.
+func WrapMarkBytes() []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], wrapMark)
+	return b[:]
+}
+
+// Consumer scans a log region for complete entries in order, tracking
+// commit progress. Replicas drive it from the memory region's write
+// notifications; the view-change procedure drives it over a snapshot it
+// read from a peer.
+type Consumer struct {
+	buf       []byte
+	readOff   int
+	nextIndex uint64
+	lastTerm  uint32
+	commit    uint64
+	pending   []Entry // consumed but not yet committed
+
+	// OnReceive fires for every entry as it becomes visible.
+	OnReceive func(Entry)
+	// OnReceiveAt fires like OnReceive but also reports the entry's ring
+	// offset (followers feed their re-replication cache with it).
+	OnReceiveAt func(Entry, int)
+	// OnApply fires for every entry once it is covered by the commit
+	// index, in index order, exactly once.
+	OnApply func(Entry)
+}
+
+// NewConsumer scans buf starting at entry index first.
+func NewConsumer(buf []byte, first uint64) *Consumer {
+	return &Consumer{buf: buf, nextIndex: first}
+}
+
+// NextIndex returns the next entry index the consumer expects.
+func (c *Consumer) NextIndex() uint64 { return c.nextIndex }
+
+// LastTerm returns the term of the last consumed entry.
+func (c *Consumer) LastTerm() uint32 { return c.lastTerm }
+
+// CommitIndex returns the highest commit index observed.
+func (c *Consumer) CommitIndex() uint64 { return c.commit }
+
+// ReadOffset returns the ring position of the next expected entry.
+func (c *Consumer) ReadOffset() int { return c.readOff }
+
+// Poll scans forward from the read offset, delivering every complete
+// entry. It returns how many entries were consumed.
+func (c *Consumer) Poll() int {
+	n := 0
+	for {
+		e, next, wrapped, ok := DecodeEntryAt(c.buf, c.readOff)
+		if wrapped {
+			if c.readOff == 0 {
+				return n // empty ring: stay put
+			}
+			c.readOff = 0
+			continue
+		}
+		if !ok {
+			return n
+		}
+		if e.Index != c.nextIndex {
+			// Stale bytes from a previous lap (or an overwrite racing the
+			// scan): not our entry yet.
+			return n
+		}
+		entryOff := c.readOff
+		c.readOff = next
+		c.nextIndex++
+		c.lastTerm = e.Term
+		n++
+		if c.OnReceive != nil {
+			c.OnReceive(e)
+		}
+		if c.OnReceiveAt != nil {
+			c.OnReceiveAt(e, entryOff)
+		}
+		c.pending = append(c.pending, e)
+		c.advanceCommit(e.CommitIndex)
+	}
+}
+
+// AdvanceCommit raises the commit index (e.g. from a side channel) and
+// applies newly covered entries.
+func (c *Consumer) AdvanceCommit(idx uint64) { c.advanceCommit(idx) }
+
+func (c *Consumer) advanceCommit(idx uint64) {
+	if idx <= c.commit && c.commit != 0 {
+		c.drainApplied()
+		return
+	}
+	if idx > c.commit {
+		c.commit = idx
+	}
+	c.drainApplied()
+}
+
+func (c *Consumer) drainApplied() {
+	for len(c.pending) > 0 && c.pending[0].Index <= c.commit {
+		e := c.pending[0]
+		c.pending = c.pending[1:]
+		if c.OnApply != nil {
+			c.OnApply(e)
+		}
+	}
+}

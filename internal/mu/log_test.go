@@ -1,0 +1,224 @@
+package mu
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntryEncodeDecode(t *testing.T) {
+	e := &Entry{Term: 3, Index: 42, CommitIndex: 40, Flags: FlagNoop, Data: []byte("payload")}
+	buf := EncodeEntry(e)
+	if len(buf) != e.EncodedSize() {
+		t.Fatalf("encoded %d bytes, EncodedSize says %d", len(buf), e.EncodedSize())
+	}
+	got, next, wrapped, ok := DecodeEntryAt(buf, 0)
+	if !ok || wrapped {
+		t.Fatalf("decode failed: ok=%v wrapped=%v", ok, wrapped)
+	}
+	if next != len(buf) {
+		t.Fatalf("next = %d, want %d", next, len(buf))
+	}
+	if got.Term != 3 || got.Index != 42 || got.CommitIndex != 40 || !got.IsNoop() || !bytes.Equal(got.Data, e.Data) {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	e := &Entry{Term: 1, Index: 1, Data: []byte("abcdef")}
+	buf := EncodeEntry(e)
+	for i := 0; i < len(buf); i++ {
+		mut := append([]byte(nil), buf...)
+		mut[i] ^= 0x40
+		if _, _, _, ok := DecodeEntryAt(mut, 0); ok {
+			// Flipping a bit anywhere must invalidate the CRC — except
+			// when it turns the length field into the wrap marker, which
+			// reports wrapped instead of ok.
+			t.Fatalf("corrupted byte %d still decoded", i)
+		}
+	}
+}
+
+func TestDecodeIncompleteEntry(t *testing.T) {
+	e := &Entry{Term: 1, Index: 1, Data: make([]byte, 100)}
+	buf := EncodeEntry(e)
+	ring := make([]byte, 256)
+	copy(ring, buf[:len(buf)-10]) // trailer missing
+	if _, _, _, ok := DecodeEntryAt(ring, 0); ok {
+		t.Fatal("half-written entry decoded")
+	}
+}
+
+// Property: encode/decode inverse for arbitrary entries.
+func TestEntryRoundtripProperty(t *testing.T) {
+	f := func(term uint32, index, commit uint64, flags uint8, data []byte) bool {
+		e := &Entry{Term: term, Index: index, CommitIndex: commit, Flags: flags, Data: data}
+		got, next, wrapped, ok := DecodeEntryAt(EncodeEntry(e), 0)
+		if !ok || wrapped || next != e.EncodedSize() {
+			return false
+		}
+		if len(data) == 0 {
+			return got.Data == nil && got.Index == index && got.Term == term
+		}
+		return got.Term == term && got.Index == index &&
+			got.CommitIndex == commit && got.Flags == flags && bytes.Equal(got.Data, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingPlacementWraps(t *testing.T) {
+	r := NewRing(100)
+	off, _, _, err := r.Place(40)
+	if err != nil || off != 0 {
+		t.Fatalf("first placement at %d (%v)", off, err)
+	}
+	off, _, _, err = r.Place(40)
+	if err != nil || off != 40 {
+		t.Fatalf("second placement at %d (%v)", off, err)
+	}
+	// 20 bytes left: a 40-byte entry wraps, leaving a marker at 80.
+	off, markOff, mark, err := r.Place(40)
+	if err != nil || off != 0 || markOff != 80 || !mark {
+		t.Fatalf("wrap placement: off=%d markOff=%d mark=%v err=%v", off, markOff, mark, err)
+	}
+	if _, _, _, err := r.Place(101); err == nil {
+		t.Fatal("oversize entry accepted")
+	}
+}
+
+// Property: a writer appending entries through the Ring and a Consumer
+// scanning the same buffer agree on every entry, across arbitrary entry
+// sizes and multiple ring laps.
+func TestRingConsumerAgreementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const ringSize = 4096
+		buf := make([]byte, ringSize)
+		ring := NewRing(ringSize)
+		var got []Entry
+		cons := NewConsumer(buf, 1)
+		cons.OnReceive = func(e Entry) { got = append(got, e) }
+
+		var want []Entry
+		commit := uint64(0)
+		for i := uint64(1); i <= 60; i++ {
+			data := make([]byte, rng.Intn(200))
+			rng.Read(data)
+			e := &Entry{Term: 1, Index: i, CommitIndex: commit, Data: data}
+			off, markOff, mark, err := ring.Place(e.EncodedSize())
+			if err != nil {
+				return false
+			}
+			if markOff >= 0 && mark {
+				copy(buf[markOff:], WrapMarkBytes())
+			}
+			copy(buf[off:], EncodeEntry(e))
+			want = append(want, *e)
+			commit = i
+			// Consume incrementally half the time, to exercise partial
+			// scans against a moving ring.
+			if rng.Intn(2) == 0 {
+				cons.Poll()
+			}
+		}
+		cons.Poll()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i].Index != want[i].Index || !bytes.Equal(got[i].Data, want[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsumerAppliesOnCommitOnly(t *testing.T) {
+	buf := make([]byte, 4096)
+	ring := NewRing(len(buf))
+	cons := NewConsumer(buf, 1)
+	var applied []uint64
+	cons.OnApply = func(e Entry) { applied = append(applied, e.Index) }
+
+	append1 := func(idx, commit uint64) {
+		e := &Entry{Term: 1, Index: idx, CommitIndex: commit, Data: []byte{byte(idx)}}
+		off, _, _, _ := ring.Place(e.EncodedSize())
+		copy(buf[off:], EncodeEntry(e))
+	}
+	append1(1, 0)
+	append1(2, 0)
+	cons.Poll()
+	if len(applied) != 0 {
+		t.Fatalf("applied %v before commit", applied)
+	}
+	append1(3, 2) // carries commit=2
+	cons.Poll()
+	if len(applied) != 2 || applied[0] != 1 || applied[1] != 2 {
+		t.Fatalf("applied %v, want [1 2]", applied)
+	}
+	cons.AdvanceCommit(3)
+	if len(applied) != 3 {
+		t.Fatalf("applied %v after AdvanceCommit(3)", applied)
+	}
+}
+
+func TestConsumerIgnoresStaleBytes(t *testing.T) {
+	// A ring position holding a stale-but-valid entry from a previous
+	// lap (lower index) must not be consumed.
+	buf := make([]byte, 4096)
+	stale := &Entry{Term: 1, Index: 5, Data: []byte("old")}
+	copy(buf, EncodeEntry(stale))
+	cons := NewConsumer(buf, 7) // expecting index 7
+	if n := cons.Poll(); n != 0 {
+		t.Fatalf("consumed %d stale entries", n)
+	}
+}
+
+func TestDirectTransportQuorum(t *testing.T) {
+	tr := NewDirectTransport(5) // f = 2
+	if tr.AcksNeeded() != 2 {
+		t.Fatalf("AcksNeeded = %d, want 2", tr.AcksNeeded())
+	}
+	calls := 0
+	write := func(data []byte, off int, done func(error)) error {
+		calls++
+		done(nil)
+		return nil
+	}
+	for id := 1; id <= 4; id++ {
+		tr.AddPath(id, write)
+	}
+	if !tr.Ready() || tr.Requests() != 4 {
+		t.Fatalf("Ready=%v Requests=%d", tr.Ready(), tr.Requests())
+	}
+	acks := 0
+	if err := tr.Replicate([]byte("x"), 0, func(err error) {
+		if err == nil {
+			acks++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 || acks != 4 {
+		t.Fatalf("calls=%d acks=%d", calls, acks)
+	}
+	tr.RemovePath(1)
+	tr.RemovePath(2)
+	if !tr.Ready() {
+		t.Fatal("transport not ready with exactly f paths")
+	}
+	tr.RemovePath(3)
+	if tr.Ready() {
+		t.Fatal("transport ready below quorum")
+	}
+	if err := tr.Replicate(nil, 0, nil); err != ErrNotReady {
+		t.Fatalf("Replicate below quorum = %v", err)
+	}
+}

@@ -1,0 +1,399 @@
+package p4ce
+
+import (
+	"errors"
+	"fmt"
+
+	"p4ce/internal/roce"
+	"p4ce/internal/sim"
+	"p4ce/internal/simnet"
+	"p4ce/internal/tofino"
+)
+
+// Control-plane errors.
+var (
+	// ErrNoRoute reports a replica with no switch port.
+	ErrNoRoute = errors.New("p4ce: no route to replica")
+	// ErrUnknownGroup reports a management call for a missing group.
+	ErrUnknownGroup = errors.New("p4ce: unknown group")
+)
+
+// CPConfig tunes the control plane.
+type CPConfig struct {
+	// ReconfigDelay is the time to program the data-plane tables and the
+	// replication engine — the 40 ms the paper measures for configuring a
+	// communication group (§V-E).
+	ReconfigDelay sim.Time
+}
+
+// DefaultCPConfig returns the measured testbed value.
+func DefaultCPConfig() CPConfig {
+	return CPConfig{ReconfigDelay: 40 * sim.Millisecond}
+}
+
+// setup tracks one in-progress group establishment.
+type setup struct {
+	g            *group
+	leaderCommID uint32
+	// outstanding maps the control plane's per-replica comm ids to the
+	// index of the replica entry awaiting a ConnectReply.
+	outstanding map[uint32]int
+	replied     int
+	installed   bool
+	leaderRep   *roce.CMMessage // stored reply for duplicate-request resend
+}
+
+// ControlPlane is the switch-resident software half of P4CE (Python +
+// BfRt in the real artifact): it terminates the leader's CM handshake,
+// opens the per-replica connections, and programs the data plane.
+type ControlPlane struct {
+	k   *sim.Kernel
+	sw  *tofino.Switch
+	dp  *Dataplane
+	cfg CPConfig
+
+	nextGroupID tofino.GroupID
+	nextQPN     uint32
+	nextCommID  uint32
+
+	// setups in progress, keyed by (leader address, leader comm id).
+	setups map[setupKey]*setup
+	// replicaWait maps control-plane comm ids to their setup.
+	replicaWait map[uint32]*setup
+	// groups established, by leader address.
+	groups map[simnet.Addr]*group
+}
+
+type setupKey struct {
+	leader simnet.Addr
+	commID uint32
+}
+
+// NewControlPlane wires a control plane to a switch running dp.
+func NewControlPlane(sw *tofino.Switch, dp *Dataplane, cfg CPConfig) *ControlPlane {
+	cp := &ControlPlane{
+		k:           sw.Kernel(),
+		sw:          sw,
+		dp:          dp,
+		cfg:         cfg,
+		nextGroupID: 1,
+		nextQPN:     0x800,
+		nextCommID:  0x5000,
+		setups:      make(map[setupKey]*setup),
+		replicaWait: make(map[uint32]*setup),
+		groups:      make(map[simnet.Addr]*group),
+	}
+	sw.SetCPUHandler(cp.handlePunt)
+	return cp
+}
+
+// handlePunt receives packets the data plane sent to the CPU.
+func (cp *ControlPlane) handlePunt(_ tofino.PortID, pkt *roce.Packet) {
+	if pkt.DestQP != roce.CMQPN {
+		return
+	}
+	msg, err := roce.UnmarshalCM(pkt.Payload)
+	if err != nil {
+		return
+	}
+	switch msg.Type {
+	case roce.CMConnectRequest:
+		cp.handleLeaderRequest(msg, pkt.SrcIP)
+	case roce.CMConnectReply:
+		cp.handleReplicaReply(msg, pkt.SrcIP)
+	case roce.CMConnectReject:
+		cp.handleReplicaReject(msg)
+	case roce.CMReadyToUse:
+		// The leader is live; nothing further to do.
+	}
+}
+
+// sendCM emits a control-plane-crafted CM datagram.
+func (cp *ControlPlane) sendCM(dst simnet.Addr, msg *roce.CMMessage) {
+	payload, err := msg.MarshalCM()
+	if err != nil {
+		return
+	}
+	cp.sw.InjectFromCP(&roce.Packet{
+		SrcIP:   cp.sw.IP(),
+		DstIP:   dst,
+		SrcPort: roce.UDPPort,
+		OpCode:  roce.OpSendOnly,
+		DestQP:  roce.CMQPN,
+		Payload: payload,
+	})
+}
+
+// handleLeaderRequest starts (or resumes) a group setup: the request's
+// private data carries the replica set (§IV-A).
+func (cp *ControlPlane) handleLeaderRequest(msg *roce.CMMessage, from simnet.Addr) {
+	key := setupKey{leader: from, commID: msg.LocalCommID}
+	if s, dup := cp.setups[key]; dup {
+		if s.leaderRep != nil {
+			cp.sendCM(from, s.leaderRep) // reply was lost: resend
+			return
+		}
+		// Still waiting on replicas: nudge the ones that have not replied.
+		for commID, idx := range s.outstanding {
+			cp.sendReplicaRequest(s, commID, idx)
+		}
+		return
+	}
+	rs, err := roce.UnmarshalReplicaSet(msg.PrivateData)
+	if err != nil || len(rs.Replicas) == 0 {
+		cp.rejectLeader(from, msg.LocalCommID, 2)
+		return
+	}
+	leaderPort, ok := cp.sw.L3Lookup(from)
+	if !ok {
+		cp.rejectLeader(from, msg.LocalCommID, 3)
+		return
+	}
+
+	f := int(rs.AcksRequired)
+	if f == 0 {
+		f = (len(rs.Replicas) + 1) / 2
+	}
+	gid := cp.nextGroupID
+	cp.nextGroupID++
+	g := &group{
+		id:            gid,
+		bcastQP:       cp.allocQPN(),
+		aggrQP:        cp.allocQPN(),
+		leaderIP:      from,
+		leaderPort:    leaderPort,
+		leaderQPN:     msg.QPN,
+		leaderPSNBase: msg.StartPSN,
+		virtualRKey:   cp.k.Rand().Uint32(),
+		f:             f,
+		numRecv:       cp.sw.AllocRegister(fmt.Sprintf("p4ce/g%d/numRecv", gid), numRecvSlots),
+		credits:       cp.sw.AllocRegister(fmt.Sprintf("p4ce/g%d/credits", gid), len(rs.Replicas)),
+	}
+	s := &setup{g: g, leaderCommID: msg.LocalCommID, outstanding: make(map[uint32]int)}
+	for i, rip := range rs.Replicas {
+		port, ok := cp.sw.L3Lookup(rip)
+		if !ok {
+			cp.rejectLeader(from, msg.LocalCommID, 3)
+			return
+		}
+		g.replicas = append(g.replicas, replicaEntry{
+			EpID:    uint8(i),
+			Port:    port,
+			IP:      rip,
+			PSNBase: cp.k.Rand().Uint32() & roce.PSNMask,
+		})
+	}
+	cp.setups[key] = s
+	// Fan the handshake out: one ConnectRequest per replica, carrying the
+	// leader's identity so the replica can fence by group owner.
+	for i := range g.replicas {
+		commID := cp.allocCommID()
+		s.outstanding[commID] = i
+		cp.replicaWait[commID] = s
+		cp.sendReplicaRequest(s, commID, i)
+	}
+}
+
+// sendReplicaRequest emits the switch→replica ConnectRequest. The
+// replica will address its ACKs to the group's Aggr QP.
+func (cp *ControlPlane) sendReplicaRequest(s *setup, commID uint32, idx int) {
+	rep := &s.g.replicas[idx]
+	owner := roce.ReplicaSet{Replicas: []simnet.Addr{s.g.leaderIP}}
+	priv, err := owner.MarshalReplicaSet()
+	if err != nil {
+		return
+	}
+	cp.sendCM(rep.IP, &roce.CMMessage{
+		Type:        roce.CMConnectRequest,
+		LocalCommID: commID,
+		QPN:         s.g.aggrQP,
+		StartPSN:    rep.PSNBase,
+		PrivateData: priv,
+	})
+}
+
+// handleReplicaReply records one replica's half of the handshake; when
+// the last one arrives, the data plane is programmed and — after the
+// reconfiguration delay — the leader gets its single aggregated
+// ConnectReply (§IV-A "Setting up the connection").
+func (cp *ControlPlane) handleReplicaReply(msg *roce.CMMessage, from simnet.Addr) {
+	s, ok := cp.replicaWait[msg.RemoteCommID]
+	if !ok {
+		return
+	}
+	idx, pending := s.outstanding[msg.RemoteCommID]
+	if !pending {
+		return
+	}
+	delete(s.outstanding, msg.RemoteCommID)
+	delete(cp.replicaWait, msg.RemoteCommID)
+	rep := &s.g.replicas[idx]
+	if rep.IP != from {
+		return
+	}
+	rep.QPN = msg.QPN
+	rep.VA = msg.VA
+	rep.RKey = msg.RKey
+	rep.BufLen = msg.BufLen
+	s.replied++
+	cp.sendCM(from, &roce.CMMessage{
+		Type:         roce.CMReadyToUse,
+		LocalCommID:  msg.RemoteCommID,
+		RemoteCommID: msg.LocalCommID,
+	})
+	if s.replied == len(s.g.replicas) {
+		cp.finishSetup(s)
+	}
+}
+
+// handleReplicaReject aborts the setup and tells the leader (§IV-A: "we
+// follow the logic of the Mu protocol").
+func (cp *ControlPlane) handleReplicaReject(msg *roce.CMMessage) {
+	s, ok := cp.replicaWait[msg.RemoteCommID]
+	if !ok {
+		return
+	}
+	for commID := range s.outstanding {
+		delete(cp.replicaWait, commID)
+	}
+	delete(cp.setups, setupKey{leader: s.g.leaderIP, commID: s.leaderCommID})
+	cp.rejectLeader(s.g.leaderIP, s.leaderCommID, msg.RejectReason)
+}
+
+// finishSetup programs the data plane and answers the leader. The
+// reconfiguration delay covers BfRt table and replication-engine
+// programming — 40 ms on the testbed.
+func (cp *ControlPlane) finishSetup(s *setup) {
+	cp.k.Schedule(cp.cfg.ReconfigDelay, func() {
+		g := s.g
+		members := make([]tofino.GroupMember, len(g.replicas))
+		minBuf := uint32(1<<32 - 1)
+		for i := range g.replicas {
+			rep := &g.replicas[i]
+			members[i] = tofino.GroupMember{Port: rep.Port, RID: ridFor(g.id, rep.EpID)}
+			if rep.BufLen < minBuf {
+				minBuf = rep.BufLen
+			}
+			// Credits start saturated; the first real ACK overwrites them.
+			g.credits.Write(int(rep.EpID), 31)
+		}
+		cp.sw.SetMulticastGroup(g.id, members)
+		cp.dp.installGroup(g)
+		s.installed = true
+		cp.groups[g.leaderIP] = g
+		s.leaderRep = &roce.CMMessage{
+			Type:         roce.CMConnectReply,
+			LocalCommID:  cp.allocCommID(),
+			RemoteCommID: s.leaderCommID,
+			QPN:          g.bcastQP,
+			StartPSN:     g.leaderPSNBase,
+			VA:           0, // the leader writes into a zero-based virtual region
+			RKey:         g.virtualRKey,
+			BufLen:       minBuf,
+		}
+		cp.sendCM(g.leaderIP, s.leaderRep)
+	})
+}
+
+func (cp *ControlPlane) rejectLeader(leader simnet.Addr, commID uint32, reason uint8) {
+	cp.sendCM(leader, &roce.CMMessage{
+		Type:         roce.CMConnectReject,
+		RemoteCommID: commID,
+		RejectReason: reason,
+	})
+}
+
+// RemoveReplica excludes a crashed replica from the leader's group. The
+// ACK threshold f is left untouched: it is the majority of the full
+// cluster, so shrinking the live membership must never shrink the
+// quorum. The update takes effect after the reconfiguration delay (the
+// 40 ms Table IV charges to P4CE), and done is invoked once the data
+// plane is consistent again.
+func (cp *ControlPlane) RemoveReplica(leader, replica simnet.Addr, done func(error)) {
+	g, ok := cp.groups[leader]
+	if !ok {
+		if done != nil {
+			done(ErrUnknownGroup)
+		}
+		return
+	}
+	cp.k.Schedule(cp.cfg.ReconfigDelay, func() {
+		kept := g.replicas[:0]
+		for _, rep := range g.replicas {
+			if rep.IP == replica {
+				cp.dp.rids.Delete(ridFor(g.id, rep.EpID))
+				continue
+			}
+			kept = append(kept, rep)
+		}
+		g.replicas = kept
+		members := make([]tofino.GroupMember, len(kept))
+		for i, rep := range kept {
+			members[i] = tofino.GroupMember{Port: rep.Port, RID: ridFor(g.id, rep.EpID)}
+		}
+		cp.sw.SetMulticastGroup(g.id, members)
+		if done != nil {
+			done(nil)
+		}
+	})
+}
+
+// DestroyGroup withdraws a leader's group (view change: the old leader's
+// state is eventually garbage collected; its broadcasts already fail at
+// the replicas).
+func (cp *ControlPlane) DestroyGroup(leader simnet.Addr, done func(error)) {
+	g, ok := cp.groups[leader]
+	if !ok {
+		if done != nil {
+			done(ErrUnknownGroup)
+		}
+		return
+	}
+	cp.k.Schedule(cp.cfg.ReconfigDelay, func() {
+		cp.dp.removeGroup(g)
+		cp.sw.DeleteMulticastGroup(g.id)
+		delete(cp.groups, leader)
+		if done != nil {
+			done(nil)
+		}
+	})
+}
+
+// GroupInfo describes an installed group (diagnostics and tests).
+type GroupInfo struct {
+	Leader   simnet.Addr
+	BCastQP  uint32
+	AggrQP   uint32
+	F        int
+	Replicas []simnet.Addr
+}
+
+// Groups lists installed groups.
+func (cp *ControlPlane) Groups() []GroupInfo {
+	out := make([]GroupInfo, 0, len(cp.groups))
+	for _, g := range cp.groups {
+		info := GroupInfo{
+			Leader:  g.leaderIP,
+			BCastQP: g.bcastQP,
+			AggrQP:  g.aggrQP,
+			F:       g.f,
+		}
+		for _, rep := range g.replicas {
+			info.Replicas = append(info.Replicas, rep.IP)
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+func (cp *ControlPlane) allocQPN() uint32 {
+	q := cp.nextQPN
+	cp.nextQPN++
+	return q
+}
+
+func (cp *ControlPlane) allocCommID() uint32 {
+	c := cp.nextCommID
+	cp.nextCommID++
+	return c
+}

@@ -1,0 +1,318 @@
+// Package p4ce implements the paper's contribution: transparent RDMA
+// group communication inside a programmable switch. The data plane
+// multicasts the leader's RDMA writes to every replica — rewriting the
+// IP, UDP and InfiniBand headers of each copy so every endpoint keeps
+// the illusion of a point-to-point connection — and aggregates the
+// replicas' acknowledgments, forwarding a single ACK to the leader once
+// f positive acknowledgments have arrived (scatter §IV-B, gather §IV-C).
+// The control plane captures ConnectRequests addressed to the switch,
+// fans the handshake out to the replicas named in the request's private
+// data, and programs the data-plane tables and the multicast engine
+// (§IV-A).
+package p4ce
+
+import (
+	"p4ce/internal/roce"
+	"p4ce/internal/simnet"
+	"p4ce/internal/tofino"
+)
+
+// DropMode selects where sub-majority ACKs are discarded — the paper's
+// Lesson in §IV-D: dropping in the replica's ingress scales to 121 Mpps
+// per replica, while the first implementation dropped in the leader's
+// egress and bottlenecked the whole switch at 121 Mpps total.
+type DropMode int
+
+// Drop placements.
+const (
+	// DropInIngress discards sub-f ACKs in the ingress pipeline of the
+	// port they arrived on (the published design).
+	DropInIngress DropMode = iota
+	// DropInLeaderEgress forwards every ACK to the leader's egress and
+	// discards there (the paper's first, slower implementation).
+	DropInLeaderEgress
+)
+
+// replicaEntry is the per-connection metadata of Table III: everything
+// the egress pipeline needs to disguise a copy as a point-to-point
+// packet from the switch to that replica.
+type replicaEntry struct {
+	EpID    uint8 // endpoint identifier (Table III)
+	Port    tofino.PortID
+	IP      simnet.Addr
+	QPN     uint32 // replica's queue pair (rewrite target for DestQP)
+	PSNBase uint32 // first PSN the switch uses toward this replica
+	VA      uint64 // base virtual address of the replica's log
+	RKey    uint32 // replica's real R_key
+	BufLen  uint32
+}
+
+// group is the per-communication-group metadata of Table II.
+type group struct {
+	id      tofino.GroupID
+	bcastQP uint32 // leader-facing queue pair: writes arriving here scatter
+	aggrQP  uint32 // replica-facing queue pair: ACKs arriving here gather
+
+	leaderIP      simnet.Addr
+	leaderPort    tofino.PortID
+	leaderQPN     uint32 // leader's QP (rewrite target for aggregated ACKs)
+	leaderPSNBase uint32 // leader's starting PSN
+	virtualRKey   uint32 // R_key advertised to the leader (VA base is zero)
+
+	f        int // positive ACKs required before answering the leader
+	replicas []replicaEntry
+
+	// Stateful registers (Table II): NumRecv counts ACKs per in-flight
+	// PSN (256 slots → up to 256 un-acknowledged packets per connection,
+	// §IV-C), and credits holds the most recent credit count per replica.
+	numRecv *tofino.Register
+	credits *tofino.Register
+
+	enabled bool
+}
+
+// numRecvSlots is the gather window size (§IV-C).
+const numRecvSlots = 256
+
+// replicaByIP finds the member entry for a source address.
+func (g *group) replicaByIP(ip simnet.Addr) *replicaEntry {
+	for i := range g.replicas {
+		if g.replicas[i].IP == ip {
+			return &g.replicas[i]
+		}
+	}
+	return nil
+}
+
+// minCredit folds the per-replica credit registers with the
+// subtract-underflow idiom — the only way the ASIC can compare values
+// (§IV-D).
+func (g *group) minCredit() uint32 {
+	if len(g.replicas) == 0 {
+		return 0
+	}
+	acc := g.credits.Read(int(g.replicas[0].EpID))
+	for _, r := range g.replicas[1:] {
+		acc = tofino.MinFold(acc, g.credits.Read(int(r.EpID)))
+	}
+	return acc
+}
+
+// scatterEntry resolves a multicast copy's replication id to its group
+// and destination replica.
+type scatterEntry struct {
+	g   *group
+	rep *replicaEntry
+}
+
+// Dataplane is the P4CE switch program (the 949 lines of P4₁₆ in the
+// real artifact). It implements tofino.Program.
+type Dataplane struct {
+	dropMode DropMode
+
+	bcast *tofino.Table[uint32, *group] // BCast QP → group (scatter match, §IV-B)
+	aggr  *tofino.Table[uint32, *group] // Aggr QP → group (gather match, §IV-C)
+	// byLeaderQPN serves the egress-drop ablation, where counting happens
+	// in the leader's egress pipeline.
+	byLeaderQPN *tofino.Table[uint32, *group]
+	// rid → (group, replica) for egress rewriting of multicast copies.
+	rids *tofino.Table[uint16, *scatterEntry]
+
+	// Stats counts program-level events.
+	Stats DataplaneStats
+}
+
+// DataplaneStats counts the P4CE program's decisions.
+type DataplaneStats struct {
+	Scattered      uint64 // write packets multicast to the group
+	AcksAggregated uint64 // positive ACKs absorbed (sub-majority)
+	AcksForwarded  uint64 // f-th ACKs forwarded to the leader
+	NaksForwarded  uint64 // NAK/RNR passed through unconditionally
+	BadRKeyDrops   uint64
+	UnknownQPDrops uint64
+	StaleAckDrops  uint64
+}
+
+var _ tofino.Program = (*Dataplane)(nil)
+
+// NewDataplane returns an empty program; the control plane populates it.
+func NewDataplane(mode DropMode) *Dataplane {
+	return &Dataplane{
+		dropMode:    mode,
+		bcast:       tofino.NewTable[uint32, *group]("p4ce/bcastQP"),
+		aggr:        tofino.NewTable[uint32, *group]("p4ce/aggrQP"),
+		byLeaderQPN: tofino.NewTable[uint32, *group]("p4ce/leaderQPN"),
+		rids:        tofino.NewTable[uint16, *scatterEntry]("p4ce/rid"),
+	}
+}
+
+// DropModeInUse returns the configured ACK drop placement.
+func (dp *Dataplane) DropModeInUse() DropMode { return dp.dropMode }
+
+// ridFor packs a globally unique replication id for a group member.
+func ridFor(g tofino.GroupID, ep uint8) uint16 { return uint16(g)<<8 | uint16(ep) }
+
+// Ingress classifies every packet arriving at the switch (§IV-B "Inside
+// the switch").
+func (dp *Dataplane) Ingress(sw *tofino.Switch, in tofino.PortID, pkt *roce.Packet) tofino.IngressResult {
+	// Packets not addressed to the switch are ordinary traffic: forward.
+	if pkt.DstIP != sw.IP() {
+		out, ok := sw.L3Lookup(pkt.DstIP)
+		if !ok {
+			return tofino.IngressResult{Verdict: tofino.VerdictDrop}
+		}
+		return tofino.IngressResult{Verdict: tofino.VerdictForward, OutPort: out}
+	}
+	// Connection management is not a frequent operation: punt to the
+	// control plane (§IV-A "Capturing incoming connections").
+	if pkt.DestQP == roce.CMQPN {
+		return tofino.IngressResult{Verdict: tofino.VerdictToCPU}
+	}
+	// Scatter: a write from the leader to its BCast QP.
+	if g, ok := dp.bcast.Lookup(pkt.DestQP); ok && g.enabled && pkt.OpCode.IsWrite() {
+		return dp.ingressScatter(g, pkt)
+	}
+	// Gather: an ACK from a replica to the group's Aggr QP.
+	if g, ok := dp.aggr.Lookup(pkt.DestQP); ok && g.enabled && pkt.OpCode == roce.OpAcknowledge {
+		return dp.ingressGather(g, pkt)
+	}
+	dp.Stats.UnknownQPDrops++
+	return tofino.IngressResult{Verdict: tofino.VerdictDrop}
+}
+
+func (dp *Dataplane) ingressScatter(g *group, pkt *roce.Packet) tofino.IngressResult {
+	// The leader authenticates with the virtual R_key it received in the
+	// ConnectReply; anything else is not a group write.
+	if pkt.OpCode.HasRETH() && pkt.RKey != g.virtualRKey {
+		dp.Stats.BadRKeyDrops++
+		return tofino.IngressResult{Verdict: tofino.VerdictDrop}
+	}
+	// Prepare aggregation for the answers: reset NumRecv at this PSN's
+	// slot before the copies leave (§IV-B).
+	g.numRecv.Write(int(pkt.PSN)%numRecvSlots, 0)
+	dp.Stats.Scattered++
+	return tofino.IngressResult{Verdict: tofino.VerdictMulticast, Group: g.id}
+}
+
+func (dp *Dataplane) ingressGather(g *group, pkt *roce.Packet) tofino.IngressResult {
+	rep := g.replicaByIP(pkt.SrcIP)
+	if rep == nil {
+		dp.Stats.StaleAckDrops++
+		return tofino.IngressResult{Verdict: tofino.VerdictDrop}
+	}
+	// Translate the PSN to what the leader expects (§IV-C).
+	rel := roce.PSNDiff(pkt.PSN, rep.PSNBase)
+	leaderPSN := roce.PSNAdd(g.leaderPSNBase, rel)
+
+	// NAKs (negative or receiver-not-ready) bypass aggregation: the
+	// leader must learn about the misbehaving replica immediately (§III).
+	if pkt.Syndrome.Type() != roce.AckPositive {
+		dp.Stats.NaksForwarded++
+		dp.rewriteAckForLeader(g, pkt, leaderPSN, pkt.Syndrome)
+		return tofino.IngressResult{Verdict: tofino.VerdictForward, OutPort: g.leaderPort}
+	}
+
+	// Remember this replica's latest credit count; the slowest replica
+	// must throttle the leader even when its ACK is not the one
+	// forwarded (§IV-C).
+	g.credits.Write(int(rep.EpID), uint32(pkt.Syndrome.Value()))
+
+	if dp.dropMode == DropInLeaderEgress {
+		// Ablation: translate and pass every ACK to the leader's egress,
+		// which does the counting — the paper's first implementation.
+		dp.rewriteAckForLeader(g, pkt, leaderPSN, pkt.Syndrome)
+		return tofino.IngressResult{Verdict: tofino.VerdictForward, OutPort: g.leaderPort}
+	}
+
+	cnt := g.numRecv.AddRead(int(leaderPSN)%numRecvSlots, 1)
+	if cnt != uint32(g.f) {
+		// Sub-majority (or beyond-majority duplicate): absorbed here, in
+		// the ingress of the replica's own port, so each port's parser
+		// carries only its own replica's ACK load.
+		dp.Stats.AcksAggregated++
+		return tofino.IngressResult{Verdict: tofino.VerdictDrop}
+	}
+	dp.Stats.AcksForwarded++
+	syn := roce.MakeSyndrome(roce.AckPositive, uint8(g.minCredit()))
+	dp.rewriteAckForLeader(g, pkt, leaderPSN, syn)
+	return tofino.IngressResult{Verdict: tofino.VerdictForward, OutPort: g.leaderPort}
+}
+
+// rewriteAckForLeader mutates an ACK in place so the leader sees a
+// point-to-point acknowledgment from the switch.
+func (dp *Dataplane) rewriteAckForLeader(g *group, pkt *roce.Packet, leaderPSN uint32, syn roce.Syndrome) {
+	pkt.SrcIP = pkt.DstIP // the switch's own address
+	pkt.DstIP = g.leaderIP
+	pkt.DestQP = g.leaderQPN
+	pkt.PSN = leaderPSN
+	pkt.Syndrome = syn
+}
+
+// Egress runs once per outgoing copy. Multicast copies are tailored for
+// their replica here (§IV-B); in the egress-drop ablation, ACK counting
+// happens here too.
+func (dp *Dataplane) Egress(sw *tofino.Switch, out tofino.PortID, rid uint16, pkt *roce.Packet) bool {
+	if pkt.OpCode.IsWrite() {
+		if ent, ok := dp.rids.Lookup(rid); ok {
+			dp.rewriteWriteForReplica(sw, ent, pkt)
+			return true
+		}
+		return true // ordinary forwarded write
+	}
+	if dp.dropMode == DropInLeaderEgress && pkt.OpCode == roce.OpAcknowledge {
+		if g, ok := dp.byLeaderQPN.Lookup(pkt.DestQP); ok && g.enabled {
+			if pkt.Syndrome.Type() != roce.AckPositive {
+				return true // NAKs always reach the leader
+			}
+			cnt := g.numRecv.AddRead(int(pkt.PSN)%numRecvSlots, 1)
+			if cnt != uint32(g.f) {
+				dp.Stats.AcksAggregated++
+				return false
+			}
+			dp.Stats.AcksForwarded++
+			pkt.Syndrome = roce.MakeSyndrome(roce.AckPositive, uint8(g.minCredit()))
+			return true
+		}
+	}
+	return true
+}
+
+// rewriteWriteForReplica adapts one multicast copy: addresses, queue
+// pair, PSN, virtual address and R_key (Fig. 4).
+func (dp *Dataplane) rewriteWriteForReplica(sw *tofino.Switch, ent *scatterEntry, pkt *roce.Packet) {
+	g, rep := ent.g, ent.rep
+	rel := roce.PSNDiff(pkt.PSN, g.leaderPSNBase)
+	pkt.SrcIP = sw.IP()
+	pkt.DstIP = rep.IP
+	pkt.DestQP = rep.QPN
+	pkt.PSN = roce.PSNAdd(rep.PSNBase, rel)
+	if pkt.OpCode.HasRETH() {
+		// The leader writes at offset o of a zero-based virtual region;
+		// the replica's log lives at its own address (§IV-B).
+		pkt.VA = rep.VA + pkt.VA
+		pkt.RKey = rep.RKey
+	}
+}
+
+// installGroup publishes a fully-built group into the match tables.
+func (dp *Dataplane) installGroup(g *group) {
+	dp.bcast.Insert(g.bcastQP, g)
+	dp.aggr.Insert(g.aggrQP, g)
+	dp.byLeaderQPN.Insert(g.leaderQPN, g)
+	for i := range g.replicas {
+		rep := &g.replicas[i]
+		dp.rids.Insert(ridFor(g.id, rep.EpID), &scatterEntry{g: g, rep: rep})
+	}
+	g.enabled = true
+}
+
+// removeGroup withdraws a group from the match tables.
+func (dp *Dataplane) removeGroup(g *group) {
+	g.enabled = false
+	dp.bcast.Delete(g.bcastQP)
+	dp.aggr.Delete(g.aggrQP)
+	dp.byLeaderQPN.Delete(g.leaderQPN)
+	for i := range g.replicas {
+		dp.rids.Delete(ridFor(g.id, g.replicas[i].EpID))
+	}
+}

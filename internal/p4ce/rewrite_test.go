@@ -1,0 +1,101 @@
+package p4ce
+
+import (
+	"testing"
+	"testing/quick"
+
+	"p4ce/internal/roce"
+	"p4ce/internal/sim"
+)
+
+// Property: the scatter rewrite (leader PSN space → replica PSN space)
+// and the gather translation (replica → leader) are inverses for any
+// pair of PSN bases and any in-window offset — across 24-bit wrap.
+func TestPSNTranslationInverseProperty(t *testing.T) {
+	f := func(leaderBase, replicaBase uint32, rawRel uint16) bool {
+		leaderBase &= roce.PSNMask
+		replicaBase &= roce.PSNMask
+		rel := int(rawRel)
+		// Scatter: the copy carries the replica-space PSN.
+		leaderPSN := roce.PSNAdd(leaderBase, rel)
+		replicaPSN := roce.PSNAdd(replicaBase, roce.PSNDiff(leaderPSN, leaderBase))
+		// Gather: the ACK's PSN translates back to leader space.
+		back := roce.PSNAdd(leaderBase, roce.PSNDiff(replicaPSN, replicaBase))
+		return back == leaderPSN
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NumRecv's 256 PSN slots never alias while the number of
+// outstanding un-acknowledged packets stays within the window — the
+// §IV-C sizing argument ("our current sizing works on current networks").
+func TestNumRecvWindowNoAliasingProperty(t *testing.T) {
+	f := func(base uint32, rawSpan uint8) bool {
+		base &= roce.PSNMask
+		span := int(rawSpan) % numRecvSlots
+		seen := make(map[int]bool, span)
+		for i := 0; i <= span; i++ {
+			slot := int(roce.PSNAdd(base, i)) % numRecvSlots
+			if seen[slot] {
+				return false
+			}
+			seen[slot] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// And the converse: one past the window does alias.
+	if int(uint32(5))%numRecvSlots != int(roce.PSNAdd(5, numRecvSlots))%numRecvSlots {
+		t.Fatal("window+1 did not wrap onto slot 0 — sizing math changed?")
+	}
+}
+
+// The scatter rewrite must land payloads at the replica's real virtual
+// address while the replica's fencing still sees the switch as the
+// packet source (Fig. 4's illusion).
+func TestScatterRewriteFields(t *testing.T) {
+	f := newFabric(t, 2, DropInIngress)
+	conn := f.dialGroup(t)
+	payload := []byte("fields")
+	if err := conn.QP.PostWrite(payload, 64, conn.RemoteRKey, nil); err != nil {
+		t.Fatal(err)
+	}
+	f.k.RunFor(sim.Millisecond)
+	// VA rewrite: the leader wrote at offset 64 of the zero-based virtual
+	// region; the payload must sit at base+64 of the replica's real log.
+	if string(f.logs[0].Bytes()[64:64+len(payload)]) != string(payload) {
+		t.Fatal("VA rewrite did not land the payload at the advertised offset")
+	}
+	// Source rewrite: the write was accepted although the replica's MR is
+	// fenced to {leader, switch} — the copy's source must be the switch.
+	writers, restricted := f.logs[0].AllowedWriters()
+	if !restricted || len(writers) != 2 {
+		t.Fatalf("fencing state = (%v, %v)", writers, restricted)
+	}
+}
+
+func TestTableCountersAdvance(t *testing.T) {
+	f := newFabric(t, 2, DropInIngress)
+	conn := f.dialGroup(t)
+	for i := 0; i < 5; i++ {
+		if err := conn.QP.PostWrite([]byte{1}, uint64(i), conn.RemoteRKey, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.k.RunFor(sim.Millisecond)
+	hits, _ := f.dp.bcast.Stats()
+	if hits < 5 {
+		t.Fatalf("bcast table hits = %d, want ≥5", hits)
+	}
+	hits, _ = f.dp.aggr.Stats()
+	if hits < 5 {
+		t.Fatalf("aggr table hits = %d, want ≥5", hits)
+	}
+	if f.dp.rids.Size() != 2 {
+		t.Fatalf("rid table size = %d, want 2", f.dp.rids.Size())
+	}
+}

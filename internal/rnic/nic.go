@@ -1,0 +1,280 @@
+// Package rnic simulates an RDMA-capable network card speaking RoCE v2
+// with reliable-connection semantics: queue pairs, registered memory
+// regions protected by R_keys and per-writer permissions, one-sided
+// READ/WRITE executed entirely inside the NIC (no host CPU involvement),
+// acknowledgment generation with credit advertisement, NAKs for access
+// and sequence errors, and go-back-N retransmission with the discrete
+// 4.096×2^x µs timeout values real cards use.
+//
+// The protocols above (Mu and the P4CE engine) only ever interact with
+// this verbs-like surface, so their code paths are the same ones that
+// would run against hardware.
+package rnic
+
+import (
+	"errors"
+	"fmt"
+
+	"p4ce/internal/roce"
+	"p4ce/internal/sim"
+	"p4ce/internal/simnet"
+)
+
+// Completion errors delivered to posted-operation callbacks.
+var (
+	// ErrRemoteAccess reports a NAK for a permission or bounds violation.
+	ErrRemoteAccess = errors.New("rnic: remote access error")
+	// ErrRetryExceeded reports that retransmission gave up (dead peer or
+	// dead path).
+	ErrRetryExceeded = errors.New("rnic: transport retry counter exceeded")
+	// ErrRNRRetryExceeded reports persistent receiver-not-ready NAKs.
+	ErrRNRRetryExceeded = errors.New("rnic: RNR retry counter exceeded")
+	// ErrFlushed reports that the queue pair entered the error state
+	// before the operation completed.
+	ErrFlushed = errors.New("rnic: work request flushed")
+	// ErrQPState reports a post against a queue pair that is not ready.
+	ErrQPState = errors.New("rnic: queue pair not ready")
+	// ErrInvalidRequest reports a malformed post (e.g. oversized).
+	ErrInvalidRequest = errors.New("rnic: invalid work request")
+)
+
+// Config holds the card's tunables. The defaults mirror the paper's
+// ConnectX-5 testbed.
+type Config struct {
+	// MTUPayload is the RoCE payload carried per packet on a 1500 B
+	// Ethernet MTU.
+	MTUPayload int
+	// MaxOutstanding caps in-flight (un-acked) requests per queue pair;
+	// the paper's setup allows 16 pending writes (§IV-C).
+	MaxOutstanding int
+	// AckTimeout is the retransmission timeout. RDMA NICs quantize it to
+	// 4.096×2^x µs; the testbed uses x=5 → 131 µs (§V-E).
+	AckTimeout sim.Time
+	// MaxRetries bounds timeout-driven retransmissions before the QP
+	// errors out.
+	MaxRetries int
+	// MaxRNRRetries bounds receiver-not-ready retries.
+	MaxRNRRetries int
+	// RNRDelay is how long the requester backs off after an RNR NAK.
+	RNRDelay sim.Time
+	// ResponderSlots is the message buffering capacity advertised through
+	// credit counts (at most 31, the 5-bit syndrome limit).
+	ResponderSlots int
+	// ApplyDelay models how long an inbound message occupies a responder
+	// slot before the host consumes it; zero means slots free instantly
+	// and credits stay saturated.
+	ApplyDelay sim.Time
+	// ProcessingDelay is the fixed NIC pipeline latency added to every
+	// packet it emits (request, response or ACK).
+	ProcessingDelay sim.Time
+}
+
+// DefaultConfig returns the testbed card configuration.
+func DefaultConfig() Config {
+	return Config{
+		MTUPayload:      1024,
+		MaxOutstanding:  16,
+		AckTimeout:      131 * sim.Microsecond,
+		MaxRetries:      7,
+		MaxRNRRetries:   7,
+		RNRDelay:        10 * sim.Microsecond,
+		ResponderSlots:  31,
+		ApplyDelay:      0,
+		ProcessingDelay: 50 * sim.Nanosecond,
+	}
+}
+
+// CMHandler receives connection-manager datagrams addressed to this NIC.
+type CMHandler func(msg *roce.CMMessage, from simnet.Addr)
+
+// NIC is one simulated RDMA card. It owns a primary port and an optional
+// backup port (the paper's "alternative network route" used when the
+// programmable switch dies).
+type NIC struct {
+	k         *sim.Kernel
+	cfg       Config
+	ip        simnet.Addr
+	port      *simnet.Port // primary path
+	bkup      *simnet.Port // alternative route, may be nil
+	useBackup bool
+
+	qps       map[uint32]*QP
+	mrs       map[uint32]*MR
+	nextQPN   uint32
+	cmHandler CMHandler
+
+	// Stats counts the datapath events, for tests and experiments.
+	Stats Stats
+}
+
+// Stats are the NIC's datapath counters.
+type Stats struct {
+	TxPackets, RxPackets uint64
+	AcksSent, NaksSent   uint64
+	RNRsSent             uint64
+	Retransmits          uint64
+	DroppedUnknownQP     uint64
+	DroppedBadFrame      uint64
+}
+
+// New creates a NIC with address ip on kernel k. Ports are attached
+// afterwards with AttachPort/AttachBackupPort.
+func New(k *sim.Kernel, cfg Config, ip simnet.Addr) *NIC {
+	if cfg.MTUPayload <= 0 || cfg.MaxOutstanding <= 0 {
+		panic("rnic: invalid config")
+	}
+	if cfg.ResponderSlots > 31 {
+		cfg.ResponderSlots = 31 // 5-bit credit field
+	}
+	n := &NIC{
+		k:       k,
+		cfg:     cfg,
+		ip:      ip,
+		qps:     make(map[uint32]*QP),
+		mrs:     make(map[uint32]*MR),
+		nextQPN: 16, // skip the management QPs
+	}
+	return n
+}
+
+// IP returns the NIC's address.
+func (n *NIC) IP() simnet.Addr { return n.ip }
+
+// Kernel returns the simulation kernel the NIC runs on.
+func (n *NIC) Kernel() *sim.Kernel { return n.k }
+
+// Config returns the NIC configuration.
+func (n *NIC) Config() Config { return n.cfg }
+
+// AttachPort wires the primary network port. The NIC installs itself as
+// the port's frame handler.
+func (n *NIC) AttachPort(p *simnet.Port) {
+	n.port = p
+	p.SetHandler(simnet.HandlerFunc(func(_ *simnet.Port, frame []byte) {
+		n.receive(frame)
+	}))
+}
+
+// AttachBackupPort wires the alternative-route port.
+func (n *NIC) AttachBackupPort(p *simnet.Port) {
+	n.bkup = p
+	p.SetHandler(simnet.HandlerFunc(func(_ *simnet.Port, frame []byte) {
+		n.receive(frame)
+	}))
+}
+
+// UseBackupRoute selects which path outgoing traffic takes.
+func (n *NIC) UseBackupRoute(use bool) { n.useBackup = use }
+
+// OnBackupRoute reports whether the alternative route is active.
+func (n *NIC) OnBackupRoute() bool { return n.useBackup }
+
+// SetCMHandler installs the receiver for connection-manager datagrams.
+func (n *NIC) SetCMHandler(h CMHandler) { n.cmHandler = h }
+
+// activePort returns the port outbound traffic uses right now.
+func (n *NIC) activePort() *simnet.Port {
+	if n.useBackup && n.bkup != nil {
+		return n.bkup
+	}
+	return n.port
+}
+
+// transmit encodes and sends a packet after the NIC pipeline delay.
+func (n *NIC) transmit(p *roce.Packet) {
+	frame := p.Marshal()
+	n.Stats.TxPackets++
+	port := n.activePort()
+	if port == nil {
+		return
+	}
+	if n.cfg.ProcessingDelay > 0 {
+		n.k.Schedule(n.cfg.ProcessingDelay, func() { port.Send(frame) })
+		return
+	}
+	port.Send(frame)
+}
+
+// SendCM emits a connection-manager datagram. CM traffic is unreliable;
+// the handshake layer is responsible for retries.
+func (n *NIC) SendCM(dst simnet.Addr, msg *roce.CMMessage) error {
+	payload, err := msg.MarshalCM()
+	if err != nil {
+		return fmt.Errorf("send CM: %w", err)
+	}
+	n.transmit(&roce.Packet{
+		SrcIP:   n.ip,
+		DstIP:   dst,
+		SrcPort: 49152,
+		OpCode:  roce.OpSendOnly,
+		DestQP:  roce.CMQPN,
+		Payload: payload,
+	})
+	return nil
+}
+
+// receive is the RX datapath entry point.
+func (n *NIC) receive(frame []byte) {
+	p, err := roce.Unmarshal(frame)
+	if err != nil {
+		n.Stats.DroppedBadFrame++
+		return
+	}
+	if p.DstIP != n.ip {
+		n.Stats.DroppedBadFrame++
+		return
+	}
+	n.Stats.RxPackets++
+	if p.DestQP == roce.CMQPN {
+		if n.cmHandler == nil {
+			return
+		}
+		msg, err := roce.UnmarshalCM(p.Payload)
+		if err != nil {
+			n.Stats.DroppedBadFrame++
+			return
+		}
+		n.cmHandler(msg, p.SrcIP)
+		return
+	}
+	qp, ok := n.qps[p.DestQP]
+	if !ok || qp.state == StateReset {
+		n.Stats.DroppedUnknownQP++
+		return
+	}
+	qp.handlePacket(p)
+}
+
+// CreateQP allocates a queue pair in the RESET state.
+func (n *NIC) CreateQP() *QP {
+	qpn := n.nextQPN
+	n.nextQPN++
+	qp := &QP{
+		nic:     n,
+		num:     qpn,
+		state:   StateReset,
+		credits: n.cfg.MaxOutstanding,
+	}
+	n.qps[qpn] = qp
+	return qp
+}
+
+// DestroyQP removes the queue pair and flushes its outstanding work.
+func (n *NIC) DestroyQP(qp *QP) {
+	qp.enterError(ErrFlushed)
+	delete(n.qps, qp.num)
+}
+
+// QPCount returns how many queue pairs exist (tests).
+func (n *NIC) QPCount() int { return len(n.qps) }
+
+// FindQPByRemote returns the queue pair connected to the given remote
+// endpoint, if any (the CM uses it to resolve disconnects).
+func (n *NIC) FindQPByRemote(ip simnet.Addr, qpn uint32) (*QP, bool) {
+	for _, qp := range n.qps {
+		if qp.state == StateReady && qp.remoteIP == ip && qp.remoteQPN == qpn {
+			return qp, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,636 @@
+package rnic
+
+import (
+	"p4ce/internal/roce"
+	"p4ce/internal/sim"
+	"p4ce/internal/simnet"
+)
+
+// State is the queue pair lifecycle state (collapsed INIT/RTR/RTS).
+type State int
+
+// Queue pair states.
+const (
+	StateReset State = iota
+	StateReady
+	StateError
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateReset:
+		return "RESET"
+	case StateReady:
+		return "READY"
+	case StateError:
+		return "ERROR"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// wrType distinguishes posted operations.
+type wrType int
+
+const (
+	wrWrite wrType = iota
+	wrRead
+	wrSend
+)
+
+// workRequest is one posted operation moving through the send pipeline.
+type workRequest struct {
+	typ      wrType
+	data     []byte // payload for writes/sends
+	dst      []byte // destination buffer for reads
+	remoteVA uint64
+	rkey     uint32
+	done     func(error)
+
+	firstPSN  uint32 // assigned when the request starts transmitting
+	lastPSN   uint32
+	completed bool
+}
+
+func (wr *workRequest) complete(err error) {
+	if wr.completed {
+		return
+	}
+	wr.completed = true
+	if wr.done != nil {
+		wr.done(err)
+	}
+}
+
+// psnSpan returns how many PSNs the request consumes (writes consume one
+// per segment; reads consume one per response packet).
+func (wr *workRequest) psnSpan(mtu int) int {
+	switch wr.typ {
+	case wrWrite:
+		return roce.SegmentCount(len(wr.data), mtu)
+	case wrRead:
+		return roce.SegmentCount(len(wr.dst), mtu)
+	default:
+		return 1
+	}
+}
+
+// QP is a reliable-connection queue pair. It contains both the requester
+// machinery (send window, retransmission) and the responder machinery
+// (expected PSN, slot accounting, ACK generation), exactly like the two
+// halves of a hardware QP context.
+type QP struct {
+	nic   *NIC
+	num   uint32
+	state State
+
+	remoteIP  simnet.Addr
+	remoteQPN uint32
+
+	// Requester side.
+	sndPSN   uint32 // next PSN to assign
+	pending  []*workRequest
+	inflight []*workRequest
+	credits  int // last credit count advertised by the responder
+	retries  int
+	rtTimer  *sim.Timer
+	rnrCount int        // consecutive RNR rounds without forward progress
+	rnrTimer *sim.Timer // pending RNR backoff, at most one at a time
+
+	// Responder side.
+	expPSN    uint32
+	msn       uint32
+	freeSlots int
+	nakArmed  bool // a sequence NAK was already sent for the current gap
+	// In-progress multi-packet inbound write.
+	curMR        *MR
+	curVA        uint64
+	curRemaining int
+
+	// onError is invoked once when the QP transitions to ERROR
+	// asynchronously (timeout, fatal NAK).
+	onError func(error)
+	// onRecv receives SEND payloads (two-sided traffic).
+	onRecv func(payload []byte)
+}
+
+// Num returns the queue pair number.
+func (qp *QP) Num() uint32 { return qp.num }
+
+// State returns the lifecycle state.
+func (qp *QP) State() State { return qp.state }
+
+// RemoteIP returns the connected peer address.
+func (qp *QP) RemoteIP() simnet.Addr { return qp.remoteIP }
+
+// RemoteQPN returns the connected peer queue pair number.
+func (qp *QP) RemoteQPN() uint32 { return qp.remoteQPN }
+
+// NextPSN returns the next send PSN (diagnostics and the switch control
+// plane, which needs it when splicing connections).
+func (qp *QP) NextPSN() uint32 { return qp.sndPSN }
+
+// Credits returns the requester's view of the responder's capacity.
+func (qp *QP) Credits() int { return qp.credits }
+
+// SetOnError installs the asynchronous failure callback.
+func (qp *QP) SetOnError(fn func(error)) { qp.onError = fn }
+
+// SetOnRecv installs the SEND consumer.
+func (qp *QP) SetOnRecv(fn func(payload []byte)) { qp.onRecv = fn }
+
+// Connect moves the queue pair to READY, binding it to the remote
+// endpoint. localPSN seeds this side's send sequence; remotePSN is the
+// first PSN expected from the peer (both negotiated during the CM
+// handshake).
+func (qp *QP) Connect(remoteIP simnet.Addr, remoteQPN, localPSN, remotePSN uint32) {
+	qp.remoteIP = remoteIP
+	qp.remoteQPN = remoteQPN
+	qp.sndPSN = localPSN & roce.PSNMask
+	qp.expPSN = remotePSN & roce.PSNMask
+	qp.freeSlots = qp.nic.cfg.ResponderSlots
+	qp.credits = qp.nic.cfg.MaxOutstanding
+	qp.state = StateReady
+}
+
+// PostWrite posts a one-sided RDMA write of data to the remote virtual
+// address. done is invoked with nil once the write is acknowledged, or
+// with an error if it fails.
+func (qp *QP) PostWrite(data []byte, remoteVA uint64, rkey uint32, done func(error)) error {
+	return qp.post(&workRequest{typ: wrWrite, data: data, remoteVA: remoteVA, rkey: rkey, done: done})
+}
+
+// PostRead posts a one-sided RDMA read of len(dst) bytes from the remote
+// virtual address into dst.
+func (qp *QP) PostRead(dst []byte, remoteVA uint64, rkey uint32, done func(error)) error {
+	if len(dst) == 0 {
+		return ErrInvalidRequest
+	}
+	return qp.post(&workRequest{typ: wrRead, dst: dst, remoteVA: remoteVA, rkey: rkey, done: done})
+}
+
+// PostSend posts a two-sided SEND carrying payload.
+func (qp *QP) PostSend(payload []byte, done func(error)) error {
+	if len(payload) > qp.nic.cfg.MTUPayload {
+		return ErrInvalidRequest
+	}
+	return qp.post(&workRequest{typ: wrSend, data: payload, done: done})
+}
+
+func (qp *QP) post(wr *workRequest) error {
+	if qp.state != StateReady {
+		return ErrQPState
+	}
+	qp.pending = append(qp.pending, wr)
+	qp.pump()
+	return nil
+}
+
+// OutstandingRequests returns the number of un-acked requests.
+func (qp *QP) OutstandingRequests() int { return len(qp.inflight) }
+
+// QueuedRequests returns the number of posted-but-untransmitted requests.
+func (qp *QP) QueuedRequests() int { return len(qp.pending) }
+
+// setCredits interprets the 5-bit AETH credit field: the all-ones value
+// means "no flow-control limit" (the IB spec's invalid-credit encoding),
+// which saturated responders advertise; anything else is a hard bound.
+func (qp *QP) setCredits(v uint8) {
+	if v >= 31 {
+		qp.credits = qp.nic.cfg.MaxOutstanding
+		return
+	}
+	qp.credits = int(v)
+}
+
+// windowLimit is how many requests may be in flight right now: the QP's
+// hardware window bounded by the responder's advertised credits. A floor
+// of one lets a single probe go out when credits hit zero so the
+// responder's RNR NAK (and eventual ACK) can restart the flow.
+func (qp *QP) windowLimit() int {
+	lim := qp.nic.cfg.MaxOutstanding
+	if qp.credits < lim {
+		lim = qp.credits
+	}
+	if lim < 1 {
+		lim = 1
+	}
+	return lim
+}
+
+// pump transmits pending requests while the window allows.
+func (qp *QP) pump() {
+	for len(qp.pending) > 0 && len(qp.inflight) < qp.windowLimit() {
+		wr := qp.pending[0]
+		qp.pending = qp.pending[1:]
+		span := wr.psnSpan(qp.nic.cfg.MTUPayload)
+		wr.firstPSN = qp.sndPSN
+		wr.lastPSN = roce.PSNAdd(qp.sndPSN, span-1)
+		qp.sndPSN = roce.PSNAdd(qp.sndPSN, span)
+		qp.inflight = append(qp.inflight, wr)
+		qp.transmitWR(wr)
+	}
+	qp.armTimer()
+}
+
+// transmitWR emits every packet of a request.
+func (qp *QP) transmitWR(wr *workRequest) {
+	switch wr.typ {
+	case wrWrite:
+		segs := roce.SegmentWrite(len(wr.data), qp.nic.cfg.MTUPayload, wr.firstPSN)
+		for i, seg := range segs {
+			pkt := &roce.Packet{
+				SrcIP: qp.nic.ip, DstIP: qp.remoteIP, SrcPort: 49152,
+				OpCode: seg.OpCode, DestQP: qp.remoteQPN, PSN: seg.PSN,
+				AckReq:  i == len(segs)-1,
+				Payload: wr.data[seg.Offset : seg.Offset+seg.Length],
+			}
+			if seg.OpCode.HasRETH() {
+				pkt.VA = wr.remoteVA
+				pkt.RKey = wr.rkey
+				pkt.DMALen = uint32(len(wr.data))
+			}
+			qp.nic.transmit(pkt)
+		}
+	case wrRead:
+		qp.nic.transmit(&roce.Packet{
+			SrcIP: qp.nic.ip, DstIP: qp.remoteIP, SrcPort: 49152,
+			OpCode: roce.OpReadRequest, DestQP: qp.remoteQPN, PSN: wr.firstPSN,
+			VA: wr.remoteVA, RKey: wr.rkey, DMALen: uint32(len(wr.dst)),
+		})
+	case wrSend:
+		qp.nic.transmit(&roce.Packet{
+			SrcIP: qp.nic.ip, DstIP: qp.remoteIP, SrcPort: 49152,
+			OpCode: roce.OpSendOnly, DestQP: qp.remoteQPN, PSN: wr.firstPSN,
+			AckReq: true, Payload: wr.data,
+		})
+	}
+}
+
+// armTimer (re)starts the retransmission timer while work is in flight.
+func (qp *QP) armTimer() {
+	if qp.rtTimer != nil {
+		qp.rtTimer.Stop()
+		qp.rtTimer = nil
+	}
+	if len(qp.inflight) == 0 || qp.state != StateReady {
+		return
+	}
+	// Consecutive unproductive timeouts back the timer off exponentially
+	// (capped at 8x): go-back-N re-injects the whole window, and firing
+	// again before the duplicates drain would melt the link down.
+	scale := sim.Time(1) << uint(qp.retries)
+	if scale > 8 {
+		scale = 8
+	}
+	qp.rtTimer = qp.nic.k.Schedule(qp.nic.cfg.AckTimeout*scale, qp.onTimeout)
+}
+
+func (qp *QP) onTimeout() {
+	if qp.state != StateReady || len(qp.inflight) == 0 {
+		return
+	}
+	qp.retries++
+	if qp.retries > qp.nic.cfg.MaxRetries {
+		qp.enterError(ErrRetryExceeded)
+		return
+	}
+	qp.nic.Stats.Retransmits++
+	for _, wr := range qp.inflight { // go-back-N
+		qp.transmitWR(wr)
+	}
+	qp.armTimer()
+}
+
+// enterError moves the QP to ERROR, flushing all queued work.
+func (qp *QP) enterError(cause error) {
+	if qp.state == StateError {
+		return
+	}
+	qp.state = StateError
+	if qp.rtTimer != nil {
+		qp.rtTimer.Stop()
+		qp.rtTimer = nil
+	}
+	flushed := append(qp.inflight, qp.pending...)
+	qp.inflight, qp.pending = nil, nil
+	for _, wr := range flushed {
+		wr.complete(cause)
+	}
+	if qp.onError != nil {
+		qp.onError(cause)
+	}
+}
+
+// handlePacket dispatches an inbound packet to the requester or
+// responder half.
+func (qp *QP) handlePacket(p *roce.Packet) {
+	if qp.state != StateReady {
+		return
+	}
+	switch {
+	case p.OpCode == roce.OpAcknowledge:
+		qp.handleAck(p)
+	case p.OpCode.IsReadResponse():
+		qp.handleReadResponse(p)
+	case p.OpCode.IsWrite():
+		qp.handleInboundWrite(p)
+	case p.OpCode == roce.OpReadRequest:
+		qp.handleInboundRead(p)
+	case p.OpCode == roce.OpSendOnly:
+		qp.handleInboundSend(p)
+	}
+}
+
+// ---- Requester half ----
+
+func (qp *QP) handleAck(p *roce.Packet) {
+	switch p.Syndrome.Type() {
+	case roce.AckPositive:
+		qp.setCredits(p.Syndrome.Value())
+		qp.completeThrough(p.PSN)
+		qp.retries = 0
+		qp.rnrCount = 0 // forward progress clears the RNR budget
+		qp.armTimer()
+		qp.pump()
+	case roce.AckRNR:
+		qp.handleRNR()
+	case roce.AckNAK:
+		qp.handleNAK(p)
+	}
+}
+
+// completeThrough finishes every in-flight request whose last PSN is at
+// or before psn (ACKs are cumulative).
+func (qp *QP) completeThrough(psn uint32) {
+	for len(qp.inflight) > 0 {
+		wr := qp.inflight[0]
+		if roce.PSNDiff(wr.lastPSN, psn) > 0 {
+			break
+		}
+		if wr.typ == wrRead && !wr.completed {
+			// A bare ACK cannot complete a read; responses do that.
+			break
+		}
+		qp.inflight = qp.inflight[1:]
+		wr.complete(nil)
+	}
+	// Drop reads that were completed by their response packets but kept
+	// in line for ordering.
+	for len(qp.inflight) > 0 && qp.inflight[0].completed {
+		qp.inflight = qp.inflight[1:]
+	}
+}
+
+func (qp *QP) handleRNR() {
+	if len(qp.inflight) == 0 || (qp.rnrTimer != nil && qp.rnrTimer.Active()) {
+		// A backoff round is already pending; a burst of writes draws one
+		// RNR NAK per rejected message but only one retry round.
+		return
+	}
+	qp.rnrCount++
+	if qp.rnrCount > qp.nic.cfg.MaxRNRRetries {
+		qp.enterError(ErrRNRRetryExceeded)
+		return
+	}
+	qp.rnrTimer = qp.nic.k.Schedule(qp.nic.cfg.RNRDelay, func() {
+		if qp.state != StateReady {
+			return
+		}
+		for _, wr := range qp.inflight {
+			qp.transmitWR(wr)
+		}
+		qp.armTimer()
+	})
+}
+
+func (qp *QP) handleNAK(p *roce.Packet) {
+	switch p.Syndrome.Value() {
+	case roce.NakPSNSequenceError:
+		// Retransmit everything from the NAKed PSN (go-back-N).
+		qp.nic.Stats.Retransmits++
+		for _, wr := range qp.inflight {
+			if roce.PSNDiff(wr.lastPSN, p.PSN) >= 0 {
+				qp.transmitWR(wr)
+			}
+		}
+		qp.armTimer()
+	default:
+		// Access/operation errors are fatal to the connection, which is
+		// precisely the fencing mechanism Mu's permission switch relies on.
+		qp.enterError(ErrRemoteAccess)
+	}
+}
+
+func (qp *QP) handleReadResponse(p *roce.Packet) {
+	var wr *workRequest
+	for _, cand := range qp.inflight {
+		if cand.typ == wrRead && roce.PSNInWindow(p.PSN, cand.firstPSN, cand.psnSpan(qp.nic.cfg.MTUPayload)) {
+			wr = cand
+			break
+		}
+	}
+	if wr == nil {
+		return // stale or duplicate response
+	}
+	off := roce.PSNDiff(p.PSN, wr.firstPSN) * qp.nic.cfg.MTUPayload
+	copy(wr.dst[off:], p.Payload)
+	if p.OpCode.HasAETH() {
+		qp.setCredits(p.Syndrome.Value())
+	}
+	if p.OpCode.EndsMessage() {
+		// The response implicitly acknowledges everything before it.
+		wr.complete(nil)
+		qp.completeThrough(wr.lastPSN)
+		// Implicit NAK: a response for a later read while an earlier one
+		// is still incomplete means that earlier response was lost — the
+		// timer alone would starve it, since every later completion
+		// resets it. Retransmit the skipped request now.
+		if len(qp.inflight) > 0 {
+			head := qp.inflight[0]
+			if head != wr && !head.completed && head.typ == wrRead &&
+				roce.PSNDiff(head.lastPSN, wr.firstPSN) < 0 {
+				qp.transmitWR(head)
+			}
+		}
+		qp.retries = 0
+		qp.armTimer()
+		qp.pump()
+	}
+}
+
+// ---- Responder half ----
+
+func (qp *QP) advertisedCredits() uint8 {
+	c := qp.freeSlots
+	if c > 31 {
+		c = 31
+	}
+	if c < 0 {
+		c = 0
+	}
+	return uint8(c)
+}
+
+func (qp *QP) sendAck(psn uint32) {
+	qp.nic.Stats.AcksSent++
+	qp.nic.transmit(&roce.Packet{
+		SrcIP: qp.nic.ip, DstIP: qp.remoteIP, SrcPort: roce.UDPPort,
+		OpCode: roce.OpAcknowledge, DestQP: qp.remoteQPN, PSN: psn,
+		Syndrome: roce.MakeSyndrome(roce.AckPositive, qp.advertisedCredits()),
+		MSN:      qp.msn,
+	})
+}
+
+func (qp *QP) sendNak(psn uint32, code uint8) {
+	qp.nic.Stats.NaksSent++
+	qp.nic.transmit(&roce.Packet{
+		SrcIP: qp.nic.ip, DstIP: qp.remoteIP, SrcPort: roce.UDPPort,
+		OpCode: roce.OpAcknowledge, DestQP: qp.remoteQPN, PSN: psn,
+		Syndrome: roce.MakeSyndrome(roce.AckNAK, code),
+		MSN:      qp.msn,
+	})
+}
+
+func (qp *QP) sendRNR(psn uint32) {
+	qp.nic.Stats.RNRsSent++
+	qp.nic.transmit(&roce.Packet{
+		SrcIP: qp.nic.ip, DstIP: qp.remoteIP, SrcPort: roce.UDPPort,
+		OpCode: roce.OpAcknowledge, DestQP: qp.remoteQPN, PSN: psn,
+		Syndrome: roce.MakeSyndrome(roce.AckRNR, 1),
+		MSN:      qp.msn,
+	})
+}
+
+// checkSequence validates the inbound PSN. It returns false (after
+// responding appropriately) when the packet must not be executed.
+func (qp *QP) checkSequence(p *roce.Packet) bool {
+	d := roce.PSNDiff(p.PSN, qp.expPSN)
+	switch {
+	case d == 0:
+		qp.nakArmed = false
+		return true
+	case d < 0:
+		// Duplicate from a go-back-N retransmission: re-acknowledge the
+		// most recent in-sequence packet so the requester makes progress.
+		if p.AckReq || p.OpCode.EndsMessage() {
+			qp.sendAck(roce.PSNAdd(qp.expPSN, -1))
+		}
+		return false
+	default:
+		// One NAK per gap: real responders suppress repeats until the
+		// missing packet arrives, avoiding NAK storms on long messages.
+		if !qp.nakArmed {
+			qp.nakArmed = true
+			qp.sendNak(qp.expPSN, roce.NakPSNSequenceError)
+		}
+		return false
+	}
+}
+
+func (qp *QP) handleInboundWrite(p *roce.Packet) {
+	if !qp.checkSequence(p) {
+		return
+	}
+	starts := p.OpCode == roce.OpWriteFirst || p.OpCode == roce.OpWriteOnly
+	if starts {
+		mr, ok := qp.nic.lookupMR(p.RKey)
+		if !ok || !mr.checkWrite(p.SrcIP, p.VA, int(p.DMALen)) {
+			qp.sendNak(p.PSN, roce.NakRemoteAccessError)
+			return
+		}
+		if qp.freeSlots <= 0 {
+			qp.sendRNR(p.PSN)
+			return
+		}
+		qp.consumeSlot()
+		qp.curMR = mr
+		qp.curVA = p.VA
+		qp.curRemaining = int(p.DMALen)
+	}
+	if qp.curMR == nil {
+		qp.sendNak(p.PSN, roce.NakInvalidRequest)
+		return
+	}
+	qp.curMR.write(qp.curVA, p.Payload)
+	qp.curVA += uint64(len(p.Payload))
+	qp.curRemaining -= len(p.Payload)
+	qp.expPSN = roce.PSNNext(qp.expPSN)
+	if p.OpCode.EndsMessage() {
+		qp.msn = (qp.msn + 1) & roce.PSNMask
+		qp.curMR = nil
+	}
+	if p.AckReq || p.OpCode.EndsMessage() {
+		qp.sendAck(p.PSN)
+	}
+}
+
+func (qp *QP) handleInboundRead(p *roce.Packet) {
+	// Duplicate read requests are re-executed from current memory (the
+	// IB spec's rule): when a read response is lost, the requester's
+	// retransmitted request must produce a fresh response rather than a
+	// bare ACK.
+	d := roce.PSNDiff(p.PSN, qp.expPSN)
+	if d > 0 {
+		if !qp.nakArmed {
+			qp.nakArmed = true
+			qp.sendNak(qp.expPSN, roce.NakPSNSequenceError)
+		}
+		return
+	}
+	qp.nakArmed = false
+	mr, ok := qp.nic.lookupMR(p.RKey)
+	if !ok || !mr.checkRead(p.VA, int(p.DMALen)) {
+		qp.sendNak(p.PSN, roce.NakRemoteAccessError)
+		return
+	}
+	data := mr.read(p.VA, int(p.DMALen))
+	segs := roce.SegmentReadResponse(len(data), qp.nic.cfg.MTUPayload, p.PSN)
+	if d == 0 {
+		qp.expPSN = roce.PSNAdd(p.PSN, len(segs))
+		qp.msn = (qp.msn + 1) & roce.PSNMask
+	}
+	for _, seg := range segs {
+		pkt := &roce.Packet{
+			SrcIP: qp.nic.ip, DstIP: qp.remoteIP, SrcPort: roce.UDPPort,
+			OpCode: seg.OpCode, DestQP: qp.remoteQPN, PSN: seg.PSN,
+			Payload: data[seg.Offset : seg.Offset+seg.Length],
+		}
+		if seg.OpCode.HasAETH() {
+			pkt.Syndrome = roce.MakeSyndrome(roce.AckPositive, qp.advertisedCredits())
+			pkt.MSN = qp.msn
+		}
+		qp.nic.transmit(pkt)
+	}
+}
+
+func (qp *QP) handleInboundSend(p *roce.Packet) {
+	if !qp.checkSequence(p) {
+		return
+	}
+	if qp.freeSlots <= 0 {
+		qp.sendRNR(p.PSN)
+		return
+	}
+	qp.consumeSlot()
+	qp.expPSN = roce.PSNNext(qp.expPSN)
+	qp.msn = (qp.msn + 1) & roce.PSNMask
+	if qp.onRecv != nil {
+		qp.onRecv(p.Payload)
+	}
+	qp.sendAck(p.PSN)
+}
+
+// consumeSlot takes one responder slot and schedules its release after
+// the apply delay (immediately when the delay is zero, modelling a host
+// that drains its ring as fast as the NIC fills it).
+func (qp *QP) consumeSlot() {
+	if qp.nic.cfg.ApplyDelay <= 0 {
+		return
+	}
+	qp.freeSlots--
+	qp.nic.k.Schedule(qp.nic.cfg.ApplyDelay, func() {
+		qp.freeSlots++
+	})
+}

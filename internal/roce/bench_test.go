@@ -1,0 +1,64 @@
+package roce
+
+import (
+	"testing"
+
+	"p4ce/internal/simnet"
+)
+
+// Codec micro-benchmarks: the simulator marshals and parses every frame,
+// so these bound how fast the discrete-event simulation itself can run.
+
+func benchPacket(payload int) *Packet {
+	return &Packet{
+		SrcIP: simnet.AddrFrom(10, 0, 0, 1), DstIP: simnet.AddrFrom(10, 0, 0, 2),
+		OpCode: OpWriteOnly, DestQP: 0x800, PSN: 12345,
+		VA: 1 << 20, RKey: 0xCAFE, DMALen: uint32(payload), AckReq: true,
+		Payload: make([]byte, payload),
+	}
+}
+
+func BenchmarkMarshal64B(b *testing.B) {
+	p := benchPacket(64)
+	buf := make([]byte, p.WireSize())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.MarshalInto(buf)
+	}
+}
+
+func BenchmarkMarshal1KiB(b *testing.B) {
+	p := benchPacket(1024)
+	buf := make([]byte, p.WireSize())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.MarshalInto(buf)
+	}
+}
+
+func BenchmarkUnmarshal64B(b *testing.B) {
+	frame := benchPacket(64).Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshal1KiB(b *testing.B) {
+	frame := benchPacket(1024).Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSegmentWrite8KiB(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SegmentWrite(8192, 1024, uint32(i))
+	}
+}

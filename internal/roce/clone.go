@@ -1,0 +1,12 @@
+package roce
+
+// Clone returns a deep copy of the packet, as produced by the switch's
+// replication engine: each multicast copy can be rewritten independently.
+func (p *Packet) Clone() *Packet {
+	c := *p
+	if p.Payload != nil {
+		c.Payload = make([]byte, len(p.Payload))
+		copy(c.Payload, p.Payload)
+	}
+	return &c
+}

@@ -1,0 +1,170 @@
+package roce
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"p4ce/internal/simnet"
+)
+
+// Connection-manager datagrams. Real InfiniBand carries these as MADs on
+// the general services interface (QP1); the simulation does the same:
+// a CMMessage is the payload of a SEND_ONLY packet addressed to CMQPN.
+//
+// The private-data field carries application payloads exactly as the
+// paper uses it: the leader piggybacks the replica set on its
+// ConnectRequest, and the switch piggybacks the virtual base address and
+// R_key on its ConnectReply (Table I / §IV-A).
+
+// CMType distinguishes the handshake messages.
+type CMType uint8
+
+// Handshake message types.
+const (
+	CMConnectRequest CMType = iota + 1
+	CMConnectReply
+	CMReadyToUse
+	CMConnectReject
+	CMDisconnect
+)
+
+// String names the message type.
+func (t CMType) String() string {
+	switch t {
+	case CMConnectRequest:
+		return "ConnectRequest"
+	case CMConnectReply:
+		return "ConnectReply"
+	case CMReadyToUse:
+		return "ReadyToUse"
+	case CMConnectReject:
+		return "ConnectReject"
+	case CMDisconnect:
+		return "Disconnect"
+	default:
+		return "Unknown"
+	}
+}
+
+// MaxPrivateData is the CM private-data capacity (REQ MADs carry 92 B).
+const MaxPrivateData = 92
+
+// CMMessage is a connection-manager datagram.
+type CMMessage struct {
+	Type CMType
+	// CommID pairs requests with replies: the requester picks LocalCommID
+	// and the responder echoes it in RemoteCommID.
+	LocalCommID  uint32
+	RemoteCommID uint32
+	// QPN is the sender's queue pair for the data connection.
+	QPN uint32
+	// StartPSN is the first PSN the sender will use on that queue pair.
+	StartPSN uint32
+	// VA, RKey and BufLen advertise the responder's registered memory
+	// region (ConnectReply only; also mirrored in private data by the
+	// switch, which advertises VA=0 with a virtual R_key).
+	VA     uint64
+	RKey   uint32
+	BufLen uint32
+	// RejectReason explains a ConnectReject.
+	RejectReason uint8
+	// PrivateData is the application payload, at most MaxPrivateData bytes.
+	PrivateData []byte
+}
+
+// cmHeaderBytes is the fixed portion of the encoding.
+const cmHeaderBytes = 1 + 4 + 4 + 4 + 4 + 8 + 4 + 4 + 1 + 1
+
+// ErrCMTooLong reports oversized private data.
+var ErrCMTooLong = errors.New("roce: CM private data exceeds 92 bytes")
+
+// MarshalCM encodes the message as a SEND payload.
+func (m *CMMessage) MarshalCM() ([]byte, error) {
+	if len(m.PrivateData) > MaxPrivateData {
+		return nil, ErrCMTooLong
+	}
+	buf := make([]byte, cmHeaderBytes+len(m.PrivateData))
+	buf[0] = byte(m.Type)
+	binary.BigEndian.PutUint32(buf[1:5], m.LocalCommID)
+	binary.BigEndian.PutUint32(buf[5:9], m.RemoteCommID)
+	binary.BigEndian.PutUint32(buf[9:13], m.QPN)
+	binary.BigEndian.PutUint32(buf[13:17], m.StartPSN)
+	binary.BigEndian.PutUint64(buf[17:25], m.VA)
+	binary.BigEndian.PutUint32(buf[25:29], m.RKey)
+	binary.BigEndian.PutUint32(buf[29:33], m.BufLen)
+	buf[33] = m.RejectReason
+	buf[34] = byte(len(m.PrivateData))
+	copy(buf[cmHeaderBytes:], m.PrivateData)
+	return buf, nil
+}
+
+// UnmarshalCM decodes a SEND payload into a CM message.
+func UnmarshalCM(payload []byte) (*CMMessage, error) {
+	if len(payload) < cmHeaderBytes {
+		return nil, fmt.Errorf("roce: CM payload %d bytes: %w", len(payload), ErrTruncated)
+	}
+	m := &CMMessage{
+		Type:         CMType(payload[0]),
+		LocalCommID:  binary.BigEndian.Uint32(payload[1:5]),
+		RemoteCommID: binary.BigEndian.Uint32(payload[5:9]),
+		QPN:          binary.BigEndian.Uint32(payload[9:13]),
+		StartPSN:     binary.BigEndian.Uint32(payload[13:17]),
+		VA:           binary.BigEndian.Uint64(payload[17:25]),
+		RKey:         binary.BigEndian.Uint32(payload[25:29]),
+		BufLen:       binary.BigEndian.Uint32(payload[29:33]),
+		RejectReason: payload[33],
+	}
+	n := int(payload[34])
+	if cmHeaderBytes+n > len(payload) {
+		return nil, fmt.Errorf("roce: CM private data truncated: %w", ErrTruncated)
+	}
+	if n > 0 {
+		m.PrivateData = make([]byte, n)
+		copy(m.PrivateData, payload[cmHeaderBytes:cmHeaderBytes+n])
+	}
+	return m, nil
+}
+
+// ReplicaSet is the private-data payload the P4CE leader attaches to its
+// ConnectRequest: the IPv4 addresses of the replicas the switch must
+// join into the communication group, plus the number of positive
+// acknowledgments that constitute the quorum (§IV-A, "Setting up the
+// connection"). The quorum travels explicitly so a group created while
+// some members are down still waits for the full-cluster majority.
+type ReplicaSet struct {
+	Replicas []simnet.Addr
+	// AcksRequired is the f the switch waits for; 0 lets the control
+	// plane default to the majority of the listed replicas plus leader.
+	AcksRequired uint8
+}
+
+// MarshalReplicaSet encodes the replica list for CM private data.
+func (r *ReplicaSet) MarshalReplicaSet() ([]byte, error) {
+	if 2+4*len(r.Replicas) > MaxPrivateData {
+		return nil, fmt.Errorf("roce: %d replicas exceed private data capacity", len(r.Replicas))
+	}
+	buf := make([]byte, 2+4*len(r.Replicas))
+	buf[0] = byte(len(r.Replicas))
+	buf[1] = r.AcksRequired
+	for i, a := range r.Replicas {
+		binary.BigEndian.PutUint32(buf[2+4*i:], uint32(a))
+	}
+	return buf, nil
+}
+
+// UnmarshalReplicaSet decodes CM private data into a replica list.
+func UnmarshalReplicaSet(data []byte) (*ReplicaSet, error) {
+	if len(data) < 2 {
+		return nil, ErrTruncated
+	}
+	n := int(data[0])
+	if len(data) < 2+4*n {
+		return nil, ErrTruncated
+	}
+	r := &ReplicaSet{Replicas: make([]simnet.Addr, n), AcksRequired: data[1]}
+	for i := range r.Replicas {
+		r.Replicas[i] = simnet.Addr(binary.BigEndian.Uint32(data[2+4*i:]))
+	}
+	return r, nil
+}

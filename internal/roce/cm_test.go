@@ -1,0 +1,142 @@
+package roce
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"p4ce/internal/simnet"
+)
+
+func TestCMRoundtrip(t *testing.T) {
+	msg := &CMMessage{
+		Type:         CMConnectRequest,
+		LocalCommID:  0x1111,
+		RemoteCommID: 0x2222,
+		QPN:          0x30,
+		StartPSN:     0xABCDE,
+		VA:           1 << 33,
+		RKey:         0xCAFE,
+		BufLen:       1 << 20,
+		PrivateData:  []byte("replica addresses here"),
+	}
+	raw, err := msg.MarshalCM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCM(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(msg, got) {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, msg)
+	}
+}
+
+func TestCMPrivateDataLimit(t *testing.T) {
+	msg := &CMMessage{Type: CMConnectReply, PrivateData: make([]byte, MaxPrivateData+1)}
+	if _, err := msg.MarshalCM(); err == nil {
+		t.Fatal("oversized private data accepted")
+	}
+	msg.PrivateData = make([]byte, MaxPrivateData)
+	if _, err := msg.MarshalCM(); err != nil {
+		t.Fatalf("max-size private data rejected: %v", err)
+	}
+}
+
+func TestCMTruncated(t *testing.T) {
+	if _, err := UnmarshalCM([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated CM message accepted")
+	}
+	msg := &CMMessage{Type: CMReadyToUse, PrivateData: []byte("abcdef")}
+	raw, err := msg.MarshalCM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalCM(raw[:len(raw)-3]); err == nil {
+		t.Fatal("CM message with truncated private data accepted")
+	}
+}
+
+func TestCMThroughPacket(t *testing.T) {
+	msg := &CMMessage{Type: CMConnectRequest, LocalCommID: 9, QPN: 77, StartPSN: 5}
+	payload, err := msg.MarshalCM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := &Packet{
+		SrcIP: simnet.AddrFrom(10, 0, 0, 1), DstIP: simnet.AddrFrom(10, 0, 0, 254),
+		OpCode: OpSendOnly, DestQP: CMQPN, Payload: payload,
+	}
+	decoded, err := Unmarshal(pkt.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCM(decoded.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != CMConnectRequest || got.QPN != 77 {
+		t.Fatalf("CM through packet mismatch: %+v", got)
+	}
+}
+
+func TestReplicaSetRoundtrip(t *testing.T) {
+	rs := &ReplicaSet{Replicas: []simnet.Addr{
+		simnet.AddrFrom(10, 0, 0, 2),
+		simnet.AddrFrom(10, 0, 0, 3),
+		simnet.AddrFrom(10, 0, 0, 4),
+	}}
+	raw, err := rs.MarshalReplicaSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalReplicaSet(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs, got) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, rs)
+	}
+}
+
+func TestReplicaSetCapacity(t *testing.T) {
+	rs := &ReplicaSet{Replicas: make([]simnet.Addr, 23)} // 1+92 bytes > 92
+	if _, err := rs.MarshalReplicaSet(); err == nil {
+		t.Fatal("oversized replica set accepted")
+	}
+	rs.Replicas = make([]simnet.Addr, 22)
+	if _, err := rs.MarshalReplicaSet(); err != nil {
+		t.Fatalf("22 replicas rejected: %v", err)
+	}
+}
+
+// Property: CM roundtrip for arbitrary field values.
+func TestCMRoundtripProperty(t *testing.T) {
+	f := func(typ uint8, l, r, qpn, psn uint32, va uint64, rkey, blen uint32, priv []byte) bool {
+		if len(priv) > MaxPrivateData {
+			priv = priv[:MaxPrivateData]
+		}
+		msg := &CMMessage{
+			Type: CMType(typ%5 + 1), LocalCommID: l, RemoteCommID: r,
+			QPN: qpn, StartPSN: psn, VA: va, RKey: rkey, BufLen: blen,
+			PrivateData: priv,
+		}
+		raw, err := msg.MarshalCM()
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalCM(raw)
+		if err != nil {
+			return false
+		}
+		if len(priv) == 0 {
+			return got.QPN == msg.QPN && got.VA == msg.VA && got.PrivateData == nil
+		}
+		return got.QPN == msg.QPN && got.VA == msg.VA && bytes.Equal(got.PrivateData, msg.PrivateData)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

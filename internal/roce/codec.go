@@ -1,0 +1,192 @@
+package roce
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"p4ce/internal/simnet"
+)
+
+// Codec errors.
+var (
+	ErrTruncated   = errors.New("roce: frame truncated")
+	ErrBadICRC     = errors.New("roce: invariant CRC mismatch")
+	ErrBadChecksum = errors.New("roce: IPv4 header checksum mismatch")
+	ErrNotRoCE     = errors.New("roce: frame is not RoCE v2")
+)
+
+// Marshal encodes the packet into a fresh Ethernet frame.
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, p.WireSize())
+	p.MarshalInto(buf)
+	return buf
+}
+
+// MarshalInto encodes the packet into buf, which must be exactly
+// WireSize() bytes long.
+func (p *Packet) MarshalInto(buf []byte) {
+	if len(buf) != p.WireSize() {
+		panic(fmt.Sprintf("roce: MarshalInto buffer %d bytes, need %d", len(buf), p.WireSize()))
+	}
+	// Ethernet: locally administered MACs derived from the IP addresses.
+	putMAC(buf[0:6], p.DstIP)
+	putMAC(buf[6:12], p.SrcIP)
+	binary.BigEndian.PutUint16(buf[12:14], EtherTypeIPv4)
+
+	// IPv4.
+	ip := buf[14:34]
+	ip[0] = 0x45 // version 4, IHL 5
+	ip[1] = 0    // DSCP/ECN
+	binary.BigEndian.PutUint16(ip[2:4], uint16(p.WireSize()-EthernetBytes))
+	// identification, flags, fragment offset left zero (DF semantics).
+	ip[8] = 64 // TTL
+	ip[9] = ProtoUDP
+	binary.BigEndian.PutUint32(ip[12:16], uint32(p.SrcIP))
+	binary.BigEndian.PutUint32(ip[16:20], uint32(p.DstIP))
+	binary.BigEndian.PutUint16(ip[10:12], ipChecksum(ip))
+
+	// UDP. Checksum zero (legal for IPv4, standard for RoCE).
+	udp := buf[34:42]
+	binary.BigEndian.PutUint16(udp[0:2], p.SrcPort)
+	dstPort := p.DstPort
+	if dstPort == 0 {
+		dstPort = UDPPort
+	}
+	binary.BigEndian.PutUint16(udp[2:4], dstPort)
+	binary.BigEndian.PutUint16(udp[4:6], uint16(p.WireSize()-EthernetBytes-IPv4Bytes))
+
+	// BTH.
+	bth := buf[42:54]
+	bth[0] = byte(p.OpCode)
+	bth[1] = 0x40                                // migration state bit, as real HCAs set it
+	binary.BigEndian.PutUint16(bth[2:4], 0xFFFF) // default partition key
+	putUint24(bth[5:8], p.DestQP)
+	if p.AckReq {
+		bth[8] = 0x80
+	}
+	putUint24(bth[9:12], p.PSN)
+
+	off := 54
+	if p.OpCode.HasRETH() {
+		reth := buf[off : off+RETHBytes]
+		binary.BigEndian.PutUint64(reth[0:8], p.VA)
+		binary.BigEndian.PutUint32(reth[8:12], p.RKey)
+		binary.BigEndian.PutUint32(reth[12:16], p.DMALen)
+		off += RETHBytes
+	}
+	if p.OpCode.HasAETH() {
+		aeth := buf[off : off+AETHBytes]
+		aeth[0] = byte(p.Syndrome)
+		putUint24(aeth[1:4], p.MSN)
+		off += AETHBytes
+	}
+	copy(buf[off:], p.Payload)
+	off += len(p.Payload)
+
+	// Invariant CRC over the transport headers and payload.
+	binary.BigEndian.PutUint32(buf[off:off+4], crc32.ChecksumIEEE(buf[42:off]))
+}
+
+// Unmarshal parses an Ethernet frame into a Packet. The payload slice
+// references a copy, so the caller may retain it.
+func Unmarshal(frame []byte) (*Packet, error) {
+	if len(frame) < BaseHeaderBytes {
+		return nil, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(frame[12:14]) != EtherTypeIPv4 {
+		return nil, ErrNotRoCE
+	}
+	ip := frame[14:34]
+	if ip[0] != 0x45 || ip[9] != ProtoUDP {
+		return nil, ErrNotRoCE
+	}
+	if ipChecksum(ip) != 0 {
+		// A zero result means the stored checksum validates.
+		return nil, ErrBadChecksum
+	}
+	totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
+	if totalLen+EthernetBytes > len(frame) {
+		return nil, ErrTruncated
+	}
+	udp := frame[34:42]
+	if binary.BigEndian.Uint16(udp[2:4]) != UDPPort {
+		return nil, ErrNotRoCE
+	}
+
+	var p Packet
+	p.SrcIP = simnet.Addr(binary.BigEndian.Uint32(ip[12:16]))
+	p.DstIP = simnet.Addr(binary.BigEndian.Uint32(ip[16:20]))
+	p.SrcPort = binary.BigEndian.Uint16(udp[0:2])
+	p.DstPort = binary.BigEndian.Uint16(udp[2:4])
+
+	bth := frame[42:54]
+	p.OpCode = OpCode(bth[0])
+	p.DestQP = uint24(bth[5:8])
+	p.AckReq = bth[8]&0x80 != 0
+	p.PSN = uint24(bth[9:12])
+
+	off := 54
+	if p.OpCode.HasRETH() {
+		if len(frame) < off+RETHBytes+ICRCBytes {
+			return nil, ErrTruncated
+		}
+		reth := frame[off : off+RETHBytes]
+		p.VA = binary.BigEndian.Uint64(reth[0:8])
+		p.RKey = binary.BigEndian.Uint32(reth[8:12])
+		p.DMALen = binary.BigEndian.Uint32(reth[12:16])
+		off += RETHBytes
+	}
+	if p.OpCode.HasAETH() {
+		if len(frame) < off+AETHBytes+ICRCBytes {
+			return nil, ErrTruncated
+		}
+		aeth := frame[off : off+AETHBytes]
+		p.Syndrome = Syndrome(aeth[0])
+		p.MSN = uint24(aeth[1:4])
+		off += AETHBytes
+	}
+	end := EthernetBytes + totalLen - ICRCBytes
+	if end < off {
+		return nil, ErrTruncated
+	}
+	if n := end - off; n > 0 {
+		p.Payload = make([]byte, n)
+		copy(p.Payload, frame[off:end])
+	}
+	want := binary.BigEndian.Uint32(frame[end : end+ICRCBytes])
+	if got := crc32.ChecksumIEEE(frame[42:end]); got != want {
+		return nil, ErrBadICRC
+	}
+	return &p, nil
+}
+
+func putMAC(dst []byte, ip simnet.Addr) {
+	dst[0] = 0x02 // locally administered, unicast
+	dst[1] = 0x50 // 'P'
+	binary.BigEndian.PutUint32(dst[2:6], uint32(ip))
+}
+
+func putUint24(dst []byte, v uint32) {
+	dst[0] = byte(v >> 16)
+	dst[1] = byte(v >> 8)
+	dst[2] = byte(v)
+}
+
+func uint24(src []byte) uint32 {
+	return uint32(src[0])<<16 | uint32(src[1])<<8 | uint32(src[2])
+}
+
+// ipChecksum computes the IPv4 header checksum. Computing it over a
+// header with the checksum field set returns zero iff it validates.
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}

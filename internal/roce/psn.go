@@ -1,0 +1,35 @@
+package roce
+
+// Packet sequence numbers are 24-bit values that wrap around. Distances
+// are interpreted as signed values in (-2^23, 2^23], which is how real
+// HCAs decide whether a packet is a duplicate or from the future.
+
+// PSNAdd returns (psn + delta) mod 2^24 for a possibly negative delta.
+func PSNAdd(psn uint32, delta int) uint32 {
+	return uint32(int64(psn)+int64(delta)) & PSNMask
+}
+
+// PSNNext returns the PSN following psn.
+func PSNNext(psn uint32) uint32 { return (psn + 1) & PSNMask }
+
+// PSNDiff returns the signed distance a − b in 24-bit sequence space,
+// in the range [-2^23, 2^23).
+func PSNDiff(a, b uint32) int {
+	d := int32(a&PSNMask) - int32(b&PSNMask)
+	switch {
+	case d >= 1<<23:
+		d -= 1 << 24
+	case d < -(1 << 23):
+		d += 1 << 24
+	}
+	return int(d)
+}
+
+// PSNLess reports whether a precedes b in sequence space.
+func PSNLess(a, b uint32) bool { return PSNDiff(a, b) < 0 }
+
+// PSNInWindow reports whether psn lies in [start, start+size) modulo 2^24.
+func PSNInWindow(psn, start uint32, size int) bool {
+	d := PSNDiff(psn, start)
+	return d >= 0 && d < size
+}

@@ -1,0 +1,165 @@
+package roce
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPSNAdd(t *testing.T) {
+	tests := []struct {
+		psn   uint32
+		delta int
+		want  uint32
+	}{
+		{0, 1, 1},
+		{PSNMask, 1, 0},
+		{0, -1, PSNMask},
+		{100, 50, 150},
+		{PSNMask - 1, 5, 3},
+	}
+	for _, tt := range tests {
+		if got := PSNAdd(tt.psn, tt.delta); got != tt.want {
+			t.Errorf("PSNAdd(%d, %d) = %d, want %d", tt.psn, tt.delta, got, tt.want)
+		}
+	}
+}
+
+func TestPSNDiff(t *testing.T) {
+	tests := []struct {
+		a, b uint32
+		want int
+	}{
+		{5, 3, 2},
+		{3, 5, -2},
+		{0, PSNMask, 1},          // wrap forward
+		{PSNMask, 0, -1},         // wrap backward
+		{1 << 23, 0, -(1 << 23)}, // antipodal maps to the negative end
+		{0, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := PSNDiff(tt.a, tt.b); got != tt.want {
+			t.Errorf("PSNDiff(%d, %d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestPSNWindow(t *testing.T) {
+	if !PSNInWindow(PSNMask, PSNMask-2, 16) {
+		t.Fatal("PSN at window start+2 not in window")
+	}
+	if !PSNInWindow(5, PSNMask-2, 16) {
+		t.Fatal("wrapped PSN not in window")
+	}
+	if PSNInWindow(PSNMask-3, PSNMask-2, 16) {
+		t.Fatal("PSN before window reported in window")
+	}
+	if PSNInWindow(14, PSNMask-2, 16) {
+		t.Fatal("PSN past window reported in window")
+	}
+}
+
+// Property: PSNAdd then PSNDiff recovers small deltas across wraps.
+func TestPSNAddDiffInverseProperty(t *testing.T) {
+	f := func(psn uint32, rawDelta int16) bool {
+		psn &= PSNMask
+		delta := int(rawDelta)
+		return PSNDiff(PSNAdd(psn, delta), psn) == delta
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PSNLess is a strict order on nearby PSNs.
+func TestPSNLessProperty(t *testing.T) {
+	f := func(psn uint32, ahead uint16) bool {
+		psn &= PSNMask
+		if ahead == 0 {
+			return !PSNLess(psn, psn)
+		}
+		next := PSNAdd(psn, int(ahead))
+		return PSNLess(psn, next) && !PSNLess(next, psn)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentWrite(t *testing.T) {
+	segs := SegmentWrite(2500, 1024, 10)
+	if len(segs) != 3 {
+		t.Fatalf("segments = %d, want 3", len(segs))
+	}
+	wantOps := []OpCode{OpWriteFirst, OpWriteMiddle, OpWriteLast}
+	wantLens := []int{1024, 1024, 452}
+	for i, seg := range segs {
+		if seg.OpCode != wantOps[i] {
+			t.Errorf("seg %d opcode = %v, want %v", i, seg.OpCode, wantOps[i])
+		}
+		if seg.Length != wantLens[i] {
+			t.Errorf("seg %d length = %d, want %d", i, seg.Length, wantLens[i])
+		}
+		if seg.PSN != PSNAdd(10, i) {
+			t.Errorf("seg %d PSN = %d, want %d", i, seg.PSN, PSNAdd(10, i))
+		}
+	}
+}
+
+func TestSegmentWriteSingle(t *testing.T) {
+	segs := SegmentWrite(64, 1024, 0)
+	if len(segs) != 1 || segs[0].OpCode != OpWriteOnly || segs[0].Length != 64 {
+		t.Fatalf("single segment = %+v", segs)
+	}
+	segs = SegmentWrite(0, 1024, 0)
+	if len(segs) != 1 || segs[0].Length != 0 {
+		t.Fatalf("zero-length segment = %+v", segs)
+	}
+}
+
+func TestSegmentReadResponse(t *testing.T) {
+	segs := SegmentReadResponse(2048, 1024, 7)
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d, want 2", len(segs))
+	}
+	if segs[0].OpCode != OpReadRespFirst || segs[1].OpCode != OpReadRespLast {
+		t.Fatalf("opcodes = %v %v", segs[0].OpCode, segs[1].OpCode)
+	}
+	one := SegmentReadResponse(10, 1024, 7)
+	if one[0].OpCode != OpReadRespOnly {
+		t.Fatalf("single response opcode = %v", one[0].OpCode)
+	}
+}
+
+// Property: segmentation covers the message exactly once with
+// consecutive PSNs, and only the first packet carries the RETH.
+func TestSegmentationCoversMessageProperty(t *testing.T) {
+	f := func(rawLen uint16, rawPSN uint32) bool {
+		length := int(rawLen)
+		psn := rawPSN & PSNMask
+		const mtu = 1024
+		segs := SegmentWrite(length, mtu, psn)
+		covered := 0
+		for i, seg := range segs {
+			if seg.Offset != covered {
+				return false
+			}
+			covered += seg.Length
+			if seg.PSN != PSNAdd(psn, i) {
+				return false
+			}
+			if seg.OpCode.HasRETH() != (i == 0) {
+				return false
+			}
+			if i < len(segs)-1 && seg.Length != mtu {
+				return false
+			}
+		}
+		if length == 0 {
+			return covered == 0 && len(segs) == 1
+		}
+		return covered == length
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package roce
+
+// Segmentation of RDMA messages into MTU-sized packets.
+//
+// A write (or read response) whose payload exceeds the path MTU is split
+// into FIRST / MIDDLE* / LAST packets with consecutive PSNs; only the
+// first packet of a write carries the RETH. Reads consume one PSN per
+// response packet, which the requester must account for when assigning
+// the next request's PSN.
+
+// SegmentCount returns how many packets a message of length bytes
+// occupies at the given MTU payload size. Zero-length messages still
+// consume one packet.
+func SegmentCount(length, mtu int) int {
+	if mtu <= 0 {
+		panic("roce: MTU must be positive")
+	}
+	if length <= 0 {
+		return 1
+	}
+	return (length + mtu - 1) / mtu
+}
+
+// WriteSegment describes one packet of a segmented RDMA write.
+type WriteSegment struct {
+	OpCode OpCode
+	PSN    uint32
+	Offset int // payload offset within the message
+	Length int // payload bytes in this packet
+}
+
+// SegmentWrite splits a write of the given length into packets starting
+// at startPSN. It returns the per-packet descriptors in transmission
+// order.
+func SegmentWrite(length, mtu int, startPSN uint32) []WriteSegment {
+	n := SegmentCount(length, mtu)
+	segs := make([]WriteSegment, n)
+	for i := range segs {
+		seg := &segs[i]
+		seg.PSN = PSNAdd(startPSN, i)
+		seg.Offset = i * mtu
+		seg.Length = mtu
+		if i == n-1 {
+			seg.Length = length - seg.Offset
+		}
+		switch {
+		case n == 1:
+			seg.OpCode = OpWriteOnly
+		case i == 0:
+			seg.OpCode = OpWriteFirst
+		case i == n-1:
+			seg.OpCode = OpWriteLast
+		default:
+			seg.OpCode = OpWriteMiddle
+		}
+	}
+	return segs
+}
+
+// SegmentReadResponse splits a read response of the given length into
+// packets starting at the PSN of the read request.
+func SegmentReadResponse(length, mtu int, startPSN uint32) []WriteSegment {
+	segs := SegmentWrite(length, mtu, startPSN)
+	n := len(segs)
+	for i := range segs {
+		switch {
+		case n == 1:
+			segs[i].OpCode = OpReadRespOnly
+		case i == 0:
+			segs[i].OpCode = OpReadRespFirst
+		case i == n-1:
+			segs[i].OpCode = OpReadRespLast
+		default:
+			segs[i].OpCode = OpReadRespMiddle
+		}
+	}
+	return segs
+}

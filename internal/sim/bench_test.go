@@ -1,0 +1,43 @@
+package sim
+
+import "testing"
+
+// Kernel micro-benchmarks: everything in the repository ultimately turns
+// into events on this queue.
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	k := NewKernel(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(Time(i%1000), func() {})
+		if i%1024 == 1023 {
+			k.Run()
+		}
+	}
+	k.Run()
+}
+
+func BenchmarkTimerChurn(b *testing.B) {
+	k := NewKernel(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := k.Schedule(1000, func() {})
+		t.Stop()
+		if i%4096 == 4095 {
+			k.Run() // drain canceled events
+		}
+	}
+}
+
+func BenchmarkCPUWorkItems(b *testing.B) {
+	k := NewKernel(1)
+	c := NewCPU(k)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Do(100, func() {})
+		if i%1024 == 1023 {
+			k.Run()
+		}
+	}
+	k.Run()
+}

@@ -1,0 +1,71 @@
+package sim
+
+// CPU models a host processor core as a serializing resource: submitted
+// work items execute one after another, each occupying the core for its
+// stated cost. It is how the simulation charges per-packet software
+// overheads (building work requests, aggregating completions) that make
+// the leader the bottleneck in Mu-style replication.
+type CPU struct {
+	k      *Kernel
+	freeAt Time // instant the core finishes already-queued work
+	busy   Time // total busy time, for utilization accounting
+}
+
+// NewCPU returns an idle core on kernel k.
+func NewCPU(k *Kernel) *CPU {
+	return &CPU{k: k}
+}
+
+// Do queues a work item costing cost core-nanoseconds and runs fn when the
+// item completes. Items run in submission order. A zero cost still
+// serializes behind earlier work.
+func (c *CPU) Do(cost Time, fn func()) {
+	if cost < 0 {
+		cost = 0
+	}
+	start := c.freeAt
+	if now := c.k.Now(); start < now {
+		start = now
+	}
+	c.freeAt = start + cost
+	c.busy += cost
+	if fn == nil {
+		return
+	}
+	c.k.At(c.freeAt, fn)
+}
+
+// Charge accounts cost of CPU work with no completion callback.
+func (c *CPU) Charge(cost Time) { c.Do(cost, nil) }
+
+// FreeAt returns the instant the core becomes idle given current queue.
+func (c *CPU) FreeAt() Time { return c.freeAt }
+
+// Busy returns the cumulative busy time of the core.
+func (c *CPU) Busy() Time { return c.busy }
+
+// Utilization returns the fraction of the interval [0, now] the core was
+// busy. It is 0 before any time has passed.
+func (c *CPU) Utilization() float64 {
+	now := c.k.Now()
+	if now <= 0 {
+		return 0
+	}
+	b := c.busy
+	if c.freeAt > now {
+		b -= c.freeAt - now // exclude work scheduled beyond "now"
+	}
+	if b < 0 {
+		b = 0
+	}
+	return float64(b) / float64(now)
+}
+
+// Backlog returns how much queued work (in core-nanoseconds) is pending.
+func (c *CPU) Backlog() Time {
+	now := c.k.Now()
+	if c.freeAt <= now {
+		return 0
+	}
+	return c.freeAt - now
+}

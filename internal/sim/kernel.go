@@ -1,0 +1,267 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// that every other subsystem runs on: a virtual clock, an event queue,
+// cancellable timers, a seeded random source, and a serializing CPU
+// resource used to model host processing costs.
+//
+// All state in a Kernel is confined to a single goroutine: callers schedule
+// closures and then drive the kernel with Run, RunUntil or Step. Separate
+// Kernel instances are fully independent, so tests and benchmarks may run
+// many simulations in parallel.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a simulated instant, measured in nanoseconds since the start of
+// the simulation. It is deliberately distinct from time.Time: simulated
+// time only advances when the kernel processes events.
+type Time int64
+
+// Duration constants for simulated time.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String formats the time with a unit suited to its magnitude.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// event is a single scheduled closure.
+type event struct {
+	at       Time
+	seq      uint64 // tie-breaker: FIFO among events at the same instant
+	fn       func()
+	canceled bool
+	index    int // position in the heap, -1 once popped
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is a discrete-event simulation driver. The zero value is not
+// usable; construct with NewKernel.
+type Kernel struct {
+	now       Time
+	seq       uint64
+	events    eventHeap
+	rng       *rand.Rand
+	processed uint64
+	stopped   bool
+}
+
+// NewKernel returns a kernel whose clock reads zero and whose random
+// source is seeded with seed, so identical schedules replay identically.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Processed reports how many events have executed so far.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// Pending reports how many events are scheduled and not yet canceled.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, ev := range k.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule runs fn after delay d. A negative delay is treated as zero.
+// The returned Timer may be used to cancel the call before it fires.
+func (k *Kernel) Schedule(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// At runs fn at absolute time t. Scheduling in the past runs at the
+// current instant (after already-queued events for this instant).
+func (k *Kernel) At(t Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil function")
+	}
+	if t < k.now {
+		t = k.now
+	}
+	ev := &event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, ev)
+	return &Timer{k: k, ev: ev}
+}
+
+// Step executes the single next event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	for len(k.events) > 0 {
+		ev := heap.Pop(&k.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		k.now = ev.at
+		k.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (k *Kernel) Run() {
+	k.stopped = false
+	for !k.stopped && k.Step() {
+	}
+}
+
+// RunUntil executes every event scheduled at or before t and then sets the
+// clock to t (even if the queue drained earlier), unless Stop was called.
+func (k *Kernel) RunUntil(t Time) {
+	k.stopped = false
+	for !k.stopped {
+		next, ok := k.peek()
+		if !ok || next > t {
+			break
+		}
+		k.Step()
+	}
+	if !k.stopped && k.now < t {
+		k.now = t
+	}
+}
+
+// RunFor advances the simulation by duration d. See RunUntil.
+func (k *Kernel) RunFor(d Time) { k.RunUntil(k.now + d) }
+
+// Stop makes the innermost Run/RunUntil return after the current event.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// peek returns the timestamp of the next non-canceled event.
+func (k *Kernel) peek() (Time, bool) {
+	for len(k.events) > 0 {
+		if !k.events[0].canceled {
+			return k.events[0].at, true
+		}
+		heap.Pop(&k.events)
+	}
+	return 0, false
+}
+
+// Timer is a handle to a scheduled event.
+type Timer struct {
+	k  *Kernel
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the call prevented the event
+// from firing (false if it already ran or was already stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.canceled {
+		return false
+	}
+	if t.ev.index == -1 {
+		return false // already executed
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.index != -1
+}
+
+// Ticker invokes a callback at a fixed period until stopped.
+type Ticker struct {
+	k      *Kernel
+	period Time
+	fn     func()
+	timer  *Timer
+	stop   bool
+}
+
+// NewTicker schedules fn every period, first firing one period from now.
+func (k *Kernel) NewTicker(period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{k: k, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.timer = t.k.Schedule(t.period, func() {
+		if t.stop {
+			return
+		}
+		t.fn()
+		if !t.stop {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stop = true
+	t.timer.Stop()
+}

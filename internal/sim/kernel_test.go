@@ -1,0 +1,310 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	k.Schedule(30, func() { got = append(got, 3) })
+	k.Schedule(10, func() { got = append(got, 1) })
+	k.Schedule(20, func() { got = append(got, 2) })
+	k.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 30 {
+		t.Fatalf("Now() = %v, want 30", k.Now())
+	}
+}
+
+func TestKernelFIFOAtSameInstant(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(5, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestKernelScheduleFromHandler(t *testing.T) {
+	k := NewKernel(1)
+	var fired bool
+	k.Schedule(10, func() {
+		k.Schedule(5, func() { fired = true })
+	})
+	k.Run()
+	if !fired {
+		t.Fatal("nested event did not fire")
+	}
+	if k.Now() != 15 {
+		t.Fatalf("Now() = %v, want 15", k.Now())
+	}
+}
+
+func TestKernelPastSchedulingClamps(t *testing.T) {
+	k := NewKernel(1)
+	k.Schedule(100, func() {
+		k.At(10, func() {
+			if k.Now() != 100 {
+				t.Fatalf("past event ran at %v, want 100", k.Now())
+			}
+		})
+	})
+	k.Run()
+}
+
+func TestTimerStop(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	tm := k.Schedule(10, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true")
+	}
+	k.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if tm.Active() {
+		t.Fatal("stopped timer reports active")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	k := NewKernel(1)
+	tm := k.Schedule(10, func() {})
+	k.Run()
+	if tm.Stop() {
+		t.Fatal("Stop() = true after the timer fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	var count int
+	k.Schedule(10, func() { count++ })
+	k.Schedule(20, func() { count++ })
+	k.Schedule(30, func() { count++ })
+	k.RunUntil(20)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	if k.Now() != 20 {
+		t.Fatalf("Now() = %v, want 20", k.Now())
+	}
+	k.Run()
+	if count != 3 {
+		t.Fatalf("count = %d after Run, want 3", count)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	k := NewKernel(1)
+	k.RunUntil(500)
+	if k.Now() != 500 {
+		t.Fatalf("Now() = %v, want 500", k.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel(1)
+	var count int
+	k.Schedule(10, func() { count++; k.Stop() })
+	k.Schedule(20, func() { count++ })
+	k.Run()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (Stop should halt Run)", count)
+	}
+	k.Run() // resumes
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 after resuming", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	k := NewKernel(1)
+	var ticks []Time
+	var tk *Ticker
+	tk = k.NewTicker(100, func() {
+		ticks = append(ticks, k.Now())
+		if len(ticks) == 3 {
+			tk.Stop()
+		}
+	})
+	k.RunUntil(10_000)
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %d, want 3", len(ticks))
+	}
+	for i, at := range ticks {
+		if want := Time(100 * (i + 1)); at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestTickerStopFromOutside(t *testing.T) {
+	k := NewKernel(1)
+	n := 0
+	tk := k.NewTicker(10, func() { n++ })
+	k.Schedule(35, func() { tk.Stop() })
+	k.RunUntil(1000)
+	if n != 3 {
+		t.Fatalf("ticks = %d, want 3", n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int {
+		k := NewKernel(seed)
+		var got []int
+		for i := 0; i < 100; i++ {
+			i := i
+			d := Time(k.Rand().Intn(1000))
+			k.Schedule(d, func() { got = append(got, i) })
+		}
+		k.Run()
+		return got
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCPUSerializes(t *testing.T) {
+	k := NewKernel(1)
+	c := NewCPU(k)
+	var done []Time
+	c.Do(100, func() { done = append(done, k.Now()) })
+	c.Do(50, func() { done = append(done, k.Now()) })
+	k.Run()
+	if done[0] != 100 || done[1] != 150 {
+		t.Fatalf("completion times = %v, want [100 150]", done)
+	}
+}
+
+func TestCPUIdleGap(t *testing.T) {
+	k := NewKernel(1)
+	c := NewCPU(k)
+	c.Do(10, nil)
+	k.Schedule(1000, func() {
+		c.Do(10, func() {
+			if k.Now() != 1010 {
+				t.Fatalf("work after idle gap completed at %v, want 1010", k.Now())
+			}
+		})
+	})
+	k.Run()
+	if c.Busy() != 20 {
+		t.Fatalf("Busy() = %v, want 20", c.Busy())
+	}
+}
+
+func TestCPUBacklogAndUtilization(t *testing.T) {
+	k := NewKernel(1)
+	c := NewCPU(k)
+	c.Do(100, nil)
+	c.Do(100, nil)
+	if got := c.Backlog(); got != 200 {
+		t.Fatalf("Backlog() = %v, want 200", got)
+	}
+	k.RunUntil(400)
+	if got := c.Backlog(); got != 0 {
+		t.Fatalf("Backlog() after draining = %v, want 0", got)
+	}
+	if u := c.Utilization(); u < 0.49 || u > 0.51 {
+		t.Fatalf("Utilization() = %v, want 0.5", u)
+	}
+}
+
+func TestLatencyRecorder(t *testing.T) {
+	r := NewLatencyRecorder(0)
+	for i := 1; i <= 100; i++ {
+		r.Record(Time(i))
+	}
+	if r.Mean() != 50 { // (1+..+100)/100 = 50.5, integer division
+		t.Fatalf("Mean() = %v, want 50", r.Mean())
+	}
+	if p := r.Percentile(50); p != 50 {
+		t.Fatalf("p50 = %v, want 50", p)
+	}
+	if p := r.Percentile(99); p != 99 {
+		t.Fatalf("p99 = %v, want 99", p)
+	}
+	if r.Max() != 100 {
+		t.Fatalf("Max() = %v, want 100", r.Max())
+	}
+	if r.Min() != 1 {
+		t.Fatalf("Min() = %v, want 1", r.Min())
+	}
+}
+
+func TestCounterRate(t *testing.T) {
+	var c Counter
+	c.ResetAt(0)
+	c.Add(1000)
+	if r := c.Rate(Second); r != 1000 {
+		t.Fatalf("Rate = %v, want 1000", r)
+	}
+	if r := c.Rate(0); r != 0 {
+		t.Fatalf("Rate at window start = %v, want 0", r)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	tests := []struct {
+		give Time
+		want string
+	}{
+		{5, "5ns"},
+		{1500, "1.500µs"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(tt.give), got, tt.want)
+		}
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		r := NewLatencyRecorder(len(raw))
+		for _, v := range raw {
+			r.Record(Time(v))
+		}
+		prev := Time(-1)
+		for _, p := range []float64{1, 10, 25, 50, 75, 90, 99, 100} {
+			cur := r.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return r.Percentile(100) == r.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LatencyRecorder accumulates latency samples and computes summary
+// statistics. It keeps every sample, which is fine at the scales the
+// benchmark harness uses (≤ a few million samples per run).
+type LatencyRecorder struct {
+	samples []Time
+	sorted  bool
+}
+
+// NewLatencyRecorder returns an empty recorder with room for n samples.
+func NewLatencyRecorder(n int) *LatencyRecorder {
+	return &LatencyRecorder{samples: make([]Time, 0, n)}
+}
+
+// Record adds one latency sample.
+func (r *LatencyRecorder) Record(d Time) {
+	r.samples = append(r.samples, d)
+	r.sorted = false
+}
+
+// Count returns the number of recorded samples.
+func (r *LatencyRecorder) Count() int { return len(r.samples) }
+
+// Mean returns the average sample, or 0 when empty.
+func (r *LatencyRecorder) Mean() Time {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var sum Time
+	for _, s := range r.samples {
+		sum += s
+	}
+	return sum / Time(len(r.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100), or 0 when empty.
+func (r *LatencyRecorder) Percentile(p float64) Time {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+	idx := int(math.Ceil(p/100*float64(len(r.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(r.samples) {
+		idx = len(r.samples) - 1
+	}
+	return r.samples[idx]
+}
+
+// Max returns the largest sample, or 0 when empty.
+func (r *LatencyRecorder) Max() Time { return r.Percentile(100) }
+
+// Min returns the smallest sample, or 0 when empty.
+func (r *LatencyRecorder) Min() Time {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	if !r.sorted {
+		return r.Percentile(0.0001) // forces the sort; returns first element
+	}
+	return r.samples[0]
+}
+
+// String summarizes the distribution.
+func (r *LatencyRecorder) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		r.Count(), r.Mean(), r.Percentile(50), r.Percentile(99), r.Max())
+}
+
+// Counter is a monotonically increasing event counter with a helper to
+// convert to a rate over simulated time.
+type Counter struct {
+	n     uint64
+	since Time
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// ResetAt marks t as the start of the measurement window and zeroes the
+// counter.
+func (c *Counter) ResetAt(t Time) {
+	c.n = 0
+	c.since = t
+}
+
+// Rate returns events per simulated second over [since, now].
+func (c *Counter) Rate(now Time) float64 {
+	if now <= c.since {
+		return 0
+	}
+	return float64(c.n) / (now - c.since).Seconds()
+}

@@ -1,0 +1,230 @@
+// Package simnet provides the simulated network substrate: full-duplex
+// point-to-point links with finite bandwidth, propagation delay and
+// per-frame physical-layer overhead, connecting ports that belong to
+// simulated devices (host NICs or switch ports).
+//
+// A frame handed to Port.Send is serialized onto the link at the link's
+// bandwidth (frames queue FIFO behind one another), then propagates for
+// the configured delay, and is finally delivered to the peer port's
+// handler. Links can be cut and repaired to model crashes, and can drop
+// frames probabilistically to model a lossy fabric.
+package simnet
+
+import (
+	"fmt"
+
+	"p4ce/internal/sim"
+)
+
+// Addr is an IPv4-style device address.
+type Addr uint32
+
+// AddrFrom builds an address from four octets.
+func AddrFrom(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// Octets returns the four octets of the address.
+func (a Addr) Octets() (byte, byte, byte, byte) {
+	return byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)
+}
+
+// String formats the address in dotted-quad notation.
+func (a Addr) String() string {
+	o1, o2, o3, o4 := a.Octets()
+	return fmt.Sprintf("%d.%d.%d.%d", o1, o2, o3, o4)
+}
+
+// Handler consumes frames arriving at a port.
+type Handler interface {
+	// HandleFrame is invoked by the kernel when a frame finishes
+	// arriving at the port. The slice is owned by the receiver.
+	HandleFrame(p *Port, frame []byte)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(p *Port, frame []byte)
+
+// HandleFrame calls f(p, frame).
+func (f HandlerFunc) HandleFrame(p *Port, frame []byte) { f(p, frame) }
+
+// LinkConfig describes one link's physical characteristics.
+type LinkConfig struct {
+	// BitsPerSecond is the serialization rate, e.g. 100e9 for 100 GbE.
+	BitsPerSecond float64
+	// Propagation is the one-way signal flight time.
+	Propagation sim.Time
+	// FrameOverheadBytes is added to every frame on the wire but never
+	// delivered: Ethernet preamble (8 B) + inter-frame gap (12 B).
+	FrameOverheadBytes int
+	// MaxFrameBytes rejects over-sized frames; 0 means unlimited.
+	MaxFrameBytes int
+}
+
+// DefaultLinkConfig returns the testbed link: 100 GbE, 300 ns propagation,
+// 20 B preamble+IFG, 1518 B maximum frame plus RoCE headroom.
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{
+		BitsPerSecond:      100e9,
+		Propagation:        300 * sim.Nanosecond,
+		FrameOverheadBytes: 20,
+		MaxFrameBytes:      1600,
+	}
+}
+
+// PortStats counts traffic through a port.
+type PortStats struct {
+	TxFrames, RxFrames uint64
+	TxBytes, RxBytes   uint64
+	TxDropped          uint64 // dropped at send time (link down / loss / oversize)
+}
+
+// Port is one endpoint of a link.
+type Port struct {
+	name    string
+	k       *sim.Kernel
+	handler Handler
+	peer    *Port
+	cfg     LinkConfig
+
+	txFreeAt sim.Time // when the transmit side of this port is free
+	up       bool
+	lossProb float64
+	stats    PortStats
+	tap      TapFunc
+}
+
+// TapDirection distinguishes tap events.
+type TapDirection int
+
+// Tap directions.
+const (
+	TapTx   TapDirection = iota // frame accepted for transmission
+	TapRx                       // frame delivered to the handler
+	TapDrop                     // frame lost (link down, loss, oversize)
+)
+
+// TapFunc observes frames crossing a port (packet tracing). The frame
+// is shared — observers must not mutate it.
+type TapFunc func(dir TapDirection, frame []byte)
+
+// NewPort creates an unconnected port. The handler may be set later with
+// SetHandler but must be non-nil before any frame arrives.
+func NewPort(k *sim.Kernel, name string, h Handler) *Port {
+	return &Port{name: name, k: k, handler: h, up: true}
+}
+
+// Name returns the port's diagnostic name.
+func (p *Port) Name() string { return p.name }
+
+// SetHandler installs the frame receiver.
+func (p *Port) SetHandler(h Handler) { p.handler = h }
+
+// Peer returns the port at the other end of the link, or nil.
+func (p *Port) Peer() *Port { return p.peer }
+
+// Stats returns a copy of the port's counters.
+func (p *Port) Stats() PortStats { return p.stats }
+
+// SetLoss sets the probability (0..1) that an outgoing frame is silently
+// dropped after serialization, modelling a lossy fabric.
+func (p *Port) SetLoss(prob float64) { p.lossProb = prob }
+
+// SetTap installs a frame observer (nil removes it).
+func (p *Port) SetTap(tap TapFunc) { p.tap = tap }
+
+// SetUp raises or cuts the transmit side of the port. Frames sent while
+// the port is down are counted as drops. Cutting both ports of a link
+// models unplugging the cable; cutting all ports of a switch models a
+// switch crash.
+func (p *Port) SetUp(up bool) { p.up = up }
+
+// Up reports whether the transmit side is enabled.
+func (p *Port) Up() bool { return p.up }
+
+// Connect joins two ports with a link described by cfg. Both directions
+// share the configuration but serialize independently (full duplex).
+func Connect(a, b *Port, cfg LinkConfig) {
+	if a.peer != nil || b.peer != nil {
+		panic("simnet: port already connected")
+	}
+	if cfg.BitsPerSecond <= 0 {
+		panic("simnet: link bandwidth must be positive")
+	}
+	a.peer, b.peer = b, a
+	a.cfg, b.cfg = cfg, cfg
+}
+
+// wireTime returns how long n frame bytes occupy the link.
+func (p *Port) wireTime(n int) sim.Time {
+	bits := float64(n+p.cfg.FrameOverheadBytes) * 8
+	return sim.Time(bits / p.cfg.BitsPerSecond * float64(sim.Second))
+}
+
+// Send transmits one frame to the peer port. The frame queues behind any
+// frames still serializing. Send never blocks; it returns false if the
+// frame was dropped immediately (no peer, link down, oversize).
+func (p *Port) Send(frame []byte) bool {
+	if p.peer == nil || !p.up {
+		p.stats.TxDropped++
+		p.observe(TapDrop, frame)
+		return false
+	}
+	if p.cfg.MaxFrameBytes > 0 && len(frame) > p.cfg.MaxFrameBytes {
+		p.stats.TxDropped++
+		p.observe(TapDrop, frame)
+		return false
+	}
+	if p.lossProb > 0 && p.k.Rand().Float64() < p.lossProb {
+		// The frame still occupies the wire; it is lost in flight.
+		p.reserveWire(len(frame))
+		p.stats.TxDropped++
+		p.observe(TapDrop, frame)
+		return false
+	}
+	doneAt := p.reserveWire(len(frame))
+	p.stats.TxFrames++
+	p.stats.TxBytes += uint64(len(frame))
+	p.observe(TapTx, frame)
+	dst := p.peer
+	p.k.At(doneAt+p.cfg.Propagation, func() {
+		// Deliver only if the receiving side is still up; a crashed
+		// device drops in-flight frames addressed to it.
+		if !dst.up {
+			dst.observe(TapDrop, frame)
+			return
+		}
+		dst.stats.RxFrames++
+		dst.stats.RxBytes += uint64(len(frame))
+		dst.observe(TapRx, frame)
+		dst.handler.HandleFrame(dst, frame)
+	})
+	return true
+}
+
+func (p *Port) observe(dir TapDirection, frame []byte) {
+	if p.tap != nil {
+		p.tap(dir, frame)
+	}
+}
+
+// reserveWire books the transmit serialization slot and returns when the
+// last bit leaves the port.
+func (p *Port) reserveWire(n int) sim.Time {
+	start := p.txFreeAt
+	if now := p.k.Now(); start < now {
+		start = now
+	}
+	p.txFreeAt = start + p.wireTime(n)
+	return p.txFreeAt
+}
+
+// TxBacklog returns how long the transmit queue currently extends past
+// the present instant.
+func (p *Port) TxBacklog() sim.Time {
+	now := p.k.Now()
+	if p.txFreeAt <= now {
+		return 0
+	}
+	return p.txFreeAt - now
+}

@@ -1,0 +1,203 @@
+package simnet
+
+import (
+	"testing"
+
+	"p4ce/internal/sim"
+)
+
+type capture struct {
+	frames [][]byte
+	at     []sim.Time
+	k      *sim.Kernel
+}
+
+func (c *capture) HandleFrame(_ *Port, f []byte) {
+	c.frames = append(c.frames, f)
+	c.at = append(c.at, c.k.Now())
+}
+
+func pair(k *sim.Kernel, cfg LinkConfig) (*Port, *Port, *capture, *capture) {
+	ca, cb := &capture{k: k}, &capture{k: k}
+	a := NewPort(k, "a", ca)
+	b := NewPort(k, "b", cb)
+	Connect(a, b, cfg)
+	return a, b, ca, cb
+}
+
+func TestAddr(t *testing.T) {
+	a := AddrFrom(10, 0, 0, 42)
+	if got := a.String(); got != "10.0.0.42" {
+		t.Fatalf("String() = %q", got)
+	}
+	o1, o2, o3, o4 := a.Octets()
+	if o1 != 10 || o2 != 0 || o3 != 0 || o4 != 42 {
+		t.Fatalf("Octets() = %d.%d.%d.%d", o1, o2, o3, o4)
+	}
+}
+
+func TestDelivery(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := LinkConfig{BitsPerSecond: 1e9, Propagation: 100} // 1 Gb/s: 8 ns/B
+	a, _, _, cb := pair(k, cfg)
+	a.Send([]byte("hello"))
+	k.Run()
+	if len(cb.frames) != 1 || string(cb.frames[0]) != "hello" {
+		t.Fatalf("received %q", cb.frames)
+	}
+	// 5 bytes at 8 ns/byte = 40 ns serialization + 100 ns propagation.
+	if cb.at[0] != 140 {
+		t.Fatalf("arrival at %v, want 140", cb.at[0])
+	}
+}
+
+func TestSerializationQueuing(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := LinkConfig{BitsPerSecond: 1e9} // 8 ns per byte
+	a, _, _, cb := pair(k, cfg)
+	a.Send(make([]byte, 100)) // 800 ns
+	a.Send(make([]byte, 100)) // arrives at 1600 ns
+	k.Run()
+	if len(cb.at) != 2 || cb.at[0] != 800 || cb.at[1] != 1600 {
+		t.Fatalf("arrivals = %v, want [800 1600]", cb.at)
+	}
+}
+
+func TestFullDuplex(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := LinkConfig{BitsPerSecond: 1e9}
+	a, b, ca, cb := pair(k, cfg)
+	a.Send(make([]byte, 100))
+	b.Send(make([]byte, 100))
+	k.Run()
+	if len(ca.at) != 1 || len(cb.at) != 1 {
+		t.Fatal("frames lost")
+	}
+	if ca.at[0] != 800 || cb.at[0] != 800 {
+		t.Fatalf("directions interfered: %v %v", ca.at, cb.at)
+	}
+}
+
+func TestFrameOverheadCountsOnWire(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := LinkConfig{BitsPerSecond: 1e9, FrameOverheadBytes: 20}
+	a, _, _, cb := pair(k, cfg)
+	a.Send(make([]byte, 80)) // 100 B on wire = 800 ns
+	k.Run()
+	if cb.at[0] != 800 {
+		t.Fatalf("arrival at %v, want 800", cb.at[0])
+	}
+	if got := a.Stats().TxBytes; got != 80 {
+		t.Fatalf("TxBytes = %d, want 80 (overhead not counted as payload)", got)
+	}
+}
+
+func TestLinkDown(t *testing.T) {
+	k := sim.NewKernel(1)
+	a, _, _, cb := pair(k, DefaultLinkConfig())
+	a.SetUp(false)
+	if a.Send([]byte("x")) {
+		t.Fatal("Send succeeded on a downed port")
+	}
+	k.Run()
+	if len(cb.frames) != 0 {
+		t.Fatal("frame delivered through downed port")
+	}
+	if a.Stats().TxDropped != 1 {
+		t.Fatalf("TxDropped = %d, want 1", a.Stats().TxDropped)
+	}
+	a.SetUp(true)
+	if !a.Send([]byte("x")) {
+		t.Fatal("Send failed after re-raising port")
+	}
+	k.Run()
+	if len(cb.frames) != 1 {
+		t.Fatal("frame lost after link repair")
+	}
+}
+
+func TestReceiverDownDropsInFlight(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := LinkConfig{BitsPerSecond: 1e9, Propagation: 1000}
+	a, b, _, cb := pair(k, cfg)
+	a.Send([]byte("x"))
+	k.Schedule(500, func() { b.SetUp(false) }) // crash while frame in flight
+	k.Run()
+	if len(cb.frames) != 0 {
+		t.Fatal("in-flight frame delivered to crashed receiver")
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := DefaultLinkConfig()
+	a, _, _, _ := pair(k, cfg)
+	if a.Send(make([]byte, cfg.MaxFrameBytes+1)) {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+func TestLoss(t *testing.T) {
+	k := sim.NewKernel(7)
+	cfg := LinkConfig{BitsPerSecond: 1e9}
+	a, _, _, cb := pair(k, cfg)
+	a.SetLoss(1.0)
+	for i := 0; i < 10; i++ {
+		a.Send([]byte("x"))
+	}
+	k.Run()
+	if len(cb.frames) != 0 {
+		t.Fatalf("delivered %d frames at loss=1", len(cb.frames))
+	}
+	a.SetLoss(0)
+	a.Send([]byte("x"))
+	k.Run()
+	if len(cb.frames) != 1 {
+		t.Fatal("frame lost at loss=0")
+	}
+}
+
+func TestThroughputMatchesBandwidth(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := LinkConfig{BitsPerSecond: 100e9, FrameOverheadBytes: 20}
+	a, _, _, cb := pair(k, cfg)
+	const frames, size = 1000, 1024
+	for i := 0; i < frames; i++ {
+		a.Send(make([]byte, size))
+	}
+	k.Run()
+	last := cb.at[len(cb.at)-1]
+	gbps := float64(frames*size*8) / last.Seconds() / 1e9
+	// 1024/1044 of 100 Gb/s ≈ 98.08 Gb/s goodput.
+	if gbps < 97 || gbps > 99 {
+		t.Fatalf("goodput = %.2f Gb/s, want ≈98", gbps)
+	}
+}
+
+func TestTxBacklog(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := LinkConfig{BitsPerSecond: 1e9}
+	a, _, _, _ := pair(k, cfg)
+	a.Send(make([]byte, 1000)) // 8 µs of wire time
+	if bl := a.TxBacklog(); bl != 8000 {
+		t.Fatalf("TxBacklog = %v, want 8µs", bl)
+	}
+	k.Run()
+	if bl := a.TxBacklog(); bl != 0 {
+		t.Fatalf("TxBacklog after drain = %v, want 0", bl)
+	}
+}
+
+func TestDoubleConnectPanics(t *testing.T) {
+	k := sim.NewKernel(1)
+	a := NewPort(k, "a", nil)
+	b := NewPort(k, "b", nil)
+	c := NewPort(k, "c", nil)
+	Connect(a, b, DefaultLinkConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Connect did not panic")
+		}
+	}()
+	Connect(a, c, DefaultLinkConfig())
+}

@@ -1,0 +1,34 @@
+package tofino
+
+import "p4ce/internal/roce"
+
+// L3Program is the baseline data-plane program: forward by destination
+// address, optionally punting packets addressed to the switch itself to
+// the control plane. It is both the program of the plain backup fabric
+// and the behaviour P4CE falls back to for traffic it does not
+// accelerate.
+type L3Program struct {
+	// PuntSelf sends packets addressed to the switch IP to the CPU
+	// instead of dropping them.
+	PuntSelf bool
+}
+
+var _ Program = (*L3Program)(nil)
+
+// Ingress forwards by L3 lookup.
+func (p *L3Program) Ingress(sw *Switch, _ PortID, pkt *roce.Packet) IngressResult {
+	if pkt.DstIP == sw.IP() {
+		if p.PuntSelf {
+			return IngressResult{Verdict: VerdictToCPU}
+		}
+		return IngressResult{Verdict: VerdictDrop}
+	}
+	out, ok := sw.L3Lookup(pkt.DstIP)
+	if !ok {
+		return IngressResult{Verdict: VerdictDrop}
+	}
+	return IngressResult{Verdict: VerdictForward, OutPort: out}
+}
+
+// Egress passes every copy through unchanged.
+func (p *L3Program) Egress(*Switch, PortID, uint16, *roce.Packet) bool { return true }

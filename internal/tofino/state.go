@@ -1,0 +1,100 @@
+package tofino
+
+import "fmt"
+
+// GroupID identifies a multicast group in the replication engine.
+type GroupID uint16
+
+// GroupMember is one (output port, replication id) pair of a multicast
+// group. The replication id is attached to each copy's metadata; P4CE
+// programs it to be the endpoint identifier of the destination replica
+// so the egress pipeline can look up the right connection structure.
+type GroupMember struct {
+	Port PortID
+	RID  uint16
+}
+
+// SetMulticastGroup installs or replaces a multicast group. This is a
+// control-plane operation (BfRt in the real system).
+func (sw *Switch) SetMulticastGroup(id GroupID, members []GroupMember) {
+	sw.mcast[id] = append([]GroupMember(nil), members...)
+}
+
+// DeleteMulticastGroup removes a group.
+func (sw *Switch) DeleteMulticastGroup(id GroupID) { delete(sw.mcast, id) }
+
+// MulticastGroup returns the current membership (diagnostics).
+func (sw *Switch) MulticastGroup(id GroupID) []GroupMember {
+	return append([]GroupMember(nil), sw.mcast[id]...)
+}
+
+// Register is a stateful data-plane register array of 32-bit cells, the
+// Tofino primitive P4CE stores NumRecv and the per-replica credit counts
+// in. Its operations mirror what a single stateful-ALU stage can do:
+// read-modify-write one cell per packet with a restricted instruction
+// set. In particular there is no variable-to-variable comparison — see
+// MinFold for the subtract-underflow idiom the paper documents.
+type Register struct {
+	name string
+	vals []uint32
+}
+
+// AllocRegister allocates (or panics on duplicate) a register array.
+func (sw *Switch) AllocRegister(name string, size int) *Register {
+	if _, dup := sw.regs[name]; dup {
+		panic(fmt.Sprintf("tofino: register %q already allocated", name))
+	}
+	r := &Register{name: name, vals: make([]uint32, size)}
+	sw.regs[name] = r
+	return r
+}
+
+// Register looks up a previously allocated register array.
+func (sw *Switch) Register(name string) (*Register, bool) {
+	r, ok := sw.regs[name]
+	return r, ok
+}
+
+// Size returns the number of cells.
+func (r *Register) Size() int { return len(r.vals) }
+
+// Read returns cell idx.
+func (r *Register) Read(idx int) uint32 { return r.vals[idx] }
+
+// Write stores v into cell idx.
+func (r *Register) Write(idx int, v uint32) { r.vals[idx] = v }
+
+// AddRead adds delta to cell idx and returns the new value (one RMW).
+func (r *Register) AddRead(idx int, delta uint32) uint32 {
+	r.vals[idx] += delta
+	return r.vals[idx]
+}
+
+// IdentityHash models the Tofino identity-hash unit: a module that
+// simply returns its input, but whose output — unlike a raw ALU status
+// bit — is wired into conditionally programmable hardware. Routing the
+// underflow bit of a subtraction through it is the only way to turn an
+// a<b comparison into a branch (paper §IV-D).
+func IdentityHash(v uint32) uint32 { return v }
+
+// SubUnderflows performs a−b on the ALU and exposes the underflow status
+// bit (1 when b > a). The bit itself cannot feed a conditional without
+// passing through IdentityHash.
+func SubUnderflows(a, b uint32) uint32 {
+	if a-b > a { // unsigned wrap-around ⇔ underflow
+		return 1
+	}
+	return 0
+}
+
+// MinFold computes min(a, b) exactly the way the P4CE pipeline must:
+//
+//	if (identity_hash((a − b) underflows?)) min = a else min = b
+//
+// because the ASIC can only compare a variable against a constant.
+func MinFold(a, b uint32) uint32 {
+	if IdentityHash(SubUnderflows(a, b)) == 1 {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,296 @@
+// Package tofino models an Intel Tofino-class programmable switch with a
+// portable-switch-architecture pipeline: per-port ingress and egress
+// parsers with finite packets-per-second capacity, a programmable
+// ingress that picks a verdict (forward / multicast / punt-to-CPU /
+// drop), a hardware multicast replication engine sitting between the
+// gresses, a programmable egress that rewrites the per-copy packets, and
+// stateful registers whose arithmetic-logic units carry the real
+// hardware's restrictions (no variable-to-variable comparisons; minima
+// are computed with the subtract-underflow trick the paper describes in
+// §IV-D).
+//
+// Data-plane programs implement the Program interface; the baseline
+// program is plain L3 forwarding, and package p4ce provides the paper's
+// replication/aggregation program.
+package tofino
+
+import (
+	"fmt"
+
+	"p4ce/internal/roce"
+	"p4ce/internal/sim"
+	"p4ce/internal/simnet"
+)
+
+// PortID identifies a front-panel port.
+type PortID int
+
+// Verdict is the ingress decision for a packet.
+type Verdict int
+
+// Ingress verdicts.
+const (
+	VerdictDrop Verdict = iota
+	VerdictForward
+	VerdictMulticast
+	VerdictToCPU
+)
+
+// IngressResult carries the verdict and its argument.
+type IngressResult struct {
+	Verdict Verdict
+	OutPort PortID  // VerdictForward
+	Group   GroupID // VerdictMulticast
+}
+
+// Program is a data-plane program. Ingress runs once per received
+// packet; Egress runs once per outgoing copy (rid identifies the copy
+// for multicast packets, and is zero for unicast). Egress returns false
+// to drop the copy. Programs may mutate the packet in place; the switch
+// re-marshals it on transmission.
+type Program interface {
+	Ingress(sw *Switch, in PortID, pkt *roce.Packet) IngressResult
+	Egress(sw *Switch, out PortID, rid uint16, pkt *roce.Packet) bool
+}
+
+// CPUHandler receives packets punted to the control plane.
+type CPUHandler func(in PortID, pkt *roce.Packet)
+
+// Config holds the ASIC's timing characteristics.
+type Config struct {
+	// ParserServiceTime is the per-packet service time of each per-port
+	// parser. The paper measures 121 Mpps per parser → ≈8.26 ns.
+	ParserServiceTime sim.Time
+	// PipelineLatency is the fixed match-action traversal time.
+	PipelineLatency sim.Time
+	// CPUPuntLatency is the PCIe+driver delay for packets sent to the
+	// control plane, and for packets the control plane injects.
+	CPUPuntLatency sim.Time
+}
+
+// DefaultConfig returns first-generation Tofino timing.
+func DefaultConfig() Config {
+	return Config{
+		ParserServiceTime: 8 * sim.Nanosecond, // ≈121 Mpps
+		PipelineLatency:   400 * sim.Nanosecond,
+		CPUPuntLatency:    10 * sim.Microsecond,
+	}
+}
+
+// Stats counts data-plane events.
+type Stats struct {
+	IngressPackets uint64
+	EgressPackets  uint64
+	Forwarded      uint64
+	MulticastIn    uint64
+	Copies         uint64
+	Punted         uint64
+	DroppedIngress uint64
+	DroppedEgress  uint64
+	ParseErrors    uint64
+}
+
+// swPort is one front-panel port with its two parsers.
+type swPort struct {
+	id          PortID
+	net         *simnet.Port
+	ingressFree sim.Time
+	egressFree  sim.Time
+}
+
+// Switch is one programmable switch.
+type Switch struct {
+	k    *sim.Kernel
+	name string
+	ip   simnet.Addr
+	cfg  Config
+
+	ports   []*swPort
+	program Program
+	cpu     CPUHandler
+	mcast   map[GroupID][]GroupMember
+	l3      map[simnet.Addr]PortID
+	regs    map[string]*Register
+
+	crashed bool
+
+	// Stats counts data-plane events.
+	Stats Stats
+}
+
+// New creates a switch named name with the management address ip.
+func New(k *sim.Kernel, name string, ip simnet.Addr, cfg Config) *Switch {
+	return &Switch{
+		k:     k,
+		name:  name,
+		ip:    ip,
+		cfg:   cfg,
+		mcast: make(map[GroupID][]GroupMember),
+		l3:    make(map[simnet.Addr]PortID),
+		regs:  make(map[string]*Register),
+	}
+}
+
+// IP returns the switch's own address (the one P4CE leaders dial).
+func (sw *Switch) IP() simnet.Addr { return sw.ip }
+
+// Kernel returns the simulation kernel.
+func (sw *Switch) Kernel() *sim.Kernel { return sw.k }
+
+// SetProgram installs the data-plane program.
+func (sw *Switch) SetProgram(p Program) { sw.program = p }
+
+// SetCPUHandler installs the control-plane packet receiver.
+func (sw *Switch) SetCPUHandler(h CPUHandler) { sw.cpu = h }
+
+// AddPort creates a front-panel port and returns its id plus the network
+// endpoint to cable to a host NIC (or another switch).
+func (sw *Switch) AddPort(name string) (PortID, *simnet.Port) {
+	id := PortID(len(sw.ports))
+	np := simnet.NewPort(sw.k, fmt.Sprintf("%s/%s", sw.name, name), nil)
+	p := &swPort{id: id, net: np}
+	np.SetHandler(simnet.HandlerFunc(func(_ *simnet.Port, frame []byte) {
+		sw.receive(p, frame)
+	}))
+	sw.ports = append(sw.ports, p)
+	return id, np
+}
+
+// BindAddr installs an L3 route: traffic for addr exits through port.
+func (sw *Switch) BindAddr(addr simnet.Addr, port PortID) { sw.l3[addr] = port }
+
+// L3Lookup resolves a destination address to an output port.
+func (sw *Switch) L3Lookup(addr simnet.Addr) (PortID, bool) {
+	p, ok := sw.l3[addr]
+	return p, ok
+}
+
+// Crash powers the switch off: all ports drop, state freezes.
+func (sw *Switch) Crash() {
+	sw.crashed = true
+	for _, p := range sw.ports {
+		p.net.SetUp(false)
+	}
+}
+
+// Restore powers the switch back on.
+func (sw *Switch) Restore() {
+	sw.crashed = false
+	for _, p := range sw.ports {
+		p.net.SetUp(true)
+	}
+}
+
+// Crashed reports whether the switch is down.
+func (sw *Switch) Crashed() bool { return sw.crashed }
+
+// receive runs the ingress side of the pipeline for one frame.
+func (sw *Switch) receive(p *swPort, frame []byte) {
+	if sw.crashed {
+		return
+	}
+	// The per-port ingress parser serializes packets at its pps capacity:
+	// this is the resource whose placement the paper's Lesson in §IV-D is
+	// about.
+	start := p.ingressFree
+	if now := sw.k.Now(); start < now {
+		start = now
+	}
+	p.ingressFree = start + sw.cfg.ParserServiceTime
+	sw.k.At(p.ingressFree, func() { sw.ingress(p, frame) })
+}
+
+func (sw *Switch) ingress(p *swPort, frame []byte) {
+	if sw.crashed {
+		return
+	}
+	pkt, err := roce.Unmarshal(frame)
+	if err != nil {
+		sw.Stats.ParseErrors++
+		return
+	}
+	sw.Stats.IngressPackets++
+	res := IngressResult{Verdict: VerdictDrop}
+	if sw.program != nil {
+		res = sw.program.Ingress(sw, p.id, pkt)
+	}
+	switch res.Verdict {
+	case VerdictDrop:
+		sw.Stats.DroppedIngress++
+	case VerdictForward:
+		sw.Stats.Forwarded++
+		sw.toEgress(res.OutPort, 0, pkt)
+	case VerdictMulticast:
+		sw.Stats.MulticastIn++
+		members := sw.mcast[res.Group]
+		for _, m := range members {
+			sw.Stats.Copies++
+			// The replication engine hands each port its own carbon copy.
+			sw.toEgress(m.Port, m.RID, pkt.Clone())
+		}
+	case VerdictToCPU:
+		sw.Stats.Punted++
+		if sw.cpu != nil {
+			sw.k.Schedule(sw.cfg.CPUPuntLatency, func() { sw.cpu(p.id, pkt) })
+		}
+	}
+}
+
+// toEgress moves a packet (or copy) through the buffer into the egress
+// pipeline of the output port.
+func (sw *Switch) toEgress(out PortID, rid uint16, pkt *roce.Packet) {
+	if int(out) >= len(sw.ports) {
+		sw.Stats.DroppedEgress++
+		return
+	}
+	dst := sw.ports[out]
+	sw.k.Schedule(sw.cfg.PipelineLatency, func() {
+		if sw.crashed {
+			return
+		}
+		// Egress parser serialization: every packet entering this port's
+		// egress consumes capacity, even ones the program then drops.
+		start := dst.egressFree
+		if now := sw.k.Now(); start < now {
+			start = now
+		}
+		dst.egressFree = start + sw.cfg.ParserServiceTime
+		sw.k.At(dst.egressFree, func() {
+			if sw.crashed {
+				return
+			}
+			sw.Stats.EgressPackets++
+			if sw.program != nil && !sw.program.Egress(sw, out, rid, pkt) {
+				sw.Stats.DroppedEgress++
+				return
+			}
+			dst.net.Send(pkt.Marshal())
+		})
+	})
+}
+
+// InjectFromCP transmits a control-plane-crafted packet out of the port
+// that routes to dst, after the CPU injection latency.
+func (sw *Switch) InjectFromCP(pkt *roce.Packet) {
+	out, ok := sw.L3Lookup(pkt.DstIP)
+	if !ok {
+		return
+	}
+	sw.k.Schedule(sw.cfg.CPUPuntLatency, func() {
+		if sw.crashed {
+			return
+		}
+		sw.ports[out].net.Send(pkt.Marshal())
+	})
+}
+
+// PortBacklog reports how far ahead of now a port's egress parser is
+// booked (tests of the parser-bottleneck ablation).
+func (sw *Switch) PortBacklog(id PortID) sim.Time {
+	p := sw.ports[id]
+	now := sw.k.Now()
+	if p.egressFree <= now {
+		return 0
+	}
+	return p.egressFree - now
+}

@@ -1,0 +1,53 @@
+package tofino
+
+import "fmt"
+
+// Table is an exact-match match-action table, the hardware structure P4
+// programs store their lookups in (§II-B: "these match-actions are
+// stored in tables, the equivalent of a C switch/case, implemented in
+// hardware"). Entries are installed and removed by the control plane;
+// the data plane only looks up. Hit/miss counters mirror the per-table
+// statistics BfRt exposes.
+type Table[K comparable, V any] struct {
+	name    string
+	entries map[K]V
+	hits    uint64
+	misses  uint64
+}
+
+// NewTable allocates an empty table.
+func NewTable[K comparable, V any](name string) *Table[K, V] {
+	return &Table[K, V]{name: name, entries: make(map[K]V)}
+}
+
+// Name returns the table's diagnostic name.
+func (t *Table[K, V]) Name() string { return t.name }
+
+// Insert installs (or replaces) an entry. Control-plane operation.
+func (t *Table[K, V]) Insert(key K, value V) { t.entries[key] = value }
+
+// Delete removes an entry. Control-plane operation.
+func (t *Table[K, V]) Delete(key K) { delete(t.entries, key) }
+
+// Lookup matches a key in the data plane.
+func (t *Table[K, V]) Lookup(key K) (V, bool) {
+	v, ok := t.entries[key]
+	if ok {
+		t.hits++
+	} else {
+		t.misses++
+	}
+	return v, ok
+}
+
+// Size returns the number of installed entries.
+func (t *Table[K, V]) Size() int { return len(t.entries) }
+
+// Stats returns the hit/miss counters.
+func (t *Table[K, V]) Stats() (hits, misses uint64) { return t.hits, t.misses }
+
+// String summarizes the table.
+func (t *Table[K, V]) String() string {
+	return fmt.Sprintf("table %s: %d entries, %d hits, %d misses",
+		t.name, len(t.entries), t.hits, t.misses)
+}

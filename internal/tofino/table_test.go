@@ -1,0 +1,33 @@
+package tofino
+
+import "testing"
+
+func TestTableMatchAction(t *testing.T) {
+	tb := NewTable[uint32, string]("qp")
+	tb.Insert(0x800, "group-1")
+	tb.Insert(0x801, "group-1-aggr")
+
+	if v, ok := tb.Lookup(0x800); !ok || v != "group-1" {
+		t.Fatalf("Lookup = (%q, %v)", v, ok)
+	}
+	if _, ok := tb.Lookup(0x999); ok {
+		t.Fatal("miss reported as hit")
+	}
+	if hits, misses := tb.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = (%d, %d)", hits, misses)
+	}
+	tb.Insert(0x800, "group-2") // replace
+	if v, _ := tb.Lookup(0x800); v != "group-2" {
+		t.Fatalf("after replace = %q", v)
+	}
+	tb.Delete(0x800)
+	if _, ok := tb.Lookup(0x800); ok {
+		t.Fatal("deleted entry still matches")
+	}
+	if tb.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", tb.Size())
+	}
+	if s := tb.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,225 @@
+// Package trace provides packet-level observability for the simulated
+// fabric: it taps ports, decodes RoCE v2 frames, and renders one-line
+// summaries of the form
+//
+//	[  41.207µs] host0 TX  10.0.0.1→10.0.0.254 RDMA_WRITE_ONLY qp=0x800 psn=0x52ca31 va=0x40 len=64
+//	[  41.845µs] host0 RX  10.0.0.254→10.0.0.1 ACKNOWLEDGE qp=0x30 psn=0x52ca31 ack(credits=31)
+//
+// so protocol exchanges — the CM handshake, the switch's scatter and
+// rewritten copies, aggregated ACKs, NAKs — can be read straight off
+// the wire. A Tracer keeps a bounded ring of recent events plus running
+// per-opcode counters, and can stream to an io.Writer as events happen.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"p4ce/internal/roce"
+	"p4ce/internal/sim"
+	"p4ce/internal/simnet"
+)
+
+// Event is one observed frame.
+type Event struct {
+	At   sim.Time
+	Site string // the tapped port's label (e.g. "host0")
+	Dir  simnet.TapDirection
+	Pkt  *roce.Packet // nil when the frame did not parse
+	Size int
+}
+
+// String renders the one-line summary.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%12v] %-7s %-4s ", e.At, e.Site, dirName(e.Dir))
+	if e.Pkt == nil {
+		fmt.Fprintf(&b, "<unparseable frame, %d bytes>", e.Size)
+		return b.String()
+	}
+	p := e.Pkt
+	fmt.Fprintf(&b, "%v→%v %s qp=%#x psn=%#x", p.SrcIP, p.DstIP, p.OpCode, p.DestQP, p.PSN)
+	if p.OpCode.HasRETH() {
+		fmt.Fprintf(&b, " va=%#x len=%d", p.VA, p.DMALen)
+	}
+	if p.OpCode.HasAETH() {
+		switch p.Syndrome.Type() {
+		case roce.AckPositive:
+			fmt.Fprintf(&b, " ack(credits=%d)", p.Syndrome.Value())
+		case roce.AckRNR:
+			b.WriteString(" rnr-nak")
+		case roce.AckNAK:
+			fmt.Fprintf(&b, " nak(code=%d)", p.Syndrome.Value())
+		}
+	}
+	if p.DestQP == roce.CMQPN {
+		if msg, err := roce.UnmarshalCM(p.Payload); err == nil {
+			fmt.Fprintf(&b, " cm:%v", msg.Type)
+		}
+	} else if n := len(p.Payload); n > 0 {
+		fmt.Fprintf(&b, " payload=%dB", n)
+	}
+	return b.String()
+}
+
+func dirName(d simnet.TapDirection) string {
+	switch d {
+	case simnet.TapTx:
+		return "TX"
+	case simnet.TapRx:
+		return "RX"
+	default:
+		return "DROP"
+	}
+}
+
+// Filter selects which events a tracer keeps. A zero Filter keeps
+// everything.
+type Filter struct {
+	// Sites restricts to these tapped port labels.
+	Sites []string
+	// OpCodes restricts to these operation codes.
+	OpCodes []roce.OpCode
+	// CMOnly keeps only connection-manager datagrams.
+	CMOnly bool
+	// DropsOnly keeps only lost frames.
+	DropsOnly bool
+}
+
+func (f *Filter) keep(e Event) bool {
+	if f.DropsOnly && e.Dir != simnet.TapDrop {
+		return false
+	}
+	if len(f.Sites) > 0 {
+		ok := false
+		for _, s := range f.Sites {
+			if s == e.Site {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if e.Pkt == nil {
+		return len(f.OpCodes) == 0 && !f.CMOnly
+	}
+	if f.CMOnly && e.Pkt.DestQP != roce.CMQPN {
+		return false
+	}
+	if len(f.OpCodes) > 0 {
+		ok := false
+		for _, op := range f.OpCodes {
+			if op == e.Pkt.OpCode {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Tracer collects events from any number of tapped ports.
+type Tracer struct {
+	k      *sim.Kernel
+	filter Filter
+	out    io.Writer
+	ring   []Event
+	next   int
+	full   bool
+	total  uint64
+	byOp   map[roce.OpCode]uint64
+	drops  uint64
+}
+
+// New returns a tracer keeping the last ringSize matching events.
+func New(k *sim.Kernel, ringSize int, filter Filter) *Tracer {
+	if ringSize <= 0 {
+		ringSize = 256
+	}
+	return &Tracer{
+		k:      k,
+		filter: filter,
+		ring:   make([]Event, ringSize),
+		byOp:   make(map[roce.OpCode]uint64),
+	}
+}
+
+// StreamTo additionally writes each matching event's summary line to w.
+func (t *Tracer) StreamTo(w io.Writer) { t.out = w }
+
+// Tap attaches the tracer to a port under the given site label.
+func (t *Tracer) Tap(p *simnet.Port, site string) {
+	p.SetTap(func(dir simnet.TapDirection, frame []byte) {
+		e := Event{At: t.k.Now(), Site: site, Dir: dir, Size: len(frame)}
+		if pkt, err := roce.Unmarshal(frame); err == nil {
+			e.Pkt = pkt
+		}
+		t.record(e)
+	})
+}
+
+func (t *Tracer) record(e Event) {
+	if !t.filter.keep(e) {
+		return
+	}
+	t.total++
+	if e.Pkt != nil {
+		t.byOp[e.Pkt.OpCode]++
+	}
+	if e.Dir == simnet.TapDrop {
+		t.drops++
+	}
+	t.ring[t.next] = e
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	if t.out != nil {
+		fmt.Fprintln(t.out, e.String())
+	}
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if !t.full {
+		return append([]Event(nil), t.ring[:t.next]...)
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Total returns how many events matched since creation.
+func (t *Tracer) Total() uint64 { return t.total }
+
+// Drops returns how many matching frames were lost.
+func (t *Tracer) Drops() uint64 { return t.drops }
+
+// CountByOpCode returns the per-opcode counters (copy).
+func (t *Tracer) CountByOpCode() map[roce.OpCode]uint64 {
+	out := make(map[roce.OpCode]uint64, len(t.byOp))
+	for k, v := range t.byOp {
+		out[k] = v
+	}
+	return out
+}
+
+// Summary renders the counters, highest first-ish (stable by opcode).
+func (t *Tracer) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d frames observed (%d lost)\n", t.total, t.drops)
+	for op := roce.OpCode(0); op < 0x20; op++ {
+		if c := t.byOp[op]; c > 0 {
+			fmt.Fprintf(&b, "  %-26s %d\n", op.String(), c)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"p4ce"
+	"p4ce/internal/roce"
+	"p4ce/internal/trace"
+)
+
+func TestTraceCapturesWireExchange(t *testing.T) {
+	cl := p4ce.NewCluster(p4ce.Options{Nodes: 3, Mode: p4ce.ModeP4CE, Seed: 2, DisableHeartbeats: true})
+	var buf strings.Builder
+	tr := cl.EnableTrace(&buf, 512, trace.Filter{Sites: []string{"host0"}})
+	cl.ForceLeader(0)
+	// Drive until accelerated.
+	deadline := cl.Now() + 300*time.Millisecond
+	var leader *p4ce.Node
+	for cl.Now() < deadline && cl.Step() {
+		if l := cl.Leader(); l != nil && l.Accelerated() {
+			leader = l
+			break
+		}
+	}
+	if leader == nil {
+		t.Fatal("no accelerated leader")
+	}
+	done := false
+	if err := leader.Propose([]byte("traced"), func(err error) { done = err == nil }); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(time.Millisecond)
+	if !done {
+		t.Fatal("proposal did not commit")
+	}
+
+	out := buf.String()
+	// The handshake and the replicated write must both be visible.
+	for _, want := range []string{
+		"cm:ConnectRequest", "cm:ConnectReply", "cm:ReadyToUse",
+		"RDMA_WRITE_ONLY", "ACKNOWLEDGE", "ack(credits=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q:\n%s", want, out)
+		}
+	}
+	if tr.Total() == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+	counts := tr.CountByOpCode()
+	if counts[roce.OpWriteOnly] == 0 || counts[roce.OpAcknowledge] == 0 {
+		t.Fatalf("per-opcode counters = %v", counts)
+	}
+	// Exactly one aggregated ACK per write at the leader's port.
+	if counts[roce.OpAcknowledge] > counts[roce.OpWriteOnly]+counts[roce.OpSendOnly] {
+		t.Fatalf("more ACKs than requests at the leader: %v", counts)
+	}
+}
+
+func TestTraceFilterByOpcode(t *testing.T) {
+	cl := p4ce.NewCluster(p4ce.Options{Nodes: 3, Mode: p4ce.ModeMu, Seed: 2})
+	tr := cl.EnableTrace(nil, 64, trace.Filter{OpCodes: []roce.OpCode{roce.OpAcknowledge}})
+	leader, err := cl.RunUntilLeader(200 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Propose([]byte("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(time.Millisecond)
+	for _, e := range tr.Events() {
+		if e.Pkt == nil || e.Pkt.OpCode != roce.OpAcknowledge {
+			t.Fatalf("filter leaked event %v", e)
+		}
+	}
+	if tr.Total() == 0 {
+		t.Fatal("no ACKs captured")
+	}
+}
+
+func TestTraceRingBounds(t *testing.T) {
+	cl := p4ce.NewCluster(p4ce.Options{Nodes: 3, Mode: p4ce.ModeMu, Seed: 2})
+	tr := cl.EnableTrace(nil, 16, trace.Filter{})
+	if _, err := cl.RunUntilLeader(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(5 * time.Millisecond)
+	events := tr.Events()
+	if len(events) != 16 {
+		t.Fatalf("ring kept %d events, want 16", len(events))
+	}
+	// Oldest-first ordering.
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatal("ring events out of order")
+		}
+	}
+	if tr.Total() <= 16 {
+		t.Fatalf("Total = %d, want > ring size", tr.Total())
+	}
+}
+
+func TestTraceDropsOnly(t *testing.T) {
+	cl := p4ce.NewCluster(p4ce.Options{Nodes: 3, Mode: p4ce.ModeMu, Seed: 2})
+	tr := cl.EnableTrace(nil, 64, trace.Filter{DropsOnly: true})
+	if _, err := cl.RunUntilLeader(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total() != 0 {
+		t.Fatalf("drops recorded on a lossless fabric: %d", tr.Total())
+	}
+	// Crash a machine: its peers' heartbeat reads now die at its downed
+	// port and surface as drops there.
+	cl.Node(2).Crash()
+	cl.Run(2 * time.Millisecond)
+	if tr.Drops() == 0 {
+		t.Fatal("no drops recorded at the crashed machine's port")
+	}
+	if s := tr.Summary(); !strings.Contains(s, "lost") {
+		t.Fatalf("summary = %q", s)
+	}
+}

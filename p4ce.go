@@ -1,0 +1,115 @@
+// Package p4ce is a full-system reproduction of "P4CE: Consensus over
+// RDMA at Line Speed" (Dulong et al., ICDCS 2024): a replication engine
+// that reaches consensus in a single round-trip at the leader's full
+// link rate by decoupling the consensus *decision* (a Mu-style leader
+// protocol on the host) from the *communication* (RDMA multicast and
+// acknowledgment aggregation inside a programmable switch).
+//
+// Because RDMA NICs and Tofino ASICs are not available here, the entire
+// stack runs on a deterministic discrete-event simulation: byte-accurate
+// RoCE v2 packets, simulated ConnectX-class NICs with queue pairs,
+// memory-region permissions and retransmission, and a PSA-style switch
+// model with per-port parser capacity, match-action tables, constrained
+// stateful registers and a multicast replication engine. See DESIGN.md
+// for the substitution table and EXPERIMENTS.md for paper-vs-measured
+// results.
+//
+// The quickest way in:
+//
+//	cl := p4ce.NewCluster(p4ce.Options{Nodes: 3, Mode: p4ce.ModeP4CE})
+//	leader, err := cl.RunUntilLeader(100 * time.Millisecond)
+//	if err != nil { ... }
+//	leader.Propose([]byte("value"), func(err error) { ... })
+//	cl.Run(time.Millisecond)
+package p4ce
+
+import (
+	"time"
+
+	"p4ce/internal/mu"
+	"p4ce/internal/rnic"
+	"p4ce/internal/sim"
+	"p4ce/internal/tofino"
+)
+
+// Mode selects the communication plane.
+type Mode int
+
+// Communication modes.
+const (
+	// ModeP4CE replicates through the programmable switch (the paper's
+	// contribution): one write out, one aggregated ACK back.
+	ModeP4CE Mode = iota
+	// ModeMu replicates directly to every replica (the baseline): the
+	// leader divides its link and aggregates the ACKs itself.
+	ModeMu
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeMu {
+		return "Mu"
+	}
+	return "P4CE"
+}
+
+// Options configures a simulated cluster.
+type Options struct {
+	// Nodes is the total machine count, leader included (the paper uses
+	// 3 and 5, i.e. 2 and 4 replicas).
+	Nodes int
+	// Mode picks P4CE or the Mu baseline.
+	Mode Mode
+	// Seed drives the deterministic simulation; identical options and
+	// seed replay identically.
+	Seed int64
+	// BackupFabric cables every host to a second, plain switch — the
+	// "alternative network route" used when the programmable switch
+	// dies (§III-A).
+	BackupFabric bool
+	// AckDropInLeaderEgress selects the paper's first (slower) ACK
+	// aggregation placement for the §IV-D ablation.
+	AckDropInLeaderEgress bool
+	// AsyncReconfig lets a new leader replicate directly while the
+	// switch reconfigures (the paper's Lesson 3 improvement). Off
+	// reproduces Table IV as measured.
+	AsyncReconfig bool
+	// DisableHeartbeats turns failure detection off — steady-state
+	// benchmarks use this to keep monitor traffic out of the way.
+	DisableHeartbeats bool
+	// LogSize overrides the per-machine replicated log ring size.
+	LogSize int
+	// PipelineDepth overrides how many requests a queue pair keeps in
+	// flight (the testbed allows 16).
+	PipelineDepth int
+	// ResponderApplyDelay slows every replica's consumption of inbound
+	// messages, draining its advertised credits (credit ablations).
+	ResponderApplyDelay time.Duration
+	// Tune hooks, applied last, for experiments that need to reach
+	// deeper than the exported knobs. Nil-safe.
+	TuneNode   func(i int, cfg *mu.Config)
+	TuneNIC    func(i int, cfg *rnic.Config)
+	TuneSwitch func(cfg *tofino.Config)
+}
+
+// withDefaults fills in the unset options.
+func (o Options) withDefaults() Options {
+	if o.Nodes == 0 {
+		o.Nodes = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// simDuration converts wall-style durations into simulated time.
+func simDuration(d time.Duration) sim.Time { return sim.Time(d.Nanoseconds()) }
+
+// LinkSpeed reports the modelled link rate in bits per second.
+func LinkSpeed() float64 { return 100e9 }
+
+// SwitchParserPPS reports the modelled per-port parser capacity.
+func SwitchParserPPS() float64 {
+	return float64(sim.Second) / float64(tofino.DefaultConfig().ParserServiceTime)
+}

@@ -1,0 +1,138 @@
+package p4ce
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// State-machine replication on top of the consensus engine: commands are
+// proposed on the leader and applied, in log order, on every machine.
+
+// StateMachine consumes committed commands.
+type StateMachine interface {
+	// Apply executes one committed command. It is invoked in index order
+	// exactly once per machine.
+	Apply(index uint64, cmd []byte)
+}
+
+// Bind attaches a state machine to a node.
+func (n *Node) Bind(m StateMachine) {
+	n.OnApply(m.Apply)
+}
+
+// ---- Replicated key-value store ----
+
+// KV command opcodes.
+const (
+	kvOpSet uint8 = iota + 1
+	kvOpDelete
+)
+
+// ErrBadCommand reports a malformed KV command.
+var ErrBadCommand = errors.New("p4ce: malformed KV command")
+
+// KV is a replicated key-value store: a tiny state machine used by the
+// examples and the consistency tests.
+type KV struct {
+	data map[string]string
+	// AppliedCount counts executed commands.
+	AppliedCount uint64
+}
+
+var _ StateMachine = (*KV)(nil)
+
+// NewKV returns an empty store.
+func NewKV() *KV {
+	return &KV{data: make(map[string]string)}
+}
+
+// Apply implements StateMachine.
+func (kv *KV) Apply(_ uint64, cmd []byte) {
+	op, key, value, err := DecodeKVCommand(cmd)
+	if err != nil {
+		return // corrupt commands are ignored deterministically
+	}
+	kv.AppliedCount++
+	switch op {
+	case kvOpSet:
+		kv.data[key] = value
+	case kvOpDelete:
+		delete(kv.data, key)
+	}
+}
+
+// Get reads a key from the local replica state.
+func (kv *KV) Get(key string) (string, bool) {
+	v, ok := kv.data[key]
+	return v, ok
+}
+
+// Len returns the number of keys.
+func (kv *KV) Len() int { return len(kv.data) }
+
+// Snapshot copies the state (tests compare replicas with it).
+func (kv *KV) Snapshot() map[string]string {
+	out := make(map[string]string, len(kv.data))
+	for k, v := range kv.data {
+		out[k] = v
+	}
+	return out
+}
+
+// SetCommand encodes a replicated set.
+func SetCommand(key, value string) []byte {
+	return encodeKV(kvOpSet, key, value)
+}
+
+// DeleteCommand encodes a replicated delete.
+func DeleteCommand(key string) []byte {
+	return encodeKV(kvOpDelete, key, "")
+}
+
+func encodeKV(op uint8, key, value string) []byte {
+	buf := make([]byte, 1+4+len(key)+4+len(value))
+	buf[0] = op
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(key)))
+	copy(buf[5:], key)
+	off := 5 + len(key)
+	binary.BigEndian.PutUint32(buf[off:off+4], uint32(len(value)))
+	copy(buf[off+4:], value)
+	return buf
+}
+
+// DecodeKVCommand parses a KV command.
+func DecodeKVCommand(cmd []byte) (op uint8, key, value string, err error) {
+	if len(cmd) < 9 {
+		return 0, "", "", ErrBadCommand
+	}
+	op = cmd[0]
+	klen := int(binary.BigEndian.Uint32(cmd[1:5]))
+	if len(cmd) < 5+klen+4 {
+		return 0, "", "", ErrBadCommand
+	}
+	key = string(cmd[5 : 5+klen])
+	off := 5 + klen
+	vlen := int(binary.BigEndian.Uint32(cmd[off : off+4]))
+	if len(cmd) < off+4+vlen {
+		return 0, "", "", ErrBadCommand
+	}
+	value = string(cmd[off+4 : off+4+vlen])
+	return op, key, value, nil
+}
+
+// Set proposes a key-value write on the leader and invokes done when it
+// is decided.
+func (n *Node) Set(key, value string, done func(error)) error {
+	return n.Propose(SetCommand(key, value), done)
+}
+
+// Delete proposes a key deletion.
+func (n *Node) Delete(key string, done func(error)) error {
+	return n.Propose(DeleteCommand(key), done)
+}
+
+// String describes the node briefly.
+func (n *Node) String() string {
+	return fmt.Sprintf("node%d(%s)", n.ID(), n.mu.Role())
+}
