@@ -1,0 +1,26 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: build test race vet check chaos
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+
+# The full verification gate (vet + build + test + race).
+check:
+	./scripts/check.sh
+
+# Run every named chaos scenario through the simulator.
+chaos:
+	@for s in lossy-gather replica-flap leader-partition switch-reboot; do \
+		echo "== $$s =="; \
+		go run ./cmd/p4ce-sim -nodes 3 -chaos $$s -chaos-seed 99 -rate 10000 || exit 1; \
+	done

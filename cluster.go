@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"p4ce/internal/chaos"
 	"p4ce/internal/core"
 	"p4ce/internal/mu"
 	swp4ce "p4ce/internal/p4ce"
@@ -222,6 +223,53 @@ func (c *Cluster) FabricStats() tofino.Stats { return c.sw.Stats }
 
 // Groups lists the communication groups installed on the switch.
 func (c *Cluster) Groups() []swp4ce.GroupInfo { return c.cp.Groups() }
+
+// ChaosEngine builds a seeded fault injector over the cluster's
+// topology: every machine's cable (both ends) and NIC become targets,
+// and the switch power-cycle hooks wipe and re-program the data plane
+// the way a real reboot would — registers, multicast groups and match
+// tables are lost, then the control plane reinstalls every group from
+// its shadow state after one reconfiguration delay. logf may be nil.
+func (c *Cluster) ChaosEngine(seed int64, logf func(string, ...any)) *chaos.Engine {
+	cfg := chaos.Config{
+		Seed: seed,
+		PowerOffSwitch: func() {
+			c.dp.Reset()
+			c.sw.Reboot()
+		},
+		PowerOnSwitch: func() {
+			c.sw.Restore()
+			c.cp.ReinstallGroups(nil)
+		},
+		Logf: logf,
+	}
+	for _, n := range c.nodes {
+		cfg.Nodes = append(cfg.Nodes, chaos.NodeTarget{
+			Name: fmt.Sprintf("node%d", n.ID()),
+			Link: chaos.Link{
+				Name:   fmt.Sprintf("node%d<->switch", n.ID()),
+				Host:   n.port,
+				Fabric: n.port.Peer(),
+			},
+			NIC: n.mu.NIC(),
+		})
+	}
+	return chaos.NewEngine(c.kernel, cfg)
+}
+
+// ApplyChaosScenario installs the named fault scenario (see
+// chaos.Names) on a fresh engine and returns the engine plus the
+// horizon the caller should Run the cluster for so the faults and their
+// recovery both complete.
+func (c *Cluster) ApplyChaosScenario(name string, seed int64, logf func(string, ...any)) (*chaos.Engine, time.Duration, error) {
+	sc, ok := chaos.Lookup(name)
+	if !ok {
+		return nil, 0, fmt.Errorf("p4ce: unknown chaos scenario %q (have %v)", name, chaos.Names())
+	}
+	eng := c.ChaosEngine(seed, logf)
+	sc.Apply(eng)
+	return eng, time.Duration(sc.Horizon), nil
+}
 
 // EnableTrace taps every host port with a packet tracer that retains
 // the last ringSize frames (decoded RoCE summaries). Pass a non-nil w

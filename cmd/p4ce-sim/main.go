@@ -9,6 +9,13 @@
 // The -crash flag takes a comma-separated schedule of events:
 // "leader@<t>" (whoever leads at t), "replica<N>@<t>" (machine N), and
 // "switch@<t>" (the programmable switch).
+//
+// The -chaos flag instead installs one of the named deterministic fault
+// scenarios from the chaos harness (bursty loss, node flaps, partitions,
+// switch reboots); "-chaos list" prints them. The same -chaos-seed
+// replays the exact same fault pattern:
+//
+//	p4ce-sim -nodes 3 -chaos lossy-gather -chaos-seed 99
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"time"
 
 	"p4ce"
+	"p4ce/internal/chaos"
 	"p4ce/internal/trace"
 )
 
@@ -35,10 +43,18 @@ func main() {
 		backup   = flag.Bool("backup", false, "cable a backup fabric")
 		async    = flag.Bool("async-reconfig", false, "reconfigure the switch asynchronously (Lesson 3)")
 		crash    = flag.String("crash", "", "failure schedule, e.g. leader@50ms,replica4@80ms,switch@120ms")
+		chaosSc  = flag.String("chaos", "", "named fault scenario (\"list\" to enumerate)")
+		chaosSd  = flag.Int64("chaos-seed", 1, "seed for the chaos engine's fault draws")
 		doTrace  = flag.Bool("trace", false, "stream decoded packet summaries to stderr")
 	)
 	flag.Parse()
-	if err := run(*nodes, *mode, *duration, *rate, *size, *seed, *backup, *async, *crash, *doTrace); err != nil {
+	if *chaosSc == "list" {
+		for _, sc := range chaos.All() {
+			fmt.Printf("%-18s horizon %-8v %s\n", sc.Name, time.Duration(sc.Horizon), sc.Description)
+		}
+		return
+	}
+	if err := run(*nodes, *mode, *duration, *rate, *size, *seed, *backup, *async, *crash, *chaosSc, *chaosSd, *doTrace); err != nil {
 		fmt.Fprintln(os.Stderr, "p4ce-sim:", err)
 		os.Exit(1)
 	}
@@ -79,7 +95,7 @@ func parseCrashes(spec string) ([]crashEvent, error) {
 	return out, nil
 }
 
-func run(nodes int, modeStr string, duration time.Duration, rate float64, size int, seed int64, backup, async bool, crashSpec string, doTrace bool) error {
+func run(nodes int, modeStr string, duration time.Duration, rate float64, size int, seed int64, backup, async bool, crashSpec, chaosName string, chaosSeed int64, doTrace bool) error {
 	var mode p4ce.Mode
 	switch strings.ToLower(modeStr) {
 	case "p4ce":
@@ -112,6 +128,24 @@ func run(nodes int, modeStr string, duration time.Duration, rate float64, size i
 	setupTime := cl.Now()
 	fmt.Printf("cluster up: %d machines, %v mode, node %d leads after %v (accelerated=%v)\n",
 		nodes, mode, leader.ID(), setupTime.Round(10*time.Microsecond), leader.Accelerated())
+
+	// Install the named chaos scenario, if any. Its horizon extends the
+	// run so the faults and their recovery both fit.
+	var chaosEng *chaos.Engine
+	if chaosName != "" {
+		logf := func(format string, args ...any) {
+			fmt.Printf("[%9v] %s\n", cl.Now().Round(10*time.Microsecond), fmt.Sprintf(format, args...))
+		}
+		eng, horizon, err := cl.ApplyChaosScenario(chaosName, chaosSeed, logf)
+		if err != nil {
+			return err
+		}
+		chaosEng = eng
+		if horizon > duration {
+			duration = horizon
+		}
+		fmt.Printf("chaos: scenario %q armed (seed %d, horizon %v)\n", chaosName, chaosSeed, horizon)
+	}
 
 	// Schedule the failure script.
 	for _, ev := range crashes {
@@ -195,6 +229,11 @@ func run(nodes int, modeStr string, duration time.Duration, rate float64, size i
 		if acked > 0 {
 			fmt.Printf("mean commit latency: %v\n", (latencySum / time.Duration(acked)).Round(10*time.Nanosecond))
 		}
+	}
+	if chaosEng != nil {
+		cs := chaosEng.Stats
+		fmt.Printf("chaos: %d scripted drops, %d jittered sends, %d link flaps, %d partitions, %d node outages, %d switch reboots\n",
+			cs.ScriptedDrops, cs.JitteredSends, cs.LinkFlaps, cs.Partitions, cs.NodeOutages, cs.SwitchReboots)
 	}
 	sw := cl.SwitchStats()
 	fmt.Printf("switch program: %d scattered, %d ACKs absorbed, %d forwarded, %d NAKs passed\n",

@@ -1,0 +1,310 @@
+// Package chaos is a deterministic fault-injection harness for the
+// simulated P4CE testbed. An Engine schedules scripted faults on the
+// sim.Kernel clock — loss bursts, Gilbert-Elliott loss phases, link
+// flaps, delay jitter, network partitions, replica outages with NIC
+// resets, and full switch reboots — all driven by its own seeded random
+// source, so a (kernel seed, chaos seed, scenario) triple replays the
+// exact same fault pattern event for event.
+//
+// The engine is topology-agnostic: it operates on the two ports of each
+// cable, the host NICs, and a pair of power-cycle hooks, all supplied
+// by whoever owns the testbed (see the Cluster chaos wiring in the root
+// package). Package scenarios combining these primitives live in
+// scenarios.go.
+package chaos
+
+import (
+	"math/rand"
+
+	"p4ce/internal/rnic"
+	"p4ce/internal/sim"
+	"p4ce/internal/simnet"
+)
+
+// Link is one full-duplex cable: the host (NIC) side and the fabric
+// (switch) side. Faults that model the medium — loss, jitter, flaps,
+// partitions — apply to both ports, since each port's Send path decides
+// the fate of its own direction.
+type Link struct {
+	Name         string
+	Host, Fabric *simnet.Port
+}
+
+// ports returns the link's two ends, skipping nil halves (a link may be
+// described one-sided in tests).
+func (l Link) ports() []*simnet.Port {
+	var ps []*simnet.Port
+	if l.Host != nil {
+		ps = append(ps, l.Host)
+	}
+	if l.Fabric != nil {
+		ps = append(ps, l.Fabric)
+	}
+	return ps
+}
+
+// NodeTarget is one machine the engine may take down: its cable and its
+// NIC (for the reset that models a reboot tearing down every queue
+// pair).
+type NodeTarget struct {
+	Name string
+	Link Link
+	NIC  *rnic.NIC
+}
+
+// Config wires an Engine to a testbed.
+type Config struct {
+	// Seed drives the engine's private random source. Faults draw from
+	// it in simulation-event order, so replays are exact.
+	Seed int64
+	// Nodes lists the machines, in identifier order.
+	Nodes []NodeTarget
+	// PowerOffSwitch and PowerOnSwitch power-cycle the programmable
+	// switch (wiping its volatile state) and bring it back, including
+	// whatever control-plane re-programming the owner performs. Both may
+	// be nil, in which case RebootSwitch is a no-op.
+	PowerOffSwitch, PowerOnSwitch func()
+	// Logf, if non-nil, receives a line per injected fault event.
+	Logf func(format string, args ...any)
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	ScriptedDrops uint64 // frames discarded by loss faults
+	JitteredSends uint64 // frames given extra latency
+	LinkFlaps     uint64 // down/up cycles completed
+	Partitions    uint64 // partition windows opened
+	NodeOutages   uint64 // replica crash/restart cycles started
+	SwitchReboots uint64 // switch power cycles started
+}
+
+// portMux fans a port's single LossFunc/DelayFunc slot out to any
+// number of concurrently scheduled faults: loss deciders are OR-ed
+// (first match wins), jitter contributions add up.
+type portMux struct {
+	loss  []simnet.LossFunc
+	delay []simnet.DelayFunc
+}
+
+// Engine schedules faults on the simulation clock.
+type Engine struct {
+	k     *sim.Kernel
+	cfg   Config
+	rng   *rand.Rand
+	muxes map[*simnet.Port]*portMux
+
+	// Stats counts what was actually injected.
+	Stats Stats
+}
+
+// NewEngine builds an engine over the testbed described by cfg.
+func NewEngine(k *sim.Kernel, cfg Config) *Engine {
+	return &Engine{
+		k:     k,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		muxes: make(map[*simnet.Port]*portMux),
+	}
+}
+
+// Kernel returns the clock the engine schedules on.
+func (e *Engine) Kernel() *sim.Kernel { return e.k }
+
+// Nodes returns the machines the engine can target.
+func (e *Engine) Nodes() []NodeTarget { return e.cfg.Nodes }
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.cfg.Logf != nil {
+		e.cfg.Logf(format, args...)
+	}
+}
+
+// mux lazily claims a port's LossFunc/DelayFunc slots for the engine.
+func (e *Engine) mux(p *simnet.Port) *portMux {
+	m, ok := e.muxes[p]
+	if !ok {
+		m = &portMux{}
+		e.muxes[p] = m
+		p.SetLossFunc(func(frame []byte) bool {
+			for _, f := range m.loss {
+				if f(frame) {
+					e.Stats.ScriptedDrops++
+					return true
+				}
+			}
+			return false
+		})
+		p.SetDelayFunc(func(frame []byte) sim.Time {
+			var d sim.Time
+			for _, f := range m.delay {
+				d += f(frame)
+			}
+			if d > 0 {
+				e.Stats.JitteredSends++
+			}
+			return d
+		})
+	}
+	return m
+}
+
+// window wraps a loss decider so it is active only during
+// [now+start, now+start+dur).
+func (e *Engine) window(start, dur sim.Time, f simnet.LossFunc) simnet.LossFunc {
+	from := e.k.Now() + start
+	to := from + dur
+	return func(frame []byte) bool {
+		now := e.k.Now()
+		if now < from || now >= to {
+			return false
+		}
+		return f(frame)
+	}
+}
+
+// LossBurst drops each frame leaving p with probability prob during the
+// window [now+start, now+start+dur).
+func (e *Engine) LossBurst(p *simnet.Port, start, dur sim.Time, prob float64) {
+	m := e.mux(p)
+	m.loss = append(m.loss, e.window(start, dur, func([]byte) bool {
+		return e.rng.Float64() < prob
+	}))
+	e.logf("chaos: loss burst p=%.2f on %s during [%v,%v)", prob, p.Name(), start, start+dur)
+}
+
+// GEParams parameterizes a Gilbert-Elliott loss chain: two hidden
+// states with different loss rates and per-frame transition
+// probabilities, the classic model for bursty fabric loss.
+type GEParams struct {
+	LossGood, LossBad    float64 // loss probability in each state
+	GoodToBad, BadToGood float64 // per-frame transition probabilities
+}
+
+// DefaultGEParams returns a mildly bursty channel: ~1% background loss
+// with excursions into a 30%-loss bad state lasting a handful of
+// frames.
+func DefaultGEParams() GEParams {
+	return GEParams{LossGood: 0.01, LossBad: 0.3, GoodToBad: 0.05, BadToGood: 0.25}
+}
+
+// GilbertElliott runs a two-state loss chain on p during the window.
+// The chain steps once per frame, in event order, off the engine's
+// seeded source.
+func (e *Engine) GilbertElliott(p *simnet.Port, start, dur sim.Time, ge GEParams) {
+	bad := false
+	m := e.mux(p)
+	m.loss = append(m.loss, e.window(start, dur, func([]byte) bool {
+		if bad {
+			if e.rng.Float64() < ge.BadToGood {
+				bad = false
+			}
+		} else if e.rng.Float64() < ge.GoodToBad {
+			bad = true
+		}
+		loss := ge.LossGood
+		if bad {
+			loss = ge.LossBad
+		}
+		return e.rng.Float64() < loss
+	}))
+	e.logf("chaos: gilbert-elliott loss on %s during [%v,%v)", p.Name(), start, start+dur)
+}
+
+// Jitter adds a uniform random extra latency in [0, max) to every frame
+// leaving p during the window.
+func (e *Engine) Jitter(p *simnet.Port, start, dur, max sim.Time) {
+	if max <= 0 {
+		return
+	}
+	from := e.k.Now() + start
+	to := from + dur
+	m := e.mux(p)
+	m.delay = append(m.delay, func([]byte) sim.Time {
+		now := e.k.Now()
+		if now < from || now >= to {
+			return 0
+		}
+		return sim.Time(e.rng.Int63n(int64(max)))
+	})
+	e.logf("chaos: jitter ≤%v on %s during [%v,%v)", max, p.Name(), start, start+dur)
+}
+
+// FlapLink takes both ends of a cable down at now+start and back up
+// downFor later — a transceiver losing carrier. In-flight frames toward
+// a downed port are lost.
+func (e *Engine) FlapLink(l Link, start, downFor sim.Time) {
+	e.k.Schedule(start, func() {
+		e.logf("chaos: link %s down at %v", l.Name, e.k.Now())
+		for _, p := range l.ports() {
+			p.SetUp(false)
+		}
+	})
+	e.k.Schedule(start+downFor, func() {
+		e.logf("chaos: link %s up at %v", l.Name, e.k.Now())
+		for _, p := range l.ports() {
+			p.SetUp(true)
+		}
+		e.Stats.LinkFlaps++
+	})
+}
+
+// Partition blackholes every frame crossing the given links — in both
+// directions — during the window, leaving the ports nominally up: the
+// topology of a mis-programmed or congested core, not a cut cable.
+func (e *Engine) Partition(links []Link, start, dur sim.Time) {
+	drop := func([]byte) bool { return true }
+	for _, l := range links {
+		for _, p := range l.ports() {
+			m := e.mux(p)
+			m.loss = append(m.loss, e.window(start, dur, drop))
+		}
+	}
+	e.k.Schedule(start, func() {
+		e.Stats.Partitions++
+		e.logf("chaos: partition of %d links at %v for %v", len(links), e.k.Now(), dur)
+	})
+}
+
+// NodeOutage models a replica crash and restart: at now+start the
+// machine's port goes dark and its NIC resets — every queue pair is
+// torn down with a flush error, exactly what a host reboot does — and
+// downFor later the port comes back. The machine's software survives
+// (the protocol layer is expected to re-dial its connections; mu's
+// monitors do this on their own).
+func (e *Engine) NodeOutage(n NodeTarget, start, downFor sim.Time) {
+	e.k.Schedule(start, func() {
+		e.Stats.NodeOutages++
+		e.logf("chaos: node %s outage at %v for %v", n.Name, e.k.Now(), downFor)
+		if n.Link.Host != nil {
+			n.Link.Host.SetUp(false)
+		}
+		if n.NIC != nil {
+			n.NIC.Reset()
+		}
+	})
+	e.k.Schedule(start+downFor, func() {
+		e.logf("chaos: node %s back at %v", n.Name, e.k.Now())
+		if n.Link.Host != nil {
+			n.Link.Host.SetUp(true)
+		}
+	})
+}
+
+// RebootSwitch power-cycles the programmable switch at now+start,
+// bringing it back downFor later via the configured hooks. The off hook
+// is expected to wipe volatile switch state; the on hook to restore
+// power and trigger control-plane re-programming.
+func (e *Engine) RebootSwitch(start, downFor sim.Time) {
+	if e.cfg.PowerOffSwitch == nil || e.cfg.PowerOnSwitch == nil {
+		return
+	}
+	e.k.Schedule(start, func() {
+		e.Stats.SwitchReboots++
+		e.logf("chaos: switch power off at %v for %v", e.k.Now(), downFor)
+		e.cfg.PowerOffSwitch()
+	})
+	e.k.Schedule(start+downFor, func() {
+		e.logf("chaos: switch power on at %v", e.k.Now())
+		e.cfg.PowerOnSwitch()
+	})
+}

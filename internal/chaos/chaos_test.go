@@ -1,0 +1,208 @@
+package chaos
+
+import (
+	"testing"
+
+	"p4ce/internal/rnic"
+	"p4ce/internal/sim"
+	"p4ce/internal/simnet"
+)
+
+// pipe builds one cable with delivery counters on both ends.
+func pipe(k *sim.Kernel) (a, b *simnet.Port, gotA, gotB *int) {
+	gotA, gotB = new(int), new(int)
+	a = simnet.NewPort(k, "a", simnet.HandlerFunc(func(*simnet.Port, []byte) { *gotA++ }))
+	b = simnet.NewPort(k, "b", simnet.HandlerFunc(func(*simnet.Port, []byte) { *gotB++ }))
+	simnet.Connect(a, b, simnet.DefaultLinkConfig())
+	return a, b, gotA, gotB
+}
+
+func TestLossBurstWindow(t *testing.T) {
+	k := sim.NewKernel(7)
+	a, _, _, gotB := pipe(k)
+	e := NewEngine(k, Config{Seed: 1})
+	e.LossBurst(a, 0, sim.Millisecond, 1.0)
+
+	for i := 0; i < 10; i++ {
+		k.Schedule(sim.Time(i)*10*sim.Microsecond, func() { a.Send([]byte{1}) })
+	}
+	for i := 0; i < 10; i++ {
+		k.Schedule(2*sim.Millisecond+sim.Time(i)*10*sim.Microsecond, func() { a.Send([]byte{2}) })
+	}
+	k.RunFor(5 * sim.Millisecond)
+	if *gotB != 10 {
+		t.Fatalf("delivered %d frames, want 10 (in-window frames all dropped)", *gotB)
+	}
+	if e.Stats.ScriptedDrops != 10 {
+		t.Fatalf("ScriptedDrops = %d, want 10", e.Stats.ScriptedDrops)
+	}
+}
+
+func TestGilbertElliottLossyAndDeterministic(t *testing.T) {
+	run := func() (delivered int, drops uint64) {
+		k := sim.NewKernel(7)
+		a, _, _, gotB := pipe(k)
+		e := NewEngine(k, Config{Seed: 42})
+		e.GilbertElliott(a, 0, sim.Second, DefaultGEParams())
+		for i := 0; i < 2000; i++ {
+			k.Schedule(sim.Time(i)*sim.Microsecond, func() { a.Send([]byte{1}) })
+		}
+		k.RunFor(sim.Second)
+		return *gotB, e.Stats.ScriptedDrops
+	}
+	d1, l1 := run()
+	d2, l2 := run()
+	if d1 != d2 || l1 != l2 {
+		t.Fatalf("same seeds diverged: (%d,%d) vs (%d,%d)", d1, l1, d2, l2)
+	}
+	if l1 == 0 || d1 == 0 {
+		t.Fatalf("chain degenerate: delivered=%d dropped=%d", d1, l1)
+	}
+	// The blend of 1% good-state and 30% bad-state loss must land well
+	// between the two pure rates.
+	rate := float64(l1) / 2000
+	if rate < 0.01 || rate > 0.3 {
+		t.Fatalf("loss rate %.3f outside (0.01, 0.3)", rate)
+	}
+}
+
+func TestJitterDelaysFrames(t *testing.T) {
+	base := func(jitter bool) sim.Time {
+		k := sim.NewKernel(7)
+		a, b, _, _ := pipe(k)
+		_ = b
+		var lastRx sim.Time
+		b.SetHandler(simnet.HandlerFunc(func(*simnet.Port, []byte) { lastRx = k.Now() }))
+		e := NewEngine(k, Config{Seed: 3})
+		if jitter {
+			e.Jitter(a, 0, sim.Second, 50*sim.Microsecond)
+		}
+		for i := 0; i < 20; i++ {
+			k.Schedule(sim.Time(i)*100*sim.Microsecond, func() { a.Send([]byte{1}) })
+		}
+		k.RunFor(sim.Second)
+		if jitter && e.Stats.JitteredSends == 0 {
+			t.Fatal("no frame jittered")
+		}
+		return lastRx
+	}
+	if base(true) <= base(false) {
+		t.Fatal("jitter did not delay delivery")
+	}
+}
+
+func TestFlapLinkDropsThenRecovers(t *testing.T) {
+	k := sim.NewKernel(7)
+	a, b, _, gotB := pipe(k)
+	_ = b
+	e := NewEngine(k, Config{Seed: 1})
+	l := Link{Name: "l", Host: a, Fabric: b}
+	e.FlapLink(l, sim.Millisecond, sim.Millisecond)
+
+	send := func(at sim.Time) { k.Schedule(at, func() { a.Send([]byte{1}) }) }
+	send(0)                      // before the flap: delivered
+	send(1500 * sim.Microsecond) // while down: dropped
+	send(3 * sim.Millisecond)    // after recovery: delivered
+	k.RunFor(5 * sim.Millisecond)
+	if *gotB != 2 {
+		t.Fatalf("delivered %d, want 2", *gotB)
+	}
+	if e.Stats.LinkFlaps != 1 {
+		t.Fatalf("LinkFlaps = %d, want 1", e.Stats.LinkFlaps)
+	}
+}
+
+func TestPartitionBlackholesBothDirections(t *testing.T) {
+	k := sim.NewKernel(7)
+	a, b, gotA, gotB := pipe(k)
+	e := NewEngine(k, Config{Seed: 1})
+	e.Partition([]Link{{Name: "l", Host: a, Fabric: b}}, 0, sim.Millisecond)
+
+	k.Schedule(100*sim.Microsecond, func() { a.Send([]byte{1}); b.Send([]byte{1}) })
+	k.Schedule(2*sim.Millisecond, func() { a.Send([]byte{1}); b.Send([]byte{1}) })
+	k.RunFor(5 * sim.Millisecond)
+	if *gotA != 1 || *gotB != 1 {
+		t.Fatalf("delivered a=%d b=%d, want 1 each (partition window blackholed)", *gotA, *gotB)
+	}
+	// The ports stayed nominally up throughout.
+	if !a.Up() || !b.Up() {
+		t.Fatal("partition must not touch port state")
+	}
+	if e.Stats.Partitions != 1 {
+		t.Fatalf("Partitions = %d, want 1", e.Stats.Partitions)
+	}
+}
+
+func TestNodeOutageResetsNICAndRestoresPort(t *testing.T) {
+	k := sim.NewKernel(7)
+	a, b, _, _ := pipe(k)
+	nic := rnic.New(k, rnic.DefaultConfig(), 42)
+	nic.AttachPort(a)
+	qp := nic.CreateQP()
+	var qpErr error
+	qp.SetOnError(func(err error) { qpErr = err })
+
+	e := NewEngine(k, Config{Seed: 1})
+	tgt := NodeTarget{Name: "n", Link: Link{Name: "l", Host: a, Fabric: b}, NIC: nic}
+	e.NodeOutage(tgt, sim.Millisecond, 2*sim.Millisecond)
+
+	k.RunFor(1500 * sim.Microsecond)
+	if a.Up() {
+		t.Fatal("host port still up mid-outage")
+	}
+	if qpErr == nil {
+		t.Fatal("queue pair survived the NIC reset")
+	}
+	if nic.QPCount() != 0 {
+		t.Fatalf("QPCount = %d after reset, want 0", nic.QPCount())
+	}
+	k.RunFor(2 * sim.Millisecond)
+	if !a.Up() {
+		t.Fatal("host port not restored after outage")
+	}
+	if e.Stats.NodeOutages != 1 {
+		t.Fatalf("NodeOutages = %d, want 1", e.Stats.NodeOutages)
+	}
+}
+
+// Concurrent faults on one port must compose: the mux ORs loss deciders
+// and sums jitter contributions.
+func TestFaultMuxLayers(t *testing.T) {
+	k := sim.NewKernel(7)
+	a, _, _, gotB := pipe(k)
+	e := NewEngine(k, Config{Seed: 1})
+	// A zero-probability burst first: it must not shadow the partition
+	// added after it.
+	e.LossBurst(a, 0, sim.Millisecond, 0)
+	e.Partition([]Link{{Name: "l", Host: a}}, 0, sim.Millisecond)
+	e.Jitter(a, 0, 10*sim.Millisecond, 5*sim.Microsecond)
+
+	k.Schedule(100*sim.Microsecond, func() { a.Send([]byte{1}) })
+	k.Schedule(2*sim.Millisecond, func() { a.Send([]byte{1}) })
+	k.RunFor(10 * sim.Millisecond)
+	if *gotB != 1 {
+		t.Fatalf("delivered %d, want 1 (partition layered over no-op burst)", *gotB)
+	}
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	want := []string{"leader-partition", "lossy-gather", "replica-flap", "switch-reboot"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	for _, name := range want {
+		sc, ok := Lookup(name)
+		if !ok || sc.Apply == nil || sc.Horizon == 0 || sc.Description == "" {
+			t.Fatalf("scenario %q incomplete: %+v", name, sc)
+		}
+	}
+	if _, ok := Lookup("no-such-scenario"); ok {
+		t.Fatal("Lookup invented a scenario")
+	}
+}

@@ -1,0 +1,114 @@
+package chaos
+
+import (
+	"sort"
+
+	"p4ce/internal/sim"
+)
+
+// Scenario is a named, scripted fault schedule. Apply installs the
+// faults relative to the engine's current simulated time; Horizon says
+// how long the simulation should then run so that both the fault window
+// and the recovery it forces fit inside.
+type Scenario struct {
+	Name        string
+	Description string
+	Horizon     sim.Time
+	Apply       func(*Engine)
+}
+
+// The registry. Timescales are chosen against the stack's own
+// constants: the NIC's retry budget is ≈6 ms (8 × 131 µs, backed off),
+// mu detects a dead peer after 60 µs, a fallen-back leader re-probes
+// the switch every 100 ms, and control-plane (re-)programming takes the
+// paper's 40 ms. Horizons leave room for the slowest of those paths.
+var scenarios = []Scenario{
+	{
+		Name: "lossy-gather",
+		Description: "Gilbert-Elliott bursty loss plus delay jitter on every cable " +
+			"for 40 ms: the scatter/gather pipeline must commit through go-back-N " +
+			"retransmission with no divergence.",
+		// Loss also hits heartbeat reads, so the 60 µs failure detector
+		// flaps and leadership churns for the whole window; recovery then
+		// needs a detector settle, a takeover and the 40 ms synchronous
+		// switch reconfiguration before held proposals flush.
+		Horizon: 160 * sim.Millisecond,
+		Apply: func(e *Engine) {
+			const start, dur = 1 * sim.Millisecond, 40 * sim.Millisecond
+			for _, n := range e.Nodes() {
+				for _, p := range n.Link.ports() {
+					e.GilbertElliott(p, start, dur, DefaultGEParams())
+					e.Jitter(p, start, dur, 2*sim.Microsecond)
+				}
+			}
+		},
+	},
+	{
+		Name: "replica-flap",
+		Description: "The highest-identifier replica crashes and restarts twice " +
+			"(port dark + NIC reset): the leader must exclude it, keep committing " +
+			"with the surviving majority, and re-admit it when it returns.",
+		Horizon: 60 * sim.Millisecond,
+		Apply: func(e *Engine) {
+			nodes := e.Nodes()
+			if len(nodes) == 0 {
+				return
+			}
+			victim := nodes[len(nodes)-1]
+			e.NodeOutage(victim, 5*sim.Millisecond, 3*sim.Millisecond)
+			e.NodeOutage(victim, 20*sim.Millisecond, 3*sim.Millisecond)
+		},
+	},
+	{
+		Name: "leader-partition",
+		Description: "The initial leader's cable blackholes both directions for " +
+			"40 ms: the survivors must elect the next machine and keep committing; " +
+			"on heal the lowest identifier takes the lead back per Mu's rule.",
+		Horizon: 250 * sim.Millisecond,
+		Apply: func(e *Engine) {
+			nodes := e.Nodes()
+			if len(nodes) == 0 {
+				return
+			}
+			e.Partition([]Link{nodes[0].Link}, 5*sim.Millisecond, 40*sim.Millisecond)
+		},
+	},
+	{
+		Name: "switch-reboot",
+		Description: "The programmable switch power-cycles for 30 ms, losing its " +
+			"registers, match tables and multicast groups: the outage outlives the " +
+			"NIC retry budget, so leaders fall back to direct replication and " +
+			"re-accelerate once the control plane has re-programmed the pipeline.",
+		Horizon: 250 * sim.Millisecond,
+		Apply: func(e *Engine) {
+			e.RebootSwitch(10*sim.Millisecond, 30*sim.Millisecond)
+		},
+	},
+}
+
+// Lookup finds a scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	for _, s := range scenarios {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// All returns every registered scenario, sorted by name.
+func All() []Scenario {
+	out := append([]Scenario(nil), scenarios...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(scenarios))
+	for _, s := range scenarios {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -2,10 +2,23 @@ package mu
 
 import (
 	"encoding/binary"
+	"sort"
 
 	"p4ce/internal/cm"
 	"p4ce/internal/sim"
 )
+
+// sortedConnIDs returns the ids of a connection map in ascending order,
+// so loops that emit network events stay deterministic under seeded
+// replay (Go randomizes map iteration).
+func sortedConnIDs(conns map[int]*cm.Conn) []int {
+	ids := make([]int, 0, len(conns))
+	for id := range conns {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
 
 // startTakeover begins the view change on the machine that just became
 // the lowest live identifier. The takeover delay aggregates the
@@ -38,7 +51,7 @@ func (n *Node) dialReplicas(seq int) {
 		granted  = make(map[int]*cm.Conn)
 		targets  []*peerState
 	)
-	for _, ps := range n.peerStates {
+	for _, ps := range n.peerOrder {
 		if n.peerAlive(ps) {
 			targets = append(targets, ps)
 		}
@@ -104,7 +117,7 @@ func (n *Node) catchUp(seq int, granted map[int]*cm.Conn) {
 	// the control-region values the monitor keeps fresh.
 	bestID := n.self.ID
 	bestTerm, bestIndex := uint64(n.lastTerm), n.lastIndex
-	for id := range granted {
+	for _, id := range sortedConnIDs(granted) {
 		ps := n.peerStates[id]
 		if ps.lastTerm > bestTerm || (ps.lastTerm == bestTerm && ps.lastIndex > bestIndex) {
 			bestID, bestTerm, bestIndex = id, ps.lastTerm, ps.lastIndex
@@ -191,8 +204,8 @@ func (n *Node) finishTakeover(seq int, granted map[int]*cm.Conn) {
 	n.replConns = make(map[int]*cm.Conn, len(granted))
 	n.role = RoleLeader
 	n.firstOwnIdx = n.lastIndex + 1 // the new-view no-op
-	for id, c := range granted {
-		n.addReplPath(id, c)
+	for _, id := range sortedConnIDs(granted) {
+		n.addReplPath(id, granted[id])
 	}
 	n.fenceTo(n.self.ID)
 	n.publishState()
@@ -241,6 +254,58 @@ func (n *Node) lowestCached() uint64 {
 	return n.lastIndex - uint64(n.cfg.CatchUpWindow) + 1
 }
 
+// discardUncommittedSuffix rewinds the log to the committed prefix.
+//
+// A deposed leader may hold entries it appended during its own view
+// that never reached a quorum. Keeping them would poison every
+// offset-based mechanism downstream: the catch-up chunk read patches
+// the donor's ring starting at the local write offset, and a new
+// leader's replication writes land at ring offsets computed over its
+// own layout — both assume this machine's log is a byte-exact prefix
+// of the new leader's. Entries at or below the commit index are held
+// by a quorum and identical on every machine, so the committed prefix
+// is exactly the safe rewind point; anything beyond it is discarded
+// and, if it did survive on f replicas, comes back via catch-up from
+// the next leader's log.
+func (n *Node) discardUncommittedSuffix() {
+	if n.lastIndex <= n.commitIndex {
+		return
+	}
+	off, lastTerm := 0, uint32(0)
+	if n.commitIndex > 0 {
+		ent, ok := n.recent[n.commitIndex]
+		if !ok {
+			// The tail of the committed prefix fell out of the cache
+			// window: no precise rewind point. Keep the suffix rather
+			// than corrupt the ring position.
+			return
+		}
+		e, _, _, decOK := DecodeEntryAt(ent.bytes, 0)
+		if !decOK {
+			return
+		}
+		off = ent.off + len(ent.bytes)
+		lastTerm = e.Term
+	}
+	for idx := n.commitIndex + 1; idx <= n.lastIndex; idx++ {
+		delete(n.recent, idx)
+	}
+	keep := n.pendingApply[:0]
+	for _, e := range n.pendingApply {
+		if e.Index <= n.commitIndex {
+			keep = append(keep, e)
+		}
+	}
+	n.pendingApply = keep
+	n.lastIndex = n.commitIndex
+	n.lastTerm = lastTerm
+	if n.maxDataIdx > n.commitIndex {
+		n.maxDataIdx = n.commitIndex
+	}
+	n.ring.SetOffset(off)
+	n.publishState()
+}
+
 // stepDown abandons leadership, failing whatever was in flight.
 func (n *Node) stepDown(cause error) {
 	if n.role == RoleFollower {
@@ -252,20 +317,28 @@ func (n *Node) stepDown(cause error) {
 		// the monitor can re-run the election once peers are reachable.
 		n.leaderID = -1
 	}
-	for _, c := range n.replConns {
-		n.nic.DestroyQP(c.QP)
+	for _, id := range sortedConnIDs(n.replConns) {
+		n.nic.DestroyQP(n.replConns[id].QP)
 	}
 	n.replConns = make(map[int]*cm.Conn)
 	n.direct = nil
 	n.preferred = nil
 	flushed := n.proposals
 	n.proposals = make(map[uint64]*proposal)
-	for _, p := range flushed {
-		if p.done != nil && !p.committed {
+	idxs := make([]uint64, 0, len(flushed))
+	for idx := range flushed {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		if p := flushed[idx]; p.done != nil && !p.committed {
 			p.done(cause)
 		}
 	}
-	// Resume consuming as a replica from the current ring position.
+	// Drop the uncommitted suffix, then resume consuming as a replica
+	// from the (rewound) ring position: the next leader's writes land
+	// right after the committed prefix this machine kept.
+	n.discardUncommittedSuffix()
 	n.consumer.readOff = n.ring.Offset()
 	n.consumer.nextIndex = n.lastIndex + 1
 	if n.OnLostLeader != nil {

@@ -17,7 +17,8 @@ type cluster struct {
 	k       *sim.Kernel
 	sw      *tofino.Switch
 	nodes   []*mu.Node
-	applied [][]string // per node, applied entry payloads
+	ports   []*simnet.Port // host-side port per node (fault injection)
+	applied [][]string     // per node, applied entry payloads
 }
 
 func newCluster(t *testing.T, n int, mutate func(*mu.Config)) *cluster {
@@ -52,6 +53,7 @@ func newCluster(t *testing.T, n int, mutate func(*mu.Config)) *cluster {
 		}
 		node := mu.NewNode(cfg, peers[i], others, nic)
 		node.SetPrimaryPort(hostPort)
+		c.ports = append(c.ports, hostPort)
 		idx := i
 		node.OnApply = func(e mu.Entry) {
 			c.applied[idx] = append(c.applied[idx], string(e.Data))

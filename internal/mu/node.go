@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"p4ce/internal/cm"
 	"p4ce/internal/rnic"
@@ -148,7 +149,12 @@ type Node struct {
 	startAt  sim.Time
 
 	peerStates map[int]*peerState
-	maxSeen    uint64 // highest term observed anywhere
+	// peerOrder holds the same states sorted by peer ID. Every loop whose
+	// body emits network events iterates this slice, never the map: Go
+	// randomizes map order per process, which would make two runs with the
+	// same kernel seed diverge.
+	peerOrder []*peerState
+	maxSeen   uint64 // highest term observed anywhere
 
 	// Leader state.
 	direct      *DirectTransport
@@ -248,6 +254,12 @@ func NewNode(cfg Config, self Peer, peers []Peer, nic *rnic.NIC) *Node {
 	for _, p := range peers {
 		n.peerStates[p.ID] = &peerState{peer: p, ctrlBuf: make([]byte, controlRegionBytes)}
 	}
+	for _, p := range peers {
+		n.peerOrder = append(n.peerOrder, n.peerStates[p.ID])
+	}
+	sort.Slice(n.peerOrder, func(i, j int) bool {
+		return n.peerOrder[i].peer.ID < n.peerOrder[j].peer.ID
+	})
 	n.agent.SetAcceptFunc(n.acceptCM)
 	return n
 }
@@ -314,7 +326,7 @@ func (n *Node) ForceView(leaderID int) {
 // LivePeers returns the peers currently considered alive.
 func (n *Node) LivePeers() []Peer {
 	var live []Peer
-	for _, ps := range n.peerStates {
+	for _, ps := range n.peerOrder {
 		if n.peerAlive(ps) {
 			live = append(live, ps.peer)
 		}
@@ -377,7 +389,7 @@ func (n *Node) Start() {
 		n.monTicker = n.k.NewTicker(n.cfg.MonitorInterval, n.monitorTick)
 	}
 	n.commitTicker = n.k.NewTicker(n.cfg.CommitSyncInterval, n.commitSyncTick)
-	for _, ps := range n.peerStates {
+	for _, ps := range n.peerOrder {
 		n.dialMonitor(ps)
 	}
 }
@@ -528,7 +540,7 @@ func (n *Node) monitorTick() {
 	if n.crashed {
 		return
 	}
-	for _, ps := range n.peerStates {
+	for _, ps := range n.peerOrder {
 		n.readPeer(ps)
 	}
 	n.evaluate()
@@ -542,7 +554,8 @@ func (n *Node) monitorTick() {
 // group update, Table IV) and replicas that missed the takeover dial —
 // or were momentarily unreachable — are brought back in and caught up.
 func (n *Node) reconcileReplicas() {
-	for id, ps := range n.peerStates {
+	for _, ps := range n.peerOrder {
+		id := ps.peer.ID
 		_, connected := n.replConns[id]
 		alive := n.peerAlive(ps)
 		switch {
@@ -656,7 +669,7 @@ func (n *Node) evaluate() {
 	minID := n.self.ID
 	anyPeerAlive := false
 	allPeersSilent := true
-	for _, ps := range n.peerStates {
+	for _, ps := range n.peerOrder {
 		if n.peerAlive(ps) {
 			anyPeerAlive = true
 			if ps.peer.ID < minID {
@@ -687,7 +700,7 @@ func (n *Node) maybeRouteFailover() {
 	n.routeTimer = n.k.Schedule(n.cfg.RouteReconvergenceDelay, func() {
 		n.nic.UseBackupRoute(true)
 		// Re-dial monitors over the new route.
-		for _, ps := range n.peerStates {
+		for _, ps := range n.peerOrder {
 			if ps.conn == nil || ps.conn.QP.State() != rnic.StateReady {
 				ps.conn = nil
 				n.dialMonitor(ps)
@@ -721,11 +734,15 @@ func (n *Node) fenceTo(leaderID int) {
 	leaderAddr := n.addrOf(leaderID)
 	allowed := append([]simnet.Addr{leaderAddr}, n.extraWriters...)
 	n.logMR.RestrictWriter(allowed...)
-	for owner, qps := range n.inbound {
-		if owner == leaderAddr {
-			continue
+	owners := make([]simnet.Addr, 0, len(n.inbound))
+	for owner := range n.inbound {
+		if owner != leaderAddr {
+			owners = append(owners, owner)
 		}
-		for _, qp := range qps {
+	}
+	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+	for _, owner := range owners {
+		for _, qp := range n.inbound[owner] {
 			n.nic.DestroyQP(qp)
 		}
 		delete(n.inbound, owner)

@@ -1,0 +1,132 @@
+package mu_test
+
+// Regression: a deposed leader must discard its uncommitted log suffix
+// when it steps down. Keeping the suffix poisons the ring position every
+// offset-based mechanism relies on — the catch-up chunk read patches the
+// donor's ring starting at the local write offset, and replication
+// writes land at offsets computed over the writer's own layout — so a
+// partitioned-then-healed leader would re-propose at indexes the
+// interim leader already committed with different data: committed-entry
+// divergence.
+
+import (
+	"fmt"
+	"testing"
+
+	"p4ce/internal/sim"
+	"p4ce/internal/simnet"
+)
+
+func TestDeposedLeaderDiscardsUncommittedSuffix(t *testing.T) {
+	c := newCluster(t, 3, nil)
+	leader := c.settle(t, 10*sim.Millisecond)
+	if leader.ID() != 0 {
+		t.Fatalf("initial leader = %d, want 0", leader.ID())
+	}
+
+	// A committed common prefix.
+	committed := 0
+	for i := 0; i < 5; i++ {
+		if err := leader.Propose([]byte(fmt.Sprintf("value-%d", i)), func(err error) {
+			if err != nil {
+				t.Fatalf("prefix commit: %v", err)
+			}
+			committed++
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.k.RunFor(5 * sim.Millisecond)
+	if committed != 5 {
+		t.Fatalf("committed %d of 5 prefix entries", committed)
+	}
+
+	// Partition the leader: blackhole both directions of its cable while
+	// the ports stay up.
+	drop := simnet.LossFunc(func([]byte) bool { return true })
+	c.ports[0].SetLossFunc(drop)
+	c.ports[0].Peer().SetLossFunc(drop)
+
+	// The partitioned leader still believes it leads and appends entries
+	// that can never reach a quorum.
+	orphanErrs := 0
+	for i := 0; i < 3; i++ {
+		if err := c.nodes[0].Propose([]byte(fmt.Sprintf("orphan-%d", i)), func(err error) {
+			if err == nil {
+				t.Error("orphan entry committed across a partition")
+				return
+			}
+			orphanErrs++
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The survivors elect node 1, which commits different entries at the
+	// same indexes the orphans occupy on node 0.
+	c.k.RunFor(15 * sim.Millisecond)
+	if !c.nodes[1].IsLeader() {
+		t.Fatalf("node 1 did not take over during the partition (role %v)", c.nodes[1].Role())
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.nodes[1].Propose([]byte(fmt.Sprintf("replacement-%d", i)), func(err error) {
+			if err != nil {
+				t.Fatalf("commit on interim leader: %v", err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.k.RunFor(5 * sim.Millisecond)
+
+	// The deposed leader has stepped down by now (its replication queue
+	// pairs exhausted their retries): its log must be rewound to the
+	// committed prefix, with the orphans flushed back to their callers.
+	if orphanErrs != 3 {
+		t.Fatalf("flushed %d of 3 orphan proposals", orphanErrs)
+	}
+	if last, commit := c.nodes[0].LastIndex(), c.nodes[0].CommitIndex(); last != commit {
+		t.Fatalf("deposed leader kept an uncommitted suffix: lastIndex=%d commitIndex=%d", last, commit)
+	}
+
+	// Heal. Node 0 (lowest live identifier) retakes the lead, adopting
+	// the interim leader's log.
+	c.ports[0].SetLossFunc(nil)
+	c.ports[0].Peer().SetLossFunc(nil)
+	c.k.RunFor(50 * sim.Millisecond)
+	if !c.nodes[0].IsLeader() {
+		t.Fatalf("node 0 did not retake leadership after the heal (role %v, leaderID %d)",
+			c.nodes[0].Role(), c.nodes[0].LeaderID())
+	}
+	done := false
+	if err := c.nodes[0].Propose([]byte("post-heal"), func(err error) {
+		if err != nil {
+			t.Fatalf("commit after heal: %v", err)
+		}
+		done = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.k.RunFor(10 * sim.Millisecond)
+	if !done {
+		t.Fatal("post-heal proposal never committed")
+	}
+
+	// Safety: every machine applied the same sequence — the committed
+	// replacements, never the orphans.
+	want := []string{
+		"value-0", "value-1", "value-2", "value-3", "value-4",
+		"replacement-0", "replacement-1", "replacement-2",
+		"post-heal",
+	}
+	for i, log := range c.applied {
+		if len(log) != len(want) {
+			t.Fatalf("node %d applied %d entries, want %d: %v", i, len(log), len(want), log)
+		}
+		for j := range want {
+			if log[j] != want[j] {
+				t.Fatalf("node %d applied %q at position %d, want %q", i, log[j], j, want[j])
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package p4ce
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"p4ce/internal/roce"
 	"p4ce/internal/sim"
@@ -133,14 +134,20 @@ func (cp *ControlPlane) handleLeaderRequest(msg *roce.CMMessage, from simnet.Add
 			cp.sendCM(from, s.leaderRep) // reply was lost: resend
 			return
 		}
-		// Still waiting on replicas: nudge the ones that have not replied.
-		for commID, idx := range s.outstanding {
-			cp.sendReplicaRequest(s, commID, idx)
+		// Still waiting on replicas: nudge the ones that have not replied,
+		// in a fixed order (map iteration would break seed replay).
+		pending := make([]uint32, 0, len(s.outstanding))
+		for commID := range s.outstanding {
+			pending = append(pending, commID)
+		}
+		sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+		for _, commID := range pending {
+			cp.sendReplicaRequest(s, commID, s.outstanding[commID])
 		}
 		return
 	}
 	rs, err := roce.UnmarshalReplicaSet(msg.PrivateData)
-	if err != nil || len(rs.Replicas) == 0 {
+	if err != nil || len(rs.Replicas) == 0 || len(rs.Replicas) > maxGatherReplicas {
 		cp.rejectLeader(from, msg.LocalCommID, 2)
 		return
 	}
@@ -167,6 +174,7 @@ func (cp *ControlPlane) handleLeaderRequest(msg *roce.CMMessage, from simnet.Add
 		virtualRKey:   cp.k.Rand().Uint32(),
 		f:             f,
 		numRecv:       cp.sw.AllocRegister(fmt.Sprintf("p4ce/g%d/numRecv", gid), numRecvSlots),
+		slotPSN:       cp.sw.AllocRegister(fmt.Sprintf("p4ce/g%d/slotPSN", gid), numRecvSlots),
 		credits:       cp.sw.AllocRegister(fmt.Sprintf("p4ce/g%d/credits", gid), len(rs.Replicas)),
 	}
 	s := &setup{g: g, leaderCommID: msg.LocalCommID, outstanding: make(map[uint32]int)}
@@ -266,19 +274,13 @@ func (cp *ControlPlane) handleReplicaReject(msg *roce.CMMessage) {
 func (cp *ControlPlane) finishSetup(s *setup) {
 	cp.k.Schedule(cp.cfg.ReconfigDelay, func() {
 		g := s.g
-		members := make([]tofino.GroupMember, len(g.replicas))
 		minBuf := uint32(1<<32 - 1)
 		for i := range g.replicas {
-			rep := &g.replicas[i]
-			members[i] = tofino.GroupMember{Port: rep.Port, RID: ridFor(g.id, rep.EpID)}
-			if rep.BufLen < minBuf {
-				minBuf = rep.BufLen
+			if g.replicas[i].BufLen < minBuf {
+				minBuf = g.replicas[i].BufLen
 			}
-			// Credits start saturated; the first real ACK overwrites them.
-			g.credits.Write(int(rep.EpID), 31)
 		}
-		cp.sw.SetMulticastGroup(g.id, members)
-		cp.dp.installGroup(g)
+		cp.programGroup(g)
 		s.installed = true
 		cp.groups[g.leaderIP] = g
 		s.leaderRep = &roce.CMMessage{
@@ -293,6 +295,50 @@ func (cp *ControlPlane) finishSetup(s *setup) {
 		}
 		cp.sendCM(g.leaderIP, s.leaderRep)
 	})
+}
+
+// programGroup writes one group's full data-plane state: gather
+// registers, replication-engine membership, match tables.
+func (cp *ControlPlane) programGroup(g *group) {
+	g.resetGatherState()
+	members := make([]tofino.GroupMember, len(g.replicas))
+	for i := range g.replicas {
+		rep := &g.replicas[i]
+		members[i] = tofino.GroupMember{Port: rep.Port, RID: ridFor(g.id, rep.EpID)}
+	}
+	cp.sw.SetMulticastGroup(g.id, members)
+	cp.dp.installGroup(g)
+}
+
+// ReinstallGroups re-programs the data plane from the control plane's
+// shadow state after a switch reboot wiped the replication engine, the
+// registers and the match tables. One ReconfigDelay covers the whole
+// batch (BfRt batches the writes), after which in-flight leader
+// retransmissions find the tables back and recover without any
+// endpoint noticing — provided their retry budget outlives the outage;
+// otherwise the leaders fall back to direct replication and re-dial.
+// done, if non-nil, fires when the data plane is consistent again.
+func (cp *ControlPlane) ReinstallGroups(done func()) {
+	cp.k.Schedule(cp.cfg.ReconfigDelay, func() {
+		for _, leader := range cp.sortedGroupLeaders() {
+			cp.programGroup(cp.groups[leader])
+		}
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// sortedGroupLeaders returns the group keys in a fixed order: map
+// iteration order is randomized per run, and re-programming emits
+// events whose order must replay identically under one seed.
+func (cp *ControlPlane) sortedGroupLeaders() []simnet.Addr {
+	leaders := make([]simnet.Addr, 0, len(cp.groups))
+	for l := range cp.groups {
+		leaders = append(leaders, l)
+	}
+	sort.Slice(leaders, func(i, j int) bool { return leaders[i] < leaders[j] })
+	return leaders
 }
 
 func (cp *ControlPlane) rejectLeader(leader simnet.Addr, commID uint32, reason uint8) {
@@ -368,10 +414,11 @@ type GroupInfo struct {
 	Replicas []simnet.Addr
 }
 
-// Groups lists installed groups.
+// Groups lists installed groups, ordered by leader address.
 func (cp *ControlPlane) Groups() []GroupInfo {
 	out := make([]GroupInfo, 0, len(cp.groups))
-	for _, g := range cp.groups {
+	for _, leader := range cp.sortedGroupLeaders() {
+		g := cp.groups[leader]
 		info := GroupInfo{
 			Leader:  g.leaderIP,
 			BCastQP: g.bcastQP,

@@ -12,6 +12,8 @@
 package p4ce
 
 import (
+	"math/bits"
+
 	"p4ce/internal/roce"
 	"p4ce/internal/simnet"
 	"p4ce/internal/tofino"
@@ -62,10 +64,14 @@ type group struct {
 	f        int // positive ACKs required before answering the leader
 	replicas []replicaEntry
 
-	// Stateful registers (Table II): NumRecv counts ACKs per in-flight
-	// PSN (256 slots → up to 256 un-acknowledged packets per connection,
-	// §IV-C), and credits holds the most recent credit count per replica.
+	// Stateful registers (Table II). NumRecv is the paper's per-PSN ACK
+	// aggregation state (256 slots → up to 256 un-acknowledged packets
+	// per connection, §IV-C), generalized from a plain counter to an
+	// ACK-set so recovery under loss is exact — see the invariant at
+	// gatherAggregate. slotPSN records which PSN currently owns each
+	// slot, and credits holds the most recent credit count per replica.
 	numRecv *tofino.Register
+	slotPSN *tofino.Register
 	credits *tofino.Register
 
 	enabled bool
@@ -73,6 +79,26 @@ type group struct {
 
 // numRecvSlots is the gather window size (§IV-C).
 const numRecvSlots = 256
+
+// Gather slot encoding. Each NumRecv cell is a 32-bit word holding a
+// bitmap of the replica EpIDs whose positive ACK for the slot's PSN has
+// been seen (bits 0..maxGatherReplicas-1) plus a "forwarded" flag in
+// the top bit, set once the aggregated ACK for the current transmission
+// round has been emitted toward the leader. On hardware this stays one
+// stateful-ALU RMW per packet: bit-OR plus a threshold lookup on the
+// (at most 24-bit) set value.
+const (
+	gatherForwarded = uint32(1) << 31
+	// maxGatherReplicas bounds a group's replica count to the bitmap
+	// width.
+	maxGatherReplicas = 24
+	// noSlotPSN marks an unoccupied slot; it can never collide with a
+	// real 24-bit PSN.
+	noSlotPSN = ^uint32(0)
+	// creditSaturated is the 5-bit AETH all-ones value, which requesters
+	// interpret as "no flow-control limit".
+	creditSaturated = 31
+)
 
 // replicaByIP finds the member entry for a source address.
 func (g *group) replicaByIP(ip simnet.Addr) *replicaEntry {
@@ -96,6 +122,34 @@ func (g *group) minCredit() uint32 {
 		acc = tofino.MinFold(acc, g.credits.Read(int(r.EpID)))
 	}
 	return acc
+}
+
+// clampCredit saturates a credit count to the AETH syndrome's 5-bit
+// field. A bare uint8() conversion wraps counts above 255 — and the
+// field's own &0x1F encoding wraps anything above 31 — into a small
+// value that falsely throttles the leader; saturating is exact, because
+// 31 is the "unlimited" sentinel and any count ≥31 means the same thing
+// to the requester.
+func clampCredit(c uint32) uint8 {
+	if c >= creditSaturated {
+		return creditSaturated
+	}
+	return uint8(c)
+}
+
+// resetGatherState returns the group's registers to their
+// just-programmed state: every slot unoccupied, every ACK set empty,
+// every credit saturated (the first real ACK overwrites it, §IV-A).
+// The control plane runs this when the group is first installed and
+// again when re-programming a rebooted switch.
+func (g *group) resetGatherState() {
+	g.numRecv.Clear()
+	for i := 0; i < g.slotPSN.Size(); i++ {
+		g.slotPSN.Write(i, noSlotPSN)
+	}
+	for i := range g.replicas {
+		g.credits.Write(int(g.replicas[i].EpID), creditSaturated)
+	}
 }
 
 // scatterEntry resolves a multicast copy's replication id to its group
@@ -124,13 +178,14 @@ type Dataplane struct {
 
 // DataplaneStats counts the P4CE program's decisions.
 type DataplaneStats struct {
-	Scattered      uint64 // write packets multicast to the group
-	AcksAggregated uint64 // positive ACKs absorbed (sub-majority)
-	AcksForwarded  uint64 // f-th ACKs forwarded to the leader
-	NaksForwarded  uint64 // NAK/RNR passed through unconditionally
-	BadRKeyDrops   uint64
-	UnknownQPDrops uint64
-	StaleAckDrops  uint64
+	Scattered          uint64 // write packets multicast to the group
+	ScatterRetransmits uint64 // of which go-back-N re-sends of a tracked PSN
+	AcksAggregated     uint64 // positive ACKs absorbed (sub-quorum or duplicate)
+	AcksForwarded      uint64 // aggregated ACKs forwarded to the leader
+	NaksForwarded      uint64 // NAK/RNR passed through unconditionally
+	BadRKeyDrops       uint64
+	UnknownQPDrops     uint64
+	StaleAckDrops      uint64 // ACKs for a PSN its slot no longer tracks
 }
 
 var _ tofino.Program = (*Dataplane)(nil)
@@ -187,9 +242,27 @@ func (dp *Dataplane) ingressScatter(g *group, pkt *roce.Packet) tofino.IngressRe
 		dp.Stats.BadRKeyDrops++
 		return tofino.IngressResult{Verdict: tofino.VerdictDrop}
 	}
-	// Prepare aggregation for the answers: reset NumRecv at this PSN's
-	// slot before the copies leave (§IV-B).
-	g.numRecv.Write(int(pkt.PSN)%numRecvSlots, 0)
+	// Prepare aggregation for the answers before the copies leave
+	// (§IV-B). The reset is retransmission-aware: wiping the slot on
+	// every write would erase the ACKs distinct replicas already sent
+	// for this very PSN, and the duplicate ACKs that follow a go-back-N
+	// retransmission would then re-count one replica toward a bogus f.
+	slot := int(pkt.PSN) % numRecvSlots
+	switch g.slotPSN.Read(slot) {
+	case pkt.PSN:
+		// A go-back-N retransmission of the PSN this slot already
+		// tracks: the leader evidently never received the aggregated
+		// ACK. Keep the membership bits — those replicas hold the data,
+		// their ACKs are history — but clear the forwarded flag so the
+		// aggregation re-arms and answers this round too.
+		dp.Stats.ScatterRetransmits++
+		g.numRecv.Write(slot, g.numRecv.Read(slot)&^gatherForwarded)
+	default:
+		// A new PSN takes the slot over (or the slot is reused 256 PSNs
+		// later): start an empty ACK set.
+		g.slotPSN.Write(slot, pkt.PSN)
+		g.numRecv.Write(slot, 0)
+	}
 	dp.Stats.Scattered++
 	return tofino.IngressResult{Verdict: tofino.VerdictMulticast, Group: g.id}
 }
@@ -220,22 +293,62 @@ func (dp *Dataplane) ingressGather(g *group, pkt *roce.Packet) tofino.IngressRes
 	if dp.dropMode == DropInLeaderEgress {
 		// Ablation: translate and pass every ACK to the leader's egress,
 		// which does the counting — the paper's first implementation.
-		dp.rewriteAckForLeader(g, pkt, leaderPSN, pkt.Syndrome)
+		// The source address (the replica's identity) survives until the
+		// egress aggregation has attributed the ACK; egress masks it.
+		pkt.DstIP = g.leaderIP
+		pkt.DestQP = g.leaderQPN
+		pkt.PSN = leaderPSN
 		return tofino.IngressResult{Verdict: tofino.VerdictForward, OutPort: g.leaderPort}
 	}
 
-	cnt := g.numRecv.AddRead(int(leaderPSN)%numRecvSlots, 1)
-	if cnt != uint32(g.f) {
-		// Sub-majority (or beyond-majority duplicate): absorbed here, in
-		// the ingress of the replica's own port, so each port's parser
-		// carries only its own replica's ACK load.
-		dp.Stats.AcksAggregated++
+	if !dp.gatherAggregate(g, rep, leaderPSN) {
+		// Absorbed here, in the ingress of the replica's own port, so
+		// each port's parser carries only its own replica's ACK load.
 		return tofino.IngressResult{Verdict: tofino.VerdictDrop}
 	}
 	dp.Stats.AcksForwarded++
-	syn := roce.MakeSyndrome(roce.AckPositive, uint8(g.minCredit()))
+	syn := roce.MakeSyndrome(roce.AckPositive, clampCredit(g.minCredit()))
 	dp.rewriteAckForLeader(g, pkt, leaderPSN, syn)
 	return tofino.IngressResult{Verdict: tofino.VerdictForward, OutPort: g.leaderPort}
+}
+
+// gatherAggregate folds one positive ACK into its PSN's slot and
+// reports whether this is the ACK to forward to the leader. It
+// maintains the gather invariant:
+//
+//   - a slot's ACK set only ever contains replicas that acknowledged —
+//     and therefore hold — the slot's PSN; duplicates are idempotent
+//     (a replica's beyond-f or repeated ACK can never double-count
+//     toward the quorum), so a forwarded ACK always proves f *distinct*
+//     replicas persisted the write;
+//   - the set accumulates across go-back-N rounds (ingressScatter keeps
+//     it on retransmission), so ACKs from different transmission rounds
+//     combine and recovery needs only the missing replicas to answer;
+//   - the forwarded flag makes the f-th crossing exact: the aggregated
+//     ACK is emitted once per transmission round, on the first ACK that
+//     finds the quorum complete and the flag clear — whether that ACK
+//     is the f-th distinct one or the first duplicate after a
+//     retransmission re-armed the slot (the lost-forwarded-ACK case) —
+//     and every later ACK of the round is absorbed, so the counter can
+//     never step past f and leave the leader stalled.
+func (dp *Dataplane) gatherAggregate(g *group, rep *replicaEntry, leaderPSN uint32) bool {
+	slot := int(leaderPSN) % numRecvSlots
+	if g.slotPSN.Read(slot) != leaderPSN {
+		// The slot tracks a different PSN: a straggler ACK from a
+		// previous window epoch (or from before a switch reboot wiped
+		// the slot). It must not pollute the current occupant's count.
+		dp.Stats.StaleAckDrops++
+		return false
+	}
+	set := g.numRecv.Read(slot)
+	withBit := set | uint32(1)<<rep.EpID
+	g.numRecv.Write(slot, withBit)
+	if set&gatherForwarded != 0 || bits.OnesCount32(withBit&^gatherForwarded) < g.f {
+		dp.Stats.AcksAggregated++
+		return false
+	}
+	g.numRecv.Write(slot, withBit|gatherForwarded)
+	return true
 }
 
 // rewriteAckForLeader mutates an ACK in place so the leader sees a
@@ -264,13 +377,20 @@ func (dp *Dataplane) Egress(sw *tofino.Switch, out tofino.PortID, rid uint16, pk
 			if pkt.Syndrome.Type() != roce.AckPositive {
 				return true // NAKs always reach the leader
 			}
-			cnt := g.numRecv.AddRead(int(pkt.PSN)%numRecvSlots, 1)
-			if cnt != uint32(g.f) {
-				dp.Stats.AcksAggregated++
+			// Ingress left the replica's source address in place so the
+			// aggregation can attribute the ACK; whatever leaves toward
+			// the leader must look switch-originated.
+			rep := g.replicaByIP(pkt.SrcIP)
+			pkt.SrcIP = sw.IP()
+			if rep == nil {
+				dp.Stats.StaleAckDrops++
+				return false
+			}
+			if !dp.gatherAggregate(g, rep, pkt.PSN) {
 				return false
 			}
 			dp.Stats.AcksForwarded++
-			pkt.Syndrome = roce.MakeSyndrome(roce.AckPositive, uint8(g.minCredit()))
+			pkt.Syndrome = roce.MakeSyndrome(roce.AckPositive, clampCredit(g.minCredit()))
 			return true
 		}
 	}
@@ -304,6 +424,18 @@ func (dp *Dataplane) installGroup(g *group) {
 		dp.rids.Insert(ridFor(g.id, rep.EpID), &scatterEntry{g: g, rep: rep})
 	}
 	g.enabled = true
+}
+
+// Reset wipes every match table, the state a power-cycled switch boots
+// with (tofino.Switch.Reboot clears the registers and the replication
+// engine; the program's own tables are the program's to wipe). The
+// control plane rebuilds everything with ReinstallGroups. Counters
+// survive as diagnostics.
+func (dp *Dataplane) Reset() {
+	dp.bcast.Clear()
+	dp.aggr.Clear()
+	dp.byLeaderQPN.Clear()
+	dp.rids.Clear()
 }
 
 // removeGroup withdraws a group from the match tables.

@@ -1,0 +1,189 @@
+package p4ce
+
+// End-to-end gather-under-loss regression suite: scripted single-packet
+// drops on real links, asserting the leader still commits through
+// go-back-N retransmission and that no replica log diverges. Each test
+// targets one leg of the scatter/gather round trip.
+
+import (
+	"bytes"
+	"testing"
+
+	"p4ce/internal/roce"
+	"p4ce/internal/sim"
+	"p4ce/internal/simnet"
+)
+
+// dropFirst returns a scripted LossFunc that discards the first n frames
+// matching the predicate and passes everything else.
+func dropFirst(n int, match func(*roce.Packet) bool) simnet.LossFunc {
+	dropped := 0
+	return func(frame []byte) bool {
+		if dropped >= n {
+			return false
+		}
+		pkt, err := roce.Unmarshal(frame)
+		if err != nil || !match(pkt) {
+			return false
+		}
+		dropped++
+		return true
+	}
+}
+
+func isAck(p *roce.Packet) bool   { return p.OpCode == roce.OpAcknowledge }
+func isWrite(p *roce.Packet) bool { return p.OpCode.IsWrite() }
+
+// assertLogsConverged checks every replica holds the same bytes.
+func assertLogsConverged(t *testing.T, f *fabric, length int) {
+	t.Helper()
+	want := f.logs[0].Bytes()[:length]
+	for i, log := range f.logs[1:] {
+		if !bytes.Equal(log.Bytes()[:length], want) {
+			t.Fatalf("replica %d log diverges from replica 0", i+1)
+		}
+	}
+}
+
+// assertBoundedRetransmits fails on a retransmit storm: recovery from a
+// single dropped packet needs a handful of go-back-N rounds at most.
+func assertBoundedRetransmits(t *testing.T, f *fabric, min uint64) {
+	t.Helper()
+	got := f.leader.Stats.Retransmits
+	if got < min {
+		t.Fatalf("leader retransmits = %d, want ≥ %d (recovery must go through retransmission)", got, min)
+	}
+	if got > 10 {
+		t.Fatalf("leader retransmits = %d: retransmit storm", got)
+	}
+}
+
+// Scenario (a): the ACKs of two replicas are lost, leaving the gather
+// one short of quorum. The leader's timeout retransmission re-arms the
+// slot; the victims' ACKs for the new round combine with the survivor's
+// first-round ACK (which the switch kept) and the write commits.
+func TestGatherRecoversLostReplicaAck(t *testing.T) {
+	f := newFabric(t, 3, DropInIngress) // f = 2
+	conn := f.dialGroup(t)
+	// Replica host ports are hostPorts[1..]; drop the first ACK each of
+	// replicas 0 and 1 sends.
+	f.hostPorts[1].SetLossFunc(dropFirst(1, isAck))
+	f.hostPorts[2].SetLossFunc(dropFirst(1, isAck))
+
+	var done bool
+	if err := conn.QP.PostWrite([]byte("ack-lost"), 0, conn.RemoteRKey, func(err error) {
+		if err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		done = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.k.RunFor(5 * sim.Millisecond)
+	if !done {
+		t.Fatal("write never committed after lost replica ACKs")
+	}
+	assertBoundedRetransmits(t, f, 1)
+	assertLogsConverged(t, f, len("ack-lost"))
+	if f.dp.Stats.ScatterRetransmits == 0 {
+		t.Fatal("switch never saw the retransmission round")
+	}
+}
+
+// Scenario (b): the aggregated f-th ACK is lost on the switch→leader
+// link. The quorum is complete inside the switch, but the leader cannot
+// know; its retransmission must re-arm the forwarded flag so the first
+// duplicate ACK re-emits the aggregate.
+func TestGatherRecoversLostForwardedAck(t *testing.T) {
+	f := newFabric(t, 3, DropInIngress)
+	conn := f.dialGroup(t)
+	// swPorts[0] is the switch side of the leader's cable: everything the
+	// switch sends the leader, including the aggregated ACK, leaves here.
+	f.swPorts[0].SetLossFunc(dropFirst(1, isAck))
+
+	var done bool
+	if err := conn.QP.PostWrite([]byte("fwd-lost"), 0, conn.RemoteRKey, func(err error) {
+		if err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		done = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.k.RunFor(5 * sim.Millisecond)
+	if !done {
+		t.Fatal("write never committed after lost forwarded ACK")
+	}
+	assertBoundedRetransmits(t, f, 1)
+	assertLogsConverged(t, f, len("fwd-lost"))
+	if f.dp.Stats.AcksForwarded < 2 {
+		t.Fatalf("AcksForwarded = %d, want ≥ 2 (one per round)", f.dp.Stats.AcksForwarded)
+	}
+}
+
+// Scenario (c): scattered write copies are lost on the switch→replica
+// links of enough replicas that the quorum cannot complete without
+// them. The leader, never answered, times out and retransmits; the
+// rescattered copies reach the victims, whose ACKs combine with the
+// survivor's first-round ACK and the write commits with every log in
+// sync. (Losing a copy to a replica the quorum does not need is the
+// complementary case: the transport commits without it and the laggard
+// is repaired by the consensus layer's re-replication, not by
+// go-back-N — the leader has already released the packet.)
+func TestGatherRecoversLostScatterCopy(t *testing.T) {
+	f := newFabric(t, 3, DropInIngress) // f = 2
+	conn := f.dialGroup(t)
+	// Lose the first write copy headed to replicas 1 and 2 (swPorts[2..3]
+	// are the switch sides of their cables): only replica 0 gets round 1.
+	f.swPorts[2].SetLossFunc(dropFirst(1, isWrite))
+	f.swPorts[3].SetLossFunc(dropFirst(1, isWrite))
+
+	var done bool
+	if err := conn.QP.PostWrite([]byte("copy-lost"), 0, conn.RemoteRKey, func(err error) {
+		if err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		done = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.k.RunFor(5 * sim.Millisecond)
+	if !done {
+		t.Fatal("write never committed after lost scatter copies")
+	}
+	assertBoundedRetransmits(t, f, 1)
+	assertLogsConverged(t, f, len("copy-lost"))
+	// The victims' logs specifically must hold the entry.
+	for _, i := range []int{1, 2} {
+		if !bytes.Equal(f.logs[i].Bytes()[:9], []byte("copy-lost")) {
+			t.Fatalf("victim replica %d never recovered the lost copy", i)
+		}
+	}
+	if f.dp.Stats.ScatterRetransmits == 0 {
+		t.Fatal("recovery did not go through a scatter retransmission")
+	}
+}
+
+// The same three recoveries must hold in the egress-drop ablation.
+func TestGatherLossRecoveryEgressAblation(t *testing.T) {
+	f := newFabric(t, 3, DropInLeaderEgress)
+	conn := f.dialGroup(t)
+	f.hostPorts[1].SetLossFunc(dropFirst(1, isAck))
+	f.swPorts[0].SetLossFunc(dropFirst(1, isAck))
+
+	var done bool
+	if err := conn.QP.PostWrite([]byte("ablation"), 0, conn.RemoteRKey, func(err error) {
+		if err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		done = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.k.RunFor(5 * sim.Millisecond)
+	if !done {
+		t.Fatal("write never committed under loss in egress-drop mode")
+	}
+	assertBoundedRetransmits(t, f, 1)
+	assertLogsConverged(t, f, len("ablation"))
+}

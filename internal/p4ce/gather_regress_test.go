@@ -1,0 +1,263 @@
+package p4ce
+
+// Regression tests for the gather pipeline's recovery-path bugs: the
+// packets are injected straight into the program (no NICs, no wires), so
+// each test pins one state-machine property of the NumRecv/slotPSN
+// aggregation that the end-to-end suites only exercise indirectly.
+
+import (
+	"testing"
+
+	"p4ce/internal/roce"
+	"p4ce/internal/sim"
+	"p4ce/internal/simnet"
+	"p4ce/internal/tofino"
+)
+
+// newRegressGroup hand-builds an installed group the way the control
+// plane would, bypassing the CM handshake.
+func newRegressGroup(t *testing.T, mode DropMode, nRep, f int) (*Dataplane, *tofino.Switch, *group) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	sw := tofino.New(k, "sw", 99, tofino.DefaultConfig())
+	dp := NewDataplane(mode)
+	sw.SetProgram(dp)
+	g := &group{
+		id:            1,
+		bcastQP:       0x100,
+		aggrQP:        0x101,
+		leaderIP:      1,
+		leaderPort:    0,
+		leaderQPN:     0x10,
+		leaderPSNBase: 0,
+		virtualRKey:   0xabc,
+		f:             f,
+		numRecv:       sw.AllocRegister("numRecv", numRecvSlots),
+		slotPSN:       sw.AllocRegister("slotPSN", numRecvSlots),
+		credits:       sw.AllocRegister("credits", nRep),
+	}
+	for i := 0; i < nRep; i++ {
+		g.replicas = append(g.replicas, replicaEntry{
+			EpID: uint8(i), Port: tofino.PortID(i + 1),
+			IP: simnet.Addr(10 + i), QPN: uint32(0x200 + i),
+		})
+	}
+	g.resetGatherState()
+	dp.installGroup(g)
+	return dp, sw, g
+}
+
+// scatterWrite injects one leader write into the ingress pipeline.
+func scatterWrite(t *testing.T, dp *Dataplane, sw *tofino.Switch, g *group, psn uint32) {
+	t.Helper()
+	pkt := &roce.Packet{
+		SrcIP: g.leaderIP, DstIP: sw.IP(), OpCode: roce.OpWriteOnly,
+		DestQP: g.bcastQP, PSN: psn, RKey: g.virtualRKey, AckReq: true,
+	}
+	res := dp.Ingress(sw, 0, pkt)
+	if res.Verdict != tofino.VerdictMulticast {
+		t.Fatalf("scatter PSN %d: verdict %v, want multicast", psn, res.Verdict)
+	}
+}
+
+// replicaAck injects one replica ACK (for the leader-space PSN) and
+// returns the ingress verdict plus the possibly rewritten packet.
+func replicaAck(dp *Dataplane, sw *tofino.Switch, g *group, rep int, leaderPSN uint32, credit uint8) (tofino.IngressResult, *roce.Packet) {
+	r := &g.replicas[rep]
+	pkt := &roce.Packet{
+		SrcIP: r.IP, DstIP: sw.IP(), OpCode: roce.OpAcknowledge,
+		DestQP:   g.aggrQP,
+		PSN:      roce.PSNAdd(r.PSNBase, roce.PSNDiff(leaderPSN, g.leaderPSNBase)),
+		Syndrome: roce.MakeSyndrome(roce.AckPositive, credit),
+	}
+	res := dp.Ingress(sw, tofino.PortID(rep+1), pkt)
+	return res, pkt
+}
+
+// A replica re-ACKing the same PSN (go-back-N duplicates, beyond-f
+// stragglers) must never count twice toward the quorum: the seed kept a
+// plain counter and forwarded a bogus aggregated ACK after two
+// duplicates from one replica, acknowledging data only one replica held.
+func TestGatherDuplicateAckDoesNotForward(t *testing.T) {
+	dp, sw, g := newRegressGroup(t, DropInIngress, 3, 2)
+	scatterWrite(t, dp, sw, g, 0)
+
+	for i := 0; i < 3; i++ {
+		if res, _ := replicaAck(dp, sw, g, 0, 0, 31); res.Verdict != tofino.VerdictDrop {
+			t.Fatalf("ACK %d from replica 0: verdict %v, want drop", i, res.Verdict)
+		}
+	}
+	if dp.Stats.AcksForwarded != 0 {
+		t.Fatalf("forwarded %d ACKs off a single replica, want 0", dp.Stats.AcksForwarded)
+	}
+	res, pkt := replicaAck(dp, sw, g, 1, 0, 31)
+	if res.Verdict != tofino.VerdictForward {
+		t.Fatalf("f-th distinct ACK: verdict %v, want forward", res.Verdict)
+	}
+	if pkt.DstIP != g.leaderIP || pkt.DestQP != g.leaderQPN {
+		t.Fatalf("forwarded ACK not rewritten for the leader: %+v", pkt)
+	}
+	// Beyond-f ACKs of the same round are absorbed.
+	if res, _ := replicaAck(dp, sw, g, 2, 0, 31); res.Verdict != tofino.VerdictDrop {
+		t.Fatalf("beyond-f ACK: verdict %v, want drop", res.Verdict)
+	}
+	if dp.Stats.AcksForwarded != 1 {
+		t.Fatalf("AcksForwarded = %d, want exactly 1", dp.Stats.AcksForwarded)
+	}
+}
+
+// A go-back-N retransmission must not erase the ACKs already gathered
+// for the same PSN: the replicas that answered hold the data, and only
+// the missing ones need to answer the new round. The seed wiped the
+// slot on every write, so the quorum could never complete when ACKs
+// straddled a retransmission — the leader stalled until its retry
+// budget ran out.
+func TestGatherAccumulatesAcrossRetransmitRounds(t *testing.T) {
+	dp, sw, g := newRegressGroup(t, DropInIngress, 3, 2)
+	scatterWrite(t, dp, sw, g, 0)
+	if res, _ := replicaAck(dp, sw, g, 0, 0, 31); res.Verdict != tofino.VerdictDrop {
+		t.Fatalf("first sub-quorum ACK: verdict %v, want drop", res.Verdict)
+	}
+	// The write to replica 1 was lost; the leader times out and re-sends.
+	scatterWrite(t, dp, sw, g, 0)
+	if dp.Stats.ScatterRetransmits != 1 {
+		t.Fatalf("ScatterRetransmits = %d, want 1", dp.Stats.ScatterRetransmits)
+	}
+	// Replica 1's ACK for the retransmission completes the quorum with
+	// replica 0's first-round ACK.
+	if res, _ := replicaAck(dp, sw, g, 1, 0, 31); res.Verdict != tofino.VerdictForward {
+		t.Fatalf("quorum-completing ACK after retransmit: verdict %v, want forward", res.Verdict)
+	}
+	if dp.Stats.AcksForwarded != 1 {
+		t.Fatalf("AcksForwarded = %d, want 1", dp.Stats.AcksForwarded)
+	}
+}
+
+// When the aggregated ACK itself is lost, the leader retransmits a PSN
+// whose quorum is already complete. The retransmission must re-arm the
+// slot so the first duplicate ACK re-emits the aggregate; without it
+// (the seed's exact-equality `cnt != f` check) every further ACK
+// stepped the counter past f and the leader could never be answered.
+func TestGatherRearmsAfterRetransmission(t *testing.T) {
+	dp, sw, g := newRegressGroup(t, DropInIngress, 3, 2)
+	scatterWrite(t, dp, sw, g, 0)
+	replicaAck(dp, sw, g, 0, 0, 31)
+	if res, _ := replicaAck(dp, sw, g, 1, 0, 31); res.Verdict != tofino.VerdictForward {
+		t.Fatalf("initial quorum: verdict %v, want forward", res.Verdict)
+	}
+	// Straggler of the same round: absorbed.
+	replicaAck(dp, sw, g, 2, 0, 31)
+
+	// The forwarded ACK never reached the leader: it retransmits.
+	scatterWrite(t, dp, sw, g, 0)
+	res, _ := replicaAck(dp, sw, g, 0, 0, 31)
+	if res.Verdict != tofino.VerdictForward {
+		t.Fatalf("first duplicate after re-arm: verdict %v, want forward", res.Verdict)
+	}
+	if res, _ := replicaAck(dp, sw, g, 1, 0, 31); res.Verdict != tofino.VerdictDrop {
+		t.Fatalf("second duplicate of the round: verdict %v, want drop", res.Verdict)
+	}
+	if dp.Stats.AcksForwarded != 2 {
+		t.Fatalf("AcksForwarded = %d, want 2 (one per round)", dp.Stats.AcksForwarded)
+	}
+}
+
+// An ACK for a PSN its slot no longer tracks (a straggler from 256
+// packets ago, or from before a reboot wiped the registers) must be
+// dropped without polluting the current occupant's quorum.
+func TestGatherStaleAckDropped(t *testing.T) {
+	dp, sw, g := newRegressGroup(t, DropInIngress, 3, 2)
+	scatterWrite(t, dp, sw, g, 0)
+	scatterWrite(t, dp, sw, g, numRecvSlots) // same slot, new owner
+	if res, _ := replicaAck(dp, sw, g, 0, 0, 31); res.Verdict != tofino.VerdictDrop {
+		t.Fatalf("stale ACK: verdict %v, want drop", res.Verdict)
+	}
+	if dp.Stats.StaleAckDrops == 0 {
+		t.Fatal("stale ACK not counted")
+	}
+	// The new occupant still needs f distinct ACKs of its own.
+	replicaAck(dp, sw, g, 0, numRecvSlots, 31)
+	if dp.Stats.AcksForwarded != 0 {
+		t.Fatalf("stale ACK leaked into the new PSN's quorum")
+	}
+	if res, _ := replicaAck(dp, sw, g, 1, numRecvSlots, 31); res.Verdict != tofino.VerdictForward {
+		t.Fatalf("new occupant quorum: verdict %v, want forward", res.Verdict)
+	}
+}
+
+// clampCredit must saturate, not wrap: a bare uint8() conversion turns
+// 300 into 44, and the syndrome's own 5-bit encoding turns that into 12
+// — a false throttle. 31 is the field's "unlimited" sentinel.
+func TestClampCreditSaturates(t *testing.T) {
+	cases := []struct {
+		in   uint32
+		want uint8
+	}{{0, 0}, {12, 12}, {30, 30}, {31, 31}, {32, 31}, {64, 31}, {300, 31}, {1 << 20, 31}}
+	for _, c := range cases {
+		if got := clampCredit(c.in); got != c.want {
+			t.Errorf("clampCredit(%d) = %d, want %d", c.in, got, c.want)
+		}
+		if got := roce.MakeSyndrome(roce.AckPositive, clampCredit(c.in)).Value(); got != c.want {
+			t.Errorf("syndrome round-trip of clampCredit(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// Replicas that have not yet reported a credit count must not drag the
+// advertised minimum to zero: resetGatherState seeds every cell with
+// the saturated value, so the first aggregated ACK carries the minimum
+// of the counts actually reported. The seed left the cells at their
+// power-up zero and advertised zero credits until every replica had
+// ACKed at least once.
+func TestGatherCreditMinOverReportedReplicas(t *testing.T) {
+	dp, sw, g := newRegressGroup(t, DropInIngress, 3, 2)
+	scatterWrite(t, dp, sw, g, 0)
+	replicaAck(dp, sw, g, 0, 0, 20)
+	res, pkt := replicaAck(dp, sw, g, 1, 0, 25)
+	if res.Verdict != tofino.VerdictForward {
+		t.Fatalf("quorum: verdict %v, want forward", res.Verdict)
+	}
+	if got := pkt.Syndrome.Value(); got != 20 {
+		t.Fatalf("advertised credit = %d, want 20 (min of the reported counts)", got)
+	}
+}
+
+// The egress-drop ablation must enforce the same invariants, with the
+// counting moved to the leader's egress pipeline. The replica's source
+// address survives ingress so egress can attribute the ACK, and is
+// masked before anything leaves toward the leader.
+func TestGatherEgressAblationInvariants(t *testing.T) {
+	dp, sw, g := newRegressGroup(t, DropInLeaderEgress, 3, 2)
+	scatterWrite(t, dp, sw, g, 0)
+
+	egress := func(rep int) (bool, *roce.Packet) {
+		res, pkt := replicaAck(dp, sw, g, rep, 0, 31)
+		if res.Verdict != tofino.VerdictForward {
+			t.Fatalf("ablation ingress must forward every positive ACK, got %v", res.Verdict)
+		}
+		if pkt.SrcIP != g.replicas[rep].IP {
+			t.Fatalf("ingress masked the replica identity before egress could attribute it")
+		}
+		return dp.Egress(sw, g.leaderPort, 0, pkt), pkt
+	}
+
+	if pass, _ := egress(0); pass {
+		t.Fatal("sub-quorum ACK passed the leader egress")
+	}
+	if pass, _ := egress(0); pass {
+		t.Fatal("duplicate ACK from one replica passed the leader egress")
+	}
+	pass, pkt := egress(1)
+	if !pass {
+		t.Fatal("f-th distinct ACK dropped in the leader egress")
+	}
+	if pkt.SrcIP != sw.IP() {
+		t.Fatalf("forwarded ACK leaks the replica address %v", pkt.SrcIP)
+	}
+	if pass, _ := egress(2); pass {
+		t.Fatal("beyond-f ACK passed the leader egress")
+	}
+	if dp.Stats.AcksForwarded != 1 {
+		t.Fatalf("AcksForwarded = %d, want 1", dp.Stats.AcksForwarded)
+	}
+}

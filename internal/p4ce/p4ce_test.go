@@ -24,6 +24,11 @@ type fabric struct {
 	replicas []*rnic.NIC
 	logs     []*rnic.MR
 	agents   []*cm.Agent
+	// hostPorts/swPorts record both ends of every cable in attach order
+	// (leader first, then the replicas) so loss tests can script drops on
+	// a specific link and direction.
+	hostPorts []*simnet.Port
+	swPorts   []*simnet.Port
 }
 
 func newFabric(t *testing.T, nReplicas int, mode DropMode) *fabric {
@@ -42,6 +47,8 @@ func newFabric(t *testing.T, nReplicas int, mode DropMode) *fabric {
 		simnet.Connect(hostPort, swPort, simnet.DefaultLinkConfig())
 		f.sw.BindAddr(ip, pid)
 		nic.AttachPort(hostPort)
+		f.hostPorts = append(f.hostPorts, hostPort)
+		f.swPorts = append(f.swPorts, swPort)
 		return nic
 	}
 

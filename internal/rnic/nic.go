@@ -14,6 +14,7 @@ package rnic
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"p4ce/internal/roce"
 	"p4ce/internal/sim"
@@ -263,6 +264,26 @@ func (n *NIC) CreateQP() *QP {
 func (n *NIC) DestroyQP(qp *QP) {
 	qp.enterError(ErrFlushed)
 	delete(n.qps, qp.num)
+}
+
+// Reset models a card-level fault (firmware reset, driver restart,
+// PCIe function-level reset): every queue pair is torn down at once,
+// flushing its outstanding work with ErrFlushed so the layers above see
+// the same completions a real async-event storm produces. Memory
+// registrations survive — the registered buffers live in host memory
+// and only a host reboot would lose them. QPs are flushed in ascending
+// QPN order so a reset is deterministic under the simulation seed.
+func (n *NIC) Reset() {
+	old := n.qps
+	n.qps = make(map[uint32]*QP)
+	qpns := make([]uint32, 0, len(old))
+	for qpn := range old {
+		qpns = append(qpns, qpn)
+	}
+	sort.Slice(qpns, func(i, j int) bool { return qpns[i] < qpns[j] })
+	for _, qpn := range qpns {
+		old[qpn].enterError(ErrFlushed)
+	}
 }
 
 // QPCount returns how many queue pairs exist (tests).

@@ -90,8 +90,10 @@ type Port struct {
 	txFreeAt sim.Time // when the transmit side of this port is free
 	up       bool
 	lossProb float64
+	lossFn   LossFunc
+	delayFn  DelayFunc
 	stats    PortStats
-	tap      TapFunc
+	taps     []TapFunc
 }
 
 // TapDirection distinguishes tap events.
@@ -107,6 +109,19 @@ const (
 // TapFunc observes frames crossing a port (packet tracing). The frame
 // is shared — observers must not mutate it.
 type TapFunc func(dir TapDirection, frame []byte)
+
+// LossFunc decides, per frame, whether an outgoing frame is lost in
+// flight. It runs before the probabilistic loss of SetLoss and lets
+// fault injectors script exact drops (the n-th ACK, every frame during
+// a window, a Gilbert-Elliott chain). A dropped frame still occupies
+// the wire — it is lost, not unsent.
+type LossFunc func(frame []byte) bool
+
+// DelayFunc returns extra one-way latency added to a frame's
+// propagation (delay jitter). Frames delayed past a later frame's
+// arrival are delivered out of order, exactly what a congested or
+// flapping fabric does to RoCE.
+type DelayFunc func(frame []byte) sim.Time
 
 // NewPort creates an unconnected port. The handler may be set later with
 // SetHandler but must be non-nil before any frame arrives.
@@ -130,8 +145,32 @@ func (p *Port) Stats() PortStats { return p.stats }
 // dropped after serialization, modelling a lossy fabric.
 func (p *Port) SetLoss(prob float64) { p.lossProb = prob }
 
-// SetTap installs a frame observer (nil removes it).
-func (p *Port) SetTap(tap TapFunc) { p.tap = tap }
+// SetLossFunc installs (or, with nil, removes) a scripted loss decider,
+// consulted before the probabilistic loss of SetLoss.
+func (p *Port) SetLossFunc(fn LossFunc) { p.lossFn = fn }
+
+// SetDelayFunc installs (or, with nil, removes) a per-frame jitter
+// source.
+func (p *Port) SetDelayFunc(fn DelayFunc) { p.delayFn = fn }
+
+// SetTap installs a frame observer, replacing every observer currently
+// attached; nil removes them all.
+func (p *Port) SetTap(tap TapFunc) {
+	if tap == nil {
+		p.taps = nil
+		return
+	}
+	p.taps = []TapFunc{tap}
+}
+
+// AddTap attaches one more frame observer alongside any existing ones,
+// so a packet tracer and a fault injector's drop logger can watch the
+// same port. Observers run in attachment order.
+func (p *Port) AddTap(tap TapFunc) {
+	if tap != nil {
+		p.taps = append(p.taps, tap)
+	}
+}
 
 // SetUp raises or cuts the transmit side of the port. Frames sent while
 // the port is down are counted as drops. Cutting both ports of a link
@@ -175,6 +214,14 @@ func (p *Port) Send(frame []byte) bool {
 		p.observe(TapDrop, frame)
 		return false
 	}
+	if p.lossFn != nil && p.lossFn(frame) {
+		// Scripted loss: the frame still occupies the wire; it is lost in
+		// flight.
+		p.reserveWire(len(frame))
+		p.stats.TxDropped++
+		p.observe(TapDrop, frame)
+		return false
+	}
 	if p.lossProb > 0 && p.k.Rand().Float64() < p.lossProb {
 		// The frame still occupies the wire; it is lost in flight.
 		p.reserveWire(len(frame))
@@ -186,8 +233,12 @@ func (p *Port) Send(frame []byte) bool {
 	p.stats.TxFrames++
 	p.stats.TxBytes += uint64(len(frame))
 	p.observe(TapTx, frame)
+	var jitter sim.Time
+	if p.delayFn != nil {
+		jitter = p.delayFn(frame)
+	}
 	dst := p.peer
-	p.k.At(doneAt+p.cfg.Propagation, func() {
+	p.k.At(doneAt+p.cfg.Propagation+jitter, func() {
 		// Deliver only if the receiving side is still up; a crashed
 		// device drops in-flight frames addressed to it.
 		if !dst.up {
@@ -203,8 +254,8 @@ func (p *Port) Send(frame []byte) bool {
 }
 
 func (p *Port) observe(dir TapDirection, frame []byte) {
-	if p.tap != nil {
-		p.tap(dir, frame)
+	for _, tap := range p.taps {
+		tap(dir, frame)
 	}
 }
 

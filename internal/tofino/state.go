@@ -70,6 +70,13 @@ func (r *Register) AddRead(idx int, delta uint32) uint32 {
 	return r.vals[idx]
 }
 
+// Clear zeroes every cell — the state a register array powers up with.
+func (r *Register) Clear() {
+	for i := range r.vals {
+		r.vals[i] = 0
+	}
+}
+
 // IdentityHash models the Tofino identity-hash unit: a module that
 // simply returns its input, but whose output — unlike a raw ALU status
 // bit — is wired into conditionally programmable hardware. Routing the

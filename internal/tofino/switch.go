@@ -181,6 +181,23 @@ func (sw *Switch) Restore() {
 	}
 }
 
+// Reboot power-cycles the switch. Ports drop as with Crash, but unlike
+// Crash/Restore — which freeze state across the outage — a power cycle
+// loses everything volatile: the multicast replication engine's groups
+// and the contents of every register array. The L3 bindings and the
+// program image are part of the startup configuration and survive;
+// entries the control plane installed into the program's match tables
+// are the program's own state, which it must wipe itself (see
+// p4ce.Dataplane.Reset). The control plane is expected to re-program
+// the data plane after Restore.
+func (sw *Switch) Reboot() {
+	sw.Crash()
+	sw.mcast = make(map[GroupID][]GroupMember)
+	for _, r := range sw.regs {
+		r.Clear()
+	}
+}
+
 // Crashed reports whether the switch is down.
 func (sw *Switch) Crashed() bool { return sw.crashed }
 

@@ -29,6 +29,10 @@ func (t *Table[K, V]) Insert(key K, value V) { t.entries[key] = value }
 // Delete removes an entry. Control-plane operation.
 func (t *Table[K, V]) Delete(key K) { delete(t.entries, key) }
 
+// Clear removes every entry (a power cycle; counters survive as
+// diagnostics). Control-plane operation.
+func (t *Table[K, V]) Clear() { t.entries = make(map[K]V) }
+
 // Lookup matches a key in the data plane.
 func (t *Table[K, V]) Lookup(key K) (V, bool) {
 	v, ok := t.entries[key]

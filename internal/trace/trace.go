@@ -153,9 +153,11 @@ func New(k *sim.Kernel, ringSize int, filter Filter) *Tracer {
 // StreamTo additionally writes each matching event's summary line to w.
 func (t *Tracer) StreamTo(w io.Writer) { t.out = w }
 
-// Tap attaches the tracer to a port under the given site label.
+// Tap attaches the tracer to a port under the given site label. The
+// tracer chains alongside any observer already on the port (a chaos
+// drop logger, another tracer) instead of replacing it.
 func (t *Tracer) Tap(p *simnet.Port, site string) {
-	p.SetTap(func(dir simnet.TapDirection, frame []byte) {
+	p.AddTap(func(dir simnet.TapDirection, frame []byte) {
 		e := Event{At: t.k.Now(), Site: site, Dir: dir, Size: len(frame)}
 		if pkt, err := roce.Unmarshal(frame); err == nil {
 			e.Pkt = pkt

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Full verification gate: vet, build, the plain test suite, and the
+# race-detector pass. CI and `make check` both run this.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "ok"
