@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race vet check chaos
+.PHONY: build test race vet check chaos bench bench-smoke
 
 build:
 	go build ./...
@@ -17,6 +17,17 @@ vet:
 # The full verification gate (vet + build + test + race).
 check:
 	./scripts/check.sh
+
+# Regenerate the machine-readable benchmark report (quick profile) and
+# gate it against the committed baseline: >10% regression fails.
+bench-smoke:
+	go test ./internal/bench -run 'TestSmokeReport|TestCompareDetectsRegression' -count=1
+	go run ./cmd/p4ce-bench -json -profile quick -out BENCH_p4ce.json
+	./scripts/bench_compare.sh
+
+# Full paper-shaped benchmark report (takes minutes).
+bench:
+	go run ./cmd/p4ce-bench -json -profile full -out BENCH_p4ce.json
 
 # Run every named chaos scenario through the simulator.
 chaos:

@@ -8,6 +8,7 @@ import (
 
 	"p4ce/internal/chaos"
 	"p4ce/internal/core"
+	"p4ce/internal/metrics"
 	"p4ce/internal/mu"
 	swp4ce "p4ce/internal/p4ce"
 	"p4ce/internal/rnic"
@@ -41,6 +42,11 @@ type Cluster struct {
 func NewCluster(opts Options) *Cluster {
 	opts = opts.withDefaults()
 	k := sim.NewKernel(opts.Seed)
+	if opts.EnableMetrics {
+		// Attach before any device is constructed: components resolve
+		// their instrument handles exactly once, at build time.
+		k.SetMetrics(metrics.New())
+	}
 	c := &Cluster{opts: opts, kernel: k}
 
 	swCfg := tofino.DefaultConfig()
@@ -149,6 +155,11 @@ func (c *Cluster) After(d time.Duration, fn func()) {
 
 // Now returns the current simulated time.
 func (c *Cluster) Now() time.Duration { return time.Duration(c.kernel.Now()) }
+
+// Metrics returns the cluster-wide registry, or nil unless the cluster
+// was built with Options.EnableMetrics. The nil registry is safe to
+// query (empty snapshots, nil handles).
+func (c *Cluster) Metrics() *metrics.Registry { return c.kernel.Metrics() }
 
 // Nodes returns the machines in identifier order.
 func (c *Cluster) Nodes() []*Node { return c.nodes }

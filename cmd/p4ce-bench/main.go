@@ -12,6 +12,18 @@
 //
 // -ops scales the per-point operation count (the paper averages one
 // million operations per point; the default here keeps full sweeps fast).
+//
+// Machine-readable reports and the regression gate:
+//
+//	p4ce-bench -json                         # write BENCH_p4ce.json (quick profile)
+//	p4ce-bench -json -profile full           # paper-shaped sweep (minutes)
+//	p4ce-bench -json -out path.json          # choose the output path
+//	p4ce-bench compare base.json cand.json   # exit 1 on >10% regression
+//
+// Reports record the seed and configuration of every section and contain
+// no wall-clock values, so a fixed (profile, seed) pair reproduces the
+// same bytes on any machine — which is what makes the committed
+// bench/BENCH_baseline.json comparable.
 package main
 
 import (
@@ -34,13 +46,96 @@ func main() {
 		ops        = flag.Int("ops", 4000, "operations per measured point")
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		csvDir     = flag.String("csv", "", "also write one CSV per experiment into this directory (for plotting)")
+		jsonOut    = flag.Bool("json", false, "write the machine-readable report instead of the text experiments")
+		profile    = flag.String("profile", "quick", "report profile for -json: full, quick, smoke")
+		outPath    = flag.String("out", "BENCH_p4ce.json", "output path for -json")
 	)
 	flag.Parse()
+	if flag.Arg(0) == "compare" {
+		if flag.NArg() != 3 {
+			fmt.Fprintln(os.Stderr, "usage: p4ce-bench compare <baseline.json> <candidate.json>")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(1), flag.Arg(2)))
+	}
+	if *jsonOut {
+		if err := writeReport(*outPath, *profile, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "p4ce-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	csvOut = *csvDir
 	if err := run(*experiment, *ops, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "p4ce-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeReport builds the JSON report at the named profile and seed.
+func writeReport(path, profile string, seed int64) error {
+	p, err := bench.ProfileByName(profile)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "p4ce-bench: building %s report (seed %d)...\n", p.Name, seed)
+	rep, err := bench.BuildReport(seed, p)
+	if err != nil {
+		return err
+	}
+	blob, err := rep.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "p4ce-bench: wrote %s (%d goodput, %d latency points)\n",
+		path, len(rep.Goodput.Points), len(rep.Latency.Points))
+	return nil
+}
+
+// runCompare diffs a candidate report against a baseline, printing any
+// regressions. Exit codes: 0 clean, 1 regressions, 2 unusable input.
+func runCompare(basePath, candPath string) int {
+	base, err := loadReport(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4ce-bench:", err)
+		return 2
+	}
+	cand, err := loadReport(candPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4ce-bench:", err)
+		return 2
+	}
+	if base.Profile != cand.Profile || base.Seed != cand.Seed {
+		fmt.Fprintf(os.Stderr, "p4ce-bench: comparing (profile=%s seed=%d) against (profile=%s seed=%d): must match for a meaningful diff\n",
+			cand.Profile, cand.Seed, base.Profile, base.Seed)
+		return 2
+	}
+	regs := bench.CompareReports(base, cand)
+	if len(regs) == 0 {
+		fmt.Printf("p4ce-bench: no regression beyond %.0f%% (%s vs %s)\n",
+			bench.RegressionThreshold*100, candPath, basePath)
+		return 0
+	}
+	fmt.Printf("p4ce-bench: %d metric(s) regressed beyond %.0f%%:\n", len(regs), bench.RegressionThreshold*100)
+	for _, r := range regs {
+		fmt.Println("  " + r.String())
+	}
+	return 1
+}
+
+func loadReport(path string) (*bench.Report, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := bench.ParseReport(blob)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
 }
 
 func run(experiment string, ops int, seed int64) error {

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -46,6 +47,7 @@ func main() {
 		chaosSc  = flag.String("chaos", "", "named fault scenario (\"list\" to enumerate)")
 		chaosSd  = flag.Int64("chaos-seed", 1, "seed for the chaos engine's fault draws")
 		doTrace  = flag.Bool("trace", false, "stream decoded packet summaries to stderr")
+		metricsF = flag.Bool("metrics", false, "attach the sim-wide metrics registry and dump it as JSON at the end")
 	)
 	flag.Parse()
 	if *chaosSc == "list" {
@@ -54,7 +56,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*nodes, *mode, *duration, *rate, *size, *seed, *backup, *async, *crash, *chaosSc, *chaosSd, *doTrace); err != nil {
+	if err := run(*nodes, *mode, *duration, *rate, *size, *seed, *backup, *async, *crash, *chaosSc, *chaosSd, *doTrace, *metricsF); err != nil {
 		fmt.Fprintln(os.Stderr, "p4ce-sim:", err)
 		os.Exit(1)
 	}
@@ -95,7 +97,7 @@ func parseCrashes(spec string) ([]crashEvent, error) {
 	return out, nil
 }
 
-func run(nodes int, modeStr string, duration time.Duration, rate float64, size int, seed int64, backup, async bool, crashSpec, chaosName string, chaosSeed int64, doTrace bool) error {
+func run(nodes int, modeStr string, duration time.Duration, rate float64, size int, seed int64, backup, async bool, crashSpec, chaosName string, chaosSeed int64, doTrace, withMetrics bool) error {
 	var mode p4ce.Mode
 	switch strings.ToLower(modeStr) {
 	case "p4ce":
@@ -116,6 +118,7 @@ func run(nodes int, modeStr string, duration time.Duration, rate float64, size i
 		Seed:          seed,
 		BackupFabric:  backup,
 		AsyncReconfig: async,
+		EnableMetrics: withMetrics,
 	})
 	var tracer *trace.Tracer
 	if doTrace {
@@ -246,6 +249,13 @@ func run(nodes int, modeStr string, duration time.Duration, rate float64, size i
 	}
 	if tracer != nil {
 		fmt.Printf("\npacket trace summary:\n%s", tracer.Summary())
+	}
+	if withMetrics {
+		blob, err := json.MarshalIndent(cl.Metrics().Snapshot(), "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nmetrics snapshot:\n%s\n", blob)
 	}
 	return nil
 }

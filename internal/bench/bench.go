@@ -66,7 +66,14 @@ type ClosedLoopResult struct {
 	Throughput   float64 // consensus operations per second
 	GoodputBytes float64 // client payload bytes per second
 	MeanLat      time.Duration
+	P50Lat       time.Duration
 	P99Lat       time.Duration
+	P999Lat      time.Duration
+	MaxLat       time.Duration
+	// WindowStart/WindowEnd are the simulation timestamps bounding the
+	// measurement (after warmup, through the last counted completion).
+	WindowStart time.Duration
+	WindowEnd   time.Duration
 	// LeaderCPU is the leader core's utilization across the measurement
 	// window.
 	LeaderCPU float64
@@ -139,7 +146,12 @@ func ClosedLoop(cl *p4ce.Cluster, leader *p4ce.Node, size, depth, warmup, ops in
 	res.Throughput = float64(ops) / elapsed.Seconds()
 	res.GoodputBytes = float64(ops) * float64(size) / elapsed.Seconds()
 	res.MeanLat = time.Duration(lat.Mean())
+	res.P50Lat = time.Duration(lat.Percentile(50))
 	res.P99Lat = time.Duration(lat.Percentile(99))
+	res.P999Lat = time.Duration(lat.Percentile(99.9))
+	res.MaxLat = time.Duration(lat.Max())
+	res.WindowStart = startAt
+	res.WindowEnd = endAt
 	res.LeaderCPU = float64(leader.CPUBusy()-busyAt0) / float64(elapsed)
 	if res.LeaderCPU > 1 {
 		res.LeaderCPU = 1

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"time"
+
 	"p4ce"
 	"p4ce/internal/mu"
 	"p4ce/internal/sim"
@@ -13,6 +15,9 @@ type GoodputPoint struct {
 	ItemSize     int
 	GoodputGBps  float64 // useful client bytes per second, in GB/s
 	ThroughputMs float64 // consensus operations per second, in M/s
+	// SimStart/SimEnd bound the measurement window on the virtual clock.
+	SimStart time.Duration
+	SimEnd   time.Duration
 }
 
 // GoodputConfig parameterizes the Fig. 5 sweep.
@@ -84,6 +89,8 @@ func RunGoodput(cfg GoodputConfig) ([]GoodputPoint, error) {
 					ItemSize:     size,
 					GoodputGBps:  res.GoodputBytes / 1e9,
 					ThroughputMs: res.Throughput / 1e6,
+					SimStart:     res.WindowStart,
+					SimEnd:       res.WindowEnd,
 				})
 			}
 		}

@@ -16,7 +16,10 @@ type LatencyPoint struct {
 	OfferedMps  float64 // offered load, M consensus/s
 	AchievedMps float64 // completed, M consensus/s
 	MeanLat     time.Duration
+	P50Lat      time.Duration
 	P99Lat      time.Duration
+	P999Lat     time.Duration
+	MaxLat      time.Duration
 }
 
 // LatencyConfig parameterizes the Fig. 6 sweep.
@@ -116,7 +119,10 @@ func runOpenLoop(mode p4ce.Mode, replicas int, offeredMps float64, cfg LatencyCo
 	}
 	pt.AchievedMps = math.Min(float64(completions)/cfg.Duration.Seconds()/1e6, offeredMps)
 	pt.MeanLat = time.Duration(lat.Mean())
+	pt.P50Lat = time.Duration(lat.Percentile(50))
 	pt.P99Lat = time.Duration(lat.Percentile(99))
+	pt.P999Lat = time.Duration(lat.Percentile(99.9))
+	pt.MaxLat = time.Duration(lat.Max())
 	return pt, nil
 }
 

@@ -1,0 +1,391 @@
+package bench
+
+// Machine-readable benchmark reports. BuildReport runs the goodput
+// sweep, the latency/CDF sweep, the Table IV failover measurements and
+// the Mu-vs-P4CE ablation at one of a few fixed profiles, and returns a
+// Report that marshals to the committed BENCH_p4ce.json schema. Every
+// section records the seed and configuration that produced it, and no
+// wall-clock value enters the file, so a report is bit-reproducible:
+// same profile + same seed = identical bytes on any machine.
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"p4ce"
+)
+
+// SchemaVersion identifies the BENCH_p4ce.json layout.
+const SchemaVersion = 1
+
+// Report is the root of BENCH_p4ce.json.
+type Report struct {
+	SchemaVersion int             `json:"schema_version"`
+	Tool          string          `json:"tool"`
+	Profile       string          `json:"profile"`
+	Seed          int64           `json:"seed"`
+	Goodput       GoodputSection  `json:"goodput"`
+	Latency       LatencySection  `json:"latency"`
+	Failover      FailoverSection `json:"failover"`
+	Ablation      AblationSection `json:"ablation"`
+}
+
+// GoodputSection is the Fig. 5 sweep.
+type GoodputSection struct {
+	Seed   int64              `json:"seed"`
+	Config GoodputConfigJSON  `json:"config"`
+	Points []GoodputPointJSON `json:"points"`
+}
+
+// GoodputConfigJSON records the sweep parameters.
+type GoodputConfigJSON struct {
+	Replicas    []int `json:"replicas"`
+	Sizes       []int `json:"sizes"`
+	Depth       int   `json:"depth"`
+	Warmup      int   `json:"warmup"`
+	Ops         int   `json:"ops"`
+	LeaderCores int   `json:"leader_cores"`
+}
+
+// GoodputPointJSON is one measured goodput point.
+type GoodputPointJSON struct {
+	Mode           string  `json:"mode"`
+	Replicas       int     `json:"replicas"`
+	ItemSize       int     `json:"item_size"`
+	GoodputGBps    float64 `json:"goodput_gbps"`
+	ThroughputMops float64 `json:"throughput_mops"`
+	SimStartNs     int64   `json:"sim_start_ns"`
+	SimEndNs       int64   `json:"sim_end_ns"`
+}
+
+// LatencySection is the Fig. 6 sweep with full percentile columns (the
+// latency CDF in digest form: p50/p99/p999/max per offered load).
+type LatencySection struct {
+	Seed   int64              `json:"seed"`
+	Config LatencyConfigJSON  `json:"config"`
+	Points []LatencyPointJSON `json:"points"`
+}
+
+// LatencyConfigJSON records the sweep parameters.
+type LatencyConfigJSON struct {
+	Replicas   []int     `json:"replicas"`
+	OfferedMps []float64 `json:"offered_mops"`
+	ItemSize   int       `json:"item_size"`
+	DurationNs int64     `json:"duration_ns"`
+	WarmupNs   int64     `json:"warmup_ns"`
+}
+
+// LatencyPointJSON is one measured open-loop point.
+type LatencyPointJSON struct {
+	Mode         string  `json:"mode"`
+	Replicas     int     `json:"replicas"`
+	OfferedMops  float64 `json:"offered_mops"`
+	AchievedMops float64 `json:"achieved_mops"`
+	MeanNs       int64   `json:"mean_ns"`
+	P50Ns        int64   `json:"p50_ns"`
+	P99Ns        int64   `json:"p99_ns"`
+	P999Ns       int64   `json:"p999_ns"`
+	MaxNs        int64   `json:"max_ns"`
+}
+
+// FailoverSection is Table IV.
+type FailoverSection struct {
+	Seed          int64          `json:"seed"`
+	Nodes         int            `json:"nodes"`
+	AsyncReconfig bool           `json:"async_reconfig"`
+	Modes         []FailoverJSON `json:"modes"`
+}
+
+// FailoverJSON is one mode's failover times.
+type FailoverJSON struct {
+	Mode           string `json:"mode"`
+	GroupConfigNs  int64  `json:"group_config_ns"`
+	ReplicaCrashNs int64  `json:"replica_crash_ns"`
+	LeaderCrashNs  int64  `json:"leader_crash_ns"`
+	SwitchCrashNs  int64  `json:"switch_crash_ns"`
+}
+
+// AblationSection is the §V-C Mu-vs-P4CE maximum-consensus comparison.
+type AblationSection struct {
+	Seed         int64             `json:"seed"`
+	Ops          int               `json:"ops"`
+	MaxConsensus []AblationRowJSON `json:"max_consensus"`
+}
+
+// AblationRowJSON is one row of the maximum-consensus table.
+type AblationRowJSON struct {
+	Mode          string  `json:"mode"`
+	Replicas      int     `json:"replicas"`
+	ConsensusPerS float64 `json:"consensus_per_s"`
+	LeaderCPU     float64 `json:"leader_cpu"`
+	SpeedupVsMu   float64 `json:"speedup_vs_mu"`
+}
+
+// Profile bundles the section configurations of one report flavor.
+type Profile struct {
+	Name             string
+	Goodput          GoodputConfig
+	Latency          LatencyConfig
+	Failover         FailoverConfig
+	AblationReplicas []int
+	AblationOps      int
+}
+
+// FullProfile is the paper-shaped sweep; it takes a few minutes of
+// wall-clock time.
+func FullProfile() Profile {
+	return Profile{
+		Name:             "full",
+		Goodput:          DefaultGoodputConfig(),
+		Latency:          DefaultLatencyConfig(),
+		Failover:         DefaultFailoverConfig(),
+		AblationReplicas: []int{2, 4},
+		AblationOps:      4000,
+	}
+}
+
+// QuickProfile trims every sweep to a regression-tracking subset. The
+// committed baseline (bench/BENCH_baseline.json) is a quick-profile
+// report, so CI can regenerate and diff it in seconds.
+func QuickProfile() Profile {
+	return Profile{
+		Name: "quick",
+		Goodput: GoodputConfig{
+			Replicas:    []int{2, 4},
+			Sizes:       []int{64, 512, 4096},
+			Depth:       16,
+			Warmup:      200,
+			Ops:         1000,
+			LeaderCores: 8,
+		},
+		Latency: LatencyConfig{
+			Replicas:   []int{2},
+			OfferedMps: []float64{0.4, 1.2, 2.0},
+			ItemSize:   64,
+			Duration:   2 * time.Millisecond,
+			Warmup:     time.Millisecond,
+		},
+		Failover:         FailoverConfig{Nodes: 5},
+		AblationReplicas: []int{2, 4},
+		AblationOps:      1200,
+	}
+}
+
+// SmokeProfile is the minimal end-to-end pass used by unit tests.
+func SmokeProfile() Profile {
+	return Profile{
+		Name: "smoke",
+		Goodput: GoodputConfig{
+			Replicas:    []int{2},
+			Sizes:       []int{64, 2048},
+			Depth:       16,
+			Warmup:      100,
+			Ops:         400,
+			LeaderCores: 8,
+		},
+		Latency: LatencyConfig{
+			Replicas:   []int{2},
+			OfferedMps: []float64{0.5, 1.5},
+			ItemSize:   64,
+			Duration:   time.Millisecond,
+			Warmup:     500 * time.Microsecond,
+		},
+		Failover:         FailoverConfig{Nodes: 3},
+		AblationReplicas: []int{2},
+		AblationOps:      600,
+	}
+}
+
+// ProfileByName resolves "full", "quick" or "smoke".
+func ProfileByName(name string) (Profile, error) {
+	switch name {
+	case "full":
+		return FullProfile(), nil
+	case "quick":
+		return QuickProfile(), nil
+	case "smoke":
+		return SmokeProfile(), nil
+	}
+	return Profile{}, fmt.Errorf("bench: unknown profile %q", name)
+}
+
+// BuildReport runs every section of profile p with the given seed.
+func BuildReport(seed int64, p Profile) (*Report, error) {
+	p.Goodput.Seed = seed
+	p.Latency.Seed = seed
+	p.Failover.Seed = seed
+
+	rep := &Report{
+		SchemaVersion: SchemaVersion,
+		Tool:          "p4ce-bench",
+		Profile:       p.Name,
+		Seed:          seed,
+	}
+
+	gp, err := RunGoodput(p.Goodput)
+	if err != nil {
+		return nil, fmt.Errorf("goodput: %w", err)
+	}
+	rep.Goodput = GoodputSection{
+		Seed: seed,
+		Config: GoodputConfigJSON{
+			Replicas:    p.Goodput.Replicas,
+			Sizes:       p.Goodput.Sizes,
+			Depth:       p.Goodput.Depth,
+			Warmup:      p.Goodput.Warmup,
+			Ops:         p.Goodput.Ops,
+			LeaderCores: p.Goodput.LeaderCores,
+		},
+	}
+	for _, pt := range gp {
+		rep.Goodput.Points = append(rep.Goodput.Points, GoodputPointJSON{
+			Mode:           pt.Mode.String(),
+			Replicas:       pt.Replicas,
+			ItemSize:       pt.ItemSize,
+			GoodputGBps:    pt.GoodputGBps,
+			ThroughputMops: pt.ThroughputMs,
+			SimStartNs:     pt.SimStart.Nanoseconds(),
+			SimEndNs:       pt.SimEnd.Nanoseconds(),
+		})
+	}
+
+	lp, err := RunLatencyThroughput(p.Latency)
+	if err != nil {
+		return nil, fmt.Errorf("latency: %w", err)
+	}
+	rep.Latency = LatencySection{
+		Seed: seed,
+		Config: LatencyConfigJSON{
+			Replicas:   p.Latency.Replicas,
+			OfferedMps: p.Latency.OfferedMps,
+			ItemSize:   p.Latency.ItemSize,
+			DurationNs: p.Latency.Duration.Nanoseconds(),
+			WarmupNs:   p.Latency.Warmup.Nanoseconds(),
+		},
+	}
+	for _, pt := range lp {
+		rep.Latency.Points = append(rep.Latency.Points, LatencyPointJSON{
+			Mode:         pt.Mode.String(),
+			Replicas:     pt.Replicas,
+			OfferedMops:  pt.OfferedMps,
+			AchievedMops: pt.AchievedMps,
+			MeanNs:       pt.MeanLat.Nanoseconds(),
+			P50Ns:        pt.P50Lat.Nanoseconds(),
+			P99Ns:        pt.P99Lat.Nanoseconds(),
+			P999Ns:       pt.P999Lat.Nanoseconds(),
+			MaxNs:        pt.MaxLat.Nanoseconds(),
+		})
+	}
+
+	rep.Failover = FailoverSection{
+		Seed:          seed,
+		Nodes:         p.Failover.Nodes,
+		AsyncReconfig: p.Failover.AsyncReconfig,
+	}
+	for _, mode := range []p4ce.Mode{p4ce.ModeMu, p4ce.ModeP4CE} {
+		ft, err := RunFailover(mode, p.Failover)
+		if err != nil {
+			return nil, fmt.Errorf("failover (%v): %w", mode, err)
+		}
+		rep.Failover.Modes = append(rep.Failover.Modes, FailoverJSON{
+			Mode:           mode.String(),
+			GroupConfigNs:  ft.GroupConfig.Nanoseconds(),
+			ReplicaCrashNs: ft.ReplicaCrash.Nanoseconds(),
+			LeaderCrashNs:  ft.LeaderCrash.Nanoseconds(),
+			SwitchCrashNs:  ft.SwitchCrash.Nanoseconds(),
+		})
+	}
+
+	mc, err := RunMaxConsensus(p.AblationReplicas, p.AblationOps, seed)
+	if err != nil {
+		return nil, fmt.Errorf("ablation: %w", err)
+	}
+	rep.Ablation = AblationSection{Seed: seed, Ops: p.AblationOps}
+	for _, row := range mc {
+		rep.Ablation.MaxConsensus = append(rep.Ablation.MaxConsensus, AblationRowJSON{
+			Mode:          row.Mode.String(),
+			Replicas:      row.Replicas,
+			ConsensusPerS: row.ConsensusPerS,
+			LeaderCPU:     row.LeaderCPU,
+			SpeedupVsMu:   row.SpeedupVsMu,
+		})
+	}
+	return rep, nil
+}
+
+// Marshal renders the report as indented, newline-terminated JSON.
+func (r *Report) Marshal() ([]byte, error) {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(blob, '\n'), nil
+}
+
+// ParseReport decodes and structurally validates a report.
+func ParseReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: bad report JSON: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Validate checks the report against the schema's invariants: version,
+// recorded seeds, non-empty sections, positive throughput, monotone sim
+// timestamps and ordered percentiles.
+func (r *Report) Validate() error {
+	if r.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("bench: schema_version = %d, want %d", r.SchemaVersion, SchemaVersion)
+	}
+	if r.Profile == "" {
+		return fmt.Errorf("bench: report missing profile")
+	}
+	if len(r.Goodput.Points) == 0 {
+		return fmt.Errorf("bench: goodput section empty")
+	}
+	for _, pt := range r.Goodput.Points {
+		if pt.ThroughputMops <= 0 || pt.GoodputGBps <= 0 {
+			return fmt.Errorf("bench: goodput %s/r%d/s%d: non-positive throughput",
+				pt.Mode, pt.Replicas, pt.ItemSize)
+		}
+		if pt.SimEndNs <= pt.SimStartNs {
+			return fmt.Errorf("bench: goodput %s/r%d/s%d: sim window not monotone (%d..%d)",
+				pt.Mode, pt.Replicas, pt.ItemSize, pt.SimStartNs, pt.SimEndNs)
+		}
+	}
+	if len(r.Latency.Points) == 0 {
+		return fmt.Errorf("bench: latency section empty")
+	}
+	for _, pt := range r.Latency.Points {
+		if pt.AchievedMops <= 0 || pt.MeanNs <= 0 {
+			return fmt.Errorf("bench: latency %s/r%d@%.2f: non-positive measurement",
+				pt.Mode, pt.Replicas, pt.OfferedMops)
+		}
+		if !(pt.P50Ns <= pt.P99Ns && pt.P99Ns <= pt.P999Ns && pt.P999Ns <= pt.MaxNs) {
+			return fmt.Errorf("bench: latency %s/r%d@%.2f: percentiles not ordered",
+				pt.Mode, pt.Replicas, pt.OfferedMops)
+		}
+	}
+	if len(r.Failover.Modes) == 0 {
+		return fmt.Errorf("bench: failover section empty")
+	}
+	for _, ft := range r.Failover.Modes {
+		if ft.ReplicaCrashNs <= 0 || ft.LeaderCrashNs <= 0 || ft.SwitchCrashNs <= 0 {
+			return fmt.Errorf("bench: failover %s: non-positive times", ft.Mode)
+		}
+	}
+	if len(r.Ablation.MaxConsensus) == 0 {
+		return fmt.Errorf("bench: ablation section empty")
+	}
+	for _, row := range r.Ablation.MaxConsensus {
+		if row.ConsensusPerS <= 0 {
+			return fmt.Errorf("bench: ablation %s/r%d: non-positive rate", row.Mode, row.Replicas)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package chaos_test
+
+// raceEnabled reports whether the test binary was built with the race
+// detector; the seed sweep scales its seed count down under race, where
+// every run costs roughly an order of magnitude more wall-clock time.
+const raceEnabled = false

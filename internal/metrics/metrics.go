@@ -1,0 +1,337 @@
+// Package metrics is a zero-allocation-on-hot-path metrics registry for
+// the simulation. Components resolve named handles (counters, gauges,
+// log-bucketed histograms) once at construction time; hot paths then
+// touch only the handle, with no map lookups, no interface boxing and
+// no allocation.
+//
+// Every accessor is nil-safe: a nil *Registry hands out nil handles,
+// and every handle method on a nil receiver is a no-op. A component
+// therefore instruments unconditionally and pays nothing when metrics
+// are disabled.
+//
+// The package is deliberately dependency-free (histograms take plain
+// int64 nanoseconds, not sim.Time) so the sim kernel itself can carry a
+// registry without an import cycle.
+package metrics
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+// Add adds d.
+func (c *Counter) Add(d uint64) {
+	if c == nil {
+		return
+	}
+	c.n += d
+}
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Gauge is an instantaneous level (queue depth, credits, backlog) that
+// also tracks its high-water mark.
+type Gauge struct {
+	v  int64
+	hi int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	if v > g.hi {
+		g.hi = v
+	}
+}
+
+// Add moves the level by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v += d
+	if g.v > g.hi {
+		g.hi = g.v
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// HighWater returns the largest level ever set.
+func (g *Gauge) HighWater() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.hi
+}
+
+// histBuckets is one bucket per possible bit length of a uint64 (0..64):
+// bucket i holds values whose bit length is i, i.e. [2^(i-1), 2^i - 1],
+// with bucket 0 holding exactly zero. Power-of-two buckets give ~1 bit
+// of relative precision across twenty decades — plenty for latency
+// percentiles — at a fixed 65-word cost and no per-sample allocation.
+const histBuckets = 65
+
+// Histogram is a log2-bucketed distribution of non-negative int64
+// samples (typically nanoseconds). Recording is allocation-free.
+type Histogram struct {
+	count   uint64
+	sum     int64
+	max     int64
+	buckets [histBuckets]uint64
+}
+
+// Observe records one sample. Negative samples clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bits.Len64(uint64(v))]++
+}
+
+// Count returns how many samples were recorded.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the running total of all samples.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Max returns the largest sample seen.
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() int64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / int64(h.count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
+// top edge of the bucket containing the q-th sample, clamped to the
+// true maximum. With no samples it returns 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.count))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i]
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			upper := int64(1)<<uint(i) - 1
+			if upper > h.max {
+				return h.max
+			}
+			return upper
+		}
+	}
+	return h.max
+}
+
+// P50 returns the median upper bound.
+func (h *Histogram) P50() int64 { return h.Quantile(0.50) }
+
+// P99 returns the 99th-percentile upper bound.
+func (h *Histogram) P99() int64 { return h.Quantile(0.99) }
+
+// P999 returns the 99.9th-percentile upper bound.
+func (h *Histogram) P999() int64 { return h.Quantile(0.999) }
+
+// Registry owns all named instruments of one simulation. A nil Registry
+// is the disabled state: it hands out nil handles and empty snapshots.
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// New returns an empty, enabled registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Enabled reports whether the registry collects anything.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// Counter returns the named counter, creating it on first use. Nil on a
+// nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := r.histograms[name]
+	if h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// HistogramSummary is the exportable digest of one histogram.
+type HistogramSummary struct {
+	Count  uint64 `json:"count"`
+	MeanNs int64  `json:"mean_ns"`
+	P50Ns  int64  `json:"p50_ns"`
+	P99Ns  int64  `json:"p99_ns"`
+	P999Ns int64  `json:"p999_ns"`
+	MaxNs  int64  `json:"max_ns"`
+}
+
+// GaugeSummary is the exportable digest of one gauge.
+type GaugeSummary struct {
+	Value     int64 `json:"value"`
+	HighWater int64 `json:"high_water"`
+}
+
+// Snapshot is a point-in-time copy of every instrument, suitable for
+// JSON export. Map keys marshal sorted, so snapshots of deterministic
+// runs are byte-identical.
+type Snapshot struct {
+	Counters   map[string]uint64           `json:"counters,omitempty"`
+	Gauges     map[string]GaugeSummary     `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSummary `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every instrument. On a nil registry it returns an
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]GaugeSummary, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = GaugeSummary{Value: g.Value(), HighWater: g.HighWater()}
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSummary, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = HistogramSummary{
+				Count:  h.Count(),
+				MeanNs: h.Mean(),
+				P50Ns:  h.P50(),
+				P99Ns:  h.P99(),
+				P999Ns: h.P999(),
+				MaxNs:  h.Max(),
+			}
+		}
+	}
+	return s
+}
+
+// Names returns every instrument name, sorted, for diagnostics.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("x") != c {
+		t.Fatal("same name must return the same handle")
+	}
+}
+
+func TestGaugeHighWater(t *testing.T) {
+	g := New().Gauge("depth")
+	g.Set(5)
+	g.Add(3)
+	g.Add(-7)
+	if g.Value() != 1 {
+		t.Fatalf("value = %d, want 1", g.Value())
+	}
+	if g.HighWater() != 8 {
+		t.Fatalf("high water = %d, want 8", g.HighWater())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := New().Histogram("lat")
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if h.Mean() != 500 {
+		t.Fatalf("mean = %d, want 500", h.Mean())
+	}
+	p50, p99, p999, max := h.P50(), h.P99(), h.P999(), h.Max()
+	// Log buckets give upper bounds: the median of 1..1000 lands in
+	// (256, 511], p99 and p999 in (512, 1000].
+	if p50 < 500 || p50 > 511 {
+		t.Fatalf("p50 = %d, want within (500, 511]", p50)
+	}
+	if p99 < 990 || p99 > 1000 {
+		t.Fatalf("p99 = %d, want within [990, 1000]", p99)
+	}
+	if !(p50 <= p99 && p99 <= p999 && p999 <= max) {
+		t.Fatalf("quantiles not monotone: p50=%d p99=%d p999=%d max=%d", p50, p99, p999, max)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := New().Histogram("h")
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Observe(-5) // clamps to zero
+	h.Observe(0)
+	if h.Count() != 2 || h.Max() != 0 || h.P99() != 0 {
+		t.Fatalf("zero-only histogram: count=%d max=%d p99=%d", h.Count(), h.Max(), h.P99())
+	}
+	h.Observe(1 << 40)
+	if h.Max() != 1<<40 || h.Quantile(1) != 1<<40 {
+		t.Fatalf("max sample lost: max=%d q1=%d", h.Max(), h.Quantile(1))
+	}
+}
+
+// TestDisabledRegistryIsNoOp locks in the contract that a nil registry
+// hands out nil handles and every operation on them does nothing.
+func TestDisabledRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	c, g, h := r.Counter("c"), r.Gauge("g"), r.Histogram("h")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must return nil handles")
+	}
+	c.Inc()
+	c.Add(7)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(99)
+	if c.Value() != 0 || g.Value() != 0 || g.HighWater() != 0 ||
+		h.Count() != 0 || h.Mean() != 0 || h.P99() != 0 || h.Max() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	snap := r.Snapshot()
+	if snap.Counters != nil || snap.Gauges != nil || snap.Histograms != nil {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	if r.Names() != nil {
+		t.Fatal("nil registry must have no names")
+	}
+}
+
+// TestHotPathZeroAlloc is the acceptance gate for instrumenting
+// per-packet code: recording into live handles and into nil (disabled)
+// handles must both be allocation-free.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := New()
+	c := r.Counter("pkts")
+	g := r.Gauge("depth")
+	h := r.Histogram("lat")
+	v := int64(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(v)
+		g.Add(1)
+		h.Observe(v)
+		v += 17
+	}); n != 0 {
+		t.Fatalf("enabled hot path allocates %.1f per op, want 0", n)
+	}
+
+	var off *Registry
+	nc := off.Counter("pkts")
+	ng := off.Gauge("depth")
+	nh := off.Histogram("lat")
+	if n := testing.AllocsPerRun(1000, func() {
+		nc.Inc()
+		nc.Add(3)
+		ng.Set(v)
+		ng.Add(1)
+		nh.Observe(v)
+		v += 17
+	}); n != 0 {
+		t.Fatalf("disabled hot path allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := New()
+	r.Counter("a.pkts").Add(10)
+	r.Gauge("a.depth").Set(4)
+	r.Histogram("a.lat").Observe(1500)
+	blob, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["a.pkts"] != 10 {
+		t.Fatalf("round trip lost counter: %s", blob)
+	}
+	if back.Gauges["a.depth"].Value != 4 {
+		t.Fatalf("round trip lost gauge: %s", blob)
+	}
+	if hs := back.Histograms["a.lat"]; hs.Count != 1 || hs.MaxNs != 1500 {
+		t.Fatalf("round trip lost histogram: %s", blob)
+	}
+	names := r.Names()
+	want := []string{"a.depth", "a.lat", "a.pkts"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}

@@ -368,13 +368,15 @@ func (n *Node) proposeEntry(data []byte, flags uint8, done func(error)) {
 	}
 	off, markOff := n.appendLocal(e)
 	n.Stats.Proposed++
+	n.mProposed.Inc()
 	p := &proposal{
-		index:   e.Index,
-		bytes:   n.recent[e.Index].bytes,
-		off:     off,
-		markOff: markOff,
-		done:    done,
-		noop:    flags&FlagNoop != 0,
+		index:      e.Index,
+		bytes:      n.recent[e.Index].bytes,
+		off:        off,
+		markOff:    markOff,
+		done:       done,
+		noop:       flags&FlagNoop != 0,
+		proposedAt: n.k.Now(),
 	}
 	if flags&FlagNoop == 0 {
 		n.maxDataIdx = e.Index
@@ -471,6 +473,7 @@ func (n *Node) fallback() {
 		return
 	}
 	n.Stats.Fallbacks++
+	n.mFallbacks.Inc()
 	n.preferred = nil
 	if n.OnFallback != nil {
 		n.OnFallback()
@@ -505,6 +508,8 @@ func (n *Node) drainCommits() {
 		n.commitIndex = p.index
 		delete(n.proposals, p.index)
 		n.Stats.Committed++
+		n.mCommitted.Inc()
+		n.mCommitLatNs.Observe(int64(n.k.Now() - p.proposedAt))
 		n.applyUpTo(n.commitIndex)
 		if p.done != nil {
 			p.done(nil)

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"p4ce/internal/cm"
+	"p4ce/internal/metrics"
 	"p4ce/internal/rnic"
 	"p4ce/internal/sim"
 	"p4ce/internal/simnet"
@@ -196,6 +197,13 @@ type Node struct {
 
 	// Stats for experiments.
 	Stats NodeStats
+
+	// Metric handles (nil no-ops without a registry on the kernel).
+	mProposed      *metrics.Counter
+	mCommitted     *metrics.Counter
+	mCommitLatNs   *metrics.Histogram // propose → commit, leader-side
+	mLeaderChanges *metrics.Counter
+	mFallbacks     *metrics.Counter
 }
 
 // NodeStats counts protocol events.
@@ -234,6 +242,12 @@ func NewNode(cfg Config, self Peer, peers []Peer, nic *rnic.NIC) *Node {
 		recent:     make(map[uint64]recentEntry),
 		inbound:    make(map[simnet.Addr][]*rnic.QP),
 	}
+	m := nic.Kernel().Metrics()
+	n.mProposed = m.Counter("mu.proposed")
+	n.mCommitted = m.Counter("mu.committed")
+	n.mCommitLatNs = m.Histogram("mu.commit_latency_ns")
+	n.mLeaderChanges = m.Counter("mu.leader_changes")
+	n.mFallbacks = m.Counter("mu.fallbacks")
 	ctrl := make([]byte, controlRegionBytes)
 	n.controlMR = nic.RegisterMR(cfg.ControlVA, ctrl, rnic.AccessRemoteRead)
 	n.logBuf = make([]byte, cfg.LogSize)
@@ -712,6 +726,7 @@ func (n *Node) maybeRouteFailover() {
 // leaderChanged reacts to a new election outcome.
 func (n *Node) leaderChanged(newID int) {
 	n.Stats.ViewChanges++
+	n.mLeaderChanges.Inc()
 	n.leaderID = newID
 	if n.OnLeaderChange != nil {
 		n.OnLeaderChange(n.term, newID)

@@ -14,7 +14,9 @@ package p4ce
 import (
 	"math/bits"
 
+	"p4ce/internal/metrics"
 	"p4ce/internal/roce"
+	"p4ce/internal/sim"
 	"p4ce/internal/simnet"
 	"p4ce/internal/tofino"
 )
@@ -73,6 +75,12 @@ type group struct {
 	numRecv *tofino.Register
 	slotPSN *tofino.Register
 	credits *tofino.Register
+
+	// armedAt records, per slot, when the most recent scatter armed the
+	// aggregation round — the start of the gather-forward latency
+	// measurement. Simulation-side observability only: no hardware
+	// equivalent is claimed, and the protocol never reads it.
+	armedAt []sim.Time
 
 	enabled bool
 }
@@ -174,6 +182,39 @@ type Dataplane struct {
 
 	// Stats counts program-level events.
 	Stats DataplaneStats
+
+	// Metric handles, bound lazily on the first packet (the program has
+	// no kernel reference until a switch invokes it). All nil no-ops
+	// when the kernel carries no registry.
+	mBound        bool
+	mScattered    *metrics.Counter
+	mScatterRetx  *metrics.Counter
+	mFanout       *metrics.Histogram // replicas per scatter (fan-out)
+	mAcksAbsorbed *metrics.Counter
+	mDupAckDrops  *metrics.Counter
+	mAcksFwd      *metrics.Counter
+	mNaksFwd      *metrics.Counter
+	mStaleAcks    *metrics.Counter
+	mDrops        *metrics.Counter
+	mTableHits    *metrics.Counter
+	mGatherLatNs  *metrics.Histogram // scatter arm → aggregated-ACK forward
+}
+
+// bindMetrics resolves the program's instrument handles from the
+// kernel's registry, once.
+func (dp *Dataplane) bindMetrics(m *metrics.Registry) {
+	dp.mBound = true
+	dp.mScattered = m.Counter("p4ce.scattered")
+	dp.mScatterRetx = m.Counter("p4ce.scatter_retransmits")
+	dp.mFanout = m.Histogram("p4ce.scatter_fanout")
+	dp.mAcksAbsorbed = m.Counter("p4ce.acks_absorbed")
+	dp.mDupAckDrops = m.Counter("p4ce.duplicate_ack_drops")
+	dp.mAcksFwd = m.Counter("p4ce.acks_forwarded")
+	dp.mNaksFwd = m.Counter("p4ce.naks_forwarded")
+	dp.mStaleAcks = m.Counter("p4ce.stale_ack_drops")
+	dp.mDrops = m.Counter("p4ce.drops")
+	dp.mTableHits = m.Counter("p4ce.table_hits")
+	dp.mGatherLatNs = m.Histogram("p4ce.gather_forward_latency_ns")
 }
 
 // DataplaneStats counts the P4CE program's decisions.
@@ -210,6 +251,9 @@ func ridFor(g tofino.GroupID, ep uint8) uint16 { return uint16(g)<<8 | uint16(ep
 // Ingress classifies every packet arriving at the switch (§IV-B "Inside
 // the switch").
 func (dp *Dataplane) Ingress(sw *tofino.Switch, in tofino.PortID, pkt *roce.Packet) tofino.IngressResult {
+	if !dp.mBound {
+		dp.bindMetrics(sw.Kernel().Metrics())
+	}
 	// Packets not addressed to the switch are ordinary traffic: forward.
 	if pkt.DstIP != sw.IP() {
 		out, ok := sw.L3Lookup(pkt.DstIP)
@@ -225,21 +269,25 @@ func (dp *Dataplane) Ingress(sw *tofino.Switch, in tofino.PortID, pkt *roce.Pack
 	}
 	// Scatter: a write from the leader to its BCast QP.
 	if g, ok := dp.bcast.Lookup(pkt.DestQP); ok && g.enabled && pkt.OpCode.IsWrite() {
-		return dp.ingressScatter(g, pkt)
+		dp.mTableHits.Inc()
+		return dp.ingressScatter(sw, g, pkt)
 	}
 	// Gather: an ACK from a replica to the group's Aggr QP.
 	if g, ok := dp.aggr.Lookup(pkt.DestQP); ok && g.enabled && pkt.OpCode == roce.OpAcknowledge {
-		return dp.ingressGather(g, pkt)
+		dp.mTableHits.Inc()
+		return dp.ingressGather(sw, g, pkt)
 	}
 	dp.Stats.UnknownQPDrops++
+	dp.mDrops.Inc()
 	return tofino.IngressResult{Verdict: tofino.VerdictDrop}
 }
 
-func (dp *Dataplane) ingressScatter(g *group, pkt *roce.Packet) tofino.IngressResult {
+func (dp *Dataplane) ingressScatter(sw *tofino.Switch, g *group, pkt *roce.Packet) tofino.IngressResult {
 	// The leader authenticates with the virtual R_key it received in the
 	// ConnectReply; anything else is not a group write.
 	if pkt.OpCode.HasRETH() && pkt.RKey != g.virtualRKey {
 		dp.Stats.BadRKeyDrops++
+		dp.mDrops.Inc()
 		return tofino.IngressResult{Verdict: tofino.VerdictDrop}
 	}
 	// Prepare aggregation for the answers before the copies leave
@@ -256,6 +304,7 @@ func (dp *Dataplane) ingressScatter(g *group, pkt *roce.Packet) tofino.IngressRe
 		// their ACKs are history — but clear the forwarded flag so the
 		// aggregation re-arms and answers this round too.
 		dp.Stats.ScatterRetransmits++
+		dp.mScatterRetx.Inc()
 		g.numRecv.Write(slot, g.numRecv.Read(slot)&^gatherForwarded)
 	default:
 		// A new PSN takes the slot over (or the slot is reused 256 PSNs
@@ -263,14 +312,18 @@ func (dp *Dataplane) ingressScatter(g *group, pkt *roce.Packet) tofino.IngressRe
 		g.slotPSN.Write(slot, pkt.PSN)
 		g.numRecv.Write(slot, 0)
 	}
+	g.armSlot(slot, sw.Kernel().Now())
 	dp.Stats.Scattered++
+	dp.mScattered.Inc()
+	dp.mFanout.Observe(int64(len(g.replicas)))
 	return tofino.IngressResult{Verdict: tofino.VerdictMulticast, Group: g.id}
 }
 
-func (dp *Dataplane) ingressGather(g *group, pkt *roce.Packet) tofino.IngressResult {
+func (dp *Dataplane) ingressGather(sw *tofino.Switch, g *group, pkt *roce.Packet) tofino.IngressResult {
 	rep := g.replicaByIP(pkt.SrcIP)
 	if rep == nil {
 		dp.Stats.StaleAckDrops++
+		dp.mStaleAcks.Inc()
 		return tofino.IngressResult{Verdict: tofino.VerdictDrop}
 	}
 	// Translate the PSN to what the leader expects (§IV-C).
@@ -281,6 +334,7 @@ func (dp *Dataplane) ingressGather(g *group, pkt *roce.Packet) tofino.IngressRes
 	// leader must learn about the misbehaving replica immediately (§III).
 	if pkt.Syndrome.Type() != roce.AckPositive {
 		dp.Stats.NaksForwarded++
+		dp.mNaksFwd.Inc()
 		dp.rewriteAckForLeader(g, pkt, leaderPSN, pkt.Syndrome)
 		return tofino.IngressResult{Verdict: tofino.VerdictForward, OutPort: g.leaderPort}
 	}
@@ -307,9 +361,28 @@ func (dp *Dataplane) ingressGather(g *group, pkt *roce.Packet) tofino.IngressRes
 		return tofino.IngressResult{Verdict: tofino.VerdictDrop}
 	}
 	dp.Stats.AcksForwarded++
+	dp.mAcksFwd.Inc()
+	dp.observeGatherLatency(g, leaderPSN, sw.Kernel().Now())
 	syn := roce.MakeSyndrome(roce.AckPositive, clampCredit(g.minCredit()))
 	dp.rewriteAckForLeader(g, pkt, leaderPSN, syn)
 	return tofino.IngressResult{Verdict: tofino.VerdictForward, OutPort: g.leaderPort}
+}
+
+// armSlot stamps the start of a gather round for latency measurement.
+func (g *group) armSlot(slot int, now sim.Time) {
+	if g.armedAt == nil {
+		g.armedAt = make([]sim.Time, numRecvSlots)
+	}
+	g.armedAt[slot] = now
+}
+
+// observeGatherLatency records scatter-arm → aggregated-ACK-forward time
+// for the slot owning leaderPSN.
+func (dp *Dataplane) observeGatherLatency(g *group, leaderPSN uint32, now sim.Time) {
+	slot := int(leaderPSN) % numRecvSlots
+	if slot < len(g.armedAt) {
+		dp.mGatherLatNs.Observe(int64(now - g.armedAt[slot]))
+	}
 }
 
 // gatherAggregate folds one positive ACK into its PSN's slot and
@@ -338,13 +411,20 @@ func (dp *Dataplane) gatherAggregate(g *group, rep *replicaEntry, leaderPSN uint
 		// previous window epoch (or from before a switch reboot wiped
 		// the slot). It must not pollute the current occupant's count.
 		dp.Stats.StaleAckDrops++
+		dp.mStaleAcks.Inc()
 		return false
 	}
 	set := g.numRecv.Read(slot)
 	withBit := set | uint32(1)<<rep.EpID
 	g.numRecv.Write(slot, withBit)
+	if withBit == set {
+		// The replica's bit was already present: a duplicate ACK (it can
+		// never re-count toward the quorum).
+		dp.mDupAckDrops.Inc()
+	}
 	if set&gatherForwarded != 0 || bits.OnesCount32(withBit&^gatherForwarded) < g.f {
 		dp.Stats.AcksAggregated++
+		dp.mAcksAbsorbed.Inc()
 		return false
 	}
 	g.numRecv.Write(slot, withBit|gatherForwarded)
@@ -384,12 +464,15 @@ func (dp *Dataplane) Egress(sw *tofino.Switch, out tofino.PortID, rid uint16, pk
 			pkt.SrcIP = sw.IP()
 			if rep == nil {
 				dp.Stats.StaleAckDrops++
+				dp.mStaleAcks.Inc()
 				return false
 			}
 			if !dp.gatherAggregate(g, rep, pkt.PSN) {
 				return false
 			}
 			dp.Stats.AcksForwarded++
+			dp.mAcksFwd.Inc()
+			dp.observeGatherLatency(g, pkt.PSN, sw.Kernel().Now())
 			pkt.Syndrome = roce.MakeSyndrome(roce.AckPositive, clampCredit(g.minCredit()))
 			return true
 		}

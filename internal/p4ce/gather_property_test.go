@@ -1,0 +1,235 @@
+package p4ce
+
+// Property-style coverage for the gather counter state machine: random
+// interleavings of scatters, go-back-N retransmissions, ACKs, duplicate
+// ACKs and NAKs are replayed against a plain-Go model of the intended
+// semantics. The regression tests in gather_regress_test.go each pin one
+// recovery-path bug; this file checks that *no* interleaving can
+// re-create the class: a retransmission never wipes in-progress NumRecv
+// state, the aggregation never steps past the f-crossing without
+// forwarding, and the advertised credit never escapes the 5-bit AETH
+// field.
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"p4ce/internal/roce"
+	"p4ce/internal/tofino"
+)
+
+// gatherModel is the reference semantics of the in-switch aggregation,
+// kept deliberately naive: maps and booleans instead of packed
+// registers.
+type gatherModel struct {
+	f       int
+	owner   map[int]uint32 // slot -> PSN currently tracked
+	acked   map[int]uint32 // slot -> bitmap of replicas that ACKed the owner
+	fwd     map[int]bool   // slot -> aggregated ACK emitted this round
+	credits []uint32       // per-replica last reported credit, seeded saturated
+}
+
+func newGatherModel(nRep, f int) *gatherModel {
+	m := &gatherModel{
+		f:       f,
+		owner:   make(map[int]uint32),
+		acked:   make(map[int]uint32),
+		fwd:     make(map[int]bool),
+		credits: make([]uint32, nRep),
+	}
+	for i := range m.credits {
+		m.credits[i] = creditSaturated
+	}
+	return m
+}
+
+func (m *gatherModel) scatter(psn uint32) {
+	slot := int(psn) % numRecvSlots
+	if owner, ok := m.owner[slot]; ok && owner == psn {
+		// Go-back-N retransmission: keep the ACK set, re-arm the round.
+		m.fwd[slot] = false
+		return
+	}
+	m.owner[slot] = psn
+	m.acked[slot] = 0
+	m.fwd[slot] = false
+}
+
+// ack folds one positive ACK and reports whether it must be forwarded.
+func (m *gatherModel) ack(rep int, psn uint32, credit uint8) bool {
+	// The credit is the replica's current receive capacity — fresh
+	// information regardless of which PSN the ACK answers — so it is
+	// recorded before (and independently of) the staleness check.
+	m.credits[rep] = uint32(credit)
+	slot := int(psn) % numRecvSlots
+	if owner, ok := m.owner[slot]; !ok || owner != psn {
+		return false // stale: no aggregation state may change
+	}
+	m.acked[slot] |= 1 << rep
+	if m.fwd[slot] || bits.OnesCount32(m.acked[slot]) < m.f {
+		return false
+	}
+	m.fwd[slot] = true
+	return true
+}
+
+func (m *gatherModel) minCredit() uint32 {
+	min := m.credits[0]
+	for _, c := range m.credits[1:] {
+		if c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// checkSlot compares one slot's switch registers against the model and
+// asserts the f-crossing invariant on the real state.
+func checkSlot(t *testing.T, g *group, m *gatherModel, psn uint32, step int) {
+	t.Helper()
+	slot := int(psn) % numRecvSlots
+	raw := g.numRecv.Read(slot)
+	gotBits, gotFwd := raw&^gatherForwarded, raw&gatherForwarded != 0
+	if owner, ok := m.owner[slot]; ok {
+		if g.slotPSN.Read(slot) != owner {
+			t.Fatalf("step %d: slot %d tracks PSN %d, model says %d",
+				step, slot, g.slotPSN.Read(slot), owner)
+		}
+		if gotBits != m.acked[slot] {
+			t.Fatalf("step %d: slot %d ACK set %#x, model says %#x (retransmission wiped or grew the set)",
+				step, slot, gotBits, m.acked[slot])
+		}
+		if gotFwd != m.fwd[slot] {
+			t.Fatalf("step %d: slot %d forwarded=%v, model says %v", step, slot, gotFwd, m.fwd[slot])
+		}
+	}
+	// A slot holding ≥ f distinct ACKs with the forwarded flag clear is
+	// legal in exactly one state: a go-back-N retransmission just re-armed
+	// a completed round (the lost-forwarded-ACK recovery). The model
+	// mirrors that state, so the flag equality above pins it; the drain
+	// epilogue in the trial loop then proves any such slot still forwards
+	// on the next ACK rather than stalling past the crossing.
+	if bits.OnesCount32(gotBits) >= m.f && !gotFwd {
+		if owner, ok := m.owner[slot]; !ok || m.fwd[slot] || g.slotPSN.Read(slot) != owner {
+			t.Fatalf("step %d: slot %d has %d ≥ f=%d distinct ACKs un-forwarded outside the re-armed state",
+				step, slot, bits.OnesCount32(gotBits), m.f)
+		}
+	}
+}
+
+// TestGatherPropertyRandomInterleavings drives the dataplane and the
+// model through the same random operation streams and requires them to
+// agree verdict-by-verdict and register-by-register.
+func TestGatherPropertyRandomInterleavings(t *testing.T) {
+	trials, steps := 32, 400
+	if testing.Short() {
+		trials = 8
+	}
+	// A PSN pool with deliberate slot aliasing (psn and psn+numRecvSlots
+	// share a slot) so slot-takeover and stale-ACK paths are exercised.
+	psnPool := []uint32{0, 1, 2, 3, 9, numRecvSlots, numRecvSlots + 1,
+		numRecvSlots + 9, 2*numRecvSlots + 2}
+
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		nRep := 2 + rng.Intn(4)          // 2..5 replicas
+		f := 1 + rng.Intn(nRep)          // 1..nRep
+		dp, sw, g := newRegressGroup(t, DropInIngress, nRep, f)
+		m := newGatherModel(nRep, f)
+
+		for step := 0; step < steps; step++ {
+			psn := psnPool[rng.Intn(len(psnPool))]
+			switch op := rng.Intn(10); {
+			case op < 3: // scatter: fresh PSN or go-back-N retransmission
+				owner, occupied := m.owner[int(psn)%numRecvSlots]
+				wantRetx := occupied && owner == psn
+				before := dp.Stats.ScatterRetransmits
+				scatterWrite(t, dp, sw, g, psn)
+				m.scatter(psn)
+				if gotRetx := dp.Stats.ScatterRetransmits > before; gotRetx != wantRetx {
+					t.Fatalf("trial %d step %d: scatter PSN %d retransmit=%v, model says %v",
+						trial, step, psn, gotRetx, wantRetx)
+				}
+			case op < 9: // positive ACK (duplicates arise naturally)
+				rep := rng.Intn(nRep)
+				credit := uint8(rng.Intn(32))
+				res, pkt := replicaAck(dp, sw, g, rep, psn, credit)
+				if wantFwd := m.ack(rep, psn, credit); wantFwd {
+					if res.Verdict != tofino.VerdictForward {
+						t.Fatalf("trial %d step %d: ACK(rep=%d, psn=%d) verdict %v, model says forward",
+							trial, step, rep, psn, res.Verdict)
+					}
+					if pkt.DstIP != g.leaderIP || pkt.DestQP != g.leaderQPN || pkt.PSN != psn {
+						t.Fatalf("trial %d step %d: aggregated ACK not rewritten for the leader: %+v",
+							trial, step, pkt)
+					}
+					want := clampCredit(m.minCredit())
+					if got := pkt.Syndrome.Value(); got != want || got > creditSaturated {
+						t.Fatalf("trial %d step %d: advertised credit %d, want %d (≤ %d)",
+							trial, step, got, want, creditSaturated)
+					}
+				} else if res.Verdict != tofino.VerdictDrop {
+					t.Fatalf("trial %d step %d: ACK(rep=%d, psn=%d) verdict %v, model says absorb/stale-drop",
+						trial, step, rep, psn, res.Verdict)
+				}
+			default: // NAK: bypasses aggregation, must not touch gather state
+				rep := rng.Intn(nRep)
+				r := &g.replicas[rep]
+				pkt := &roce.Packet{
+					SrcIP: r.IP, DstIP: sw.IP(), OpCode: roce.OpAcknowledge,
+					DestQP:   g.aggrQP,
+					PSN:      roce.PSNAdd(r.PSNBase, roce.PSNDiff(psn, g.leaderPSNBase)),
+					Syndrome: roce.MakeSyndrome(roce.AckNAK, 1),
+				}
+				if res := dp.Ingress(sw, tofino.PortID(rep+1), pkt); res.Verdict != tofino.VerdictForward {
+					t.Fatalf("trial %d step %d: NAK verdict %v, want forward", trial, step, res.Verdict)
+				}
+			}
+			checkSlot(t, g, m, psn, step)
+		}
+
+		// Liveness epilogue: a fresh round on every pool PSN must complete
+		// with exactly one forwarded aggregate once f distinct replicas
+		// answer, regardless of the garbage the trial left behind.
+		for _, psn := range psnPool {
+			scatterWrite(t, dp, sw, g, psn)
+			m.scatter(psn)
+			forwards := 0
+			for _, rep := range rng.Perm(nRep) {
+				res, _ := replicaAck(dp, sw, g, rep, psn, 31)
+				m.ack(rep, psn, 31)
+				if res.Verdict == tofino.VerdictForward {
+					forwards++
+				}
+			}
+			if forwards != 1 {
+				t.Fatalf("trial %d: drain of PSN %d forwarded %d aggregates, want exactly 1", trial, psn, forwards)
+			}
+			checkSlot(t, g, m, psn, steps)
+		}
+	}
+}
+
+// TestClampCreditProperties uses testing/quick over the full uint32
+// domain: the clamp saturates at the AETH sentinel, is exact below it,
+// and survives the syndrome's 5-bit round trip unchanged.
+func TestClampCreditProperties(t *testing.T) {
+	prop := func(c uint32) bool {
+		v := clampCredit(c)
+		if v > creditSaturated {
+			return false
+		}
+		if c < creditSaturated && v != uint8(c) {
+			return false
+		}
+		if c >= creditSaturated && v != creditSaturated {
+			return false
+		}
+		return roce.MakeSyndrome(roce.AckPositive, v).Value() == v
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

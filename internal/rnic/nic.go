@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"p4ce/internal/metrics"
 	"p4ce/internal/roce"
 	"p4ce/internal/sim"
 	"p4ce/internal/simnet"
@@ -106,6 +107,16 @@ type NIC struct {
 
 	// Stats counts the datapath events, for tests and experiments.
 	Stats Stats
+
+	// Metric handles (nil no-ops when the kernel has no registry),
+	// shared by every QP on this NIC.
+	mTxPackets    *metrics.Counter
+	mRxPackets    *metrics.Counter
+	mRetransmits  *metrics.Counter
+	mRTOFires     *metrics.Counter
+	mCreditStalls *metrics.Counter
+	mPSNGaps      *metrics.Counter
+	mRNRNaks      *metrics.Counter
 }
 
 // Stats are the NIC's datapath counters.
@@ -127,6 +138,7 @@ func New(k *sim.Kernel, cfg Config, ip simnet.Addr) *NIC {
 	if cfg.ResponderSlots > 31 {
 		cfg.ResponderSlots = 31 // 5-bit credit field
 	}
+	m := k.Metrics()
 	n := &NIC{
 		k:       k,
 		cfg:     cfg,
@@ -134,6 +146,14 @@ func New(k *sim.Kernel, cfg Config, ip simnet.Addr) *NIC {
 		qps:     make(map[uint32]*QP),
 		mrs:     make(map[uint32]*MR),
 		nextQPN: 16, // skip the management QPs
+
+		mTxPackets:    m.Counter("rnic.tx_packets"),
+		mRxPackets:    m.Counter("rnic.rx_packets"),
+		mRetransmits:  m.Counter("rnic.retransmits"),
+		mRTOFires:     m.Counter("rnic.rto_fires"),
+		mCreditStalls: m.Counter("rnic.credit_stalls"),
+		mPSNGaps:      m.Counter("rnic.psn_gaps"),
+		mRNRNaks:      m.Counter("rnic.rnr_naks"),
 	}
 	return n
 }
@@ -185,6 +205,7 @@ func (n *NIC) activePort() *simnet.Port {
 func (n *NIC) transmit(p *roce.Packet) {
 	frame := p.Marshal()
 	n.Stats.TxPackets++
+	n.mTxPackets.Inc()
 	port := n.activePort()
 	if port == nil {
 		return
@@ -226,6 +247,7 @@ func (n *NIC) receive(frame []byte) {
 		return
 	}
 	n.Stats.RxPackets++
+	n.mRxPackets.Inc()
 	if p.DestQP == roce.CMQPN {
 		if n.cmHandler == nil {
 			return

@@ -221,6 +221,12 @@ func (qp *QP) windowLimit() int {
 
 // pump transmits pending requests while the window allows.
 func (qp *QP) pump() {
+	if len(qp.pending) > 0 && len(qp.inflight) >= qp.windowLimit() &&
+		qp.credits < qp.nic.cfg.MaxOutstanding {
+		// Work is queued and the window is closed specifically because
+		// the responder's advertised credits shrank it.
+		qp.nic.mCreditStalls.Inc()
+	}
 	for len(qp.pending) > 0 && len(qp.inflight) < qp.windowLimit() {
 		wr := qp.pending[0]
 		qp.pending = qp.pending[1:]
@@ -297,6 +303,8 @@ func (qp *QP) onTimeout() {
 		return
 	}
 	qp.nic.Stats.Retransmits++
+	qp.nic.mRTOFires.Inc()
+	qp.nic.mRetransmits.Inc()
 	for _, wr := range qp.inflight { // go-back-N
 		qp.transmitWR(wr)
 	}
@@ -410,6 +418,7 @@ func (qp *QP) handleNAK(p *roce.Packet) {
 	case roce.NakPSNSequenceError:
 		// Retransmit everything from the NAKed PSN (go-back-N).
 		qp.nic.Stats.Retransmits++
+		qp.nic.mRetransmits.Inc()
 		for _, wr := range qp.inflight {
 			if roce.PSNDiff(wr.lastPSN, p.PSN) >= 0 {
 				qp.transmitWR(wr)
@@ -495,6 +504,7 @@ func (qp *QP) sendNak(psn uint32, code uint8) {
 
 func (qp *QP) sendRNR(psn uint32) {
 	qp.nic.Stats.RNRsSent++
+	qp.nic.mRNRNaks.Inc()
 	qp.nic.transmit(&roce.Packet{
 		SrcIP: qp.nic.ip, DstIP: qp.remoteIP, SrcPort: roce.UDPPort,
 		OpCode: roce.OpAcknowledge, DestQP: qp.remoteQPN, PSN: psn,
@@ -523,6 +533,7 @@ func (qp *QP) checkSequence(p *roce.Packet) bool {
 		// missing packet arrives, avoiding NAK storms on long messages.
 		if !qp.nakArmed {
 			qp.nakArmed = true
+			qp.nic.mPSNGaps.Inc()
 			qp.sendNak(qp.expPSN, roce.NakPSNSequenceError)
 		}
 		return false
@@ -575,6 +586,7 @@ func (qp *QP) handleInboundRead(p *roce.Packet) {
 	if d > 0 {
 		if !qp.nakArmed {
 			qp.nakArmed = true
+			qp.nic.mPSNGaps.Inc()
 			qp.sendNak(qp.expPSN, roce.NakPSNSequenceError)
 		}
 		return

@@ -13,6 +13,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+
+	"p4ce/internal/metrics"
 )
 
 // Time is a simulated instant, measured in nanoseconds since the start of
@@ -97,6 +99,7 @@ type Kernel struct {
 	rng       *rand.Rand
 	processed uint64
 	stopped   bool
+	metrics   *metrics.Registry
 }
 
 // NewKernel returns a kernel whose clock reads zero and whose random
@@ -107,6 +110,16 @@ func NewKernel(seed int64) *Kernel {
 
 // Now returns the current simulated time.
 func (k *Kernel) Now() Time { return k.now }
+
+// SetMetrics attaches a metrics registry. Components built on this
+// kernel resolve their instrument handles from it at construction, so
+// attach the registry before wiring up devices. A nil registry (the
+// default) disables collection entirely.
+func (k *Kernel) SetMetrics(r *metrics.Registry) { k.metrics = r }
+
+// Metrics returns the attached registry, or nil when disabled. The nil
+// registry is safe to use: it hands out nil no-op handles.
+func (k *Kernel) Metrics() *metrics.Registry { return k.metrics }
 
 // Rand returns the kernel's deterministic random source.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }

@@ -13,6 +13,7 @@ package simnet
 import (
 	"fmt"
 
+	"p4ce/internal/metrics"
 	"p4ce/internal/sim"
 )
 
@@ -94,6 +95,19 @@ type Port struct {
 	delayFn  DelayFunc
 	stats    PortStats
 	taps     []TapFunc
+
+	// Metric handles, resolved once in NewPort; all nil (no-op) when
+	// the kernel carries no registry. Ports share the fabric-wide
+	// instruments rather than minting per-port names, keeping
+	// cardinality flat however many ports a topology has.
+	mTxFrames  *metrics.Counter
+	mTxBytes   *metrics.Counter
+	mRxFrames  *metrics.Counter
+	mRxBytes   *metrics.Counter
+	mTxDropped *metrics.Counter
+	mTapEvents *metrics.Counter
+	mWireNs    *metrics.Counter   // ns of link occupancy booked (utilization numerator)
+	mBacklogNs *metrics.Histogram // tx queue depth, in ns of wire time, sampled per send
 }
 
 // TapDirection distinguishes tap events.
@@ -126,7 +140,18 @@ type DelayFunc func(frame []byte) sim.Time
 // NewPort creates an unconnected port. The handler may be set later with
 // SetHandler but must be non-nil before any frame arrives.
 func NewPort(k *sim.Kernel, name string, h Handler) *Port {
-	return &Port{name: name, k: k, handler: h, up: true}
+	m := k.Metrics()
+	return &Port{
+		name: name, k: k, handler: h, up: true,
+		mTxFrames:  m.Counter("simnet.tx_frames"),
+		mTxBytes:   m.Counter("simnet.tx_bytes"),
+		mRxFrames:  m.Counter("simnet.rx_frames"),
+		mRxBytes:   m.Counter("simnet.rx_bytes"),
+		mTxDropped: m.Counter("simnet.tx_dropped"),
+		mTapEvents: m.Counter("simnet.tap_events"),
+		mWireNs:    m.Counter("simnet.wire_busy_ns"),
+		mBacklogNs: m.Histogram("simnet.tx_backlog_ns"),
+	}
 }
 
 // Name returns the port's diagnostic name.
@@ -206,11 +231,13 @@ func (p *Port) wireTime(n int) sim.Time {
 func (p *Port) Send(frame []byte) bool {
 	if p.peer == nil || !p.up {
 		p.stats.TxDropped++
+		p.mTxDropped.Inc()
 		p.observe(TapDrop, frame)
 		return false
 	}
 	if p.cfg.MaxFrameBytes > 0 && len(frame) > p.cfg.MaxFrameBytes {
 		p.stats.TxDropped++
+		p.mTxDropped.Inc()
 		p.observe(TapDrop, frame)
 		return false
 	}
@@ -219,6 +246,7 @@ func (p *Port) Send(frame []byte) bool {
 		// flight.
 		p.reserveWire(len(frame))
 		p.stats.TxDropped++
+		p.mTxDropped.Inc()
 		p.observe(TapDrop, frame)
 		return false
 	}
@@ -226,12 +254,16 @@ func (p *Port) Send(frame []byte) bool {
 		// The frame still occupies the wire; it is lost in flight.
 		p.reserveWire(len(frame))
 		p.stats.TxDropped++
+		p.mTxDropped.Inc()
 		p.observe(TapDrop, frame)
 		return false
 	}
+	p.mBacklogNs.Observe(int64(p.TxBacklog()))
 	doneAt := p.reserveWire(len(frame))
 	p.stats.TxFrames++
 	p.stats.TxBytes += uint64(len(frame))
+	p.mTxFrames.Inc()
+	p.mTxBytes.Add(uint64(len(frame)))
 	p.observe(TapTx, frame)
 	var jitter sim.Time
 	if p.delayFn != nil {
@@ -247,6 +279,8 @@ func (p *Port) Send(frame []byte) bool {
 		}
 		dst.stats.RxFrames++
 		dst.stats.RxBytes += uint64(len(frame))
+		dst.mRxFrames.Inc()
+		dst.mRxBytes.Add(uint64(len(frame)))
 		dst.observe(TapRx, frame)
 		dst.handler.HandleFrame(dst, frame)
 	})
@@ -255,6 +289,7 @@ func (p *Port) Send(frame []byte) bool {
 
 func (p *Port) observe(dir TapDirection, frame []byte) {
 	for _, tap := range p.taps {
+		p.mTapEvents.Inc()
 		tap(dir, frame)
 	}
 }
@@ -266,7 +301,9 @@ func (p *Port) reserveWire(n int) sim.Time {
 	if now := p.k.Now(); start < now {
 		start = now
 	}
-	p.txFreeAt = start + p.wireTime(n)
+	wire := p.wireTime(n)
+	p.mWireNs.Add(uint64(wire))
+	p.txFreeAt = start + wire
 	return p.txFreeAt
 }
 

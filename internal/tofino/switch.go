@@ -17,6 +17,7 @@ package tofino
 import (
 	"fmt"
 
+	"p4ce/internal/metrics"
 	"p4ce/internal/roce"
 	"p4ce/internal/sim"
 	"p4ce/internal/simnet"
@@ -116,10 +117,22 @@ type Switch struct {
 
 	// Stats counts data-plane events.
 	Stats Stats
+
+	// Metric handles; nil no-ops when the kernel has no registry.
+	mIngress     *metrics.Counter
+	mEgress      *metrics.Counter
+	mForwarded   *metrics.Counter
+	mMulticastIn *metrics.Counter
+	mCopies      *metrics.Counter
+	mPunted      *metrics.Counter
+	mDrops       *metrics.Counter
+	mParseErrors *metrics.Counter
+	mFanout      *metrics.Histogram // replication copies per multicast packet
 }
 
 // New creates a switch named name with the management address ip.
 func New(k *sim.Kernel, name string, ip simnet.Addr, cfg Config) *Switch {
+	m := k.Metrics()
 	return &Switch{
 		k:     k,
 		name:  name,
@@ -128,6 +141,16 @@ func New(k *sim.Kernel, name string, ip simnet.Addr, cfg Config) *Switch {
 		mcast: make(map[GroupID][]GroupMember),
 		l3:    make(map[simnet.Addr]PortID),
 		regs:  make(map[string]*Register),
+
+		mIngress:     m.Counter("tofino.ingress_packets"),
+		mEgress:      m.Counter("tofino.egress_packets"),
+		mForwarded:   m.Counter("tofino.forwarded"),
+		mMulticastIn: m.Counter("tofino.multicast_in"),
+		mCopies:      m.Counter("tofino.copies"),
+		mPunted:      m.Counter("tofino.punted"),
+		mDrops:       m.Counter("tofino.dropped"),
+		mParseErrors: m.Counter("tofino.parse_errors"),
+		mFanout:      m.Histogram("tofino.multicast_fanout"),
 	}
 }
 
@@ -224,9 +247,11 @@ func (sw *Switch) ingress(p *swPort, frame []byte) {
 	pkt, err := roce.Unmarshal(frame)
 	if err != nil {
 		sw.Stats.ParseErrors++
+		sw.mParseErrors.Inc()
 		return
 	}
 	sw.Stats.IngressPackets++
+	sw.mIngress.Inc()
 	res := IngressResult{Verdict: VerdictDrop}
 	if sw.program != nil {
 		res = sw.program.Ingress(sw, p.id, pkt)
@@ -234,19 +259,25 @@ func (sw *Switch) ingress(p *swPort, frame []byte) {
 	switch res.Verdict {
 	case VerdictDrop:
 		sw.Stats.DroppedIngress++
+		sw.mDrops.Inc()
 	case VerdictForward:
 		sw.Stats.Forwarded++
+		sw.mForwarded.Inc()
 		sw.toEgress(res.OutPort, 0, pkt)
 	case VerdictMulticast:
 		sw.Stats.MulticastIn++
+		sw.mMulticastIn.Inc()
 		members := sw.mcast[res.Group]
+		sw.mFanout.Observe(int64(len(members)))
 		for _, m := range members {
 			sw.Stats.Copies++
+			sw.mCopies.Inc()
 			// The replication engine hands each port its own carbon copy.
 			sw.toEgress(m.Port, m.RID, pkt.Clone())
 		}
 	case VerdictToCPU:
 		sw.Stats.Punted++
+		sw.mPunted.Inc()
 		if sw.cpu != nil {
 			sw.k.Schedule(sw.cfg.CPUPuntLatency, func() { sw.cpu(p.id, pkt) })
 		}
@@ -258,6 +289,7 @@ func (sw *Switch) ingress(p *swPort, frame []byte) {
 func (sw *Switch) toEgress(out PortID, rid uint16, pkt *roce.Packet) {
 	if int(out) >= len(sw.ports) {
 		sw.Stats.DroppedEgress++
+		sw.mDrops.Inc()
 		return
 	}
 	dst := sw.ports[out]
@@ -277,8 +309,10 @@ func (sw *Switch) toEgress(out PortID, rid uint16, pkt *roce.Packet) {
 				return
 			}
 			sw.Stats.EgressPackets++
+			sw.mEgress.Inc()
 			if sw.program != nil && !sw.program.Egress(sw, out, rid, pkt) {
 				sw.Stats.DroppedEgress++
+				sw.mDrops.Inc()
 				return
 			}
 			dst.net.Send(pkt.Marshal())

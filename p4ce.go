@@ -77,6 +77,11 @@ type Options struct {
 	// DisableHeartbeats turns failure detection off — steady-state
 	// benchmarks use this to keep monitor traffic out of the way.
 	DisableHeartbeats bool
+	// EnableMetrics attaches a metrics registry to the kernel before any
+	// component is built, so every layer (simnet, rnic, tofino, p4ce,
+	// mu) records into it. Off by default: the disabled registry hands
+	// out nil no-op handles, so the hot paths pay nothing.
+	EnableMetrics bool
 	// LogSize overrides the per-machine replicated log ring size.
 	LogSize int
 	// PipelineDepth overrides how many requests a queue pair keeps in

@@ -1,0 +1,33 @@
+#!/bin/sh
+# bench_compare.sh -- regression gate for the benchmark pipeline.
+#
+# Usage: scripts/bench_compare.sh [baseline.json] [candidate.json]
+#
+# Defaults compare the committed quick-profile baseline against a
+# freshly generated BENCH_p4ce.json in the repo root. Regenerate the
+# candidate first with:
+#
+#   go run ./cmd/p4ce-bench -json -profile quick
+#
+# Exits nonzero when any tracked metric (goodput, throughput, latency,
+# failover time, ablation rate) is worse than the baseline by 10% or
+# more. The simulation is deterministic, so on an unchanged tree the
+# candidate is byte-identical to the baseline and the gate is exact.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASE="${1:-bench/BENCH_baseline.json}"
+CAND="${2:-BENCH_p4ce.json}"
+
+if [ ! -f "$BASE" ]; then
+    echo "bench_compare: baseline $BASE not found" >&2
+    exit 2
+fi
+if [ ! -f "$CAND" ]; then
+    echo "bench_compare: candidate $CAND not found." >&2
+    echo "bench_compare: generate it with: go run ./cmd/p4ce-bench -json -profile quick" >&2
+    exit 2
+fi
+
+exec go run ./cmd/p4ce-bench compare "$BASE" "$CAND"

@@ -1,6 +1,7 @@
 #!/bin/sh
-# Full verification gate: vet, build, the plain test suite, and the
-# race-detector pass. CI and `make check` both run this.
+# Full verification gate: vet, build, the plain test suite, the
+# race-detector pass, and the benchmark regression gate. CI and
+# `make check` both run this.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -15,5 +16,9 @@ go test ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== bench regression gate =="
+go run ./cmd/p4ce-bench -json -profile quick -out BENCH_p4ce.json
+./scripts/bench_compare.sh
 
 echo "ok"
