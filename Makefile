@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race vet check chaos bench bench-smoke
+.PHONY: build test race vet check chaos bench bench-smoke bench-micro
 
 build:
 	go build ./...
@@ -28,6 +28,14 @@ bench-smoke:
 # Full paper-shaped benchmark report (takes minutes).
 bench:
 	go run ./cmd/p4ce-bench -json -profile full -out BENCH_p4ce.json
+
+# Hot-path microbenchmarks with allocation counts: kernel event queue,
+# ticker re-arm, CPU work items, and the end-to-end consensus loop. The
+# allocs/op columns are the zero-allocation contract; the alloc gate in
+# scripts/check.sh enforces the end-to-end one.
+bench-micro:
+	go test ./internal/sim -run xxx -bench . -benchmem
+	go test ./internal/bench -run xxx -bench 'BenchmarkP4CE|BenchmarkMu' -benchmem
 
 # Run every named chaos scenario through the simulator.
 chaos:

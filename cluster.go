@@ -156,6 +156,11 @@ func (c *Cluster) After(d time.Duration, fn func()) {
 // Now returns the current simulated time.
 func (c *Cluster) Now() time.Duration { return time.Duration(c.kernel.Now()) }
 
+// EventsProcessed reports how many simulation events have executed.
+// Two same-seed runs must agree on it exactly; determinism tests use it
+// as a cheap whole-run fingerprint of the event schedule.
+func (c *Cluster) EventsProcessed() uint64 { return c.kernel.Processed() }
+
 // Metrics returns the cluster-wide registry, or nil unless the cluster
 // was built with Options.EnableMetrics. The nil registry is safe to
 // query (empty snapshots, nil handles).

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"testing"
+
+	"p4ce"
+)
+
+// TestZeroAllocSteadyState enforces the pooled hot path's headline
+// guarantee: once the free lists are warm, one committed operation on
+// the P4CE path — leader propose, switch scatter, replica ACKs, switch
+// gather, aggregated ACK, commit, apply on every machine — performs
+// zero heap allocations, with metrics enabled or disabled.
+//
+// The warmup must outlast CatchUpWindow (4096 entries) so the
+// re-replication caches reach their prune-and-recycle steady state on
+// every machine; before that, each append grows a cache that has never
+// returned a buffer to the pool.
+func TestZeroAllocSteadyState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-thousand-op warmup")
+	}
+	for _, metricsOn := range []bool{true, false} {
+		name := "metrics-off"
+		if metricsOn {
+			name = "metrics-on"
+		}
+		t.Run(name, func(t *testing.T) {
+			cl, leader, err := Steady(p4ce.Options{
+				Nodes:         5, // leader + 4 replicas
+				Mode:          p4ce.ModeP4CE,
+				Seed:          7,
+				EnableMetrics: metricsOn,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload := make([]byte, 64)
+			outstanding := 0
+			var failed error
+			done := func(err error) {
+				outstanding--
+				if err != nil {
+					failed = err
+				}
+			}
+			oneOp := func() {
+				if err := leader.Propose(payload, done); err != nil {
+					failed = err
+					return
+				}
+				outstanding++
+				for outstanding > 0 && failed == nil {
+					if !cl.Step() {
+						failed = &stalledError{stage: "alloc gate"}
+						return
+					}
+				}
+			}
+			for i := 0; i < 6000 && failed == nil; i++ {
+				oneOp()
+			}
+			if failed != nil {
+				t.Fatal(failed)
+			}
+			avg := testing.AllocsPerRun(500, oneOp)
+			if failed != nil {
+				t.Fatal(failed)
+			}
+			if avg != 0 {
+				t.Fatalf("steady-state committed op allocates %.3f objects/op, want 0", avg)
+			}
+		})
+	}
+}

@@ -141,7 +141,7 @@ func FullProfile() Profile {
 		Latency:          DefaultLatencyConfig(),
 		Failover:         DefaultFailoverConfig(),
 		AblationReplicas: []int{2, 4},
-		AblationOps:      4000,
+		AblationOps:      40000,
 	}
 }
 

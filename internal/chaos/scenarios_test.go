@@ -124,8 +124,8 @@ func (r *scenarioRun) checkInvariants(t *testing.T, name string) {
 // fingerprint reduces a run to a string two same-seed runs must agree
 // on byte for byte.
 func (r *scenarioRun) fingerprint() string {
-	s := fmt.Sprintf("committed=%d failed=%d lastAt=%v chaos=%+v leaders=%v",
-		r.committed, r.failed, r.lastAt, r.eng.Stats, sortedKeys(r.leaders))
+	s := fmt.Sprintf("events=%d committed=%d failed=%d lastAt=%v chaos=%+v leaders=%v",
+		r.cl.EventsProcessed(), r.committed, r.failed, r.lastAt, r.eng.Stats, sortedKeys(r.leaders))
 	for i, n := range r.cl.Nodes() {
 		s += fmt.Sprintf(" node%d{commit=%d applied=%d term=%d retx=%d}",
 			i, n.CommitIndex(), len(r.applied[i]), n.Term(), n.NICStats().Retransmits)

@@ -96,7 +96,7 @@ type dialState struct {
 	priv     []byte
 	done     func(*Conn, error)
 	retries  int
-	timer    *sim.Timer
+	timer    sim.Timer
 	finished bool
 }
 
@@ -174,9 +174,7 @@ func (a *Agent) finishDial(d *dialState, c *Conn, err error) {
 		return
 	}
 	d.finished = true
-	if d.timer != nil {
-		d.timer.Stop()
-	}
+	d.timer.Stop()
 	delete(a.dials, d.commID)
 	if err != nil {
 		a.nic.DestroyQP(d.qp)

@@ -221,7 +221,11 @@ func (n *Node) finishTakeover(seq int, granted map[int]*cm.Conn) {
 // queue.
 func (n *Node) adoptEntry(e *Entry) {
 	n.appendLocal(e)
-	n.pendingApply = append(n.pendingApply, *e)
+	// Queue against the cache copy appendLocal just made, not against
+	// the catch-up snapshot the scan is iterating.
+	queued := *e
+	queued.Data = entryData(n.recent[e.Index].bytes)
+	n.pendingApply.Push(queued)
 }
 
 // reReplicateTo writes every cached entry the peer is missing. Writes
@@ -287,16 +291,16 @@ func (n *Node) discardUncommittedSuffix() {
 		off = ent.off + len(ent.bytes)
 		lastTerm = e.Term
 	}
+	// The dropped pendingApply entries alias these cache buffers; filter
+	// the queue first, then recycle.
+	commit := n.commitIndex
+	n.pendingApply.Filter(func(e *Entry) bool { return e.Index <= commit })
 	for idx := n.commitIndex + 1; idx <= n.lastIndex; idx++ {
-		delete(n.recent, idx)
-	}
-	keep := n.pendingApply[:0]
-	for _, e := range n.pendingApply {
-		if e.Index <= n.commitIndex {
-			keep = append(keep, e)
+		if ent, ok := n.recent[idx]; ok {
+			delete(n.recent, idx)
+			n.k.Buffers().Put(ent.bytes)
 		}
 	}
-	n.pendingApply = keep
 	n.lastIndex = n.commitIndex
 	n.lastTerm = lastTerm
 	if n.maxDataIdx > n.commitIndex {
@@ -331,9 +335,11 @@ func (n *Node) stepDown(cause error) {
 	}
 	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
 	for _, idx := range idxs {
-		if p := flushed[idx]; p.done != nil && !p.committed {
+		p := flushed[idx]
+		if p.done != nil && !p.committed {
 			p.done(cause)
 		}
+		n.putProposal(p)
 	}
 	// Drop the uncommitted suffix, then resume consuming as a replica
 	// from the (rewound) ring position: the next leader's writes land
@@ -359,32 +365,33 @@ func (n *Node) Propose(data []byte, done func(error)) error {
 
 // proposeEntry appends locally, then drives the transport.
 func (n *Node) proposeEntry(data []byte, flags uint8, done func(error)) {
-	e := &Entry{
+	e := Entry{
 		Term:        uint32(n.term),
 		Index:       n.lastIndex + 1,
 		CommitIndex: n.commitIndex,
 		Flags:       flags,
 		Data:        data,
 	}
-	off, markOff := n.appendLocal(e)
+	off, markOff := n.appendLocal(&e)
 	n.Stats.Proposed++
 	n.mProposed.Inc()
-	p := &proposal{
-		index:      e.Index,
-		bytes:      n.recent[e.Index].bytes,
-		off:        off,
-		markOff:    markOff,
-		done:       done,
-		noop:       flags&FlagNoop != 0,
-		proposedAt: n.k.Now(),
-	}
+	p := n.getProposal()
+	p.index = e.Index
+	p.bytes = n.recent[e.Index].bytes
+	p.off = off
+	p.markOff = markOff
+	p.needed, p.got = 0, 0
+	p.committed = false
+	p.noop = flags&FlagNoop != 0
+	p.done = done
+	p.proposedAt = n.k.Now()
 	if flags&FlagNoop == 0 {
 		n.maxDataIdx = e.Index
 	}
 	n.sentCommit = e.CommitIndex
 	// Queue for application on commit. The payload references the
 	// encoded copy, so callers may reuse their buffers.
-	n.pendingApply = append(n.pendingApply, Entry{
+	n.pendingApply.Push(Entry{
 		Term:  e.Term,
 		Index: e.Index,
 		Flags: e.Flags,
@@ -404,6 +411,8 @@ func (n *Node) transportFor() Transport {
 
 // dispatch drives one proposal through the current transport, charging
 // the leader's CPU for request generation and acknowledgment handling.
+// The drive's state travels in a pooled dispatchCtx instead of closures,
+// so the steady-state path allocates nothing.
 func (n *Node) dispatch(p *proposal) {
 	t := n.transportFor()
 	if t == nil || !t.Ready() {
@@ -411,33 +420,69 @@ func (n *Node) dispatch(p *proposal) {
 		return
 	}
 	p.gen++
-	gen := p.gen
 	p.needed = t.AcksNeeded()
 	p.got = 0
+	ctx := n.getDispatchCtx()
+	ctx.p, ctx.t, ctx.gen, ctx.remaining = p, t, p.gen, 0
 	// Building and posting the work requests costs CPU per request —
 	// this is the §V-C bottleneck.
-	n.cpu.Do(n.cfg.CPUPostCost*sim.Time(t.Requests()), func() {
-		if n.role != RoleLeader || p.gen != gen {
-			return
-		}
-		if p.markOff >= 0 {
-			// The ring wrapped: replicate the wrap marker first (ordered
-			// ahead of the entry on every path).
-			_ = t.Replicate(WrapMarkBytes(), p.markOff, func(error) {})
-		}
-		err := t.Replicate(p.bytes, p.off, func(err error) {
-			// Processing each acknowledgment costs CPU too.
-			n.cpu.Do(n.cfg.CPUAckCost, func() { n.onAck(p, t, gen, err) })
-		})
-		if err != nil {
-			n.onAck(p, t, gen, err)
-		}
-	})
+	n.cpu.DoArg(n.cfg.CPUPostCost*sim.Time(t.Requests()), n.postFn, ctx)
 }
 
-// onAck accounts one acknowledgment event for a proposal.
-func (n *Node) onAck(p *proposal, t Transport, gen int, err error) {
-	if n.role != RoleLeader || p.committed || p.gen != gen {
+// nopAck discards wrap-marker acknowledgments (the entry's own
+// acknowledgments carry the commit decision).
+var nopAck = func(error) {}
+
+// postStep runs after the CPU charged the request-generation cost: it
+// hands the entry to the transport. Each acknowledgment comes back
+// through ackStep; a synchronous transport failure is accounted the
+// same way, as the single expected event.
+func (n *Node) postStep(a any) {
+	ctx := a.(*dispatchCtx)
+	p, t := ctx.p, ctx.t
+	if n.role != RoleLeader || p.gen != ctx.gen {
+		n.putDispatchCtx(ctx)
+		return
+	}
+	if p.markOff >= 0 {
+		// The ring wrapped: replicate the wrap marker first (ordered
+		// ahead of the entry on every path).
+		_ = t.Replicate(WrapMarkBytes(), p.markOff, nopAck)
+	}
+	// Count expected acknowledgment events before Replicate runs: paths
+	// failing synchronously inside it still fire the callback once, but
+	// drop out of AcksExpected immediately.
+	ctx.remaining = t.AcksExpected()
+	if err := t.Replicate(p.bytes, p.off, ctx.ackFn); err != nil {
+		ctx.remaining = 1
+		n.ackFinish(ctx, err)
+	}
+}
+
+// ackStep runs after the CPU charged the acknowledgment-handling cost.
+func (n *Node) ackStep(a any) {
+	evt := a.(*ackEvt)
+	ctx, err := evt.ctx, evt.err
+	n.putAckEvt(evt)
+	n.ackFinish(ctx, err)
+}
+
+// ackFinish accounts one acknowledgment event and recycles the context
+// once the transport delivered everything it promised.
+func (n *Node) ackFinish(ctx *dispatchCtx, err error) {
+	n.onAck(ctx, err)
+	ctx.remaining--
+	if ctx.remaining <= 0 {
+		n.putDispatchCtx(ctx)
+	}
+}
+
+// onAck applies one acknowledgment event to its proposal. A context
+// whose generation no longer matches (the proposal was re-driven by a
+// fallback, completed, or recycled) is inert.
+func (n *Node) onAck(ctx *dispatchCtx, err error) {
+	p, t := ctx.p, ctx.t
+	if n.role != RoleLeader || p.committed || p.gen != ctx.gen {
 		return
 	}
 	if err != nil {
@@ -514,6 +559,9 @@ func (n *Node) drainCommits() {
 		if p.done != nil {
 			p.done(nil)
 		}
+		// Recycle after the completion callback: it may propose again
+		// reentrantly, and must not be handed this very object mid-use.
+		n.putProposal(p)
 	}
 	n.publishState()
 }
@@ -529,10 +577,13 @@ func entryData(encoded []byte) []byte {
 
 // appendLocal encodes the entry into the local ring, updating the
 // re-replication window. It returns the entry's ring offset and the
-// wrap-marker offset (-1 when no wrap happened).
+// wrap-marker offset (-1 when no wrap happened). The cache copy comes
+// from the kernel's buffer pool; pruneRecent returns it there.
 func (n *Node) appendLocal(e *Entry) (off, markOff int) {
-	bytes := EncodeEntry(e)
-	off, markOff, mark, err := n.ring.Place(len(bytes))
+	size := e.EncodedSize()
+	bytes := n.k.Buffers().Get(size)
+	EncodeEntryInto(bytes, e)
+	off, markOff, mark, err := n.ring.Place(size)
 	if err != nil {
 		// An entry larger than the whole log: reject at Propose level.
 		panic("mu: entry exceeds log size")
@@ -546,9 +597,7 @@ func (n *Node) appendLocal(e *Entry) (off, markOff int) {
 	n.lastIndex = e.Index
 	n.lastTerm = e.Term
 	n.recent[e.Index] = recentEntry{off: off, bytes: bytes}
-	if prune := int64(e.Index) - int64(n.cfg.CatchUpWindow); prune > 0 {
-		delete(n.recent, uint64(prune))
-	}
+	n.pruneRecent(e.Index)
 	n.publishState()
 	return off, markOff
 }

@@ -53,6 +53,14 @@ func (e *Entry) EncodedSize() int {
 // EncodeEntry serializes the entry into a fresh buffer.
 func EncodeEntry(e *Entry) []byte {
 	buf := make([]byte, e.EncodedSize())
+	EncodeEntryInto(buf, e)
+	return buf
+}
+
+// EncodeEntryInto serializes the entry into buf, which must be at least
+// EncodedSize() bytes long. The append hot path encodes into pooled
+// buffers with it instead of allocating one per entry.
+func EncodeEntryInto(buf []byte, e *Entry) {
 	binary.BigEndian.PutUint32(buf[0:4], uint32(len(e.Data)))
 	binary.BigEndian.PutUint32(buf[4:8], e.Term)
 	binary.BigEndian.PutUint64(buf[8:16], e.Index)
@@ -61,14 +69,25 @@ func EncodeEntry(e *Entry) []byte {
 	copy(buf[entryHeaderBytes:], e.Data)
 	crc := crc32.ChecksumIEEE(buf[:entryHeaderBytes+len(e.Data)])
 	binary.BigEndian.PutUint32(buf[entryHeaderBytes+len(e.Data):], crc)
-	return buf
 }
 
 // DecodeEntryAt parses the entry at off. It returns the entry and the
 // offset of the next record, or ok=false when the bytes at off do not
 // (yet) hold a complete valid entry. A wrap marker returns ok=false with
-// wrapped=true.
+// wrapped=true. The returned entry's Data is a private copy.
 func DecodeEntryAt(buf []byte, off int) (e Entry, next int, wrapped, ok bool) {
+	e, next, wrapped, ok = decodeEntryView(buf, off)
+	if ok && len(e.Data) > 0 {
+		e.Data = append([]byte(nil), e.Data...)
+	}
+	return e, next, wrapped, ok
+}
+
+// decodeEntryView is DecodeEntryAt without the defensive payload copy:
+// the returned entry's Data aliases buf and is only valid while those
+// bytes stay untouched. The consumer hot path uses it and copies into a
+// pooled buffer itself.
+func decodeEntryView(buf []byte, off int) (e Entry, next int, wrapped, ok bool) {
 	if len(buf)-off < 4 {
 		return Entry{}, 0, true, false // implicit wrap: no room for a marker
 	}
@@ -92,7 +111,7 @@ func DecodeEntryAt(buf []byte, off int) (e Entry, next int, wrapped, ok bool) {
 		Flags:       buf[off+24],
 	}
 	if length > 0 {
-		e.Data = append([]byte(nil), buf[off+entryHeaderBytes:end]...)
+		e.Data = buf[off+entryHeaderBytes : end]
 	}
 	return e, off + total, false, true
 }
@@ -136,11 +155,69 @@ func (r *Ring) Offset() int { return r.off }
 // SetOffset forces the append position (used when adopting a peer's log).
 func (r *Ring) SetOffset(off int) { r.off = off }
 
-// WrapMarkBytes returns the encoded wrap marker.
-func WrapMarkBytes() []byte {
-	var b [4]byte
-	binary.BigEndian.PutUint32(b[:], wrapMark)
-	return b[:]
+// wrapMarkEnc holds the encoded wrap marker: big-endian 0xFFFFFFFF.
+var wrapMarkEnc = [4]byte{0xFF, 0xFF, 0xFF, 0xFF}
+
+// WrapMarkBytes returns the encoded wrap marker. The slice aliases a
+// shared read-only array; callers copy or transmit it, never mutate it.
+func WrapMarkBytes() []byte { return wrapMarkEnc[:] }
+
+// entryQueue is a FIFO of entries backed by a reusable array. Popping
+// with pending = pending[1:] permanently sheds capacity, so a long-lived
+// queue reallocates on every lap; this queue instead advances a head
+// index, zeroes freed slots (dropping their Data references), and
+// rewinds to the array start whenever it drains.
+type entryQueue struct {
+	items []Entry
+	head  int
+}
+
+// Len returns the number of queued entries.
+func (q *entryQueue) Len() int { return len(q.items) - q.head }
+
+// Push appends an entry.
+func (q *entryQueue) Push(e Entry) { q.items = append(q.items, e) }
+
+// Front returns the oldest entry without removing it.
+func (q *entryQueue) Front() *Entry { return &q.items[q.head] }
+
+// PopFront removes and returns the oldest entry.
+func (q *entryQueue) PopFront() Entry {
+	e := q.items[q.head]
+	q.items[q.head] = Entry{}
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	} else if q.head >= 64 && q.head*2 >= len(q.items) {
+		// A queue that never fully drains (a follower always holds the
+		// newest uncommitted entry) would otherwise grow its slice one
+		// slot per pop forever. Slide the live tail down once the dead
+		// prefix dominates; amortized O(1) per pop.
+		n := copy(q.items, q.items[q.head:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = Entry{}
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return e
+}
+
+// Filter keeps only the entries satisfying keep, preserving order.
+func (q *entryQueue) Filter(keep func(*Entry) bool) {
+	w := 0
+	for i := q.head; i < len(q.items); i++ {
+		if keep(&q.items[i]) {
+			q.items[w] = q.items[i]
+			w++
+		}
+	}
+	for i := w; i < len(q.items); i++ {
+		q.items[i] = Entry{}
+	}
+	q.items = q.items[:w]
+	q.head = 0
 }
 
 // Consumer scans a log region for complete entries in order, tracking
@@ -153,15 +230,19 @@ type Consumer struct {
 	nextIndex uint64
 	lastTerm  uint32
 	commit    uint64
-	pending   []Entry // consumed but not yet committed
+	pending   entryQueue // consumed but not yet committed (OnApply users)
 
-	// OnReceive fires for every entry as it becomes visible.
+	// OnReceive fires for every entry as it becomes visible. The
+	// entry's Data aliases the scanned region and is valid only for the
+	// duration of the callback; retain a copy, not the slice.
 	OnReceive func(Entry)
 	// OnReceiveAt fires like OnReceive but also reports the entry's ring
-	// offset (followers feed their re-replication cache with it).
+	// offset (followers feed their re-replication cache with it). The
+	// same Data-aliasing rule applies.
 	OnReceiveAt func(Entry, int)
 	// OnApply fires for every entry once it is covered by the commit
-	// index, in index order, exactly once.
+	// index, in index order, exactly once. Entries delivered here carry
+	// private Data copies.
 	OnApply func(Entry)
 }
 
@@ -187,7 +268,7 @@ func (c *Consumer) ReadOffset() int { return c.readOff }
 func (c *Consumer) Poll() int {
 	n := 0
 	for {
-		e, next, wrapped, ok := DecodeEntryAt(c.buf, c.readOff)
+		e, next, wrapped, ok := decodeEntryView(c.buf, c.readOff)
 		if wrapped {
 			if c.readOff == 0 {
 				return n // empty ring: stay put
@@ -214,7 +295,14 @@ func (c *Consumer) Poll() int {
 		if c.OnReceiveAt != nil {
 			c.OnReceiveAt(e, entryOff)
 		}
-		c.pending = append(c.pending, e)
+		if c.OnApply != nil {
+			// Ring bytes at this offset can be overwritten before the
+			// commit index covers the entry; queue a private copy.
+			if len(e.Data) > 0 {
+				e.Data = append([]byte(nil), e.Data...)
+			}
+			c.pending.Push(e)
+		}
 		c.advanceCommit(e.CommitIndex)
 	}
 }
@@ -235,9 +323,8 @@ func (c *Consumer) advanceCommit(idx uint64) {
 }
 
 func (c *Consumer) drainApplied() {
-	for len(c.pending) > 0 && c.pending[0].Index <= c.commit {
-		e := c.pending[0]
-		c.pending = c.pending[1:]
+	for c.pending.Len() > 0 && c.pending.Front().Index <= c.commit {
+		e := c.pending.PopFront()
 		if c.OnApply != nil {
 			c.OnApply(e)
 		}

@@ -100,7 +100,12 @@ func TestRingConsumerAgreementProperty(t *testing.T) {
 		ring := NewRing(ringSize)
 		var got []Entry
 		cons := NewConsumer(buf, 1)
-		cons.OnReceive = func(e Entry) { got = append(got, e) }
+		cons.OnReceive = func(e Entry) {
+			// OnReceive entries alias the ring; retaining them across
+			// laps requires a copy (the documented contract).
+			e.Data = append([]byte(nil), e.Data...)
+			got = append(got, e)
+		}
 
 		var want []Entry
 		commit := uint64(0)

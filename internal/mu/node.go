@@ -73,12 +73,17 @@ const (
 
 // peerState is this machine's view of one peer.
 type peerState struct {
-	peer     Peer
-	conn     *cm.Conn // monitor connection (control-region reads)
-	logVA    uint64
-	logRKey  uint32
-	logLen   uint32
-	ctrlBuf  []byte
+	peer    Peer
+	conn    *cm.Conn // monitor connection (control-region reads)
+	logVA   uint64
+	logRKey uint32
+	logLen  uint32
+	// readBufs rotate as destinations for the pipelined control-region
+	// reads (at most maxOutstandingReads in flight; completions arrive
+	// in post order on the RC queue pair, so a slot is reused only after
+	// its read completed). Rotating beats allocating one per read.
+	readBufs [8][]byte
+	readSeq  int
 	reads    int // outstanding control-region reads
 	dialing  bool
 	everSeen bool
@@ -101,7 +106,10 @@ type recentEntry struct {
 	bytes []byte
 }
 
-// proposal is one in-flight replicated entry at the leader.
+// proposal is one in-flight replicated entry at the leader. Proposals
+// are pooled: gen stays monotonic across recycling, so acknowledgment
+// contexts bound to an earlier incarnation observe a mismatch and stay
+// inert.
 type proposal struct {
 	index      uint64
 	bytes      []byte
@@ -109,11 +117,32 @@ type proposal struct {
 	markOff    int // ≥0 when a wrap marker precedes the entry
 	needed     int
 	got        int
-	gen        int // transport generation (bumped on fallback)
+	gen        int // incarnation (bumped on every dispatch and recycle)
 	committed  bool
 	noop       bool
 	done       func(error)
 	proposedAt sim.Time
+}
+
+// dispatchCtx carries one transport drive of one proposal through the
+// leader's CPU-cost events without per-operation closures: the ack
+// callback is bound once when the context is first created and survives
+// recycling. remaining counts the acknowledgment events still expected
+// from the transport; the context returns to the pool when it reaches
+// zero.
+type dispatchCtx struct {
+	p         *proposal
+	t         Transport
+	gen       int
+	remaining int
+	ackFn     func(error)
+}
+
+// ackEvt carries one acknowledgment (context + verdict) through the
+// CPU's deferred-work queue.
+type ackEvt struct {
+	ctx *dispatchCtx
+	err error
 }
 
 // Node is one machine participating in the protocol. All its activity is
@@ -140,8 +169,10 @@ type Node struct {
 	appliedIdx  uint64
 	// pendingApply holds entries (from any source: consumed as a
 	// follower, adopted during catch-up, or self-proposed as leader) in
-	// index order, awaiting commit coverage before application.
-	pendingApply []Entry
+	// index order, awaiting commit coverage before application. Entry
+	// Data aliases the re-replication cache's pooled copies; pruneRecent
+	// keeps a pruned buffer out of the pool until application passed it.
+	pendingApply entryQueue
 
 	role     Role
 	leaderID int
@@ -168,6 +199,14 @@ type Node struct {
 	firstOwnIdx uint64 // first index proposed in this leadership
 	takeoverSeq int    // invalidates stale takeover timers
 
+	// Hot-path free lists and the callbacks bound once for them (see
+	// dispatch / postStep / ackStep).
+	propFree []*proposal
+	ctxFree  []*dispatchCtx
+	evtFree  []*ackEvt
+	postFn   func(any)
+	ackAnyFn func(any)
+
 	// Inbound write queue pairs by group owner, for fencing.
 	inbound map[simnet.Addr][]*rnic.QP
 	// Extra addresses always allowed to write the log (the P4CE switch).
@@ -179,10 +218,13 @@ type Node struct {
 	hbTicker     *sim.Ticker
 	monTicker    *sim.Ticker
 	commitTicker *sim.Ticker
-	routeTimer   *sim.Timer
+	routeTimer   sim.Timer
+	routeArmed   bool // a failover was scheduled (or already happened)
 	primaryPort  *simnet.Port
 
-	// Callbacks.
+	// Callbacks. OnApply's entry Data aliases a pooled cache buffer and
+	// is valid only for the duration of the call; state machines that
+	// retain command bytes must copy them.
 	OnApply        func(Entry)
 	OnLeaderChange func(term uint64, leaderID int)
 	OnBecameLeader func()
@@ -256,17 +298,25 @@ func NewNode(cfg Config, self Peer, peers []Peer, nic *rnic.NIC) *Node {
 	n.consumer = NewConsumer(n.logBuf, 1)
 	// Followers keep the same re-replication cache leaders build, so a
 	// freshly elected leader can bring laggards up to date; entries also
-	// queue for state-machine application once committed.
+	// queue for state-machine application once committed. The encoded
+	// bytes are already in the ring at the reported offset, so the cache
+	// copy is a memcpy into a pooled buffer, not a re-encode.
 	n.consumer.OnReceiveAt = func(e Entry, off int) {
-		n.recent[e.Index] = recentEntry{off: off, bytes: EncodeEntry(&e)}
-		if prune := int64(e.Index) - int64(cfg.CatchUpWindow); prune > 0 {
-			delete(n.recent, uint64(prune))
-		}
-		n.pendingApply = append(n.pendingApply, e)
+		size := e.EncodedSize()
+		enc := n.k.Buffers().Get(size)
+		copy(enc, n.logBuf[off:off+size])
+		n.recent[e.Index] = recentEntry{off: off, bytes: enc}
+		n.pruneRecent(e.Index)
+		// Queue for application against the cached copy: the ring bytes
+		// can be overwritten by a wrap before the commit index arrives.
+		e.Data = entryData(enc)
+		n.pendingApply.Push(e)
 	}
 	n.logMR.SetOnWrite(func(int, int) { n.consumeInbound() })
+	n.postFn = n.postStep
+	n.ackAnyFn = n.ackStep
 	for _, p := range peers {
-		n.peerStates[p.ID] = &peerState{peer: p, ctrlBuf: make([]byte, controlRegionBytes)}
+		n.peerStates[p.ID] = &peerState{peer: p}
 	}
 	for _, p := range peers {
 		n.peerOrder = append(n.peerOrder, n.peerStates[p.ID])
@@ -276,6 +326,89 @@ func NewNode(cfg Config, self Peer, peers []Peer, nic *rnic.NIC) *Node {
 	})
 	n.agent.SetAcceptFunc(n.acceptCM)
 	return n
+}
+
+// getProposal pops a recycled proposal (or allocates the pool's first).
+// The caller must set every field except gen; gen carries over so stale
+// acknowledgment contexts cannot mistake the new incarnation for theirs.
+func (n *Node) getProposal() *proposal {
+	if m := len(n.propFree); m > 0 {
+		p := n.propFree[m-1]
+		n.propFree[m-1] = nil
+		n.propFree = n.propFree[:m-1]
+		return p
+	}
+	return &proposal{}
+}
+
+// putProposal recycles a finished proposal. Bumping gen here makes every
+// outstanding context for it inert immediately, even before reuse.
+func (n *Node) putProposal(p *proposal) {
+	p.gen++
+	p.bytes = nil
+	p.done = nil
+	n.propFree = append(n.propFree, p)
+}
+
+// getDispatchCtx pops a recycled dispatch context. The ack callback is
+// created once per context, on first allocation, and reused across
+// recycles — it resolves the context's current fields when it fires.
+func (n *Node) getDispatchCtx() *dispatchCtx {
+	if m := len(n.ctxFree); m > 0 {
+		ctx := n.ctxFree[m-1]
+		n.ctxFree[m-1] = nil
+		n.ctxFree = n.ctxFree[:m-1]
+		return ctx
+	}
+	ctx := &dispatchCtx{}
+	ctx.ackFn = func(err error) {
+		// Processing each acknowledgment costs CPU (§V-C).
+		evt := n.getAckEvt()
+		evt.ctx, evt.err = ctx, err
+		n.cpu.DoArg(n.cfg.CPUAckCost, n.ackAnyFn, evt)
+	}
+	return ctx
+}
+
+func (n *Node) putDispatchCtx(ctx *dispatchCtx) {
+	ctx.p, ctx.t = nil, nil
+	n.ctxFree = append(n.ctxFree, ctx)
+}
+
+func (n *Node) getAckEvt() *ackEvt {
+	if m := len(n.evtFree); m > 0 {
+		evt := n.evtFree[m-1]
+		n.evtFree[m-1] = nil
+		n.evtFree = n.evtFree[:m-1]
+		return evt
+	}
+	return &ackEvt{}
+}
+
+func (n *Node) putAckEvt(evt *ackEvt) {
+	evt.ctx, evt.err = nil, nil
+	n.evtFree = append(n.evtFree, evt)
+}
+
+// pruneRecent evicts the cache record that fell out of the catch-up
+// window when idx was appended. The buffer returns to the pool only
+// once application has passed the pruned entry: until then the
+// pendingApply queue (and OnApply delivery) still alias its bytes. The
+// rare unrecycled buffer is simply left to the garbage collector.
+func (n *Node) pruneRecent(idx uint64) {
+	prune := int64(idx) - int64(n.cfg.CatchUpWindow)
+	if prune <= 0 {
+		return
+	}
+	p := uint64(prune)
+	ent, ok := n.recent[p]
+	if !ok {
+		return
+	}
+	delete(n.recent, p)
+	if p <= n.appliedIdx {
+		n.k.Buffers().Put(ent.bytes)
+	}
 }
 
 // ID returns the machine identifier.
@@ -436,9 +569,7 @@ func (n *Node) stopTickers() {
 	if n.commitTicker != nil {
 		n.commitTicker.Stop()
 	}
-	if n.routeTimer != nil {
-		n.routeTimer.Stop()
-	}
+	n.routeTimer.Stop()
 }
 
 // SetPrimaryPort tells the node which port to sever on Crash (the NIC
@@ -641,24 +772,29 @@ func (n *Node) readPeer(ps *peerState) {
 		return
 	}
 	ps.reads++
-	buf := make([]byte, controlRegionBytes)
+	slot := ps.readSeq % len(ps.readBufs)
+	ps.readSeq++
+	buf := ps.readBufs[slot]
+	if buf == nil {
+		buf = make([]byte, controlRegionBytes)
+		ps.readBufs[slot] = buf
+	}
 	err := ps.conn.QP.PostRead(buf, ps.conn.RemoteVA, ps.conn.RemoteRKey, func(err error) {
 		ps.reads--
 		if err != nil {
 			return
 		}
-		ps.ctrlBuf = buf
-		hb := binary.BigEndian.Uint64(ps.ctrlBuf[ctrlHeartbeat*8:])
+		hb := binary.BigEndian.Uint64(buf[ctrlHeartbeat*8:])
 		if hb != ps.lastHB {
 			ps.lastHB = hb
 			ps.lastNew = n.k.Now()
 			ps.everSeen = true
 		}
-		ps.term = binary.BigEndian.Uint64(ps.ctrlBuf[ctrlTerm*8:])
-		ps.lastIndex = binary.BigEndian.Uint64(ps.ctrlBuf[ctrlLastIndex*8:])
-		ps.lastTerm = binary.BigEndian.Uint64(ps.ctrlBuf[ctrlLastTerm*8:])
-		ps.commit = binary.BigEndian.Uint64(ps.ctrlBuf[ctrlCommit*8:])
-		ps.ringOff = binary.BigEndian.Uint64(ps.ctrlBuf[ctrlRingOff*8:])
+		ps.term = binary.BigEndian.Uint64(buf[ctrlTerm*8:])
+		ps.lastIndex = binary.BigEndian.Uint64(buf[ctrlLastIndex*8:])
+		ps.lastTerm = binary.BigEndian.Uint64(buf[ctrlLastTerm*8:])
+		ps.commit = binary.BigEndian.Uint64(buf[ctrlCommit*8:])
+		ps.ringOff = binary.BigEndian.Uint64(buf[ctrlRingOff*8:])
 		if ps.term > n.maxSeen {
 			n.maxSeen = ps.term
 		}
@@ -706,9 +842,10 @@ func (n *Node) evaluate() {
 // maybeRouteFailover switches to the backup fabric when the whole
 // primary path looks dead (a crashed switch, §III-A / Table IV).
 func (n *Node) maybeRouteFailover() {
-	if n.nic.OnBackupRoute() || n.routeTimer != nil {
+	if n.nic.OnBackupRoute() || n.routeArmed {
 		return
 	}
+	n.routeArmed = true
 	// Routing reconvergence takes a while; only then does traffic flow
 	// through the alternative route.
 	n.routeTimer = n.k.Schedule(n.cfg.RouteReconvergenceDelay, func() {
@@ -785,9 +922,8 @@ func (n *Node) consumeInbound() {
 // applyUpTo delivers every pending entry covered by the commit index to
 // the state machine, in index order, exactly once.
 func (n *Node) applyUpTo(commit uint64) {
-	for len(n.pendingApply) > 0 && n.pendingApply[0].Index <= commit {
-		e := n.pendingApply[0]
-		n.pendingApply = n.pendingApply[1:]
+	for n.pendingApply.Len() > 0 && n.pendingApply.Front().Index <= commit {
+		e := n.pendingApply.PopFront()
 		if e.Index <= n.appliedIdx {
 			continue
 		}

@@ -105,6 +105,15 @@ type NIC struct {
 	nextQPN   uint32
 	cmHandler CMHandler
 
+	// Hot-path recycling: pooled work requests, pooled transmit jobs for
+	// the ProcessingDelay hop, a persistent send callback, and a scratch
+	// packet the RX path decodes into (receive is synchronous, so one
+	// suffices).
+	wrFree []*workRequest
+	txFree []*txJob
+	sendFn func(any)
+	rxPkt  roce.Packet
+
 	// Stats counts the datapath events, for tests and experiments.
 	Stats Stats
 
@@ -155,7 +164,66 @@ func New(k *sim.Kernel, cfg Config, ip simnet.Addr) *NIC {
 		mPSNGaps:      m.Counter("rnic.psn_gaps"),
 		mRNRNaks:      m.Counter("rnic.rnr_naks"),
 	}
+	n.sendFn = n.sendDelayed
 	return n
+}
+
+// txJob carries one marshaled frame across the NIC pipeline delay.
+type txJob struct {
+	port  *simnet.Port
+	frame []byte
+}
+
+func (n *NIC) getTxJob() *txJob {
+	if l := len(n.txFree); l > 0 {
+		j := n.txFree[l-1]
+		n.txFree[l-1] = nil
+		n.txFree = n.txFree[:l-1]
+		return j
+	}
+	return &txJob{}
+}
+
+func (n *NIC) putTxJob(j *txJob) {
+	j.port, j.frame = nil, nil
+	n.txFree = append(n.txFree, j)
+}
+
+// getWR returns a zeroed work request from the NIC-wide pool.
+func (n *NIC) getWR() *workRequest {
+	if l := len(n.wrFree); l > 0 {
+		wr := n.wrFree[l-1]
+		n.wrFree[l-1] = nil
+		n.wrFree = n.wrFree[:l-1]
+		return wr
+	}
+	return &workRequest{}
+}
+
+// putWR recycles a work request that left the send queues. Clearing the
+// fields drops payload and callback references so they do not outlive
+// the request.
+func (n *NIC) putWR(wr *workRequest) {
+	if wr.dataPooled {
+		n.k.Buffers().Put(wr.data)
+	}
+	*wr = workRequest{}
+	n.wrFree = append(n.wrFree, wr)
+}
+
+// captureData snapshots a caller's write/send payload into a pooled
+// buffer owned by the work request (released by putWR). The simulator
+// departs from verbs zero-copy semantics here on purpose: consumers
+// recycle their encoding buffers aggressively, and a snapshot at post
+// time keeps retransmissions reading stable bytes without tracking
+// caller-buffer lifetimes against outstanding requests.
+func (n *NIC) captureData(data []byte) ([]byte, bool) {
+	if len(data) == 0 {
+		return nil, false
+	}
+	buf := n.k.Buffers().Get(len(data))
+	copy(buf, data)
+	return buf, true
 }
 
 // IP returns the NIC's address.
@@ -201,20 +269,32 @@ func (n *NIC) activePort() *simnet.Port {
 	return n.port
 }
 
-// transmit encodes and sends a packet after the NIC pipeline delay.
+// transmit encodes and sends a packet after the NIC pipeline delay. The
+// packet struct is consumed synchronously (marshaled into a pooled
+// frame), so callers may pass a scratch packet they reuse immediately.
 func (n *NIC) transmit(p *roce.Packet) {
-	frame := p.Marshal()
 	n.Stats.TxPackets++
 	n.mTxPackets.Inc()
 	port := n.activePort()
 	if port == nil {
 		return
 	}
+	frame := n.k.Buffers().Get(p.WireSize())
+	p.MarshalInto(frame)
 	if n.cfg.ProcessingDelay > 0 {
-		n.k.Schedule(n.cfg.ProcessingDelay, func() { port.Send(frame) })
+		j := n.getTxJob()
+		j.port, j.frame = port, frame
+		n.k.ScheduleArg(n.cfg.ProcessingDelay, n.sendFn, j)
 		return
 	}
 	port.Send(frame)
+}
+
+// sendDelayed is the persistent callback completing a delayed transmit.
+func (n *NIC) sendDelayed(a any) {
+	j := a.(*txJob)
+	j.port.Send(j.frame)
+	n.putTxJob(j)
 }
 
 // SendCM emits a connection-manager datagram. CM traffic is unreliable;
@@ -235,9 +315,20 @@ func (n *NIC) SendCM(dst simnet.Addr, msg *roce.CMMessage) error {
 	return nil
 }
 
-// receive is the RX datapath entry point.
+// receive is the RX datapath entry point. The frame is decoded into the
+// NIC's scratch packet — the payload aliases the frame — processed
+// synchronously, and the frame is recycled before returning, so QP
+// handlers (and onRecv consumers) must copy any payload bytes they
+// retain.
 func (n *NIC) receive(frame []byte) {
-	p, err := roce.Unmarshal(frame)
+	p := &n.rxPkt
+	err := roce.UnmarshalInto(frame, p)
+	n.handleDecoded(p, err)
+	p.Payload = nil // drop the alias before the frame is recycled
+	n.k.Buffers().Put(frame)
+}
+
+func (n *NIC) handleDecoded(p *roce.Packet, err error) {
 	if err != nil {
 		n.Stats.DroppedBadFrame++
 		return
@@ -278,6 +369,11 @@ func (n *NIC) CreateQP() *QP {
 		state:   StateReset,
 		credits: n.cfg.MaxOutstanding,
 	}
+	// Bind the timer and slot callbacks once, so the per-ACK re-arm and
+	// per-message slot release never allocate.
+	qp.timeoutFn = qp.onTimeout
+	qp.rnrFn = qp.onRNRExpire
+	qp.slotFreeFn = func() { qp.freeSlots++ }
 	n.qps[qpn] = qp
 	return qp
 }

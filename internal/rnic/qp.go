@@ -40,17 +40,63 @@ const (
 )
 
 // workRequest is one posted operation moving through the send pipeline.
+// Requests are pooled per NIC (see NIC.getWR/putWR) and recycled once
+// they leave the send queues.
 type workRequest struct {
-	typ      wrType
-	data     []byte // payload for writes/sends
-	dst      []byte // destination buffer for reads
-	remoteVA uint64
-	rkey     uint32
-	done     func(error)
+	typ wrType
+	// data holds the payload for writes/sends. It is a pooled snapshot
+	// of the caller's buffer, taken at post time: retransmissions read
+	// from it long after the post returns, and snapshotting frees the
+	// caller to reuse (or recycle) its own buffer immediately.
+	data       []byte
+	dataPooled bool   // data came from the kernel buffer pool
+	dst        []byte // destination buffer for reads (caller-owned)
+	remoteVA   uint64
+	rkey       uint32
+	done       func(error)
 
 	firstPSN  uint32 // assigned when the request starts transmitting
 	lastPSN   uint32
 	completed bool
+}
+
+// wrQueue is a FIFO of work requests backed by a reusable array: popped
+// slots are reclaimed once the queue drains (and the head shifts down
+// when it grows past the live window), so a steady post/complete cycle
+// never reallocates the backing store the way re-slicing with [1:] does.
+type wrQueue struct {
+	items []*workRequest
+	head  int
+}
+
+// Len returns the number of queued requests.
+func (q *wrQueue) Len() int { return len(q.items) - q.head }
+
+// Push appends a request.
+func (q *wrQueue) Push(wr *workRequest) {
+	if q.head > 0 && q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	q.items = append(q.items, wr)
+}
+
+// Front returns the oldest request without removing it.
+func (q *wrQueue) Front() *workRequest { return q.items[q.head] }
+
+// At returns the i-th oldest request.
+func (q *wrQueue) At(i int) *workRequest { return q.items[q.head+i] }
+
+// PopFront removes and returns the oldest request.
+func (q *wrQueue) PopFront() *workRequest {
+	wr := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return wr
 }
 
 func (wr *workRequest) complete(err error) {
@@ -90,13 +136,23 @@ type QP struct {
 
 	// Requester side.
 	sndPSN   uint32 // next PSN to assign
-	pending  []*workRequest
-	inflight []*workRequest
+	pending  wrQueue
+	inflight wrQueue
 	credits  int // last credit count advertised by the responder
 	retries  int
-	rtTimer  *sim.Timer
-	rnrCount int        // consecutive RNR rounds without forward progress
-	rnrTimer *sim.Timer // pending RNR backoff, at most one at a time
+	rtTimer  sim.Timer
+	rnrCount int       // consecutive RNR rounds without forward progress
+	rnrTimer sim.Timer // pending RNR backoff, at most one at a time
+
+	// Persistent callbacks, bound once in CreateQP so (re)arming the
+	// retransmission or RNR timer and releasing responder slots do not
+	// allocate a closure per event.
+	timeoutFn  func()
+	rnrFn      func()
+	slotFreeFn func()
+	// txPkt is the scratch packet the QP marshals outgoing traffic from;
+	// NIC.transmit consumes it synchronously, so one per QP suffices.
+	txPkt roce.Packet
 
 	// Responder side.
 	expPSN    uint32
@@ -158,7 +214,13 @@ func (qp *QP) Connect(remoteIP simnet.Addr, remoteQPN, localPSN, remotePSN uint3
 // address. done is invoked with nil once the write is acknowledged, or
 // with an error if it fails.
 func (qp *QP) PostWrite(data []byte, remoteVA uint64, rkey uint32, done func(error)) error {
-	return qp.post(&workRequest{typ: wrWrite, data: data, remoteVA: remoteVA, rkey: rkey, done: done})
+	if qp.state != StateReady {
+		return ErrQPState
+	}
+	wr := qp.nic.getWR()
+	wr.typ, wr.remoteVA, wr.rkey, wr.done = wrWrite, remoteVA, rkey, done
+	wr.data, wr.dataPooled = qp.nic.captureData(data)
+	return qp.post(wr)
 }
 
 // PostRead posts a one-sided RDMA read of len(dst) bytes from the remote
@@ -167,7 +229,12 @@ func (qp *QP) PostRead(dst []byte, remoteVA uint64, rkey uint32, done func(error
 	if len(dst) == 0 {
 		return ErrInvalidRequest
 	}
-	return qp.post(&workRequest{typ: wrRead, dst: dst, remoteVA: remoteVA, rkey: rkey, done: done})
+	if qp.state != StateReady {
+		return ErrQPState
+	}
+	wr := qp.nic.getWR()
+	wr.typ, wr.dst, wr.remoteVA, wr.rkey, wr.done = wrRead, dst, remoteVA, rkey, done
+	return qp.post(wr)
 }
 
 // PostSend posts a two-sided SEND carrying payload.
@@ -175,23 +242,26 @@ func (qp *QP) PostSend(payload []byte, done func(error)) error {
 	if len(payload) > qp.nic.cfg.MTUPayload {
 		return ErrInvalidRequest
 	}
-	return qp.post(&workRequest{typ: wrSend, data: payload, done: done})
-}
-
-func (qp *QP) post(wr *workRequest) error {
 	if qp.state != StateReady {
 		return ErrQPState
 	}
-	qp.pending = append(qp.pending, wr)
+	wr := qp.nic.getWR()
+	wr.typ, wr.done = wrSend, done
+	wr.data, wr.dataPooled = qp.nic.captureData(payload)
+	return qp.post(wr)
+}
+
+func (qp *QP) post(wr *workRequest) error {
+	qp.pending.Push(wr)
 	qp.pump()
 	return nil
 }
 
 // OutstandingRequests returns the number of un-acked requests.
-func (qp *QP) OutstandingRequests() int { return len(qp.inflight) }
+func (qp *QP) OutstandingRequests() int { return qp.inflight.Len() }
 
 // QueuedRequests returns the number of posted-but-untransmitted requests.
-func (qp *QP) QueuedRequests() int { return len(qp.pending) }
+func (qp *QP) QueuedRequests() int { return qp.pending.Len() }
 
 // setCredits interprets the 5-bit AETH credit field: the all-ones value
 // means "no flow-control limit" (the IB spec's invalid-credit encoding),
@@ -221,66 +291,69 @@ func (qp *QP) windowLimit() int {
 
 // pump transmits pending requests while the window allows.
 func (qp *QP) pump() {
-	if len(qp.pending) > 0 && len(qp.inflight) >= qp.windowLimit() &&
+	if qp.pending.Len() > 0 && qp.inflight.Len() >= qp.windowLimit() &&
 		qp.credits < qp.nic.cfg.MaxOutstanding {
 		// Work is queued and the window is closed specifically because
 		// the responder's advertised credits shrank it.
 		qp.nic.mCreditStalls.Inc()
 	}
-	for len(qp.pending) > 0 && len(qp.inflight) < qp.windowLimit() {
-		wr := qp.pending[0]
-		qp.pending = qp.pending[1:]
+	for qp.pending.Len() > 0 && qp.inflight.Len() < qp.windowLimit() {
+		wr := qp.pending.PopFront()
 		span := wr.psnSpan(qp.nic.cfg.MTUPayload)
 		wr.firstPSN = qp.sndPSN
 		wr.lastPSN = roce.PSNAdd(qp.sndPSN, span-1)
 		qp.sndPSN = roce.PSNAdd(qp.sndPSN, span)
-		qp.inflight = append(qp.inflight, wr)
+		qp.inflight.Push(wr)
 		qp.transmitWR(wr)
 	}
 	qp.armTimer()
 }
 
-// transmitWR emits every packet of a request.
+// transmitWR emits every packet of a request. Packets are staged in the
+// QP's scratch txPkt: NIC.transmit marshals synchronously and never
+// retains the struct.
 func (qp *QP) transmitWR(wr *workRequest) {
 	switch wr.typ {
 	case wrWrite:
-		segs := roce.SegmentWrite(len(wr.data), qp.nic.cfg.MTUPayload, wr.firstPSN)
-		for i, seg := range segs {
-			pkt := &roce.Packet{
+		n := roce.SegmentCount(len(wr.data), qp.nic.cfg.MTUPayload)
+		for i := 0; i < n; i++ {
+			seg := roce.WriteSegmentAt(len(wr.data), qp.nic.cfg.MTUPayload, wr.firstPSN, i, n)
+			qp.txPkt = roce.Packet{
 				SrcIP: qp.nic.ip, DstIP: qp.remoteIP, SrcPort: 49152,
 				OpCode: seg.OpCode, DestQP: qp.remoteQPN, PSN: seg.PSN,
-				AckReq:  i == len(segs)-1,
+				AckReq:  i == n-1,
 				Payload: wr.data[seg.Offset : seg.Offset+seg.Length],
 			}
 			if seg.OpCode.HasRETH() {
-				pkt.VA = wr.remoteVA
-				pkt.RKey = wr.rkey
-				pkt.DMALen = uint32(len(wr.data))
+				qp.txPkt.VA = wr.remoteVA
+				qp.txPkt.RKey = wr.rkey
+				qp.txPkt.DMALen = uint32(len(wr.data))
 			}
-			qp.nic.transmit(pkt)
+			qp.nic.transmit(&qp.txPkt)
 		}
 	case wrRead:
-		qp.nic.transmit(&roce.Packet{
+		qp.txPkt = roce.Packet{
 			SrcIP: qp.nic.ip, DstIP: qp.remoteIP, SrcPort: 49152,
 			OpCode: roce.OpReadRequest, DestQP: qp.remoteQPN, PSN: wr.firstPSN,
 			VA: wr.remoteVA, RKey: wr.rkey, DMALen: uint32(len(wr.dst)),
-		})
+		}
+		qp.nic.transmit(&qp.txPkt)
 	case wrSend:
-		qp.nic.transmit(&roce.Packet{
+		qp.txPkt = roce.Packet{
 			SrcIP: qp.nic.ip, DstIP: qp.remoteIP, SrcPort: 49152,
 			OpCode: roce.OpSendOnly, DestQP: qp.remoteQPN, PSN: wr.firstPSN,
 			AckReq: true, Payload: wr.data,
-		})
+		}
+		qp.nic.transmit(&qp.txPkt)
 	}
 }
 
 // armTimer (re)starts the retransmission timer while work is in flight.
+// This runs on every ACK; the kernel's pooled events and cancel
+// compaction keep the stop/re-arm churn from growing the heap.
 func (qp *QP) armTimer() {
-	if qp.rtTimer != nil {
-		qp.rtTimer.Stop()
-		qp.rtTimer = nil
-	}
-	if len(qp.inflight) == 0 || qp.state != StateReady {
+	qp.rtTimer.Stop()
+	if qp.inflight.Len() == 0 || qp.state != StateReady {
 		return
 	}
 	// Consecutive unproductive timeouts back the timer off exponentially
@@ -290,11 +363,11 @@ func (qp *QP) armTimer() {
 	if scale > 8 {
 		scale = 8
 	}
-	qp.rtTimer = qp.nic.k.Schedule(qp.nic.cfg.AckTimeout*scale, qp.onTimeout)
+	qp.rtTimer = qp.nic.k.Schedule(qp.nic.cfg.AckTimeout*scale, qp.timeoutFn)
 }
 
 func (qp *QP) onTimeout() {
-	if qp.state != StateReady || len(qp.inflight) == 0 {
+	if qp.state != StateReady || qp.inflight.Len() == 0 {
 		return
 	}
 	qp.retries++
@@ -305,8 +378,8 @@ func (qp *QP) onTimeout() {
 	qp.nic.Stats.Retransmits++
 	qp.nic.mRTOFires.Inc()
 	qp.nic.mRetransmits.Inc()
-	for _, wr := range qp.inflight { // go-back-N
-		qp.transmitWR(wr)
+	for i := 0; i < qp.inflight.Len(); i++ { // go-back-N
+		qp.transmitWR(qp.inflight.At(i))
 	}
 	qp.armTimer()
 }
@@ -317,14 +390,16 @@ func (qp *QP) enterError(cause error) {
 		return
 	}
 	qp.state = StateError
-	if qp.rtTimer != nil {
-		qp.rtTimer.Stop()
-		qp.rtTimer = nil
-	}
-	flushed := append(qp.inflight, qp.pending...)
-	qp.inflight, qp.pending = nil, nil
-	for _, wr := range flushed {
+	qp.rtTimer.Stop()
+	for qp.inflight.Len() > 0 {
+		wr := qp.inflight.PopFront()
 		wr.complete(cause)
+		qp.nic.putWR(wr)
+	}
+	for qp.pending.Len() > 0 {
+		wr := qp.pending.PopFront()
+		wr.complete(cause)
+		qp.nic.putWR(wr)
 	}
 	if qp.onError != nil {
 		qp.onError(cause)
@@ -372,8 +447,8 @@ func (qp *QP) handleAck(p *roce.Packet) {
 // completeThrough finishes every in-flight request whose last PSN is at
 // or before psn (ACKs are cumulative).
 func (qp *QP) completeThrough(psn uint32) {
-	for len(qp.inflight) > 0 {
-		wr := qp.inflight[0]
+	for qp.inflight.Len() > 0 {
+		wr := qp.inflight.Front()
 		if roce.PSNDiff(wr.lastPSN, psn) > 0 {
 			break
 		}
@@ -381,18 +456,19 @@ func (qp *QP) completeThrough(psn uint32) {
 			// A bare ACK cannot complete a read; responses do that.
 			break
 		}
-		qp.inflight = qp.inflight[1:]
+		qp.inflight.PopFront()
 		wr.complete(nil)
+		qp.nic.putWR(wr)
 	}
 	// Drop reads that were completed by their response packets but kept
 	// in line for ordering.
-	for len(qp.inflight) > 0 && qp.inflight[0].completed {
-		qp.inflight = qp.inflight[1:]
+	for qp.inflight.Len() > 0 && qp.inflight.Front().completed {
+		qp.nic.putWR(qp.inflight.PopFront())
 	}
 }
 
 func (qp *QP) handleRNR() {
-	if len(qp.inflight) == 0 || (qp.rnrTimer != nil && qp.rnrTimer.Active()) {
+	if qp.inflight.Len() == 0 || qp.rnrTimer.Active() {
 		// A backoff round is already pending; a burst of writes draws one
 		// RNR NAK per rejected message but only one retry round.
 		return
@@ -402,15 +478,18 @@ func (qp *QP) handleRNR() {
 		qp.enterError(ErrRNRRetryExceeded)
 		return
 	}
-	qp.rnrTimer = qp.nic.k.Schedule(qp.nic.cfg.RNRDelay, func() {
-		if qp.state != StateReady {
-			return
-		}
-		for _, wr := range qp.inflight {
-			qp.transmitWR(wr)
-		}
-		qp.armTimer()
-	})
+	qp.rnrTimer = qp.nic.k.Schedule(qp.nic.cfg.RNRDelay, qp.rnrFn)
+}
+
+// onRNRExpire retransmits the window after the RNR backoff.
+func (qp *QP) onRNRExpire() {
+	if qp.state != StateReady {
+		return
+	}
+	for i := 0; i < qp.inflight.Len(); i++ {
+		qp.transmitWR(qp.inflight.At(i))
+	}
+	qp.armTimer()
 }
 
 func (qp *QP) handleNAK(p *roce.Packet) {
@@ -419,7 +498,8 @@ func (qp *QP) handleNAK(p *roce.Packet) {
 		// Retransmit everything from the NAKed PSN (go-back-N).
 		qp.nic.Stats.Retransmits++
 		qp.nic.mRetransmits.Inc()
-		for _, wr := range qp.inflight {
+		for i := 0; i < qp.inflight.Len(); i++ {
+			wr := qp.inflight.At(i)
 			if roce.PSNDiff(wr.lastPSN, p.PSN) >= 0 {
 				qp.transmitWR(wr)
 			}
@@ -434,7 +514,8 @@ func (qp *QP) handleNAK(p *roce.Packet) {
 
 func (qp *QP) handleReadResponse(p *roce.Packet) {
 	var wr *workRequest
-	for _, cand := range qp.inflight {
+	for i := 0; i < qp.inflight.Len(); i++ {
+		cand := qp.inflight.At(i)
 		if cand.typ == wrRead && roce.PSNInWindow(p.PSN, cand.firstPSN, cand.psnSpan(qp.nic.cfg.MTUPayload)) {
 			wr = cand
 			break
@@ -449,17 +530,19 @@ func (qp *QP) handleReadResponse(p *roce.Packet) {
 		qp.setCredits(p.Syndrome.Value())
 	}
 	if p.OpCode.EndsMessage() {
+		// Snapshot the PSN span: completeThrough may pop and recycle wr.
+		firstPSN, lastPSN := wr.firstPSN, wr.lastPSN
 		// The response implicitly acknowledges everything before it.
 		wr.complete(nil)
-		qp.completeThrough(wr.lastPSN)
+		qp.completeThrough(lastPSN)
 		// Implicit NAK: a response for a later read while an earlier one
 		// is still incomplete means that earlier response was lost — the
 		// timer alone would starve it, since every later completion
 		// resets it. Retransmit the skipped request now.
-		if len(qp.inflight) > 0 {
-			head := qp.inflight[0]
-			if head != wr && !head.completed && head.typ == wrRead &&
-				roce.PSNDiff(head.lastPSN, wr.firstPSN) < 0 {
+		if qp.inflight.Len() > 0 {
+			head := qp.inflight.Front()
+			if head.lastPSN != lastPSN && !head.completed && head.typ == wrRead &&
+				roce.PSNDiff(head.lastPSN, firstPSN) < 0 {
 				qp.transmitWR(head)
 			}
 		}
@@ -484,33 +567,36 @@ func (qp *QP) advertisedCredits() uint8 {
 
 func (qp *QP) sendAck(psn uint32) {
 	qp.nic.Stats.AcksSent++
-	qp.nic.transmit(&roce.Packet{
+	qp.txPkt = roce.Packet{
 		SrcIP: qp.nic.ip, DstIP: qp.remoteIP, SrcPort: roce.UDPPort,
 		OpCode: roce.OpAcknowledge, DestQP: qp.remoteQPN, PSN: psn,
 		Syndrome: roce.MakeSyndrome(roce.AckPositive, qp.advertisedCredits()),
 		MSN:      qp.msn,
-	})
+	}
+	qp.nic.transmit(&qp.txPkt)
 }
 
 func (qp *QP) sendNak(psn uint32, code uint8) {
 	qp.nic.Stats.NaksSent++
-	qp.nic.transmit(&roce.Packet{
+	qp.txPkt = roce.Packet{
 		SrcIP: qp.nic.ip, DstIP: qp.remoteIP, SrcPort: roce.UDPPort,
 		OpCode: roce.OpAcknowledge, DestQP: qp.remoteQPN, PSN: psn,
 		Syndrome: roce.MakeSyndrome(roce.AckNAK, code),
 		MSN:      qp.msn,
-	})
+	}
+	qp.nic.transmit(&qp.txPkt)
 }
 
 func (qp *QP) sendRNR(psn uint32) {
 	qp.nic.Stats.RNRsSent++
 	qp.nic.mRNRNaks.Inc()
-	qp.nic.transmit(&roce.Packet{
+	qp.txPkt = roce.Packet{
 		SrcIP: qp.nic.ip, DstIP: qp.remoteIP, SrcPort: roce.UDPPort,
 		OpCode: roce.OpAcknowledge, DestQP: qp.remoteQPN, PSN: psn,
 		Syndrome: roce.MakeSyndrome(roce.AckRNR, 1),
 		MSN:      qp.msn,
-	})
+	}
+	qp.nic.transmit(&qp.txPkt)
 }
 
 // checkSequence validates the inbound PSN. It returns false (after
@@ -598,22 +684,23 @@ func (qp *QP) handleInboundRead(p *roce.Packet) {
 		return
 	}
 	data := mr.read(p.VA, int(p.DMALen))
-	segs := roce.SegmentReadResponse(len(data), qp.nic.cfg.MTUPayload, p.PSN)
+	n := roce.SegmentCount(len(data), qp.nic.cfg.MTUPayload)
 	if d == 0 {
-		qp.expPSN = roce.PSNAdd(p.PSN, len(segs))
+		qp.expPSN = roce.PSNAdd(p.PSN, n)
 		qp.msn = (qp.msn + 1) & roce.PSNMask
 	}
-	for _, seg := range segs {
-		pkt := &roce.Packet{
+	for i := 0; i < n; i++ {
+		seg := roce.ReadRespSegmentAt(len(data), qp.nic.cfg.MTUPayload, p.PSN, i, n)
+		qp.txPkt = roce.Packet{
 			SrcIP: qp.nic.ip, DstIP: qp.remoteIP, SrcPort: roce.UDPPort,
 			OpCode: seg.OpCode, DestQP: qp.remoteQPN, PSN: seg.PSN,
 			Payload: data[seg.Offset : seg.Offset+seg.Length],
 		}
 		if seg.OpCode.HasAETH() {
-			pkt.Syndrome = roce.MakeSyndrome(roce.AckPositive, qp.advertisedCredits())
-			pkt.MSN = qp.msn
+			qp.txPkt.Syndrome = roce.MakeSyndrome(roce.AckPositive, qp.advertisedCredits())
+			qp.txPkt.MSN = qp.msn
 		}
-		qp.nic.transmit(pkt)
+		qp.nic.transmit(&qp.txPkt)
 	}
 }
 
@@ -642,7 +729,5 @@ func (qp *QP) consumeSlot() {
 		return
 	}
 	qp.freeSlots--
-	qp.nic.k.Schedule(qp.nic.cfg.ApplyDelay, func() {
-		qp.freeSlots++
-	})
+	qp.nic.k.Schedule(qp.nic.cfg.ApplyDelay, qp.slotFreeFn)
 }

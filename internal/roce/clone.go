@@ -1,7 +1,10 @@
 package roce
 
-// Clone returns a deep copy of the packet, as produced by the switch's
-// replication engine: each multicast copy can be rewritten independently.
+// Clone returns a deep copy of the packet: the payload is copied, so the
+// clone is independent of the original's buffer. The switch's multicast
+// fan-out no longer uses this (copies share the payload copy-on-write,
+// see ShallowClone); it remains for consumers that need to retain a
+// packet past its frame's lifetime, such as the control-plane punt path.
 func (p *Packet) Clone() *Packet {
 	c := *p
 	if p.Payload != nil {
@@ -9,4 +12,20 @@ func (p *Packet) Clone() *Packet {
 		copy(c.Payload, p.Payload)
 	}
 	return &c
+}
+
+// ShallowClone returns a copy of the packet sharing the payload buffer
+// copy-on-write: header fields are independent, payload bytes are not.
+// Call OwnPayload on the clone before mutating payload bytes.
+func (p *Packet) ShallowClone() Packet { return *p }
+
+// OwnPayload replaces the (possibly shared or frame-aliasing) payload
+// view with a private copy, making subsequent payload writes safe.
+func (p *Packet) OwnPayload() {
+	if len(p.Payload) == 0 {
+		return
+	}
+	buf := make([]byte, len(p.Payload))
+	copy(buf, p.Payload)
+	p.Payload = buf
 }

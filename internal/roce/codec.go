@@ -92,30 +92,49 @@ func (p *Packet) MarshalInto(buf []byte) {
 // Unmarshal parses an Ethernet frame into a Packet. The payload slice
 // references a copy, so the caller may retain it.
 func Unmarshal(frame []byte) (*Packet, error) {
+	var p Packet
+	if err := UnmarshalInto(frame, &p); err != nil {
+		return nil, err
+	}
+	if len(p.Payload) > 0 {
+		buf := make([]byte, len(p.Payload))
+		copy(buf, p.Payload)
+		p.Payload = buf
+	}
+	return &p, nil
+}
+
+// UnmarshalInto parses an Ethernet frame into p, overwriting every
+// field. Unlike Unmarshal it does not copy the payload: p.Payload
+// aliases frame directly (see the package documentation for the
+// ownership contract), which is what keeps the simulator's receive path
+// allocation-free. Callers that retain payload bytes past the frame's
+// lifetime must copy them.
+func UnmarshalInto(frame []byte, p *Packet) error {
+	*p = Packet{}
 	if len(frame) < BaseHeaderBytes {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	if binary.BigEndian.Uint16(frame[12:14]) != EtherTypeIPv4 {
-		return nil, ErrNotRoCE
+		return ErrNotRoCE
 	}
 	ip := frame[14:34]
 	if ip[0] != 0x45 || ip[9] != ProtoUDP {
-		return nil, ErrNotRoCE
+		return ErrNotRoCE
 	}
 	if ipChecksum(ip) != 0 {
 		// A zero result means the stored checksum validates.
-		return nil, ErrBadChecksum
+		return ErrBadChecksum
 	}
 	totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
 	if totalLen+EthernetBytes > len(frame) {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	udp := frame[34:42]
 	if binary.BigEndian.Uint16(udp[2:4]) != UDPPort {
-		return nil, ErrNotRoCE
+		return ErrNotRoCE
 	}
 
-	var p Packet
 	p.SrcIP = simnet.Addr(binary.BigEndian.Uint32(ip[12:16]))
 	p.DstIP = simnet.Addr(binary.BigEndian.Uint32(ip[16:20]))
 	p.SrcPort = binary.BigEndian.Uint16(udp[0:2])
@@ -130,7 +149,7 @@ func Unmarshal(frame []byte) (*Packet, error) {
 	off := 54
 	if p.OpCode.HasRETH() {
 		if len(frame) < off+RETHBytes+ICRCBytes {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		reth := frame[off : off+RETHBytes]
 		p.VA = binary.BigEndian.Uint64(reth[0:8])
@@ -140,7 +159,7 @@ func Unmarshal(frame []byte) (*Packet, error) {
 	}
 	if p.OpCode.HasAETH() {
 		if len(frame) < off+AETHBytes+ICRCBytes {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		aeth := frame[off : off+AETHBytes]
 		p.Syndrome = Syndrome(aeth[0])
@@ -149,17 +168,16 @@ func Unmarshal(frame []byte) (*Packet, error) {
 	}
 	end := EthernetBytes + totalLen - ICRCBytes
 	if end < off {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	if n := end - off; n > 0 {
-		p.Payload = make([]byte, n)
-		copy(p.Payload, frame[off:end])
+		p.Payload = frame[off:end] // aliases the frame; see package doc
 	}
 	want := binary.BigEndian.Uint32(frame[end : end+ICRCBytes])
 	if got := crc32.ChecksumIEEE(frame[42:end]); got != want {
-		return nil, ErrBadICRC
+		return ErrBadICRC
 	}
-	return &p, nil
+	return nil
 }
 
 func putMAC(dst []byte, ip simnet.Addr) {

@@ -29,30 +29,56 @@ type WriteSegment struct {
 	Length int // payload bytes in this packet
 }
 
+// WriteSegmentAt returns the i-th of n packet descriptors for a write of
+// the given length starting at startPSN (n = SegmentCount(length, mtu)).
+// Transmit loops index segments directly rather than materializing a
+// slice, keeping per-packet transmission allocation-free.
+func WriteSegmentAt(length, mtu int, startPSN uint32, i, n int) WriteSegment {
+	seg := WriteSegment{
+		PSN:    PSNAdd(startPSN, i),
+		Offset: i * mtu,
+		Length: mtu,
+	}
+	if i == n-1 {
+		seg.Length = length - seg.Offset
+	}
+	switch {
+	case n == 1:
+		seg.OpCode = OpWriteOnly
+	case i == 0:
+		seg.OpCode = OpWriteFirst
+	case i == n-1:
+		seg.OpCode = OpWriteLast
+	default:
+		seg.OpCode = OpWriteMiddle
+	}
+	return seg
+}
+
+// ReadRespSegmentAt is WriteSegmentAt with read-response opcodes.
+func ReadRespSegmentAt(length, mtu int, startPSN uint32, i, n int) WriteSegment {
+	seg := WriteSegmentAt(length, mtu, startPSN, i, n)
+	switch {
+	case n == 1:
+		seg.OpCode = OpReadRespOnly
+	case i == 0:
+		seg.OpCode = OpReadRespFirst
+	case i == n-1:
+		seg.OpCode = OpReadRespLast
+	default:
+		seg.OpCode = OpReadRespMiddle
+	}
+	return seg
+}
+
 // SegmentWrite splits a write of the given length into packets starting
 // at startPSN. It returns the per-packet descriptors in transmission
-// order.
+// order. Hot paths use WriteSegmentAt instead to avoid the slice.
 func SegmentWrite(length, mtu int, startPSN uint32) []WriteSegment {
 	n := SegmentCount(length, mtu)
 	segs := make([]WriteSegment, n)
 	for i := range segs {
-		seg := &segs[i]
-		seg.PSN = PSNAdd(startPSN, i)
-		seg.Offset = i * mtu
-		seg.Length = mtu
-		if i == n-1 {
-			seg.Length = length - seg.Offset
-		}
-		switch {
-		case n == 1:
-			seg.OpCode = OpWriteOnly
-		case i == 0:
-			seg.OpCode = OpWriteFirst
-		case i == n-1:
-			seg.OpCode = OpWriteLast
-		default:
-			seg.OpCode = OpWriteMiddle
-		}
+		segs[i] = WriteSegmentAt(length, mtu, startPSN, i, n)
 	}
 	return segs
 }
@@ -60,19 +86,10 @@ func SegmentWrite(length, mtu int, startPSN uint32) []WriteSegment {
 // SegmentReadResponse splits a read response of the given length into
 // packets starting at the PSN of the read request.
 func SegmentReadResponse(length, mtu int, startPSN uint32) []WriteSegment {
-	segs := SegmentWrite(length, mtu, startPSN)
-	n := len(segs)
+	n := SegmentCount(length, mtu)
+	segs := make([]WriteSegment, n)
 	for i := range segs {
-		switch {
-		case n == 1:
-			segs[i].OpCode = OpReadRespOnly
-		case i == 0:
-			segs[i].OpCode = OpReadRespFirst
-		case i == n-1:
-			segs[i].OpCode = OpReadRespLast
-		default:
-			segs[i].OpCode = OpReadRespMiddle
-		}
+		segs[i] = ReadRespSegmentAt(length, mtu, startPSN, i, n)
 	}
 	return segs
 }

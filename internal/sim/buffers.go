@@ -1,0 +1,69 @@
+package sim
+
+import "math/bits"
+
+// Buffers is a free-list pool for the byte slices that carry wire frames
+// between devices. One pool lives on each Kernel (see Kernel.Buffers) so
+// a frame obtained by a NIC can be released by the switch that consumed
+// it. Buffers are sorted into power-of-two size classes; Get hands out a
+// zeroed slice of the exact requested length backed by a class-sized
+// array, and Put accepts only slices whose capacity is a class size (so
+// foreign slices are simply dropped, never mis-pooled).
+//
+// The pool is a pure recycling optimization: it has no effect on event
+// order, and because Get zeroes the slice a recycled buffer is
+// indistinguishable from a fresh make([]byte, n).
+type Buffers struct {
+	classes [bufClasses][][]byte
+}
+
+const (
+	bufMinShift = 6 // smallest class: 64 B, below typical frame size
+	bufMaxShift = 22
+	bufClasses  = bufMaxShift - bufMinShift + 1
+)
+
+// bufClass returns the class index for a request of n bytes, or -1 when
+// n exceeds the largest class.
+func bufClass(n int) int {
+	if n <= 1<<bufMinShift {
+		return 0
+	}
+	c := bits.Len(uint(n-1)) - bufMinShift
+	if c >= bufClasses {
+		return -1
+	}
+	return c
+}
+
+// Get returns a zeroed slice of length n.
+func (b *Buffers) Get(n int) []byte {
+	if n < 0 {
+		panic("sim: Buffers.Get with negative length")
+	}
+	c := bufClass(n)
+	if c < 0 {
+		return make([]byte, n) // oversize: fall back to the allocator
+	}
+	list := b.classes[c]
+	if m := len(list); m > 0 {
+		buf := list[m-1]
+		list[m-1] = nil
+		b.classes[c] = list[:m-1]
+		buf = buf[:n]
+		clear(buf)
+		return buf
+	}
+	return make([]byte, n, 1<<(c+bufMinShift))
+}
+
+// Put recycles a slice previously returned by Get. Slices whose capacity
+// is not a class size are ignored, so it is always safe to call.
+func (b *Buffers) Put(buf []byte) {
+	c := cap(buf)
+	if c == 0 || c&(c-1) != 0 || c < 1<<bufMinShift || c > 1<<bufMaxShift {
+		return
+	}
+	cls := bits.Len(uint(c)) - 1 - bufMinShift
+	b.classes[cls] = append(b.classes[cls], buf[:0])
+}

@@ -35,6 +35,25 @@ func (c *CPU) Do(cost Time, fn func()) {
 	c.k.At(c.freeAt, fn)
 }
 
+// DoArg is Do for a callback taking one argument: hot paths pass a
+// persistent function plus a per-item argument instead of allocating a
+// closure per work item.
+func (c *CPU) DoArg(cost Time, fn func(any), arg any) {
+	if cost < 0 {
+		cost = 0
+	}
+	start := c.freeAt
+	if now := c.k.Now(); start < now {
+		start = now
+	}
+	c.freeAt = start + cost
+	c.busy += cost
+	if fn == nil {
+		return
+	}
+	c.k.AtArg(c.freeAt, fn, arg)
+}
+
 // Charge accounts cost of CPU work with no completion callback.
 func (c *CPU) Charge(cost Time) { c.Do(cost, nil) }
 

@@ -7,6 +7,15 @@
 // closures and then drive the kernel with Run, RunUntil or Step. Separate
 // Kernel instances are fully independent, so tests and benchmarks may run
 // many simulations in parallel.
+//
+// The kernel is built for a zero-allocation steady state: event records
+// are recycled through a free list (so schedule/cancel churn such as a
+// NIC re-arming its retransmission timer on every ACK does not grow the
+// heap), ScheduleArg/AtArg let hot paths run a persistent callback with a
+// per-call argument instead of allocating a closure, and a shared byte
+// Buffers pool recycles wire frames. None of this changes event order:
+// events still execute strictly by (time, seq) with FIFO tie-breaking,
+// so seeded runs replay identically.
 package sim
 
 import (
@@ -47,11 +56,20 @@ func (t Time) String() string {
 // Seconds returns the time as a floating-point number of seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
-// event is a single scheduled closure.
+// event is a single scheduled callback. Events are pooled: once popped
+// (executed or canceled) the record goes back on the kernel's free list
+// and its gen counter is bumped, which invalidates any Timer handle still
+// pointing at it.
 type event struct {
-	at       Time
-	seq      uint64 // tie-breaker: FIFO among events at the same instant
+	at  Time
+	seq uint64 // tie-breaker: FIFO among events at the same instant
+	gen uint64 // recycle generation, guards stale Timer handles
+	// Exactly one of fn / afn is set. afn runs with arg, letting hot
+	// paths reuse a persistent callback instead of allocating a closure
+	// per schedule.
 	fn       func()
+	afn      func(any)
+	arg      any
 	canceled bool
 	index    int // position in the heap, -1 once popped
 }
@@ -90,16 +108,24 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// compactThreshold is the minimum heap size before cancel-compaction is
+// considered; below it the canceled residue is too small to matter.
+const compactThreshold = 64
+
 // Kernel is a discrete-event simulation driver. The zero value is not
 // usable; construct with NewKernel.
 type Kernel struct {
 	now       Time
 	seq       uint64
 	events    eventHeap
+	free      []*event // recycled event records
+	live      int      // scheduled and not canceled
+	ncanceled int      // canceled events still resident in the heap
 	rng       *rand.Rand
 	processed uint64
 	stopped   bool
 	metrics   *metrics.Registry
+	bufs      Buffers
 }
 
 // NewKernel returns a kernel whose clock reads zero and whose random
@@ -124,42 +150,98 @@ func (k *Kernel) Metrics() *metrics.Registry { return k.metrics }
 // Rand returns the kernel's deterministic random source.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
+// Buffers returns the kernel-wide frame buffer pool shared by the
+// devices of this simulation.
+func (k *Kernel) Buffers() *Buffers { return &k.bufs }
+
 // Processed reports how many events have executed so far.
 func (k *Kernel) Processed() uint64 { return k.processed }
 
 // Pending reports how many events are scheduled and not yet canceled.
-func (k *Kernel) Pending() int {
-	n := 0
-	for _, ev := range k.events {
-		if !ev.canceled {
-			n++
-		}
+// It is O(1): the kernel maintains a live counter across schedule,
+// cancel and execution.
+func (k *Kernel) Pending() int { return k.live }
+
+// queueLen reports how many event records (live or canceled) are
+// resident in the heap; the excess over Pending is canceled residue
+// awaiting compaction. Exposed for tests.
+func (k *Kernel) queueLen() int { return len(k.events) }
+
+// alloc returns a fresh or recycled event record.
+func (k *Kernel) alloc() *event {
+	if n := len(k.free); n > 0 {
+		ev := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return ev
 	}
-	return n
+	return &event{}
+}
+
+// release returns a popped event record to the free list. Bumping gen
+// here is what makes stale Timer handles inert.
+func (k *Kernel) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	ev.canceled = false
+	ev.index = -1
+	k.free = append(k.free, ev)
 }
 
 // Schedule runs fn after delay d. A negative delay is treated as zero.
 // The returned Timer may be used to cancel the call before it fires.
-func (k *Kernel) Schedule(d Time, fn func()) *Timer {
+func (k *Kernel) Schedule(d Time, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return k.At(k.now+d, fn)
 }
 
+// ScheduleArg is Schedule for a callback taking one argument. It exists
+// so hot paths can pass a persistent function plus a per-call argument
+// instead of allocating a closure on every schedule.
+func (k *Kernel) ScheduleArg(d Time, fn func(any), arg any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return k.AtArg(k.now+d, fn, arg)
+}
+
 // At runs fn at absolute time t. Scheduling in the past runs at the
 // current instant (after already-queued events for this instant).
-func (k *Kernel) At(t Time, fn func()) *Timer {
+func (k *Kernel) At(t Time, fn func()) Timer {
 	if fn == nil {
 		panic("sim: At called with nil function")
 	}
+	ev := k.push(t)
+	ev.fn = fn
+	return Timer{k: k, ev: ev, gen: ev.gen}
+}
+
+// AtArg is At for a callback taking one argument; see ScheduleArg.
+func (k *Kernel) AtArg(t Time, fn func(any), arg any) Timer {
+	if fn == nil {
+		panic("sim: AtArg called with nil function")
+	}
+	ev := k.push(t)
+	ev.afn = fn
+	ev.arg = arg
+	return Timer{k: k, ev: ev, gen: ev.gen}
+}
+
+func (k *Kernel) push(t Time) *event {
 	if t < k.now {
 		t = k.now
 	}
-	ev := &event{at: t, seq: k.seq, fn: fn}
+	ev := k.alloc()
+	ev.at = t
+	ev.seq = k.seq
 	k.seq++
 	heap.Push(&k.events, ev)
-	return &Timer{k: k, ev: ev}
+	k.live++
+	return ev
 }
 
 // Step executes the single next event, advancing the clock to its
@@ -168,11 +250,22 @@ func (k *Kernel) Step() bool {
 	for len(k.events) > 0 {
 		ev := heap.Pop(&k.events).(*event)
 		if ev.canceled {
+			k.ncanceled--
+			k.release(ev)
 			continue
 		}
+		k.live--
 		k.now = ev.at
 		k.processed++
-		ev.fn()
+		// Copy the callback out and recycle the record before invoking
+		// it, so the callback's own scheduling can reuse it.
+		fn, afn, arg := ev.fn, ev.afn, ev.arg
+		k.release(ev)
+		if afn != nil {
+			afn(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -213,41 +306,77 @@ func (k *Kernel) peek() (Time, bool) {
 		if !k.events[0].canceled {
 			return k.events[0].at, true
 		}
-		heap.Pop(&k.events)
+		ev := heap.Pop(&k.events).(*event)
+		k.ncanceled--
+		k.release(ev)
 	}
 	return 0, false
 }
 
-// Timer is a handle to a scheduled event.
+// compact drops canceled events once they outnumber the live ones, so a
+// stopped long-deadline timer (a retransmission timeout re-armed on
+// every ACK, say) does not pin heap memory until its deadline. Filtering
+// preserves each survivor's (at, seq) key, and re-heapifying cannot
+// change pop order — the comparator is a strict total order on those
+// keys — so compaction is invisible to a seeded run.
+func (k *Kernel) compact() {
+	kept := k.events[:0]
+	for _, ev := range k.events {
+		if ev.canceled {
+			k.release(ev)
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	// Clear the tail so dropped records do not linger in the backing array.
+	for i := len(kept); i < len(k.events); i++ {
+		k.events[i] = nil
+	}
+	k.events = kept
+	k.ncanceled = 0
+	heap.Init(&k.events)
+}
+
+// Timer is a handle to a scheduled event. It is a plain value (copying
+// it is fine); the zero Timer is inert: Stop reports false and Active
+// reports false. Handles do not pin the event record — once the event
+// fires or is compacted away the record is recycled and the handle
+// becomes inert automatically.
 type Timer struct {
-	k  *Kernel
-	ev *event
+	k   *Kernel
+	ev  *event
+	gen uint64
 }
 
 // Stop cancels the timer. It reports whether the call prevented the event
 // from firing (false if it already ran or was already stopped).
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.canceled {
+func (t Timer) Stop() bool {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.canceled || t.ev.index == -1 {
 		return false
 	}
-	if t.ev.index == -1 {
-		return false // already executed
-	}
 	t.ev.canceled = true
+	t.k.live--
+	t.k.ncanceled++
+	if t.k.ncanceled > t.k.live && len(t.k.events) >= compactThreshold {
+		t.k.compact()
+	}
 	return true
 }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool {
-	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.index != -1
+func (t Timer) Active() bool {
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.canceled && t.ev.index != -1
 }
 
-// Ticker invokes a callback at a fixed period until stopped.
+// Ticker invokes a callback at a fixed period until stopped. The tick
+// callback is bound once at construction, so steady ticking does not
+// allocate.
 type Ticker struct {
 	k      *Kernel
 	period Time
 	fn     func()
-	timer  *Timer
+	tickFn func()
+	timer  Timer
 	stop   bool
 }
 
@@ -257,20 +386,23 @@ func (k *Kernel) NewTicker(period Time, fn func()) *Ticker {
 		panic("sim: ticker period must be positive")
 	}
 	t := &Ticker{k: k, period: period, fn: fn}
+	t.tickFn = t.tick
 	t.arm()
 	return t
 }
 
 func (t *Ticker) arm() {
-	t.timer = t.k.Schedule(t.period, func() {
-		if t.stop {
-			return
-		}
-		t.fn()
-		if !t.stop {
-			t.arm()
-		}
-	})
+	t.timer = t.k.Schedule(t.period, t.tickFn)
+}
+
+func (t *Ticker) tick() {
+	if t.stop {
+		return
+	}
+	t.fn()
+	if !t.stop {
+		t.arm()
+	}
 }
 
 // Stop cancels future ticks.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -306,5 +307,93 @@ func TestPercentileMonotoneProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestPendingCountsLiveEvents(t *testing.T) {
+	k := NewKernel(1)
+	if k.Pending() != 0 {
+		t.Fatalf("fresh kernel Pending = %d", k.Pending())
+	}
+	var timers []Timer
+	for i := 0; i < 10; i++ {
+		timers = append(timers, k.Schedule(Time(100+i), func() {}))
+	}
+	if k.Pending() != 10 {
+		t.Fatalf("Pending = %d after 10 schedules", k.Pending())
+	}
+	// Stopping drops the live count immediately, even though the canceled
+	// record may stay resident in the heap until compaction.
+	timers[3].Stop()
+	timers[7].Stop()
+	if k.Pending() != 8 {
+		t.Fatalf("Pending = %d after 2 stops", k.Pending())
+	}
+	timers[3].Stop() // double-stop is a no-op
+	if k.Pending() != 8 {
+		t.Fatalf("Pending = %d after double stop", k.Pending())
+	}
+	k.Step()
+	if k.Pending() != 7 {
+		t.Fatalf("Pending = %d after one fire", k.Pending())
+	}
+	k.Run()
+	if k.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", k.Pending())
+	}
+}
+
+// TestCanceledResidencyCompaction is a regression test for the memory
+// profile of stop-heavy workloads: a retransmission timer re-armed on
+// every ACK leaves one canceled record per arm, and without compaction a
+// long-RTO QP would pin an ever-growing heap of dead events. The heap
+// must stay within a constant factor of the live count.
+func TestCanceledResidencyCompaction(t *testing.T) {
+	k := NewKernel(1)
+	// One long-lived event keeps the heap non-empty throughout.
+	k.Schedule(1<<40, func() {})
+	for i := 0; i < 100000; i++ {
+		tm := k.Schedule(1<<30, func() {}) // long RTO, never fires
+		tm.Stop()
+		if ql, live := k.queueLen(), k.Pending(); ql > 2*live+compactThreshold {
+			t.Fatalf("iteration %d: %d resident events for %d live", i, ql, live)
+		}
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", k.Pending())
+	}
+}
+
+// TestCompactionPreservesOrder verifies cancel-compaction is invisible
+// to delivery order: interleaved live and canceled events fire in the
+// same (time, seq) order a compaction-free kernel would use.
+func TestCompactionPreservesOrder(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	var want []int
+	for i := 0; i < 500; i++ {
+		i := i
+		at := Time(1000 + (i*7919)%997) // scrambled, collides often
+		tm := k.At(at, func() { got = append(got, i) })
+		if i%3 == 0 {
+			tm.Stop()
+		} else {
+			want = append(want, i)
+		}
+	}
+	// Sort want by (time, insertion seq) — the kernel's contract.
+	sort.SliceStable(want, func(a, b int) bool {
+		ta := Time(1000 + (want[a]*7919)%997)
+		tb := Time(1000 + (want[b]*7919)%997)
+		return ta < tb
+	})
+	k.Run()
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: fired %d, want %d", i, got[i], want[i])
+		}
 	}
 }

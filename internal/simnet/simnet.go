@@ -39,7 +39,9 @@ func (a Addr) String() string {
 // Handler consumes frames arriving at a port.
 type Handler interface {
 	// HandleFrame is invoked by the kernel when a frame finishes
-	// arriving at the port. The slice is owned by the receiver.
+	// arriving at the port. The slice is owned by the receiver; handlers
+	// that are done with it should release it to the kernel's buffer
+	// pool (sim.Kernel.Buffers) so the fabric can recycle it.
 	HandleFrame(p *Port, frame []byte)
 }
 
@@ -96,6 +98,12 @@ type Port struct {
 	stats    PortStats
 	taps     []TapFunc
 
+	// In-flight frame bookkeeping is pooled per sending port, and the
+	// delivery callback is bound once, so a steady packet stream neither
+	// allocates a closure nor a record per frame.
+	dlvFree   []*delivery
+	deliverFn func(any)
+
 	// Metric handles, resolved once in NewPort; all nil (no-op) when
 	// the kernel carries no registry. Ports share the fabric-wide
 	// instruments rather than minting per-port names, keeping
@@ -141,7 +149,7 @@ type DelayFunc func(frame []byte) sim.Time
 // SetHandler but must be non-nil before any frame arrives.
 func NewPort(k *sim.Kernel, name string, h Handler) *Port {
 	m := k.Metrics()
-	return &Port{
+	p := &Port{
 		name: name, k: k, handler: h, up: true,
 		mTxFrames:  m.Counter("simnet.tx_frames"),
 		mTxBytes:   m.Counter("simnet.tx_bytes"),
@@ -152,6 +160,30 @@ func NewPort(k *sim.Kernel, name string, h Handler) *Port {
 		mWireNs:    m.Counter("simnet.wire_busy_ns"),
 		mBacklogNs: m.Histogram("simnet.tx_backlog_ns"),
 	}
+	p.deliverFn = p.deliver
+	return p
+}
+
+// delivery is the bookkeeping record for one frame in flight on the
+// link; records are recycled through the sending port's free list.
+type delivery struct {
+	dst   *Port
+	frame []byte
+}
+
+func (p *Port) getDelivery() *delivery {
+	if l := len(p.dlvFree); l > 0 {
+		d := p.dlvFree[l-1]
+		p.dlvFree[l-1] = nil
+		p.dlvFree = p.dlvFree[:l-1]
+		return d
+	}
+	return &delivery{}
+}
+
+func (p *Port) putDelivery(d *delivery) {
+	d.dst, d.frame = nil, nil
+	p.dlvFree = append(p.dlvFree, d)
 }
 
 // Name returns the port's diagnostic name.
@@ -228,17 +260,24 @@ func (p *Port) wireTime(n int) sim.Time {
 // Send transmits one frame to the peer port. The frame queues behind any
 // frames still serializing. Send never blocks; it returns false if the
 // frame was dropped immediately (no peer, link down, oversize).
+//
+// Send takes ownership of the frame: dropped frames are released to the
+// kernel's buffer pool (a no-op for slices that did not come from it),
+// and delivered frames become the receiving handler's to release. The
+// caller must not touch the slice after Send returns.
 func (p *Port) Send(frame []byte) bool {
 	if p.peer == nil || !p.up {
 		p.stats.TxDropped++
 		p.mTxDropped.Inc()
 		p.observe(TapDrop, frame)
+		p.k.Buffers().Put(frame)
 		return false
 	}
 	if p.cfg.MaxFrameBytes > 0 && len(frame) > p.cfg.MaxFrameBytes {
 		p.stats.TxDropped++
 		p.mTxDropped.Inc()
 		p.observe(TapDrop, frame)
+		p.k.Buffers().Put(frame)
 		return false
 	}
 	if p.lossFn != nil && p.lossFn(frame) {
@@ -248,6 +287,7 @@ func (p *Port) Send(frame []byte) bool {
 		p.stats.TxDropped++
 		p.mTxDropped.Inc()
 		p.observe(TapDrop, frame)
+		p.k.Buffers().Put(frame)
 		return false
 	}
 	if p.lossProb > 0 && p.k.Rand().Float64() < p.lossProb {
@@ -256,6 +296,7 @@ func (p *Port) Send(frame []byte) bool {
 		p.stats.TxDropped++
 		p.mTxDropped.Inc()
 		p.observe(TapDrop, frame)
+		p.k.Buffers().Put(frame)
 		return false
 	}
 	p.mBacklogNs.Observe(int64(p.TxBacklog()))
@@ -269,22 +310,30 @@ func (p *Port) Send(frame []byte) bool {
 	if p.delayFn != nil {
 		jitter = p.delayFn(frame)
 	}
-	dst := p.peer
-	p.k.At(doneAt+p.cfg.Propagation+jitter, func() {
-		// Deliver only if the receiving side is still up; a crashed
-		// device drops in-flight frames addressed to it.
-		if !dst.up {
-			dst.observe(TapDrop, frame)
-			return
-		}
-		dst.stats.RxFrames++
-		dst.stats.RxBytes += uint64(len(frame))
-		dst.mRxFrames.Inc()
-		dst.mRxBytes.Add(uint64(len(frame)))
-		dst.observe(TapRx, frame)
-		dst.handler.HandleFrame(dst, frame)
-	})
+	d := p.getDelivery()
+	d.dst, d.frame = p.peer, frame
+	p.k.AtArg(doneAt+p.cfg.Propagation+jitter, p.deliverFn, d)
 	return true
+}
+
+// deliver completes one in-flight frame at the receiving port.
+func (p *Port) deliver(a any) {
+	d := a.(*delivery)
+	dst, frame := d.dst, d.frame
+	p.putDelivery(d)
+	// Deliver only if the receiving side is still up; a crashed
+	// device drops in-flight frames addressed to it.
+	if !dst.up {
+		dst.observe(TapDrop, frame)
+		p.k.Buffers().Put(frame)
+		return
+	}
+	dst.stats.RxFrames++
+	dst.stats.RxBytes += uint64(len(frame))
+	dst.mRxFrames.Inc()
+	dst.mRxBytes.Add(uint64(len(frame)))
+	dst.observe(TapRx, frame)
+	dst.handler.HandleFrame(dst, frame)
 }
 
 func (p *Port) observe(dir TapDirection, frame []byte) {

@@ -47,8 +47,11 @@ type IngressResult struct {
 // Program is a data-plane program. Ingress runs once per received
 // packet; Egress runs once per outgoing copy (rid identifies the copy
 // for multicast packets, and is zero for unicast). Egress returns false
-// to drop the copy. Programs may mutate the packet in place; the switch
-// re-marshals it on transmission.
+// to drop the copy. Programs may mutate the packet's header fields in
+// place; the switch re-marshals it on transmission. The payload is
+// shared copy-on-write between the multicast copies and the original
+// frame buffer, so a program that rewrites payload *bytes* must call
+// Packet.OwnPayload first (header rewrites need nothing).
 type Program interface {
 	Ingress(sw *Switch, in PortID, pkt *roce.Packet) IngressResult
 	Egress(sw *Switch, out PortID, rid uint16, pkt *roce.Packet) bool
@@ -115,6 +118,18 @@ type Switch struct {
 
 	crashed bool
 
+	// Pipeline recycling: pooled per-frame ingress jobs, per-copy egress
+	// jobs and frame refcounts, plus persistent stage callbacks, keep the
+	// scatter/gather fast path allocation-free. The scratch rxPkt is safe
+	// because ingress stages run one at a time on the kernel.
+	ingFree   []*ingressJob
+	egrFree   []*egressJob
+	shrFree   []*frameShare
+	ingressFn func(any)
+	egrEnqFn  func(any)
+	egrEmitFn func(any)
+	rxPkt     roce.Packet
+
 	// Stats counts data-plane events.
 	Stats Stats
 
@@ -133,7 +148,7 @@ type Switch struct {
 // New creates a switch named name with the management address ip.
 func New(k *sim.Kernel, name string, ip simnet.Addr, cfg Config) *Switch {
 	m := k.Metrics()
-	return &Switch{
+	sw := &Switch{
 		k:     k,
 		name:  name,
 		ip:    ip,
@@ -152,6 +167,96 @@ func New(k *sim.Kernel, name string, ip simnet.Addr, cfg Config) *Switch {
 		mParseErrors: m.Counter("tofino.parse_errors"),
 		mFanout:      m.Histogram("tofino.multicast_fanout"),
 	}
+	sw.ingressFn = sw.ingressStep
+	sw.egrEnqFn = sw.egressEnqueue
+	sw.egrEmitFn = sw.egressEmit
+	return sw
+}
+
+// ingressJob carries one received frame across the ingress parser delay.
+type ingressJob struct {
+	p     *swPort
+	frame []byte
+}
+
+// egressJob carries one outgoing copy through the pipeline and egress
+// parser stages. pkt is the copy's own header struct; its payload
+// aliases the ingress frame held alive by share.
+type egressJob struct {
+	dst   *swPort
+	out   PortID
+	rid   uint16
+	pkt   roce.Packet
+	share *frameShare
+}
+
+// frameShare refcounts an ingress frame across the egress copies whose
+// packet payloads alias it; the frame returns to the buffer pool when
+// the last copy is marshaled or dropped.
+type frameShare struct {
+	frame []byte
+	refs  int
+}
+
+func (sw *Switch) getIngressJob() *ingressJob {
+	if l := len(sw.ingFree); l > 0 {
+		j := sw.ingFree[l-1]
+		sw.ingFree[l-1] = nil
+		sw.ingFree = sw.ingFree[:l-1]
+		return j
+	}
+	return &ingressJob{}
+}
+
+func (sw *Switch) putIngressJob(j *ingressJob) {
+	j.p, j.frame = nil, nil
+	sw.ingFree = append(sw.ingFree, j)
+}
+
+func (sw *Switch) getEgressJob() *egressJob {
+	if l := len(sw.egrFree); l > 0 {
+		j := sw.egrFree[l-1]
+		sw.egrFree[l-1] = nil
+		sw.egrFree = sw.egrFree[:l-1]
+		return j
+	}
+	return &egressJob{}
+}
+
+func (sw *Switch) putEgressJob(j *egressJob) {
+	j.pkt = roce.Packet{} // drop the payload alias
+	j.dst, j.share = nil, nil
+	sw.egrFree = append(sw.egrFree, j)
+}
+
+// getShare wraps frame with one reference (the caller's hold).
+func (sw *Switch) getShare(frame []byte) *frameShare {
+	var s *frameShare
+	if l := len(sw.shrFree); l > 0 {
+		s = sw.shrFree[l-1]
+		sw.shrFree[l-1] = nil
+		sw.shrFree = sw.shrFree[:l-1]
+	} else {
+		s = &frameShare{}
+	}
+	s.frame, s.refs = frame, 1
+	return s
+}
+
+func (sw *Switch) releaseShare(s *frameShare) {
+	s.refs--
+	if s.refs > 0 {
+		return
+	}
+	sw.k.Buffers().Put(s.frame)
+	s.frame = nil
+	sw.shrFree = append(sw.shrFree, s)
+}
+
+// dropEgressJob releases a copy that will not be emitted.
+func (sw *Switch) dropEgressJob(j *egressJob) {
+	sw.releaseShare(j.share)
+	sw.putEgressJob(j)
 }
 
 // IP returns the switch's own address (the one P4CE leaders dial).
@@ -227,6 +332,7 @@ func (sw *Switch) Crashed() bool { return sw.crashed }
 // receive runs the ingress side of the pipeline for one frame.
 func (sw *Switch) receive(p *swPort, frame []byte) {
 	if sw.crashed {
+		sw.k.Buffers().Put(frame)
 		return
 	}
 	// The per-port ingress parser serializes packets at its pps capacity:
@@ -237,17 +343,33 @@ func (sw *Switch) receive(p *swPort, frame []byte) {
 		start = now
 	}
 	p.ingressFree = start + sw.cfg.ParserServiceTime
-	sw.k.At(p.ingressFree, func() { sw.ingress(p, frame) })
+	j := sw.getIngressJob()
+	j.p, j.frame = p, frame
+	sw.k.AtArg(p.ingressFree, sw.ingressFn, j)
+}
+
+// ingressStep is the persistent callback running ingress after the
+// parser delay.
+func (sw *Switch) ingressStep(a any) {
+	j := a.(*ingressJob)
+	p, frame := j.p, j.frame
+	sw.putIngressJob(j)
+	sw.ingress(p, frame)
 }
 
 func (sw *Switch) ingress(p *swPort, frame []byte) {
 	if sw.crashed {
+		sw.k.Buffers().Put(frame)
 		return
 	}
-	pkt, err := roce.Unmarshal(frame)
-	if err != nil {
+	// Decode into the scratch packet; the payload aliases the frame, so
+	// the frame must stay alive until every egress copy is marshaled —
+	// that is what the frameShare refcount tracks.
+	pkt := &sw.rxPkt
+	if err := roce.UnmarshalInto(frame, pkt); err != nil {
 		sw.Stats.ParseErrors++
 		sw.mParseErrors.Inc()
+		sw.k.Buffers().Put(frame)
 		return
 	}
 	sw.Stats.IngressPackets++
@@ -260,64 +382,98 @@ func (sw *Switch) ingress(p *swPort, frame []byte) {
 	case VerdictDrop:
 		sw.Stats.DroppedIngress++
 		sw.mDrops.Inc()
+		pkt.Payload = nil
+		sw.k.Buffers().Put(frame)
 	case VerdictForward:
 		sw.Stats.Forwarded++
 		sw.mForwarded.Inc()
-		sw.toEgress(res.OutPort, 0, pkt)
+		share := sw.getShare(frame)
+		sw.toEgress(res.OutPort, 0, pkt, share)
+		sw.releaseShare(share) // drop the ingress hold
 	case VerdictMulticast:
 		sw.Stats.MulticastIn++
 		sw.mMulticastIn.Inc()
 		members := sw.mcast[res.Group]
 		sw.mFanout.Observe(int64(len(members)))
+		share := sw.getShare(frame)
 		for _, m := range members {
 			sw.Stats.Copies++
 			sw.mCopies.Inc()
-			// The replication engine hands each port its own carbon copy.
-			sw.toEgress(m.Port, m.RID, pkt.Clone())
+			// The replication engine hands each port its own copy; the
+			// copies share the payload buffer copy-on-write.
+			sw.toEgress(m.Port, m.RID, pkt, share)
 		}
+		sw.releaseShare(share) // drop the ingress hold
 	case VerdictToCPU:
 		sw.Stats.Punted++
 		sw.mPunted.Inc()
 		if sw.cpu != nil {
-			sw.k.Schedule(sw.cfg.CPUPuntLatency, func() { sw.cpu(p.id, pkt) })
+			// The punted packet outlives the frame: deep-copy it. Punts
+			// are control-plane traffic, far off the fast path.
+			pc := pkt.Clone()
+			in := p.id
+			sw.k.Schedule(sw.cfg.CPUPuntLatency, func() { sw.cpu(in, pc) })
 		}
+		pkt.Payload = nil
+		sw.k.Buffers().Put(frame)
 	}
 }
 
-// toEgress moves a packet (or copy) through the buffer into the egress
-// pipeline of the output port.
-func (sw *Switch) toEgress(out PortID, rid uint16, pkt *roce.Packet) {
+// toEgress moves one outgoing copy through the buffer into the egress
+// pipeline of the output port. The copy gets its own Packet struct but
+// shares the payload (and the ingress frame, via share) copy-on-write.
+func (sw *Switch) toEgress(out PortID, rid uint16, pkt *roce.Packet, share *frameShare) {
 	if int(out) >= len(sw.ports) {
 		sw.Stats.DroppedEgress++
 		sw.mDrops.Inc()
 		return
 	}
-	dst := sw.ports[out]
-	sw.k.Schedule(sw.cfg.PipelineLatency, func() {
-		if sw.crashed {
-			return
-		}
-		// Egress parser serialization: every packet entering this port's
-		// egress consumes capacity, even ones the program then drops.
-		start := dst.egressFree
-		if now := sw.k.Now(); start < now {
-			start = now
-		}
-		dst.egressFree = start + sw.cfg.ParserServiceTime
-		sw.k.At(dst.egressFree, func() {
-			if sw.crashed {
-				return
-			}
-			sw.Stats.EgressPackets++
-			sw.mEgress.Inc()
-			if sw.program != nil && !sw.program.Egress(sw, out, rid, pkt) {
-				sw.Stats.DroppedEgress++
-				sw.mDrops.Inc()
-				return
-			}
-			dst.net.Send(pkt.Marshal())
-		})
-	})
+	j := sw.getEgressJob()
+	j.dst, j.out, j.rid = sw.ports[out], out, rid
+	j.pkt = *pkt
+	j.share = share
+	share.refs++
+	sw.k.ScheduleArg(sw.cfg.PipelineLatency, sw.egrEnqFn, j)
+}
+
+// egressEnqueue books the copy into the egress parser after the fixed
+// pipeline traversal.
+func (sw *Switch) egressEnqueue(a any) {
+	j := a.(*egressJob)
+	if sw.crashed {
+		sw.dropEgressJob(j)
+		return
+	}
+	// Egress parser serialization: every packet entering this port's
+	// egress consumes capacity, even ones the program then drops.
+	dst := j.dst
+	start := dst.egressFree
+	if now := sw.k.Now(); start < now {
+		start = now
+	}
+	dst.egressFree = start + sw.cfg.ParserServiceTime
+	sw.k.AtArg(dst.egressFree, sw.egrEmitFn, j)
+}
+
+// egressEmit runs the egress program and transmits the copy.
+func (sw *Switch) egressEmit(a any) {
+	j := a.(*egressJob)
+	if sw.crashed {
+		sw.dropEgressJob(j)
+		return
+	}
+	sw.Stats.EgressPackets++
+	sw.mEgress.Inc()
+	if sw.program != nil && !sw.program.Egress(sw, j.out, j.rid, &j.pkt) {
+		sw.Stats.DroppedEgress++
+		sw.mDrops.Inc()
+		sw.dropEgressJob(j)
+		return
+	}
+	frame := sw.k.Buffers().Get(j.pkt.WireSize())
+	j.pkt.MarshalInto(frame)
+	j.dst.net.Send(frame)
+	sw.dropEgressJob(j)
 }
 
 // InjectFromCP transmits a control-plane-crafted packet out of the port

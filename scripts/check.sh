@@ -17,6 +17,11 @@ go test ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== allocs/op gate =="
+# The zero-allocation contract: one committed op on the steady-state
+# P4CE path performs no heap allocations, metrics on or off.
+go test ./internal/bench -run TestZeroAllocSteadyState -count=1
+
 echo "== bench regression gate =="
 go run ./cmd/p4ce-bench -json -profile quick -out BENCH_p4ce.json
 ./scripts/bench_compare.sh
