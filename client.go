@@ -122,6 +122,7 @@ func (d *Dedup) Apply(index uint64, cmd []byte) {
 // simulated time.
 type Client struct {
 	cluster *Cluster
+	shard   int
 	session uint32
 	seq     uint64
 
@@ -137,19 +138,38 @@ type Client struct {
 	Retries   uint64
 }
 
-// NewClient opens a session against the cluster. Session identifiers
-// come from the cluster's deterministic random source.
-func (c *Cluster) NewClient() *Client {
+// NewClient opens a session against shard 0 (for single-group
+// clusters: against the cluster). Session identifiers come from the
+// cluster's deterministic random source. Sharded workloads open one
+// session per shard with NewClientForShard/NewClientForKey, or use a
+// Router to spread keys automatically.
+func (c *Cluster) NewClient() *Client { return c.NewClientForShard(0) }
+
+// NewClientForShard opens a session pinned to shard s: every command
+// the session submits is proposed on that shard's leader. Pinning
+// whole sessions (rather than individual commands) keeps the per-
+// session exactly-once state on a single group.
+func (c *Cluster) NewClientForShard(s int) *Client {
 	return &Client{
 		cluster:    c,
+		shard:      s,
 		session:    c.kernel.Rand().Uint32(),
 		RetryDelay: time.Millisecond,
 		MaxRetries: 100,
 	}
 }
 
+// NewClientForKey opens a session pinned to the shard that owns key
+// (the key-hash routing rule, ShardForKey).
+func (c *Cluster) NewClientForKey(key string) *Client {
+	return c.NewClientForShard(c.ShardForKey(key))
+}
+
 // Session returns the session identifier.
 func (cl *Client) Session() uint32 { return cl.session }
+
+// Shard returns the consensus group this session is pinned to.
+func (cl *Client) Shard() int { return cl.shard }
 
 // Submit proposes payload with exactly-once semantics. done is invoked
 // with nil once the command is decided, or with the final error after
@@ -172,7 +192,7 @@ func (cl *Client) attempt(cmd []byte, tries int, done func(error)) {
 		cl.Retries++
 		cl.cluster.After(cl.RetryDelay, func() { cl.attempt(cmd, tries+1, done) })
 	}
-	leader := cl.cluster.Leader()
+	leader := cl.cluster.ShardLeader(cl.shard)
 	if leader == nil {
 		retry(ErrNoLeader)
 		return

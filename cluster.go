@@ -35,7 +35,8 @@ type Cluster struct {
 	backup *tofino.Switch
 	dp     *swp4ce.Dataplane
 	cp     *swp4ce.ControlPlane
-	nodes  []*Node
+	nodes  []*Node  // all machines, shard-major
+	shards []*Shard // one consensus group each, sharing the switch
 }
 
 // NewCluster builds the testbed. Nothing runs until Run is called.
@@ -67,12 +68,31 @@ func NewCluster(opts Options) *Cluster {
 		c.backup.SetProgram(&tofino.L3Program{})
 	}
 
+	for s := 0; s < opts.Shards; s++ {
+		c.buildShard(s)
+	}
+	for _, n := range c.nodes {
+		n.mu.Start()
+	}
+	return c
+}
+
+// buildShard wires one consensus group: its own machines, NICs and mu
+// nodes, star-cabled to the shared switch (and backup fabric). Shard s
+// lives in the 10.0.s.0/24 address block, so shard 0 of a single-group
+// cluster is byte-identical to the pre-sharding topology. Machine
+// identifiers are shard-local (0..Nodes-1); TuneNIC/TuneNode receive
+// the global machine index s*Nodes+i.
+func (c *Cluster) buildShard(s int) {
+	opts, k := c.opts, c.kernel
 	peers := make([]mu.Peer, opts.Nodes)
 	for i := range peers {
-		peers[i] = mu.Peer{ID: i, Addr: simnet.AddrFrom(10, 0, 0, byte(i+1))}
+		peers[i] = mu.Peer{ID: i, Addr: simnet.AddrFrom(10, 0, byte(s), byte(i+1))}
 	}
+	shard := &Shard{cluster: c, index: s}
 
 	for i := 0; i < opts.Nodes; i++ {
+		g := s*opts.Nodes + i // global machine index
 		nicCfg := rnic.DefaultConfig()
 		if opts.PipelineDepth > 0 {
 			nicCfg.MaxOutstanding = opts.PipelineDepth
@@ -81,12 +101,12 @@ func NewCluster(opts Options) *Cluster {
 			nicCfg.ApplyDelay = simDuration(opts.ResponderApplyDelay)
 		}
 		if opts.TuneNIC != nil {
-			opts.TuneNIC(i, &nicCfg)
+			opts.TuneNIC(g, &nicCfg)
 		}
 		nic := rnic.New(k, nicCfg, peers[i].Addr)
 
 		hostPort := simnet.NewPort(k, peers[i].Addr.String(), nil)
-		pid, swPort := c.sw.AddPort(fmt.Sprintf("eth%d", i))
+		pid, swPort := c.sw.AddPort(fmt.Sprintf("eth%d", g))
 		simnet.Connect(hostPort, swPort, simnet.DefaultLinkConfig())
 		c.sw.BindAddr(peers[i].Addr, pid)
 		nic.AttachPort(hostPort)
@@ -94,7 +114,7 @@ func NewCluster(opts Options) *Cluster {
 		var backupPort *simnet.Port
 		if c.backup != nil {
 			backupPort = simnet.NewPort(k, peers[i].Addr.String()+"-bk", nil)
-			bpid, bswPort := c.backup.AddPort(fmt.Sprintf("eth%d", i))
+			bpid, bswPort := c.backup.AddPort(fmt.Sprintf("eth%d", g))
 			simnet.Connect(backupPort, bswPort, simnet.DefaultLinkConfig())
 			c.backup.BindAddr(peers[i].Addr, bpid)
 			nic.AttachBackupPort(backupPort)
@@ -105,8 +125,25 @@ func NewCluster(opts Options) *Cluster {
 		if opts.LogSize > 0 {
 			muCfg.LogSize = opts.LogSize
 		}
+		// The adaptive batcher is on at the cluster layer. Its direct
+		// path is byte-identical to classic one-op-one-entry replication
+		// while the pipeline has free slots, so unsaturated workloads
+		// keep their fingerprints; saturated ones coalesce.
+		muCfg.BatchMaxOps = 64
+		if opts.BatchMaxOps != 0 {
+			muCfg.BatchMaxOps = opts.BatchMaxOps
+		}
+		if opts.BatchMaxDelay > 0 {
+			muCfg.BatchMaxDelay = simDuration(opts.BatchMaxDelay)
+		}
+		if opts.PipelineDepth > 0 {
+			muCfg.MaxInflight = opts.PipelineDepth
+		}
+		if opts.Shards > 1 {
+			muCfg.MetricsLabel = fmt.Sprintf("shard%d", s)
+		}
 		if opts.TuneNode != nil {
-			opts.TuneNode(i, &muCfg)
+			opts.TuneNode(g, &muCfg)
 		}
 
 		others := make([]mu.Peer, 0, opts.Nodes-1)
@@ -127,18 +164,18 @@ func NewCluster(opts Options) *Cluster {
 		engine := core.New(node, engCfg)
 		engine.SetPeers(others)
 
-		c.nodes = append(c.nodes, &Node{
+		n := &Node{
 			cluster: c,
+			shard:   s,
 			mu:      node,
 			engine:  engine,
 			port:    hostPort,
 			backup:  backupPort,
-		})
+		}
+		c.nodes = append(c.nodes, n)
+		shard.nodes = append(shard.nodes, n)
 	}
-	for _, n := range c.nodes {
-		n.mu.Start()
-	}
-	return c
+	c.shards = append(c.shards, shard)
 }
 
 // Run advances the simulation by d.
@@ -166,27 +203,29 @@ func (c *Cluster) EventsProcessed() uint64 { return c.kernel.Processed() }
 // query (empty snapshots, nil handles).
 func (c *Cluster) Metrics() *metrics.Registry { return c.kernel.Metrics() }
 
-// Nodes returns the machines in identifier order.
+// Nodes returns the machines in shard-major, identifier order (for a
+// single-group cluster: simply identifier order).
 func (c *Cluster) Nodes() []*Node { return c.nodes }
 
-// Node returns machine i.
+// Node returns machine i (global, shard-major index).
 func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 
-// Leader returns the current leader, or nil. Crashed machines are
-// skipped, and when a paused "zombie" still claims leadership the claim
-// with the highest term wins (the cluster's actual leader).
-func (c *Cluster) Leader() *Node {
-	var best *Node
-	for _, n := range c.nodes {
-		if n.mu.Crashed() || !n.mu.IsLeader() {
-			continue
-		}
-		if best == nil || n.mu.Term() > best.mu.Term() {
-			best = n
-		}
-	}
-	return best
-}
+// ShardCount returns how many independent consensus groups the cluster
+// runs (1 unless Options.Shards asked for more).
+func (c *Cluster) ShardCount() int { return len(c.shards) }
+
+// Shard returns consensus group s.
+func (c *Cluster) Shard(s int) *Shard { return c.shards[s] }
+
+// ShardLeader returns shard s's current leader, or nil.
+func (c *Cluster) ShardLeader(s int) *Node { return c.shards[s].Leader() }
+
+// Leader returns shard 0's current leader, or nil — for single-group
+// clusters, the cluster leader. Crashed machines are skipped, and when
+// a paused "zombie" still claims leadership the claim with the highest
+// term wins (the shard's actual leader). Sharded callers address the
+// other groups through ShardLeader.
+func (c *Cluster) Leader() *Node { return c.shards[0].Leader() }
 
 // RunUntilLeader advances the simulation until a machine leads (and, in
 // P4CE mode with synchronous reconfiguration, until the switch group is
@@ -206,6 +245,39 @@ func (c *Cluster) RunUntilLeader(deadline time.Duration) (*Node, error) {
 	}
 	if l := c.Leader(); l != nil {
 		return l, nil
+	}
+	return nil, ErrNoLeader
+}
+
+// RunUntilAllLeaders advances the simulation until every shard has a
+// leader (accelerated, in P4CE mode with synchronous reconfiguration),
+// or the deadline passes. It returns the leaders indexed by shard.
+func (c *Cluster) RunUntilAllLeaders(deadline time.Duration) ([]*Node, error) {
+	leaders := make([]*Node, len(c.shards))
+	ready := func() bool {
+		for s, sh := range c.shards {
+			l := sh.Leader()
+			if l == nil {
+				return false
+			}
+			if c.opts.Mode == ModeP4CE && !c.opts.AsyncReconfig && !l.Accelerated() {
+				return false
+			}
+			leaders[s] = l
+		}
+		return true
+	}
+	limit := c.kernel.Now() + simDuration(deadline)
+	for c.kernel.Now() < limit {
+		if !c.kernel.Step() {
+			break
+		}
+		if ready() {
+			return leaders, nil
+		}
+	}
+	if ready() {
+		return leaders, nil
 	}
 	return nil, ErrNoLeader
 }
@@ -260,10 +332,14 @@ func (c *Cluster) ChaosEngine(seed int64, logf func(string, ...any)) *chaos.Engi
 		Logf: logf,
 	}
 	for _, n := range c.nodes {
+		name := fmt.Sprintf("node%d", n.ID())
+		if len(c.shards) > 1 {
+			name = fmt.Sprintf("s%d/node%d", n.shard, n.ID())
+		}
 		cfg.Nodes = append(cfg.Nodes, chaos.NodeTarget{
-			Name: fmt.Sprintf("node%d", n.ID()),
+			Name: name,
 			Link: chaos.Link{
-				Name:   fmt.Sprintf("node%d<->switch", n.ID()),
+				Name:   name + "<->switch",
 				Host:   n.port,
 				Fabric: n.port.Peer(),
 			},
@@ -271,6 +347,15 @@ func (c *Cluster) ChaosEngine(seed int64, logf func(string, ...any)) *chaos.Engi
 		})
 	}
 	return chaos.NewEngine(c.kernel, cfg)
+}
+
+// DestroySwitchGroup tears the given leader's multicast/gather group
+// out of the switch, as a management-plane fault: the leader's next
+// accelerated write times out and it falls back to direct replication
+// until its engine re-probes the switch. Other shards' groups are
+// untouched.
+func (c *Cluster) DestroySwitchGroup(leader *Node) {
+	c.cp.DestroyGroup(leader.mu.Addr(), nil)
 }
 
 // ApplyChaosScenario installs the named fault scenario (see

@@ -9,6 +9,7 @@
 //	p4ce-bench -experiment tab4       # fail-over times
 //	p4ce-bench -experiment lesson1    # ACK-drop placement ablation
 //	p4ce-bench -experiment ablations  # credit + async-reconfig ablations
+//	p4ce-bench -experiment sharded    # shard scaling + adaptive batching
 //
 // -ops scales the per-point operation count (the paper averages one
 // million operations per point; the default here keeps full sweeps fast).
@@ -42,7 +43,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id: all, fig5, maxcps, fig6, fig7, tab4, lesson1, ablations")
+		experiment = flag.String("experiment", "all", "experiment id: all, fig5, maxcps, fig6, fig7, tab4, lesson1, ablations, sharded")
 		ops        = flag.Int("ops", 4000, "operations per measured point")
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		csvDir     = flag.String("csv", "", "also write one CSV per experiment into this directory (for plotting)")
@@ -152,6 +153,7 @@ func run(experiment string, ops int, seed int64) error {
 		{"tab4", tab4},
 		{"lesson1", lesson1},
 		{"ablations", ablations},
+		{"sharded", sharded},
 	} {
 		if all || experiment == exp.id {
 			didAny = true
@@ -369,6 +371,65 @@ func lesson1(ops int, seed int64) error {
 	fmt.Printf("drop in leader egress (first implementation): %.0f consensus/s\n", res.EgressDropRate)
 	fmt.Printf("drop in replica ingress (published design):   %.0f consensus/s\n", res.IngressDropRate)
 	fmt.Printf("speedup: %.2f× with %d replicas\n", res.Speedup, res.Replicas)
+	return nil
+}
+
+func sharded(ops int, seed int64) error {
+	header("Sharding — aggregate goodput vs shard count (fixed per-shard load)")
+	scfg := bench.DefaultShardedConfig()
+	scfg.Ops = ops
+	scfg.Seed = seed
+	spoints, err := bench.RunSharded(scfg)
+	if err != nil {
+		return err
+	}
+	var srows [][]string
+	for _, p := range spoints {
+		srows = append(srows, []string{
+			strconv.Itoa(p.Shards),
+			strconv.FormatFloat(p.AggregateOpsPerS, 'f', 0, 64),
+			strconv.FormatFloat(p.AggregateGoodputGBps, 'f', 4, 64),
+			strconv.FormatInt(p.MeanLat.Nanoseconds(), 10),
+			strconv.FormatInt(p.P99Lat.Nanoseconds(), 10),
+		})
+	}
+	writeCSV("sharded_scaling.csv", []string{"shards", "aggregate_ops_per_s", "aggregate_goodput_gbps", "mean_latency_ns", "p99_latency_ns"}, srows)
+	w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "shards\taggregate ops/s\tgoodput GB/s\tmean lat\tp99 lat\tscaling")
+	base := spoints[0].AggregateOpsPerS
+	for _, p := range spoints {
+		fmt.Fprintf(w, "%d\t%.2fM\t%.2f\t%v\t%v\t%.2f×\n",
+			p.Shards, p.AggregateOpsPerS/1e6, p.AggregateGoodputGBps,
+			p.MeanLat, p.P99Lat, p.AggregateOpsPerS/base)
+	}
+	w.Flush()
+
+	header("Adaptive batching — saturated closed loop vs batch bound")
+	bcfg := bench.DefaultBatchSweepConfig()
+	bcfg.Ops = ops
+	bcfg.Seed = seed
+	bpoints, err := bench.RunBatchSweep(bcfg)
+	if err != nil {
+		return err
+	}
+	var brows [][]string
+	for _, p := range bpoints {
+		brows = append(brows, []string{
+			strconv.Itoa(p.BatchMaxOps),
+			strconv.FormatFloat(p.ThroughputMops, 'f', 4, 64),
+			strconv.FormatInt(p.MeanLat.Nanoseconds(), 10),
+			strconv.FormatInt(p.P99Lat.Nanoseconds(), 10),
+			strconv.FormatFloat(p.MeanOpsPerEntry, 'f', 2, 64),
+		})
+	}
+	writeCSV("sharded_batch_sweep.csv", []string{"batch_max_ops", "throughput_mops", "mean_latency_ns", "p99_latency_ns", "mean_ops_per_entry"}, brows)
+	w = tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "batch bound\tthroughput\tmean lat\tp99 lat\tops/entry")
+	for _, p := range bpoints {
+		fmt.Fprintf(w, "%d\t%.2fM\t%v\t%v\t%.1f\n",
+			p.BatchMaxOps, p.ThroughputMops, p.MeanLat, p.P99Lat, p.MeanOpsPerEntry)
+	}
+	w.Flush()
 	return nil
 }
 

@@ -1,9 +1,3 @@
-// Package bench regenerates every table and figure of the paper's
-// evaluation (§V): the goodput sweep of Fig. 5, the consensus/s ceiling
-// of §V-C, the latency-throughput curves of Fig. 6, the burst latencies
-// of Fig. 7, the fail-over times of Table IV, and the design-choice
-// ablations DESIGN.md calls out. cmd/p4ce-bench prints the results in
-// the paper's shape; bench_test.go wraps them as testing.B benchmarks.
 package bench
 
 import (

@@ -20,7 +20,7 @@ const (
 
 // Regression is one tracked metric that got worse.
 type Regression struct {
-	Metric string  // e.g. "goodput/P4CE/r2/s64/goodput_gbps"
+	Metric string // e.g. "goodput/P4CE/r2/s64/goodput_gbps"
 	Base   float64
 	Cand   float64
 	Change float64 // signed fractional change, positive = degraded
@@ -128,6 +128,42 @@ func CompareReports(base, cand *Report) []Regression {
 			cr.ConsensusPerS = math.NaN()
 		}
 		out = check(out, "ablation/"+key+"/consensus_per_s", br.ConsensusPerS, cr.ConsensusPerS, higherIsBetter)
+	}
+
+	// The sharded and batch-sweep sections arrived with schema v2; a v1
+	// baseline simply has no points here, so these loops are no-ops and
+	// the comparison stays meaningful across the schema bump.
+	candSharded := make(map[int]ShardedPointJSON)
+	for _, pt := range cand.Sharded.Points {
+		candSharded[pt.Shards] = pt
+	}
+	for _, bp := range base.Sharded.Points {
+		key := fmt.Sprintf("x%d", bp.Shards)
+		cp, ok := candSharded[bp.Shards]
+		if !ok {
+			cp.AggregateOpsPerS = math.NaN()
+		}
+		out = check(out, "sharded/"+key+"/aggregate_ops_per_s", bp.AggregateOpsPerS, cp.AggregateOpsPerS, higherIsBetter)
+		if ok {
+			out = check(out, "sharded/"+key+"/mean_ns", float64(bp.MeanNs), float64(cp.MeanNs), lowerIsBetter)
+			out = check(out, "sharded/"+key+"/min_shard_ops_per_s", bp.MinShardOpsPerS, cp.MinShardOpsPerS, higherIsBetter)
+		}
+	}
+
+	candBatch := make(map[int]BatchSweepPointJSON)
+	for _, pt := range cand.BatchSweep.Points {
+		candBatch[pt.BatchMaxOps] = pt
+	}
+	for _, bp := range base.BatchSweep.Points {
+		key := fmt.Sprintf("b%d", bp.BatchMaxOps)
+		cp, ok := candBatch[bp.BatchMaxOps]
+		if !ok {
+			cp.ThroughputMops = math.NaN()
+		}
+		out = check(out, "batch_sweep/"+key+"/throughput_mops", bp.ThroughputMops, cp.ThroughputMops, higherIsBetter)
+		if ok {
+			out = check(out, "batch_sweep/"+key+"/p99_ns", float64(bp.P99Ns), float64(cp.P99Ns), lowerIsBetter)
+		}
 	}
 	return out
 }

@@ -65,7 +65,10 @@ func RunLatencyThroughput(cfg LatencyConfig) ([]LatencyPoint, error) {
 
 func runOpenLoop(mode p4ce.Mode, replicas int, offeredMps float64, cfg LatencyConfig) (LatencyPoint, error) {
 	pt := LatencyPoint{Mode: mode, Replicas: replicas, OfferedMps: offeredMps}
-	cl, leader, err := Steady(p4ce.Options{Nodes: replicas + 1, Mode: mode, Seed: cfg.Seed})
+	// BatchMaxOps 1: Fig. 6/7 reproduce the paper's systems, which do
+	// not batch — an overloaded open loop must hit the single-op knee,
+	// not the batcher's higher ceiling (that curve is RunBatchSweep's).
+	cl, leader, err := Steady(p4ce.Options{Nodes: replicas + 1, Mode: mode, Seed: cfg.Seed, BatchMaxOps: 1})
 	if err != nil {
 		return pt, err
 	}
@@ -145,7 +148,7 @@ func RunBurstLatency(replicas int, burstSizes []int, rounds int, seed int64) ([]
 	}
 	var out []BurstPoint
 	for _, mode := range []p4ce.Mode{p4ce.ModeMu, p4ce.ModeP4CE} {
-		cl, leader, err := Steady(p4ce.Options{Nodes: replicas + 1, Mode: mode, Seed: seed})
+		cl, leader, err := Steady(p4ce.Options{Nodes: replicas + 1, Mode: mode, Seed: seed, BatchMaxOps: 1})
 		if err != nil {
 			return nil, err
 		}

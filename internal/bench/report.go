@@ -16,19 +16,22 @@ import (
 	"p4ce"
 )
 
-// SchemaVersion identifies the BENCH_p4ce.json layout.
-const SchemaVersion = 1
+// SchemaVersion identifies the BENCH_p4ce.json layout. Version 2 added
+// the sharded-scaling and batch-sweep sections.
+const SchemaVersion = 2
 
 // Report is the root of BENCH_p4ce.json.
 type Report struct {
-	SchemaVersion int             `json:"schema_version"`
-	Tool          string          `json:"tool"`
-	Profile       string          `json:"profile"`
-	Seed          int64           `json:"seed"`
-	Goodput       GoodputSection  `json:"goodput"`
-	Latency       LatencySection  `json:"latency"`
-	Failover      FailoverSection `json:"failover"`
-	Ablation      AblationSection `json:"ablation"`
+	SchemaVersion int               `json:"schema_version"`
+	Tool          string            `json:"tool"`
+	Profile       string            `json:"profile"`
+	Seed          int64             `json:"seed"`
+	Goodput       GoodputSection    `json:"goodput"`
+	Latency       LatencySection    `json:"latency"`
+	Failover      FailoverSection   `json:"failover"`
+	Ablation      AblationSection   `json:"ablation"`
+	Sharded       ShardedSection    `json:"sharded"`
+	BatchSweep    BatchSweepSection `json:"batch_sweep"`
 }
 
 // GoodputSection is the Fig. 5 sweep.
@@ -122,6 +125,64 @@ type AblationRowJSON struct {
 	SpeedupVsMu   float64 `json:"speedup_vs_mu"`
 }
 
+// ShardedSection is the shard-scaling sweep (aggregate goodput against
+// the number of independent consensus groups on the one switch).
+type ShardedSection struct {
+	Seed   int64              `json:"seed"`
+	Config ShardedConfigJSON  `json:"config"`
+	Points []ShardedPointJSON `json:"points"`
+}
+
+// ShardedConfigJSON records the sweep parameters.
+type ShardedConfigJSON struct {
+	Shards   []int `json:"shards"`
+	Nodes    int   `json:"nodes"`
+	ItemSize int   `json:"item_size"`
+	Depth    int   `json:"depth"`
+	Warmup   int   `json:"warmup"`
+	Ops      int   `json:"ops"`
+}
+
+// ShardedPointJSON is one measured shard count.
+type ShardedPointJSON struct {
+	Shards               int     `json:"shards"`
+	AggregateOpsPerS     float64 `json:"aggregate_ops_per_s"`
+	AggregateGoodputGBps float64 `json:"aggregate_goodput_gbps"`
+	MinShardOpsPerS      float64 `json:"min_shard_ops_per_s"`
+	MaxShardOpsPerS      float64 `json:"max_shard_ops_per_s"`
+	MeanNs               int64   `json:"mean_ns"`
+	P99Ns                int64   `json:"p99_ns"`
+	Events               uint64  `json:"events"`
+}
+
+// BatchSweepSection is the adaptive-batching sweep (throughput and
+// latency against the batch-size bound under saturation).
+type BatchSweepSection struct {
+	Seed   int64                 `json:"seed"`
+	Config BatchSweepConfigJSON  `json:"config"`
+	Points []BatchSweepPointJSON `json:"points"`
+}
+
+// BatchSweepConfigJSON records the sweep parameters.
+type BatchSweepConfigJSON struct {
+	BatchMaxOps []int `json:"batch_max_ops"`
+	MaxInflight int   `json:"max_inflight"`
+	Depth       int   `json:"depth"`
+	ItemSize    int   `json:"item_size"`
+	Warmup      int   `json:"warmup"`
+	Ops         int   `json:"ops"`
+}
+
+// BatchSweepPointJSON is one measured batch bound.
+type BatchSweepPointJSON struct {
+	BatchMaxOps     int     `json:"batch_max_ops"`
+	ThroughputMops  float64 `json:"throughput_mops"`
+	MeanNs          int64   `json:"mean_ns"`
+	P50Ns           int64   `json:"p50_ns"`
+	P99Ns           int64   `json:"p99_ns"`
+	MeanOpsPerEntry float64 `json:"mean_ops_per_entry"`
+}
+
 // Profile bundles the section configurations of one report flavor.
 type Profile struct {
 	Name             string
@@ -130,6 +191,8 @@ type Profile struct {
 	Failover         FailoverConfig
 	AblationReplicas []int
 	AblationOps      int
+	Sharded          ShardedConfig
+	BatchSweep       BatchSweepConfig
 }
 
 // FullProfile is the paper-shaped sweep; it takes a few minutes of
@@ -142,6 +205,8 @@ func FullProfile() Profile {
 		Failover:         DefaultFailoverConfig(),
 		AblationReplicas: []int{2, 4},
 		AblationOps:      40000,
+		Sharded:          DefaultShardedConfig(),
+		BatchSweep:       DefaultBatchSweepConfig(),
 	}
 }
 
@@ -169,6 +234,24 @@ func QuickProfile() Profile {
 		Failover:         FailoverConfig{Nodes: 5},
 		AblationReplicas: []int{2, 4},
 		AblationOps:      1200,
+		Sharded: ShardedConfig{
+			Shards:   []int{1, 2, 4},
+			Nodes:    3,
+			ItemSize: 512,
+			Depth:    16,
+			Warmup:   200,
+			Ops:      2000,
+			Seed:     1,
+		},
+		BatchSweep: BatchSweepConfig{
+			BatchMaxOps: []int{1, 16, 64},
+			MaxInflight: 16,
+			Depth:       64,
+			ItemSize:    64,
+			Warmup:      200,
+			Ops:         2000,
+			Seed:        1,
+		},
 	}
 }
 
@@ -194,6 +277,24 @@ func SmokeProfile() Profile {
 		Failover:         FailoverConfig{Nodes: 3},
 		AblationReplicas: []int{2},
 		AblationOps:      600,
+		Sharded: ShardedConfig{
+			Shards:   []int{1, 2},
+			Nodes:    3,
+			ItemSize: 64,
+			Depth:    16,
+			Warmup:   100,
+			Ops:      400,
+			Seed:     1,
+		},
+		BatchSweep: BatchSweepConfig{
+			BatchMaxOps: []int{1, 64},
+			MaxInflight: 16,
+			Depth:       64,
+			ItemSize:    64,
+			Warmup:      100,
+			Ops:         400,
+			Seed:        1,
+		},
 	}
 }
 
@@ -311,6 +412,62 @@ func BuildReport(seed int64, p Profile) (*Report, error) {
 			SpeedupVsMu:   row.SpeedupVsMu,
 		})
 	}
+
+	p.Sharded.Seed = seed
+	sp, err := RunSharded(p.Sharded)
+	if err != nil {
+		return nil, fmt.Errorf("sharded: %w", err)
+	}
+	rep.Sharded = ShardedSection{
+		Seed: seed,
+		Config: ShardedConfigJSON{
+			Shards:   p.Sharded.Shards,
+			Nodes:    p.Sharded.Nodes,
+			ItemSize: p.Sharded.ItemSize,
+			Depth:    p.Sharded.Depth,
+			Warmup:   p.Sharded.Warmup,
+			Ops:      p.Sharded.Ops,
+		},
+	}
+	for _, pt := range sp {
+		rep.Sharded.Points = append(rep.Sharded.Points, ShardedPointJSON{
+			Shards:               pt.Shards,
+			AggregateOpsPerS:     pt.AggregateOpsPerS,
+			AggregateGoodputGBps: pt.AggregateGoodputGBps,
+			MinShardOpsPerS:      pt.MinShardOpsPerS,
+			MaxShardOpsPerS:      pt.MaxShardOpsPerS,
+			MeanNs:               pt.MeanLat.Nanoseconds(),
+			P99Ns:                pt.P99Lat.Nanoseconds(),
+			Events:               pt.Events,
+		})
+	}
+
+	p.BatchSweep.Seed = seed
+	bp, err := RunBatchSweep(p.BatchSweep)
+	if err != nil {
+		return nil, fmt.Errorf("batch sweep: %w", err)
+	}
+	rep.BatchSweep = BatchSweepSection{
+		Seed: seed,
+		Config: BatchSweepConfigJSON{
+			BatchMaxOps: p.BatchSweep.BatchMaxOps,
+			MaxInflight: p.BatchSweep.MaxInflight,
+			Depth:       p.BatchSweep.Depth,
+			ItemSize:    p.BatchSweep.ItemSize,
+			Warmup:      p.BatchSweep.Warmup,
+			Ops:         p.BatchSweep.Ops,
+		},
+	}
+	for _, pt := range bp {
+		rep.BatchSweep.Points = append(rep.BatchSweep.Points, BatchSweepPointJSON{
+			BatchMaxOps:     pt.BatchMaxOps,
+			ThroughputMops:  pt.ThroughputMops,
+			MeanNs:          pt.MeanLat.Nanoseconds(),
+			P50Ns:           pt.P50Lat.Nanoseconds(),
+			P99Ns:           pt.P99Lat.Nanoseconds(),
+			MeanOpsPerEntry: pt.MeanOpsPerEntry,
+		})
+	}
 	return rep, nil
 }
 
@@ -385,6 +542,25 @@ func (r *Report) Validate() error {
 	for _, row := range r.Ablation.MaxConsensus {
 		if row.ConsensusPerS <= 0 {
 			return fmt.Errorf("bench: ablation %s/r%d: non-positive rate", row.Mode, row.Replicas)
+		}
+	}
+	if len(r.Sharded.Points) == 0 {
+		return fmt.Errorf("bench: sharded section empty")
+	}
+	for _, pt := range r.Sharded.Points {
+		if pt.Shards <= 0 || pt.AggregateOpsPerS <= 0 {
+			return fmt.Errorf("bench: sharded x%d: non-positive rate", pt.Shards)
+		}
+		if pt.MinShardOpsPerS > pt.MaxShardOpsPerS {
+			return fmt.Errorf("bench: sharded x%d: min/max shard rates inverted", pt.Shards)
+		}
+	}
+	if len(r.BatchSweep.Points) == 0 {
+		return fmt.Errorf("bench: batch sweep section empty")
+	}
+	for _, pt := range r.BatchSweep.Points {
+		if pt.BatchMaxOps <= 0 || pt.ThroughputMops <= 0 {
+			return fmt.Errorf("bench: batch sweep b%d: non-positive throughput", pt.BatchMaxOps)
 		}
 	}
 	return nil

@@ -1,0 +1,318 @@
+package bench
+
+// Sharding and batching sweeps. RunSharded measures how aggregate
+// committed-op goodput scales as independent consensus groups are added
+// over the one simulated switch (fixed per-shard load, so ideal scaling
+// is linear); RunBatchSweep measures the throughput/latency trade of
+// the leader's adaptive batcher under saturation. Both are recorded in
+// the machine-readable report (schema v2) and gated by the regression
+// comparator.
+
+import (
+	"time"
+
+	"p4ce"
+	"p4ce/internal/mu"
+	"p4ce/internal/sim"
+)
+
+// ShardedConfig parameterizes the shard-scaling sweep.
+type ShardedConfig struct {
+	// Shards lists the shard counts to sweep (the scaling claim compares
+	// the first and last entries).
+	Shards []int
+	// Nodes is the machine count per shard, leader included.
+	Nodes int
+	// ItemSize is the client payload size in bytes.
+	ItemSize int
+	// Depth is the per-shard closed-loop depth — the fixed per-shard
+	// load. It matches the pipeline depth so every shard runs the same
+	// unsaturated steady state regardless of the shard count.
+	Depth int
+	// Warmup and Ops are per-shard completion counts.
+	Warmup int
+	Ops    int
+	Seed   int64
+}
+
+// DefaultShardedConfig is the EXPERIMENTS.md sweep.
+func DefaultShardedConfig() ShardedConfig {
+	return ShardedConfig{
+		Shards:   []int{1, 2, 4},
+		Nodes:    3,
+		ItemSize: 512,
+		Depth:    16,
+		Warmup:   500,
+		Ops:      8000,
+		Seed:     1,
+	}
+}
+
+// ShardedPoint is one measured shard count.
+type ShardedPoint struct {
+	Shards int
+	// AggregateOpsPerS sums the per-shard committed-op rates — the
+	// cluster-wide consensus throughput at this shard count.
+	AggregateOpsPerS float64
+	// AggregateGoodputGBps is the matching client-payload bandwidth.
+	AggregateGoodputGBps float64
+	// MinShardOpsPerS/MaxShardOpsPerS bound the per-shard rates; a wide
+	// spread means the shared fabric is no longer fair.
+	MinShardOpsPerS float64
+	MaxShardOpsPerS float64
+	// MeanLat/P99Lat aggregate the per-op latencies across every shard.
+	MeanLat time.Duration
+	P99Lat  time.Duration
+	// Events is the kernel's determinism fingerprint for the whole run.
+	Events uint64
+}
+
+// SteadySharded builds a sharded cluster in a measurable steady state:
+// heartbeats off, every shard's view forced to its machine 0, and every
+// shard leader accelerated with full membership.
+func SteadySharded(opts p4ce.Options) (*p4ce.Cluster, []*p4ce.Node, error) {
+	opts.DisableHeartbeats = true
+	userTune := opts.TuneNode
+	opts.TuneNode = func(i int, cfg *mu.Config) {
+		cfg.LeaderTakeoverDelay = 10 * sim.Microsecond
+		if userTune != nil {
+			userTune(i, cfg)
+		}
+	}
+	cl := p4ce.NewCluster(opts)
+	cl.ForceLeader(0)
+	deadline := cl.Now() + 500*time.Millisecond
+	for cl.Now() < deadline {
+		if !cl.Step() {
+			break
+		}
+		leaders := make([]*p4ce.Node, cl.ShardCount())
+		ready := true
+		for s := 0; s < cl.ShardCount() && ready; s++ {
+			l := cl.ShardLeader(s)
+			switch {
+			case l == nil:
+				ready = false
+			case opts.Mode == p4ce.ModeP4CE && !l.Accelerated():
+				ready = false
+			case l.ReplicationPaths() < opts.Nodes-1:
+				ready = false
+			default:
+				leaders[s] = l
+			}
+		}
+		if ready {
+			return cl, leaders, nil
+		}
+	}
+	return nil, nil, &stalledError{stage: "sharded steady-state setup"}
+}
+
+// shardLoop is one shard's closed-loop driver state.
+type shardLoop struct {
+	leader     *p4ce.Node
+	issued     int
+	completed  int
+	proposedAt []time.Duration
+	lat        *sim.LatencyRecorder
+	startAt    time.Duration
+	endAt      time.Duration
+	stalled    error
+}
+
+// ShardedClosedLoop drives every shard's leader with its own depth-deep
+// closed loop on the shared kernel, measuring each shard independently
+// (per-shard warmup, per-shard measurement window) and aggregating.
+func ShardedClosedLoop(cl *p4ce.Cluster, leaders []*p4ce.Node, size, depth, warmup, ops int) (ShardedPoint, error) {
+	var pt ShardedPoint
+	pt.Shards = len(leaders)
+	total := warmup + ops
+	payload := make([]byte, size)
+	loops := make([]*shardLoop, len(leaders))
+	for s := range leaders {
+		loops[s] = &shardLoop{
+			leader:     leaders[s],
+			proposedAt: make([]time.Duration, depth),
+			lat:        sim.NewLatencyRecorder(ops),
+		}
+	}
+	remaining := len(loops)
+	for s := range loops {
+		lp := loops[s]
+		var issue func()
+		var done func(error)
+		issue = func() {
+			if lp.issued >= total {
+				return
+			}
+			lp.proposedAt[lp.issued%depth] = cl.Now()
+			lp.issued++
+			if err := lp.leader.Propose(payload, done); err != nil {
+				lp.stalled = err
+			}
+		}
+		done = func(err error) {
+			if err != nil {
+				lp.stalled = err
+				return
+			}
+			at := lp.proposedAt[lp.completed%depth]
+			lp.completed++
+			switch {
+			case lp.completed == warmup:
+				lp.startAt = cl.Now()
+			case lp.completed > warmup:
+				lp.lat.Record(sim.Time(cl.Now() - at))
+				if lp.completed == total {
+					lp.endAt = cl.Now()
+					remaining--
+				}
+			}
+			issue()
+		}
+		if warmup == 0 {
+			lp.startAt = cl.Now()
+		}
+		for i := 0; i < depth; i++ {
+			issue()
+		}
+	}
+	for remaining > 0 {
+		for _, lp := range loops {
+			if lp.stalled != nil {
+				return pt, lp.stalled
+			}
+		}
+		if !cl.Step() {
+			return pt, &stalledError{stage: "sharded closed loop"}
+		}
+	}
+
+	var latSum, latCount float64
+	pt.P99Lat = 0
+	for i, lp := range loops {
+		elapsed := lp.endAt - lp.startAt
+		if elapsed <= 0 {
+			return pt, &stalledError{stage: "sharded measurement window"}
+		}
+		rate := float64(ops) / elapsed.Seconds()
+		pt.AggregateOpsPerS += rate
+		pt.AggregateGoodputGBps += rate * float64(size) / 1e9
+		if i == 0 || rate < pt.MinShardOpsPerS {
+			pt.MinShardOpsPerS = rate
+		}
+		if rate > pt.MaxShardOpsPerS {
+			pt.MaxShardOpsPerS = rate
+		}
+		latSum += float64(lp.lat.Mean()) * float64(ops)
+		latCount += float64(ops)
+		if p99 := time.Duration(lp.lat.Percentile(99)); p99 > pt.P99Lat {
+			pt.P99Lat = p99
+		}
+	}
+	pt.MeanLat = time.Duration(latSum / latCount)
+	pt.Events = cl.EventsProcessed()
+	return pt, nil
+}
+
+// RunSharded sweeps the shard count at fixed per-shard load.
+func RunSharded(cfg ShardedConfig) ([]ShardedPoint, error) {
+	var out []ShardedPoint
+	for _, shards := range cfg.Shards {
+		cl, leaders, err := SteadySharded(p4ce.Options{
+			Nodes:         cfg.Nodes,
+			Mode:          p4ce.ModeP4CE,
+			Seed:          cfg.Seed,
+			Shards:        shards,
+			PipelineDepth: cfg.Depth,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pt, err := ShardedClosedLoop(cl, leaders, cfg.ItemSize, cfg.Depth, cfg.Warmup, cfg.Ops)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// BatchSweepConfig parameterizes the adaptive-batching sweep: a single
+// group driven past its pipeline depth so the batcher engages, at a
+// range of batch-size bounds.
+type BatchSweepConfig struct {
+	// BatchMaxOps lists the batcher bounds to sweep; 1 disables batching
+	// (the baseline: excess proposals ride the NIC send queue).
+	BatchMaxOps []int
+	// MaxInflight is the RDMA pipeline depth (the testbed's 16).
+	MaxInflight int
+	// Depth is the closed-loop depth. It must exceed MaxInflight or the
+	// batcher never sees a full pipeline.
+	Depth    int
+	ItemSize int
+	Warmup   int
+	Ops      int
+	Seed     int64
+}
+
+// DefaultBatchSweepConfig is the EXPERIMENTS.md sweep.
+func DefaultBatchSweepConfig() BatchSweepConfig {
+	return BatchSweepConfig{
+		BatchMaxOps: []int{1, 4, 16, 64},
+		MaxInflight: 16,
+		Depth:       64,
+		ItemSize:    64,
+		Warmup:      500,
+		Ops:         8000,
+		Seed:        1,
+	}
+}
+
+// BatchSweepPoint is one measured batch bound.
+type BatchSweepPoint struct {
+	BatchMaxOps    int
+	ThroughputMops float64
+	MeanLat        time.Duration
+	P50Lat         time.Duration
+	P99Lat         time.Duration
+	// MeanOpsPerEntry is the measured average batch size (from the
+	// mu.batch_ops_per_entry histogram) — how hard the batcher actually
+	// coalesced under this bound.
+	MeanOpsPerEntry float64
+}
+
+// RunBatchSweep measures the saturated closed loop at each batch bound.
+func RunBatchSweep(cfg BatchSweepConfig) ([]BatchSweepPoint, error) {
+	var out []BatchSweepPoint
+	for _, bound := range cfg.BatchMaxOps {
+		cl, leader, err := Steady(p4ce.Options{
+			Nodes:         3,
+			Mode:          p4ce.ModeP4CE,
+			Seed:          cfg.Seed,
+			PipelineDepth: cfg.MaxInflight,
+			BatchMaxOps:   bound,
+			EnableMetrics: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := ClosedLoop(cl, leader, cfg.ItemSize, cfg.Depth, cfg.Warmup, cfg.Ops)
+		if err != nil {
+			return nil, err
+		}
+		pt := BatchSweepPoint{
+			BatchMaxOps:    bound,
+			ThroughputMops: res.Throughput / 1e6,
+			MeanLat:        res.MeanLat,
+			P50Lat:         res.P50Lat,
+			P99Lat:         res.P99Lat,
+		}
+		h := cl.Metrics().Histogram("mu.batch_ops_per_entry")
+		if h.Count() > 0 {
+			pt.MeanOpsPerEntry = float64(h.Sum()) / float64(h.Count())
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

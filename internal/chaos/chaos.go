@@ -1,16 +1,3 @@
-// Package chaos is a deterministic fault-injection harness for the
-// simulated P4CE testbed. An Engine schedules scripted faults on the
-// sim.Kernel clock — loss bursts, Gilbert-Elliott loss phases, link
-// flaps, delay jitter, network partitions, replica outages with NIC
-// resets, and full switch reboots — all driven by its own seeded random
-// source, so a (kernel seed, chaos seed, scenario) triple replays the
-// exact same fault pattern event for event.
-//
-// The engine is topology-agnostic: it operates on the two ports of each
-// cable, the host NICs, and a pair of power-cycle hooks, all supplied
-// by whoever owns the testbed (see the Cluster chaos wiring in the root
-// package). Package scenarios combining these primitives live in
-// scenarios.go.
 package chaos
 
 import (

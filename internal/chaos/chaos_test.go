@@ -186,7 +186,7 @@ func TestFaultMuxLayers(t *testing.T) {
 }
 
 func TestScenarioRegistry(t *testing.T) {
-	want := []string{"leader-partition", "lossy-gather", "replica-flap", "switch-reboot"}
+	want := []string{"leader-partition", "lossy-gather", "replica-flap", "shard-leader-outage", "switch-reboot"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

@@ -74,6 +74,26 @@ var scenarios = []Scenario{
 		},
 	},
 	{
+		Name: "shard-leader-outage",
+		Description: "The first machine — shard 0's initial leader in a sharded " +
+			"cluster — goes dark (port down + NIC reset) for 40 ms: shard 0 must " +
+			"elect its next machine, and every other shard must keep committing " +
+			"through the outage, untouched. On a single-group cluster this is a " +
+			"plain leader outage.",
+		// The outage outlives the NIC retry budget, so shard 0 needs a
+		// detector verdict, a takeover, and the 40 ms switch group
+		// (re-)programming; the horizon also covers the old leader's
+		// re-admission after the heal.
+		Horizon: 250 * sim.Millisecond,
+		Apply: func(e *Engine) {
+			nodes := e.Nodes()
+			if len(nodes) == 0 {
+				return
+			}
+			e.NodeOutage(nodes[0], 5*sim.Millisecond, 40*sim.Millisecond)
+		},
+	},
+	{
 		Name: "switch-reboot",
 		Description: "The programmable switch power-cycles for 30 ms, losing its " +
 			"registers, match tables and multicast groups: the outage outlives the " +

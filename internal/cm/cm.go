@@ -1,9 +1,3 @@
-// Package cm implements the RDMA connection-manager handshake on top of
-// the simulated NIC: ConnectRequest → ConnectReply → ReadyToUse, with
-// ConnectReject for refusals, request retransmission, duplicate
-// suppression, and the private-data piggybacking that P4CE uses to carry
-// the replica set (on the request) and the advertised memory region (on
-// the reply).
 package cm
 
 import (

@@ -1,0 +1,9 @@
+// Package cm implements the RDMA connection-manager handshake on top of
+// the simulated NIC: ConnectRequest → ConnectReply → ReadyToUse, with
+// ConnectReject for refusals, request retransmission, duplicate
+// suppression, and the private-data piggybacking that P4CE uses to
+// carry the replica set (on the request) and the advertised memory
+// region (on the reply). It rides the well-known CM queue pair (QP1)
+// of an rnic NIC; both mu's direct connections and the switch control
+// plane's captured handshakes go through it.
+package cm

@@ -1,0 +1,12 @@
+// Package core is the P4CE consensus engine: it takes Mu's decision
+// plane (package mu) and moves the communication plane into the
+// programmable switch (package p4ce). A leading node opens a single
+// RDMA connection *to the switch*, naming its replicas in the request's
+// private data; every decided value then leaves the leader as one write
+// to the switch's BCast queue pair and comes back as one aggregated
+// acknowledgment. On any negative acknowledgment or timeout the engine
+// reverts to Mu's direct per-replica communication and periodically
+// probes the switch to regain acceleration (§III-A). The root package
+// assembles one engine per machine — per shard, in a sharded cluster —
+// over the shared kernel and fabric.
+package core

@@ -1,0 +1,17 @@
+// Package metrics is a zero-allocation-on-hot-path metrics registry for
+// the simulation. Components resolve named handles (counters, gauges,
+// log-bucketed histograms) once at construction time; hot paths then
+// touch only the handle, with no map lookups, no interface boxing and
+// no allocation.
+//
+// Every accessor is nil-safe: a nil *Registry hands out nil handles,
+// and every handle method on a nil receiver is a no-op. A component
+// therefore instruments unconditionally and pays nothing when metrics
+// are disabled.
+//
+// The package is deliberately dependency-free (histograms take plain
+// int64 nanoseconds, not sim.Time) so the sim kernel itself can carry a
+// registry without an import cycle. Every layer of the stack — simnet,
+// rnic, tofino, p4ce, mu — records into the one registry the kernel
+// carries.
+package metrics

@@ -1,17 +1,3 @@
-// Package metrics is a zero-allocation-on-hot-path metrics registry for
-// the simulation. Components resolve named handles (counters, gauges,
-// log-bucketed histograms) once at construction time; hot paths then
-// touch only the handle, with no map lookups, no interface boxing and
-// no allocation.
-//
-// Every accessor is nil-safe: a nil *Registry hands out nil handles,
-// and every handle method on a nil receiver is a no-op. A component
-// therefore instruments unconditionally and pays nothing when metrics
-// are disabled.
-//
-// The package is deliberately dependency-free (histograms take plain
-// int64 nanoseconds, not sim.Time) so the sim kernel itself can carry a
-// registry without an import cycle.
 package metrics
 
 import (
@@ -256,6 +242,30 @@ func (r *Registry) Histogram(name string) *Histogram {
 	}
 	return h
 }
+
+// Scoped is a registry view that prefixes every handle name with
+// "<prefix>.". Components instantiated once per shard (or per any
+// other replicated unit) bind their series through a scope instead of
+// formatting names at every call site. A Scoped over a nil registry
+// hands out the same nil no-op handles the registry itself does.
+type Scoped struct {
+	r      *Registry
+	prefix string
+}
+
+// Scope returns a view creating instruments under "<prefix>.".
+func (r *Registry) Scope(prefix string) Scoped {
+	return Scoped{r: r, prefix: prefix}
+}
+
+// Counter returns the scoped counter, creating it on first use.
+func (s Scoped) Counter(name string) *Counter { return s.r.Counter(s.prefix + "." + name) }
+
+// Gauge returns the scoped gauge, creating it on first use.
+func (s Scoped) Gauge(name string) *Gauge { return s.r.Gauge(s.prefix + "." + name) }
+
+// Histogram returns the scoped histogram, creating it on first use.
+func (s Scoped) Histogram(name string) *Histogram { return s.r.Histogram(s.prefix + "." + name) }
 
 // HistogramSummary is the exportable digest of one histogram.
 type HistogramSummary struct {

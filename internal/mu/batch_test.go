@@ -1,0 +1,197 @@
+package mu_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"p4ce/internal/mu"
+	"p4ce/internal/sim"
+)
+
+// withBatching enables the adaptive batcher with a tight pipeline so
+// tests saturate it quickly.
+func withBatching(maxInflight, maxOps int) func(*mu.Config) {
+	return func(cfg *mu.Config) {
+		cfg.MaxInflight = maxInflight
+		cfg.BatchMaxOps = maxOps
+	}
+}
+
+func TestBatchIterRoundTrip(t *testing.T) {
+	ops := [][]byte{
+		[]byte("alpha"),
+		{},
+		[]byte("a much longer operation payload: 0123456789"),
+		[]byte("z"),
+	}
+	var frame []byte
+	for _, op := range ops {
+		frame = append(frame, byte(0), byte(0), byte(0), byte(len(op)))
+		frame = append(frame, op...)
+	}
+	if got := mu.BatchOpCount(frame); got != len(ops) {
+		t.Fatalf("BatchOpCount = %d, want %d", got, len(ops))
+	}
+	it := mu.NewBatchIter(frame)
+	for i, want := range ops {
+		if !it.Next() {
+			t.Fatalf("iterator ended at op %d", i)
+		}
+		if !bytes.Equal(it.Op(), want) {
+			t.Fatalf("op %d = %q, want %q", i, it.Op(), want)
+		}
+	}
+	if it.Next() {
+		t.Fatal("iterator yielded a phantom op")
+	}
+	// A truncated frame terminates cleanly instead of panicking.
+	if n := mu.BatchOpCount(frame[:len(frame)-1]); n != len(ops)-1 {
+		t.Fatalf("truncated frame yielded %d ops, want %d", n, len(ops)-1)
+	}
+}
+
+func TestBatchingCoalescesUnderSaturation(t *testing.T) {
+	// A pipeline of 2 with 64 ops issued at once must coalesce: far
+	// fewer log entries than ops, every op committed exactly once, in
+	// issue order.
+	c := newCluster(t, 3, withBatching(2, 16))
+	leader := c.settle(t, 10*sim.Millisecond)
+	base := leader.LastIndex()
+	const ops = 64
+	committed := 0
+	for i := 0; i < ops; i++ {
+		i := i
+		payload := fmt.Sprintf("op-%03d", i)
+		if err := leader.Propose([]byte(payload), func(err error) {
+			if err != nil {
+				t.Fatalf("op %d failed: %v", i, err)
+			}
+			if committed != i {
+				t.Fatalf("op %d completed out of order (after %d completions)", i, committed)
+			}
+			committed++
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.k.RunFor(5 * sim.Millisecond)
+	if committed != ops {
+		t.Fatalf("committed %d of %d", committed, ops)
+	}
+	entries := leader.LastIndex() - base
+	if entries >= ops {
+		t.Fatalf("no coalescing: %d entries for %d ops", entries, ops)
+	}
+	if leader.Stats.Committed < ops {
+		t.Fatalf("Stats.Committed = %d, want ≥ %d (counts client ops)", leader.Stats.Committed, ops)
+	}
+}
+
+func TestBatchedOpsApplyIndividuallyInOrder(t *testing.T) {
+	// The mu-level OnApply sees whole batch entries; walking them with
+	// BatchIter must reconstruct the exact op sequence on every node.
+	c := newCluster(t, 3, withBatching(2, 8))
+	// newCluster records string(e.Data) per OnApply; override with a
+	// batch-aware recorder.
+	applied := make([][]string, len(c.nodes))
+	for i, n := range c.nodes {
+		i := i
+		n.OnApply = func(e mu.Entry) {
+			if e.IsBatch() {
+				it := mu.NewBatchIter(e.Data)
+				for it.Next() {
+					applied[i] = append(applied[i], string(it.Op()))
+				}
+				return
+			}
+			applied[i] = append(applied[i], string(e.Data))
+		}
+	}
+	leader := c.settle(t, 10*sim.Millisecond)
+	const ops = 40
+	done := 0
+	for i := 0; i < ops; i++ {
+		if err := leader.Propose([]byte(fmt.Sprintf("k%02d", i)), func(err error) {
+			if err == nil {
+				done++
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.k.RunFor(10 * sim.Millisecond)
+	if done != ops {
+		t.Fatalf("committed %d of %d", done, ops)
+	}
+	for node, log := range applied {
+		if len(log) != ops {
+			t.Fatalf("node %d applied %d ops, want %d", node, len(log), ops)
+		}
+		for i, v := range log {
+			if want := fmt.Sprintf("k%02d", i); v != want {
+				t.Fatalf("node %d op %d = %q, want %q", node, i, v, want)
+			}
+		}
+	}
+}
+
+func TestBatchAgeBoundFlushes(t *testing.T) {
+	// One op stuck behind a full pipeline must not wait forever: the
+	// age bound flushes it even though the size bound is far away.
+	c := newCluster(t, 3, func(cfg *mu.Config) {
+		cfg.MaxInflight = 1
+		cfg.BatchMaxOps = 1024
+		cfg.BatchMaxDelay = 20 * sim.Microsecond
+	})
+	leader := c.settle(t, 10*sim.Millisecond)
+	committed := 0
+	for i := 0; i < 3; i++ {
+		if err := leader.Propose([]byte{byte(i)}, func(err error) {
+			if err == nil {
+				committed++
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.k.RunFor(5 * sim.Millisecond)
+	if committed != 3 {
+		t.Fatalf("committed %d of 3", committed)
+	}
+}
+
+func TestBatchQueueFailsOnStepDown(t *testing.T) {
+	// Queued-but-unflushed ops must fail (not vanish) when the leader
+	// is deposed.
+	c := newCluster(t, 3, func(cfg *mu.Config) {
+		cfg.MaxInflight = 1
+		cfg.BatchMaxOps = 1024
+		cfg.BatchMaxDelay = 50 * sim.Millisecond // effectively never
+	})
+	leader := c.settle(t, 10*sim.Millisecond)
+	var errs []error
+	for i := 0; i < 8; i++ {
+		if err := leader.Propose([]byte{byte(i)}, func(err error) {
+			errs = append(errs, err)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash the replica majority before any ack can arrive: the
+	// in-flight op stalls, the queue can never flush, and the leader
+	// steps down with ErrLostQuorum — which must resolve every queued
+	// op with an error rather than dropping it.
+	c.nodes[1].Crash()
+	c.nodes[2].Crash()
+	c.k.RunFor(30 * sim.Millisecond)
+	if len(errs) != 8 {
+		t.Fatalf("only %d of 8 ops resolved after step-down", len(errs))
+	}
+	for i, err := range errs {
+		if !errors.Is(err, mu.ErrLostQuorum) && !errors.Is(err, mu.ErrLostLeadership) {
+			t.Fatalf("op %d resolved with %v, want a protocol error", i, err)
+		}
+	}
+}

@@ -53,6 +53,28 @@ type Config struct {
 	// further than this are excluded (snapshot transfer is out of scope,
 	// as it is in the paper's evaluation).
 	CatchUpWindow int
+
+	// MaxInflight caps the log entries the leader keeps in flight before
+	// the adaptive batcher starts coalescing proposals (see batch.go).
+	// Below the cap, proposals take the classic one-op-one-entry path
+	// unchanged. Zero means defaultMaxInflight.
+	MaxInflight int
+	// BatchMaxOps caps the operations coalesced into one FlagBatch
+	// entry; reaching it flushes immediately. Values ≤ 1 disable
+	// batching entirely — the DefaultConfig choice, keeping classic
+	// one-op-one-entry semantics; the cluster facade opts in.
+	BatchMaxOps int
+	// BatchMaxBytes caps the framed payload size of one batch entry;
+	// reaching it flushes immediately. Zero means defaultBatchMaxBytes.
+	BatchMaxBytes int
+	// BatchMaxDelay bounds how long a queued operation may wait for
+	// more company before the batcher flushes anyway.
+	BatchMaxDelay sim.Time
+
+	// MetricsLabel, when non-empty, additionally binds per-group
+	// counters under "mu.<label>." (sharded clusters label each group
+	// "shard<N>") next to the shared "mu.*" series.
+	MetricsLabel string
 }
 
 // DefaultConfig returns the calibrated testbed configuration.
@@ -71,6 +93,10 @@ func DefaultConfig() Config {
 		RouteFailoverTimeout:    1500 * sim.Microsecond,
 		RouteReconvergenceDelay: 55 * sim.Millisecond,
 		CatchUpWindow:           4096,
+		MaxInflight:             defaultMaxInflight,
+		BatchMaxOps:             1, // batching off; Cluster turns it on
+		BatchMaxBytes:           defaultBatchMaxBytes,
+		BatchMaxDelay:           10 * sim.Microsecond,
 	}
 }
 

@@ -336,11 +336,20 @@ func (n *Node) stepDown(cause error) {
 	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
 	for _, idx := range idxs {
 		p := flushed[idx]
-		if p.done != nil && !p.committed {
-			p.done(cause)
+		if !p.committed {
+			if p.done != nil {
+				p.done(cause)
+			}
+			for i := range p.dones {
+				if d := p.dones[i]; d != nil {
+					d(cause)
+				}
+			}
 		}
 		n.putProposal(p)
 	}
+	// Operations still queued behind the flushed proposals fail too.
+	n.failBatchQ(cause)
 	// Drop the uncommitted suffix, then resume consuming as a replica
 	// from the (rewound) ring position: the next leader's writes land
 	// right after the committed prefix this machine kept.
@@ -355,11 +364,22 @@ func (n *Node) stepDown(cause error) {
 // Propose replicates a client value. done fires with nil once the value
 // is decided (f replica acknowledgments), or with an error if the value
 // must be retried on the new leader.
+//
+// While the RDMA pipeline has a free slot and nothing is queued, the
+// value becomes its own log entry immediately — the classic path.
+// Under saturation the adaptive batcher queues it and later coalesces
+// the queue into one FlagBatch entry (see batch.go); the value bytes
+// are copied either way, so callers may reuse their buffers.
 func (n *Node) Propose(data []byte, done func(error)) error {
 	if n.role != RoleLeader {
 		return ErrNotLeader
 	}
-	n.proposeEntry(data, 0, done)
+	if !n.batchingEnabled() || (len(n.batchQ) == 0 && len(n.proposals) < n.maxInflight()) {
+		n.mBatchOps.Observe(1)
+		n.proposeEntry(data, 0, done)
+		return nil
+	}
+	n.enqueueBatch(data, done)
 	return nil
 }
 
@@ -375,6 +395,7 @@ func (n *Node) proposeEntry(data []byte, flags uint8, done func(error)) {
 	off, markOff := n.appendLocal(&e)
 	n.Stats.Proposed++
 	n.mProposed.Inc()
+	n.mGroupProposed.Inc()
 	p := n.getProposal()
 	p.index = e.Index
 	p.bytes = n.recent[e.Index].bytes
@@ -552,18 +573,30 @@ func (n *Node) drainCommits() {
 		}
 		n.commitIndex = p.index
 		delete(n.proposals, p.index)
-		n.Stats.Committed++
-		n.mCommitted.Inc()
+		ops := uint64(1)
+		if len(p.dones) > 0 {
+			ops = uint64(len(p.dones))
+		}
+		n.Stats.Committed += ops
+		n.mCommitted.Add(ops)
+		n.mGroupCommitted.Add(ops)
 		n.mCommitLatNs.Observe(int64(n.k.Now() - p.proposedAt))
 		n.applyUpTo(n.commitIndex)
 		if p.done != nil {
 			p.done(nil)
 		}
-		// Recycle after the completion callback: it may propose again
+		for i := range p.dones {
+			if d := p.dones[i]; d != nil {
+				d(nil)
+			}
+		}
+		// Recycle after the completion callbacks: they may propose again
 		// reentrantly, and must not be handed this very object mid-use.
 		n.putProposal(p)
 	}
 	n.publishState()
+	// Commits freed pipeline slots; give queued proposals their ride.
+	n.maybeFlushBatch()
 }
 
 // entryData re-extracts the payload from an encoded entry.

@@ -1,16 +1,3 @@
-// Package mu implements the decision plane P4CE adopts unchanged from
-// Mu (Aguilera et al., OSDI '20): every machine keeps a log in RDMA-
-// registered memory; the machine with the lowest identifier among the
-// live ones is the leader; liveness is established through heartbeat
-// counters that every machine reads over RDMA; replicas grant log-write
-// permission exclusively to the machine they believe is the leader,
-// which fences deposed leaders at the NIC level; and a value is decided
-// once the NICs of f replicas have acknowledged the leader's write.
-//
-// The replication *transport* — how the leader's write physically
-// reaches the replicas — is pluggable: package mu provides the direct
-// per-replica transport (Mu proper), and package core provides the
-// switch-accelerated transport (P4CE).
 package mu
 
 import (
@@ -23,6 +10,11 @@ import (
 const (
 	// FlagNoop marks commit-propagation entries that carry no client data.
 	FlagNoop uint8 = 1 << iota
+	// FlagBatch marks entries whose Data is a concatenation of framed
+	// client operations (see batch.go): the leader's adaptive batcher
+	// coalesced several queued proposals into one log entry. Consumers
+	// walk the frame with BatchIter and apply each operation in order.
+	FlagBatch
 )
 
 // Entry is one decided (or proposed) log record.
@@ -36,6 +28,10 @@ type Entry struct {
 
 // IsNoop reports whether the entry is a commit bump.
 func (e *Entry) IsNoop() bool { return e.Flags&FlagNoop != 0 }
+
+// IsBatch reports whether the entry's Data frames several client
+// operations (walk them with BatchIter).
+func (e *Entry) IsBatch() bool { return e.Flags&FlagBatch != 0 }
 
 const (
 	entryHeaderBytes  = 4 + 4 + 8 + 8 + 1 // len, term, index, commit, flags

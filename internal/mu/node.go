@@ -111,16 +111,19 @@ type recentEntry struct {
 // contexts bound to an earlier incarnation observe a mismatch and stay
 // inert.
 type proposal struct {
-	index      uint64
-	bytes      []byte
-	off        int
-	markOff    int // ≥0 when a wrap marker precedes the entry
-	needed     int
-	got        int
-	gen        int // incarnation (bumped on every dispatch and recycle)
-	committed  bool
-	noop       bool
-	done       func(error)
+	index     uint64
+	bytes     []byte
+	off       int
+	markOff   int // ≥0 when a wrap marker precedes the entry
+	needed    int
+	got       int
+	gen       int // incarnation (bumped on every dispatch and recycle)
+	committed bool
+	noop      bool
+	done      func(error)
+	// dones fans commit (or failure) out to every operation of a
+	// FlagBatch entry, in queue order. Empty for plain entries.
+	dones      []func(error)
 	proposedAt sim.Time
 }
 
@@ -199,6 +202,12 @@ type Node struct {
 	firstOwnIdx uint64 // first index proposed in this leadership
 	takeoverSeq int    // invalidates stale takeover timers
 
+	// Adaptive batcher state (see batch.go).
+	batchQ     []batchedOp
+	batchBytes int // framed payload size of the queue
+	batchSeq   int // invalidates armed age-flush timers
+	batchArmed bool
+
 	// Hot-path free lists and the callbacks bound once for them (see
 	// dispatch / postStep / ackStep).
 	propFree []*proposal
@@ -246,6 +255,10 @@ type Node struct {
 	mCommitLatNs   *metrics.Histogram // propose → commit, leader-side
 	mLeaderChanges *metrics.Counter
 	mFallbacks     *metrics.Counter
+	mBatchOps      *metrics.Histogram // client ops per flushed entry
+	// Per-group series (bound only when cfg.MetricsLabel is set).
+	mGroupProposed  *metrics.Counter
+	mGroupCommitted *metrics.Counter
 }
 
 // NodeStats counts protocol events.
@@ -290,6 +303,12 @@ func NewNode(cfg Config, self Peer, peers []Peer, nic *rnic.NIC) *Node {
 	n.mCommitLatNs = m.Histogram("mu.commit_latency_ns")
 	n.mLeaderChanges = m.Counter("mu.leader_changes")
 	n.mFallbacks = m.Counter("mu.fallbacks")
+	n.mBatchOps = m.Histogram("mu.batch_ops_per_entry")
+	if cfg.MetricsLabel != "" {
+		scope := m.Scope("mu." + cfg.MetricsLabel)
+		n.mGroupProposed = scope.Counter("proposed")
+		n.mGroupCommitted = scope.Counter("committed")
+	}
 	ctrl := make([]byte, controlRegionBytes)
 	n.controlMR = nic.RegisterMR(cfg.ControlVA, ctrl, rnic.AccessRemoteRead)
 	n.logBuf = make([]byte, cfg.LogSize)
@@ -347,6 +366,10 @@ func (n *Node) putProposal(p *proposal) {
 	p.gen++
 	p.bytes = nil
 	p.done = nil
+	for i := range p.dones {
+		p.dones[i] = nil
+	}
+	p.dones = p.dones[:0]
 	n.propFree = append(n.propFree, p)
 }
 

@@ -181,6 +181,10 @@ func (cp *ControlPlane) handleLeaderRequest(msg *roce.CMMessage, from simnet.Add
 	for i, rip := range rs.Replicas {
 		port, ok := cp.sw.L3Lookup(rip)
 		if !ok {
+			// The group was never installed, but its registers were already
+			// allocated above; free them or the leader's next attempt under
+			// a fresh group id would still leak this set.
+			cp.freeGroupRegisters(g)
 			cp.rejectLeader(from, msg.LocalCommID, 3)
 			return
 		}
@@ -265,6 +269,9 @@ func (cp *ControlPlane) handleReplicaReject(msg *roce.CMMessage) {
 		delete(cp.replicaWait, commID)
 	}
 	delete(cp.setups, setupKey{leader: s.g.leaderIP, commID: s.leaderCommID})
+	if !s.installed {
+		cp.freeGroupRegisters(s.g)
+	}
 	cp.rejectLeader(s.g.leaderIP, s.leaderCommID, msg.RejectReason)
 }
 
@@ -280,6 +287,14 @@ func (cp *ControlPlane) finishSetup(s *setup) {
 				minBuf = g.replicas[i].BufLen
 			}
 		}
+		// A repeated handshake (leader re-probing through churn) can
+		// finish a second setup for a leader that already has a group.
+		// The old group must stay programmed: the leader may still be
+		// driving the QPN from whichever reply it accepted first, and
+		// tearing the old group down here would blackhole its writes as
+		// unknown-QP drops. Group identifiers are never reused, so the
+		// register names cannot collide; the superseded group's state is
+		// reclaimed when the leader's group is explicitly destroyed.
 		cp.programGroup(g)
 		s.installed = true
 		cp.groups[g.leaderIP] = g
@@ -396,13 +411,28 @@ func (cp *ControlPlane) DestroyGroup(leader simnet.Addr, done func(error)) {
 		return
 	}
 	cp.k.Schedule(cp.cfg.ReconfigDelay, func() {
+		// Guard against the leader having re-established a fresh group
+		// while this teardown was queued: only remove what we looked up.
+		if cur, ok := cp.groups[leader]; ok && cur == g {
+			delete(cp.groups, leader)
+		}
 		cp.dp.removeGroup(g)
 		cp.sw.DeleteMulticastGroup(g.id)
-		delete(cp.groups, leader)
+		cp.freeGroupRegisters(g)
 		if done != nil {
 			done(nil)
 		}
 	})
+}
+
+// freeGroupRegisters releases a group's stateful register arrays so a
+// later group under the same identifier can allocate them again. Every
+// teardown path (destroy, setup reject, replacement) funnels here —
+// register isolation across group reboots depends on it.
+func (cp *ControlPlane) freeGroupRegisters(g *group) {
+	cp.sw.FreeRegister(fmt.Sprintf("p4ce/g%d/numRecv", g.id))
+	cp.sw.FreeRegister(fmt.Sprintf("p4ce/g%d/slotPSN", g.id))
+	cp.sw.FreeRegister(fmt.Sprintf("p4ce/g%d/credits", g.id))
 }
 
 // GroupInfo describes an installed group (diagnostics and tests).

@@ -1,14 +1,3 @@
-// Package p4ce implements the paper's contribution: transparent RDMA
-// group communication inside a programmable switch. The data plane
-// multicasts the leader's RDMA writes to every replica — rewriting the
-// IP, UDP and InfiniBand headers of each copy so every endpoint keeps
-// the illusion of a point-to-point connection — and aggregates the
-// replicas' acknowledgments, forwarding a single ACK to the leader once
-// f positive acknowledgments have arrived (scatter §IV-B, gather §IV-C).
-// The control plane captures ConnectRequests addressed to the switch,
-// fans the handshake out to the replicas named in the request's private
-// data, and programs the data-plane tables and the multicast engine
-// (§IV-A).
 package p4ce
 
 import (

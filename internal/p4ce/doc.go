@@ -1,0 +1,27 @@
+// Package p4ce implements the paper's contribution: transparent RDMA
+// group communication inside a programmable switch. The data plane
+// multicasts the leader's RDMA writes to every replica — rewriting the
+// IP, UDP and InfiniBand headers of each copy so every endpoint keeps
+// the illusion of a point-to-point connection — and aggregates the
+// replicas' acknowledgments, forwarding a single ACK to the leader once
+// f positive acknowledgments have arrived (scatter §IV-B, gather
+// §IV-C). The control plane captures ConnectRequests addressed to the
+// switch, fans the handshake out to the replicas named in the request's
+// private data, and programs the data-plane tables and the multicast
+// engine (§IV-A).
+//
+// Both planes are tofino programs/agents: the data plane runs in the
+// switch pipeline under the roce payload-aliasing rule, and the control
+// plane is the switch-CPU agent driving cm handshakes. Package core
+// mounts the leader side of the illusion.
+//
+// # Group state ownership
+//
+// Each installed group owns a multicast group id and three stateful
+// register arrays (numRecv, slotPSN, credits) named under "p4ce/g<id>".
+// Group ids are allocated monotonically and never reused, so register
+// names cannot collide across a leader's re-handshakes; a group's
+// registers are freed when the group is explicitly destroyed or its
+// setup is rejected. Multiple shards (independent consensus groups)
+// coexist on the one switch, each under its own group id.
+package p4ce

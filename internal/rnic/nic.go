@@ -1,14 +1,3 @@
-// Package rnic simulates an RDMA-capable network card speaking RoCE v2
-// with reliable-connection semantics: queue pairs, registered memory
-// regions protected by R_keys and per-writer permissions, one-sided
-// READ/WRITE executed entirely inside the NIC (no host CPU involvement),
-// acknowledgment generation with credit advertisement, NAKs for access
-// and sequence errors, and go-back-N retransmission with the discrete
-// 4.096×2^x µs timeout values real cards use.
-//
-// The protocols above (Mu and the P4CE engine) only ever interact with
-// this verbs-like surface, so their code paths are the same ones that
-// would run against hardware.
 package rnic
 
 import (

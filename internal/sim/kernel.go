@@ -1,21 +1,3 @@
-// Package sim provides the deterministic discrete-event simulation kernel
-// that every other subsystem runs on: a virtual clock, an event queue,
-// cancellable timers, a seeded random source, and a serializing CPU
-// resource used to model host processing costs.
-//
-// All state in a Kernel is confined to a single goroutine: callers schedule
-// closures and then drive the kernel with Run, RunUntil or Step. Separate
-// Kernel instances are fully independent, so tests and benchmarks may run
-// many simulations in parallel.
-//
-// The kernel is built for a zero-allocation steady state: event records
-// are recycled through a free list (so schedule/cancel churn such as a
-// NIC re-arming its retransmission timer on every ACK does not grow the
-// heap), ScheduleArg/AtArg let hot paths run a persistent callback with a
-// per-call argument instead of allocating a closure, and a shared byte
-// Buffers pool recycles wire frames. None of this changes event order:
-// events still execute strictly by (time, seq) with FIFO tie-breaking,
-// so seeded runs replay identically.
 package sim
 
 import (

@@ -1,0 +1,22 @@
+// Package simnet provides the simulated network substrate: full-duplex
+// point-to-point links with finite bandwidth, propagation delay and
+// per-frame physical-layer overhead, connecting ports that belong to
+// simulated devices (host NICs or switch ports). It sits directly on
+// the sim kernel; the devices in rnic and tofino own its ports, and
+// chaos manipulates its links to inject faults.
+//
+// A frame handed to Port.Send is serialized onto the link at the link's
+// bandwidth (frames queue FIFO behind one another), then propagates for
+// the configured delay, and is finally delivered to the peer port's
+// handler. Links can be cut and repaired to model crashes, and can drop
+// frames probabilistically to model a lossy fabric.
+//
+// # Frame ownership
+//
+// Frames are pooled []byte slices from the kernel's Buffers pool. The
+// sender relinquishes the frame at Send; the link delivers it to the
+// receiving port's handler, and the frame is recycled as soon as that
+// handler returns. Receivers that keep bytes past their handler copy
+// them first — the same lifetime rule package roce spells out for
+// decoded payloads.
+package simnet

@@ -1,13 +1,3 @@
-// Package simnet provides the simulated network substrate: full-duplex
-// point-to-point links with finite bandwidth, propagation delay and
-// per-frame physical-layer overhead, connecting ports that belong to
-// simulated devices (host NICs or switch ports).
-//
-// A frame handed to Port.Send is serialized onto the link at the link's
-// bandwidth (frames queue FIFO behind one another), then propagates for
-// the configured delay, and is finally delivered to the peer port's
-// handler. Links can be cut and repaired to model crashes, and can drop
-// frames probabilistically to model a lossy fabric.
 package simnet
 
 import (

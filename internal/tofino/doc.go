@@ -1,0 +1,27 @@
+// Package tofino models an Intel Tofino-class programmable switch with
+// a portable-switch-architecture pipeline: per-port ingress and egress
+// parsers with finite packets-per-second capacity, a programmable
+// ingress that picks a verdict (forward / multicast / punt-to-CPU /
+// drop), a hardware multicast replication engine sitting between the
+// gresses, a programmable egress that rewrites the per-copy packets,
+// and stateful registers whose arithmetic-logic units carry the real
+// hardware's restrictions (no variable-to-variable comparisons; minima
+// are computed with the subtract-underflow trick the paper describes in
+// §IV-D).
+//
+// Data-plane programs implement the Program interface; the baseline
+// program is plain L3 forwarding, and package p4ce provides the paper's
+// replication/aggregation program. The switch owns one simnet port per
+// cabled host and hands each program decoded roce packets under the
+// usual aliasing rule — a stage that rewrites payload bytes must call
+// OwnPayload first, because multicast copies share one buffer.
+//
+// # Register allocation
+//
+// Stateful registers are a named, finite resource: AllocRegister panics
+// on a duplicate name (as the compiler would refuse to fit two arrays
+// in one slot), and FreeRegister returns a name to the pool. The
+// control plane that programs a group owns its registers and frees them
+// when the group is destroyed; a switch Crash/Restore cycle wipes them
+// all, modelling the ASIC losing state.
+package tofino

@@ -49,6 +49,16 @@ func (sw *Switch) AllocRegister(name string, size int) *Register {
 	return r
 }
 
+// FreeRegister releases a register array so its name can be reused by a
+// later allocation. The P4CE control plane frees a group's registers
+// when the group is torn down (leader deposed, setup rejected) — without
+// this, rebooting a group under the same identifier would panic on the
+// duplicate-name check in AllocRegister. Freeing an unknown name is a
+// no-op.
+func (sw *Switch) FreeRegister(name string) {
+	delete(sw.regs, name)
+}
+
 // Register looks up a previously allocated register array.
 func (sw *Switch) Register(name string) (*Register, bool) {
 	r, ok := sw.regs[name]

@@ -1,17 +1,3 @@
-// Package tofino models an Intel Tofino-class programmable switch with a
-// portable-switch-architecture pipeline: per-port ingress and egress
-// parsers with finite packets-per-second capacity, a programmable
-// ingress that picks a verdict (forward / multicast / punt-to-CPU /
-// drop), a hardware multicast replication engine sitting between the
-// gresses, a programmable egress that rewrites the per-copy packets, and
-// stateful registers whose arithmetic-logic units carry the real
-// hardware's restrictions (no variable-to-variable comparisons; minima
-// are computed with the subtract-underflow trick the paper describes in
-// §IV-D).
-//
-// Data-plane programs implement the Program interface; the baseline
-// program is plain L3 forwarding, and package p4ce provides the paper's
-// replication/aggregation program.
 package tofino
 
 import (

@@ -11,11 +11,16 @@ import (
 // Node is one machine of a simulated cluster.
 type Node struct {
 	cluster *Cluster
+	shard   int
 	mu      *mu.Node
 	engine  *core.Engine
 	port    *simnet.Port
 	backup  *simnet.Port
 }
+
+// Shard returns the index of the consensus group this machine belongs
+// to (always 0 in single-group clusters).
+func (n *Node) Shard() int { return n.shard }
 
 // ID returns the machine identifier (the live machine with the lowest
 // identifier leads).
@@ -58,9 +63,20 @@ func (n *Node) Propose(data []byte, done func(error)) error {
 }
 
 // OnApply installs the state-machine callback, invoked in log order for
-// every committed client value.
+// every committed client value. Batched entries fan out: each client
+// operation of the batch is delivered separately, in proposal order,
+// all under the batch entry's log index.
 func (n *Node) OnApply(fn func(index uint64, data []byte)) {
-	n.mu.OnApply = func(e mu.Entry) { fn(e.Index, e.Data) }
+	n.mu.OnApply = func(e mu.Entry) {
+		if e.IsBatch() {
+			it := mu.NewBatchIter(e.Data)
+			for it.Next() {
+				fn(e.Index, it.Op())
+			}
+			return
+		}
+		fn(e.Index, e.Data)
+	}
 }
 
 // OnLeaderChange installs a view-change observer.

@@ -63,6 +63,13 @@ type Options struct {
 	// Seed drives the deterministic simulation; identical options and
 	// seed replay identically.
 	Seed int64
+	// Shards installs N independent consensus groups over the one
+	// simulated switch: each shard gets its own machines (Nodes each, in
+	// the 10.0.<shard>.0/24 block), log regions, and switch multicast/
+	// gather group, all sharing the kernel and fabric. Client sessions
+	// pin to shards by key hash (see Router / NewClientForKey). Zero or
+	// one means the classic single-group cluster.
+	Shards int
 	// BackupFabric cables every host to a second, plain switch — the
 	// "alternative network route" used when the programmable switch
 	// dies (§III-A).
@@ -90,6 +97,14 @@ type Options struct {
 	// ResponderApplyDelay slows every replica's consumption of inbound
 	// messages, draining its advertised credits (credit ablations).
 	ResponderApplyDelay time.Duration
+	// BatchMaxOps caps how many client operations the leader's adaptive
+	// batcher may coalesce into one log entry once the RDMA pipeline is
+	// saturated (0 = 64; 1 disables batching). Below saturation every
+	// operation still becomes its own entry.
+	BatchMaxOps int
+	// BatchMaxDelay bounds how long a queued operation waits for
+	// company before the batcher flushes anyway (0 = 10µs).
+	BatchMaxDelay time.Duration
 	// Tune hooks, applied last, for experiments that need to reach
 	// deeper than the exported knobs. Nil-safe.
 	TuneNode   func(i int, cfg *mu.Config)
@@ -104,6 +119,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 42
+	}
+	if o.Shards == 0 {
+		o.Shards = 1
 	}
 	return o
 }

@@ -17,6 +17,14 @@ go test ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== examples =="
+# Every example must build; the two that exercise the public surface
+# end to end (single-group and sharded) must also run clean. Each
+# exits nonzero if its own invariants fail.
+go build ./examples/...
+go run ./examples/quickstart >/dev/null
+go run ./examples/sharded >/dev/null
+
 echo "== allocs/op gate =="
 # The zero-allocation contract: one committed op on the steady-state
 # P4CE path performs no heap allocations, metrics on or off.

@@ -1,0 +1,39 @@
+package p4ce
+
+// Shard is one independent consensus group of a sharded cluster: its
+// own machines, logs and leader, replicated through its own multicast/
+// gather group on the shared switch. Shards fail and recover
+// independently — a leader outage or switch-group loss in one shard
+// never stalls the others — while sharing the simulation kernel, the
+// fabric, and (in P4CE mode) the programmable switch's data plane.
+type Shard struct {
+	cluster *Cluster
+	index   int
+	nodes   []*Node
+}
+
+// Index returns the shard's position in the cluster (0-based).
+func (s *Shard) Index() int { return s.index }
+
+// Nodes returns the shard's machines in identifier order. Machine
+// identifiers are shard-local: every shard numbers its machines
+// 0..Nodes-1, and the lowest live identifier leads.
+func (s *Shard) Nodes() []*Node { return s.nodes }
+
+// Node returns the shard's machine i.
+func (s *Shard) Node(i int) *Node { return s.nodes[i] }
+
+// Leader returns the shard's current leader, or nil. Crashed machines
+// are skipped; among live claimants the highest term wins.
+func (s *Shard) Leader() *Node {
+	var best *Node
+	for _, n := range s.nodes {
+		if n.mu.Crashed() || !n.mu.IsLeader() {
+			continue
+		}
+		if best == nil || n.mu.Term() > best.mu.Term() {
+			best = n
+		}
+	}
+	return best
+}

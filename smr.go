@@ -121,6 +121,68 @@ func DecodeKVCommand(cmd []byte) (op uint8, key, value string, err error) {
 	return op, key, value, nil
 }
 
+// ---- Key-hash shard routing ----
+
+// ShardForKey maps a key to the consensus group that owns it (FNV-1a
+// over the key bytes, modulo the shard count). The mapping is a pure
+// function of the key and the shard count, so every client of a given
+// cluster shape computes the same placement.
+func (c *Cluster) ShardForKey(key string) int {
+	if len(c.shards) <= 1 {
+		return 0
+	}
+	// Inline FNV-1a (64-bit): hash/fnv would allocate a hasher per call.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(len(c.shards)))
+}
+
+// Router fans KV traffic out over every shard: it keeps one pinned
+// client session per shard and routes each command to the shard owning
+// its key. Cross-key ordering is only guaranteed within a shard —
+// exactly the contract a sharded store offers.
+type Router struct {
+	cluster *Cluster
+	clients []*Client
+}
+
+// NewRouter opens one client session per shard.
+func (c *Cluster) NewRouter() *Router {
+	r := &Router{cluster: c}
+	for s := 0; s < c.ShardCount(); s++ {
+		r.clients = append(r.clients, c.NewClientForShard(s))
+	}
+	return r
+}
+
+// Client returns the router's session for shard s (tuning RetryDelay,
+// reading stats).
+func (r *Router) Client(s int) *Client { return r.clients[s] }
+
+// Submit routes an arbitrary payload by key affinity: the command is
+// submitted, with exactly-once semantics, on the shard owning key.
+func (r *Router) Submit(key string, payload []byte, done func(error)) {
+	r.clients[r.cluster.ShardForKey(key)].Submit(payload, done)
+}
+
+// SubmitKV routes a replicated KV write to the shard owning its key.
+func (r *Router) SubmitKV(key, value string, done func(error)) {
+	r.Submit(key, SetCommand(key, value), done)
+}
+
+// SubmitDelete routes a replicated KV delete to the shard owning its
+// key.
+func (r *Router) SubmitDelete(key string, done func(error)) {
+	r.Submit(key, DeleteCommand(key), done)
+}
+
 // Set proposes a key-value write on the leader and invokes done when it
 // is decided.
 func (n *Node) Set(key, value string, done func(error)) error {
