@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race vet check chaos bench bench-smoke bench-micro
+.PHONY: build test race vet check chaos bench bench-smoke bench-micro trace-demo
 
 build:
 	go build ./...
@@ -36,6 +36,13 @@ bench:
 bench-micro:
 	go test ./internal/sim -run xxx -bench . -benchmem
 	go test ./internal/bench -run xxx -bench 'BenchmarkP4CE|BenchmarkMu' -benchmem
+
+# One-shot causal-trace demo: run the simulator with tracing on, print
+# the per-stage latency decomposition, and write a Perfetto trace to
+# open in https://ui.perfetto.dev.
+trace-demo:
+	go run ./cmd/p4ce-sim -rate 10000 -duration 50ms -trace-out trace.json
+	go run ./cmd/p4ce-bench -experiment breakdown -ops 2000
 
 # Run every named chaos scenario through the simulator.
 chaos:

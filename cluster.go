@@ -10,6 +10,7 @@ import (
 	"p4ce/internal/core"
 	"p4ce/internal/metrics"
 	"p4ce/internal/mu"
+	"p4ce/internal/otrace"
 	swp4ce "p4ce/internal/p4ce"
 	"p4ce/internal/rnic"
 	"p4ce/internal/sim"
@@ -47,6 +48,11 @@ func NewCluster(opts Options) *Cluster {
 		// Attach before any device is constructed: components resolve
 		// their instrument handles exactly once, at build time.
 		k.SetMetrics(metrics.New())
+	}
+	if opts.EnableTracing {
+		// Same rule as metrics: the tracer must exist before NICs and
+		// nodes are built, because they bind their trace components once.
+		k.SetTracer(otrace.New(func() int64 { return int64(k.Now()) }))
 	}
 	c := &Cluster{opts: opts, kernel: k}
 
@@ -139,6 +145,7 @@ func (c *Cluster) buildShard(s int) {
 		if opts.PipelineDepth > 0 {
 			muCfg.MaxInflight = opts.PipelineDepth
 		}
+		muCfg.Shard = s
 		if opts.Shards > 1 {
 			muCfg.MetricsLabel = fmt.Sprintf("shard%d", s)
 		}
@@ -202,6 +209,27 @@ func (c *Cluster) EventsProcessed() uint64 { return c.kernel.Processed() }
 // was built with Options.EnableMetrics. The nil registry is safe to
 // query (empty snapshots, nil handles).
 func (c *Cluster) Metrics() *metrics.Registry { return c.kernel.Metrics() }
+
+// Tracer returns the cluster-wide causal tracer, or nil unless the
+// cluster was built with Options.EnableTracing. The nil tracer is safe
+// to query (every method no-ops).
+func (c *Cluster) Tracer() *otrace.Tracer { return c.kernel.Tracer() }
+
+// ExportTrace writes every recorded span as Chrome/Perfetto trace-event
+// JSON (open in https://ui.perfetto.dev). Same-seed runs export
+// byte-identical files. Without Options.EnableTracing it writes an
+// empty trace.
+func (c *Cluster) ExportTrace(w io.Writer) error {
+	return c.kernel.Tracer().WritePerfetto(w)
+}
+
+// DumpFlightRecorder writes a human-readable post-mortem: the in-flight
+// operations, the most recent completed operations with their per-stage
+// latency decomposition, and each component's span ring. Chaos and
+// safety harnesses call it automatically when an invariant fails.
+func (c *Cluster) DumpFlightRecorder(w io.Writer) error {
+	return c.kernel.Tracer().WriteFlight(w)
+}
 
 // Nodes returns the machines in shard-major, identifier order (for a
 // single-group cluster: simply identifier order).

@@ -10,6 +10,7 @@
 //	p4ce-bench -experiment lesson1    # ACK-drop placement ablation
 //	p4ce-bench -experiment ablations  # credit + async-reconfig ablations
 //	p4ce-bench -experiment sharded    # shard scaling + adaptive batching
+//	p4ce-bench -experiment breakdown  # per-stage latency decomposition
 //
 // -ops scales the per-point operation count (the paper averages one
 // million operations per point; the default here keeps full sweeps fast).
@@ -39,11 +40,12 @@ import (
 
 	"p4ce"
 	"p4ce/internal/bench"
+	"p4ce/internal/otrace"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id: all, fig5, maxcps, fig6, fig7, tab4, lesson1, ablations, sharded")
+		experiment = flag.String("experiment", "all", "experiment id: all, fig5, maxcps, fig6, fig7, tab4, lesson1, ablations, sharded, breakdown")
 		ops        = flag.Int("ops", 4000, "operations per measured point")
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		csvDir     = flag.String("csv", "", "also write one CSV per experiment into this directory (for plotting)")
@@ -154,6 +156,7 @@ func run(experiment string, ops int, seed int64) error {
 		{"lesson1", lesson1},
 		{"ablations", ablations},
 		{"sharded", sharded},
+		{"breakdown", breakdown},
 	} {
 		if all || experiment == exp.id {
 			didAny = true
@@ -430,6 +433,60 @@ func sharded(ops int, seed int64) error {
 			p.BatchMaxOps, p.ThroughputMops, p.MeanLat, p.P99Lat, p.MeanOpsPerEntry)
 	}
 	w.Flush()
+	return nil
+}
+
+func breakdown(ops int, seed int64) error {
+	header("Latency decomposition — where a 64 B operation's time goes")
+	cfg := bench.DefaultBreakdownConfig()
+	cfg.Ops = ops
+	cfg.Seed = seed
+	points, err := bench.RunBreakdown(cfg)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, p := range points {
+		for _, q := range []struct {
+			name string
+			op   bench.BreakdownOp
+		}{{"p50", p.P50}, {"p99", p.P99}} {
+			row := []string{p.Mode.String(), strconv.Itoa(p.Replicas), q.name,
+				strconv.FormatInt(q.op.E2ENs, 10)}
+			for _, ns := range q.op.StageNs {
+				row = append(row, strconv.FormatInt(ns, 10))
+			}
+			rows = append(rows, row)
+		}
+	}
+	csvHeader := []string{"system", "replicas", "quantile", "e2e_ns"}
+	for _, s := range otrace.StageNames {
+		csvHeader = append(csvHeader, s+"_ns")
+	}
+	writeCSV("breakdown_stages.csv", csvHeader, rows)
+	for _, quant := range []string{"p50", "p99"} {
+		fmt.Printf("\n%s operation, per-stage nanoseconds (stages sum to e2e)\n", quant)
+		w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', 0)
+		fmt.Fprint(w, "system\treplicas\te2e")
+		for _, s := range otrace.StageNames {
+			fmt.Fprintf(w, "\t%s", s)
+		}
+		fmt.Fprintln(w)
+		for _, p := range points {
+			op := p.P50
+			if quant == "p99" {
+				op = p.P99
+			}
+			fmt.Fprintf(w, "%s\t%d\t%d", p.Mode, p.Replicas, op.E2ENs)
+			for _, ns := range op.StageNs {
+				fmt.Fprintf(w, "\t%d", ns)
+			}
+			fmt.Fprintln(w)
+		}
+		w.Flush()
+	}
+	fmt.Println("\n(ModeMu has no switch: its switch-pipeline and gather-wait stages are zero-width,")
+	fmt.Println(" with fabric and replica time folded into the adjacent stages.)")
 	return nil
 }
 

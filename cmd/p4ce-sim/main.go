@@ -16,6 +16,12 @@
 // replays the exact same fault pattern:
 //
 //	p4ce-sim -nodes 3 -chaos lossy-gather -chaos-seed 99
+//
+// The -trace-out flag enables the causal tracer and writes every
+// operation's spans (leader post, switch pipeline, replica writes,
+// gather, commit) as Chrome/Perfetto trace-event JSON:
+//
+//	p4ce-sim -nodes 3 -duration 5ms -trace-out trace.json
 package main
 
 import (
@@ -47,6 +53,7 @@ func main() {
 		chaosSc  = flag.String("chaos", "", "named fault scenario (\"list\" to enumerate)")
 		chaosSd  = flag.Int64("chaos-seed", 1, "seed for the chaos engine's fault draws")
 		doTrace  = flag.Bool("trace", false, "stream decoded packet summaries to stderr")
+		traceOut = flag.String("trace-out", "", "enable causal tracing and write Perfetto trace-event JSON here at the end")
 		metricsF = flag.Bool("metrics", false, "attach the sim-wide metrics registry and dump it as JSON at the end")
 	)
 	flag.Parse()
@@ -56,7 +63,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*nodes, *mode, *duration, *rate, *size, *seed, *backup, *async, *crash, *chaosSc, *chaosSd, *doTrace, *metricsF); err != nil {
+	if err := run(*nodes, *mode, *duration, *rate, *size, *seed, *backup, *async, *crash, *chaosSc, *chaosSd, *doTrace, *traceOut, *metricsF); err != nil {
 		fmt.Fprintln(os.Stderr, "p4ce-sim:", err)
 		os.Exit(1)
 	}
@@ -97,7 +104,7 @@ func parseCrashes(spec string) ([]crashEvent, error) {
 	return out, nil
 }
 
-func run(nodes int, modeStr string, duration time.Duration, rate float64, size int, seed int64, backup, async bool, crashSpec, chaosName string, chaosSeed int64, doTrace, withMetrics bool) error {
+func run(nodes int, modeStr string, duration time.Duration, rate float64, size int, seed int64, backup, async bool, crashSpec, chaosName string, chaosSeed int64, doTrace bool, traceOut string, withMetrics bool) error {
 	var mode p4ce.Mode
 	switch strings.ToLower(modeStr) {
 	case "p4ce":
@@ -119,6 +126,7 @@ func run(nodes int, modeStr string, duration time.Duration, rate float64, size i
 		BackupFabric:  backup,
 		AsyncReconfig: async,
 		EnableMetrics: withMetrics,
+		EnableTracing: traceOut != "",
 	})
 	var tracer *trace.Tracer
 	if doTrace {
@@ -249,6 +257,20 @@ func run(nodes int, modeStr string, duration time.Duration, rate float64, size i
 	}
 	if tracer != nil {
 		fmt.Printf("\npacket trace summary:\n%s", tracer.Summary())
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := cl.ExportTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote causal trace to %s (open in https://ui.perfetto.dev)\n", traceOut)
 	}
 	if withMetrics {
 		blob, err := json.MarshalIndent(cl.Metrics().Snapshot(), "", "  ")

@@ -1,0 +1,141 @@
+package bench
+
+// Per-stage latency decomposition (the tracing tentpole's benchmark
+// surface). A closed-loop run with causal tracing enabled yields one
+// otrace.OpRecord per committed operation; the decomposition reports,
+// for the operation sitting at each end-to-end latency quantile, that
+// operation's OWN six stage durations. Quantiles of individual stages
+// are not additive (the p99 of each stage rarely belongs to the same
+// operation), but one operation's stage durations are successive
+// boundary differences, so they sum exactly to its end-to-end latency —
+// the property the report schema validates.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"p4ce"
+	"p4ce/internal/otrace"
+)
+
+// BreakdownConfig tunes the decomposition sweep.
+type BreakdownConfig struct {
+	// Replicas lists the replica counts (cluster size minus the leader).
+	Replicas []int
+	// ItemSize is the client payload size.
+	ItemSize int
+	// Depth is the closed-loop pipeline depth. Keep it below the
+	// leader's MaxInflight so the adaptive batcher stays out of the way
+	// and every operation is its own traced entry.
+	Depth int
+	// Warmup completions are discarded; Ops completions are measured.
+	Warmup int
+	Ops    int
+	Seed   int64
+}
+
+// DefaultBreakdownConfig mirrors the paper's common operating point
+// (64 B items, 3- and 5-machine clusters).
+func DefaultBreakdownConfig() BreakdownConfig {
+	return BreakdownConfig{
+		Replicas: []int{2, 4},
+		ItemSize: 64,
+		Depth:    8,
+		Warmup:   200,
+		Ops:      2000,
+		Seed:     1,
+	}
+}
+
+// BreakdownOp is the decomposition of one operation: the six stage
+// durations (otrace.StageNames order) of the operation at a latency
+// quantile. The stages sum exactly to E2ENs.
+type BreakdownOp struct {
+	E2ENs   int64
+	StageNs [6]int64
+}
+
+// BreakdownPoint is one (mode, replicas) decomposition.
+type BreakdownPoint struct {
+	Mode     p4ce.Mode
+	Replicas int
+	ItemSize int
+	Ops      int // operations actually measured
+	P50      BreakdownOp
+	P99      BreakdownOp
+}
+
+// RunBreakdown measures the per-stage latency decomposition for both
+// modes at every configured replica count.
+func RunBreakdown(cfg BreakdownConfig) ([]BreakdownPoint, error) {
+	var out []BreakdownPoint
+	for _, mode := range []p4ce.Mode{p4ce.ModeMu, p4ce.ModeP4CE} {
+		for _, r := range cfg.Replicas {
+			pt, err := runBreakdownPoint(mode, r, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("breakdown %v/r%d: %w", mode, r, err)
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+func runBreakdownPoint(mode p4ce.Mode, replicas int, cfg BreakdownConfig) (BreakdownPoint, error) {
+	cl, leader, err := Steady(p4ce.Options{
+		Nodes:         replicas + 1,
+		Mode:          mode,
+		Seed:          cfg.Seed,
+		EnableTracing: true,
+	})
+	if err != nil {
+		return BreakdownPoint{}, err
+	}
+	// Collect every finished client operation; no-ops (view opens,
+	// commit-sync fillers) are protocol plumbing and stay out of the
+	// quantiles.
+	var recs []otrace.OpRecord
+	cl.Tracer().OnFinish(func(rec otrace.OpRecord) {
+		if !rec.Noop {
+			recs = append(recs, rec)
+		}
+	})
+	if _, err := ClosedLoop(cl, leader, cfg.ItemSize, cfg.Depth, cfg.Warmup, cfg.Ops); err != nil {
+		return BreakdownPoint{}, err
+	}
+	if len(recs) == 0 {
+		return BreakdownPoint{}, fmt.Errorf("no traced operations")
+	}
+	// The last Ops completions are the measured window (completions
+	// arrive in issue order; the prefix is warmup).
+	if len(recs) > cfg.Ops {
+		recs = recs[len(recs)-cfg.Ops:]
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].E2E() < recs[j].E2E() })
+	pick := func(pct float64) BreakdownOp {
+		// Nearest-rank: the smallest op with at least pct% of the sample
+		// at or below it.
+		idx := int(math.Ceil(pct/100*float64(len(recs)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(recs) {
+			idx = len(recs) - 1
+		}
+		r := recs[idx]
+		op := BreakdownOp{E2ENs: r.E2E()}
+		for i := range op.StageNs {
+			op.StageNs[i] = r.Stage(i)
+		}
+		return op
+	}
+	return BreakdownPoint{
+		Mode:     mode,
+		Replicas: replicas,
+		ItemSize: cfg.ItemSize,
+		Ops:      len(recs),
+		P50:      pick(50),
+		P99:      pick(99),
+	}, nil
+}

@@ -165,5 +165,26 @@ func CompareReports(base, cand *Report) []Regression {
 			out = check(out, "batch_sweep/"+key+"/p99_ns", float64(bp.P99Ns), float64(cp.P99Ns), lowerIsBetter)
 		}
 	}
+
+	// The breakdown section arrived with schema v3; against a v1/v2
+	// baseline this loop is a no-op, like the v2 sections above. Only the
+	// end-to-end quantiles gate: individual stage durations trade against
+	// each other under legitimate changes (a faster switch pipeline
+	// shifts time into gather-wait), so per-stage thresholds would flag
+	// improvements as regressions.
+	candBreakdown := make(map[string]BreakdownPointJSON)
+	for _, pt := range cand.Breakdown.Points {
+		candBreakdown[fmt.Sprintf("%s/r%d", pt.Mode, pt.Replicas)] = pt
+	}
+	for _, bp := range base.Breakdown.Points {
+		key := fmt.Sprintf("%s/r%d", bp.Mode, bp.Replicas)
+		cp, ok := candBreakdown[key]
+		if !ok {
+			out = append(out, Regression{Metric: "breakdown/" + key, Base: 1, Cand: math.NaN(), Change: 1})
+			continue
+		}
+		out = check(out, "breakdown/"+key+"/p50_e2e_ns", float64(bp.P50.E2ENs), float64(cp.P50.E2ENs), lowerIsBetter)
+		out = check(out, "breakdown/"+key+"/p99_e2e_ns", float64(bp.P99.E2ENs), float64(cp.P99.E2ENs), lowerIsBetter)
+	}
 	return out
 }

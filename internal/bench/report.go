@@ -17,8 +17,9 @@ import (
 )
 
 // SchemaVersion identifies the BENCH_p4ce.json layout. Version 2 added
-// the sharded-scaling and batch-sweep sections.
-const SchemaVersion = 2
+// the sharded-scaling and batch-sweep sections; version 3 added the
+// per-stage latency breakdown section (causal tracing).
+const SchemaVersion = 3
 
 // Report is the root of BENCH_p4ce.json.
 type Report struct {
@@ -32,6 +33,7 @@ type Report struct {
 	Ablation      AblationSection   `json:"ablation"`
 	Sharded       ShardedSection    `json:"sharded"`
 	BatchSweep    BatchSweepSection `json:"batch_sweep"`
+	Breakdown     BreakdownSection  `json:"breakdown"`
 }
 
 // GoodputSection is the Fig. 5 sweep.
@@ -183,6 +185,41 @@ type BatchSweepPointJSON struct {
 	MeanOpsPerEntry float64 `json:"mean_ops_per_entry"`
 }
 
+// BreakdownSection is the per-stage latency decomposition (schema v3).
+type BreakdownSection struct {
+	Seed   int64                `json:"seed"`
+	Config BreakdownConfigJSON  `json:"config"`
+	Points []BreakdownPointJSON `json:"points"`
+}
+
+// BreakdownConfigJSON records the sweep parameters.
+type BreakdownConfigJSON struct {
+	Replicas []int `json:"replicas"`
+	ItemSize int   `json:"item_size"`
+	Depth    int   `json:"depth"`
+	Warmup   int   `json:"warmup"`
+	Ops      int   `json:"ops"`
+}
+
+// BreakdownPointJSON is one (mode, replicas) decomposition. The stages
+// arrays follow otrace.StageNames order and each sums exactly to its
+// e2e_ns (the quantile op's own boundary diffs — the schema invariant
+// Validate enforces).
+type BreakdownPointJSON struct {
+	Mode     string          `json:"mode"`
+	Replicas int             `json:"replicas"`
+	ItemSize int             `json:"item_size"`
+	Ops      int             `json:"ops"`
+	P50      BreakdownOpJSON `json:"p50"`
+	P99      BreakdownOpJSON `json:"p99"`
+}
+
+// BreakdownOpJSON is one quantile operation's decomposition.
+type BreakdownOpJSON struct {
+	E2ENs    int64   `json:"e2e_ns"`
+	StagesNs []int64 `json:"stages_ns"`
+}
+
 // Profile bundles the section configurations of one report flavor.
 type Profile struct {
 	Name             string
@@ -193,6 +230,7 @@ type Profile struct {
 	AblationOps      int
 	Sharded          ShardedConfig
 	BatchSweep       BatchSweepConfig
+	Breakdown        BreakdownConfig
 }
 
 // FullProfile is the paper-shaped sweep; it takes a few minutes of
@@ -207,6 +245,7 @@ func FullProfile() Profile {
 		AblationOps:      40000,
 		Sharded:          DefaultShardedConfig(),
 		BatchSweep:       DefaultBatchSweepConfig(),
+		Breakdown:        DefaultBreakdownConfig(),
 	}
 }
 
@@ -252,6 +291,14 @@ func QuickProfile() Profile {
 			Ops:         2000,
 			Seed:        1,
 		},
+		Breakdown: BreakdownConfig{
+			Replicas: []int{2, 4},
+			ItemSize: 64,
+			Depth:    8,
+			Warmup:   200,
+			Ops:      2000,
+			Seed:     1,
+		},
 	}
 }
 
@@ -294,6 +341,14 @@ func SmokeProfile() Profile {
 			Warmup:      100,
 			Ops:         400,
 			Seed:        1,
+		},
+		Breakdown: BreakdownConfig{
+			Replicas: []int{2},
+			ItemSize: 64,
+			Depth:    8,
+			Warmup:   100,
+			Ops:      400,
+			Seed:     1,
 		},
 	}
 }
@@ -468,6 +523,32 @@ func BuildReport(seed int64, p Profile) (*Report, error) {
 			MeanOpsPerEntry: pt.MeanOpsPerEntry,
 		})
 	}
+
+	p.Breakdown.Seed = seed
+	dp, err := RunBreakdown(p.Breakdown)
+	if err != nil {
+		return nil, fmt.Errorf("breakdown: %w", err)
+	}
+	rep.Breakdown = BreakdownSection{
+		Seed: seed,
+		Config: BreakdownConfigJSON{
+			Replicas: p.Breakdown.Replicas,
+			ItemSize: p.Breakdown.ItemSize,
+			Depth:    p.Breakdown.Depth,
+			Warmup:   p.Breakdown.Warmup,
+			Ops:      p.Breakdown.Ops,
+		},
+	}
+	for _, pt := range dp {
+		rep.Breakdown.Points = append(rep.Breakdown.Points, BreakdownPointJSON{
+			Mode:     pt.Mode.String(),
+			Replicas: pt.Replicas,
+			ItemSize: pt.ItemSize,
+			Ops:      pt.Ops,
+			P50:      BreakdownOpJSON{E2ENs: pt.P50.E2ENs, StagesNs: pt.P50.StageNs[:]},
+			P99:      BreakdownOpJSON{E2ENs: pt.P99.E2ENs, StagesNs: pt.P99.StageNs[:]},
+		})
+	}
 	return rep, nil
 }
 
@@ -496,8 +577,11 @@ func ParseReport(data []byte) (*Report, error) {
 // recorded seeds, non-empty sections, positive throughput, monotone sim
 // timestamps and ordered percentiles.
 func (r *Report) Validate() error {
-	if r.SchemaVersion != SchemaVersion {
-		return fmt.Errorf("bench: schema_version = %d, want %d", r.SchemaVersion, SchemaVersion)
+	// Older reports (committed baselines) stay parseable across schema
+	// bumps: sections they predate are simply absent, and the breakdown
+	// invariants below only apply from v3 on.
+	if r.SchemaVersion < 1 || r.SchemaVersion > SchemaVersion {
+		return fmt.Errorf("bench: schema_version = %d, want 1..%d", r.SchemaVersion, SchemaVersion)
 	}
 	if r.Profile == "" {
 		return fmt.Errorf("bench: report missing profile")
@@ -561,6 +645,33 @@ func (r *Report) Validate() error {
 	for _, pt := range r.BatchSweep.Points {
 		if pt.BatchMaxOps <= 0 || pt.ThroughputMops <= 0 {
 			return fmt.Errorf("bench: batch sweep b%d: non-positive throughput", pt.BatchMaxOps)
+		}
+	}
+	if r.SchemaVersion >= 3 {
+		if len(r.Breakdown.Points) == 0 {
+			return fmt.Errorf("bench: breakdown section empty")
+		}
+		for _, pt := range r.Breakdown.Points {
+			for _, q := range []struct {
+				name string
+				op   BreakdownOpJSON
+			}{{"p50", pt.P50}, {"p99", pt.P99}} {
+				name, op := q.name, q.op
+				sum := int64(0)
+				for _, ns := range op.StagesNs {
+					if ns < 0 {
+						return fmt.Errorf("bench: breakdown %s/r%d/%s: negative stage", pt.Mode, pt.Replicas, name)
+					}
+					sum += ns
+				}
+				if sum != op.E2ENs {
+					return fmt.Errorf("bench: breakdown %s/r%d/%s: stages sum %d != e2e %d",
+						pt.Mode, pt.Replicas, name, sum, op.E2ENs)
+				}
+			}
+			if pt.P50.E2ENs > pt.P99.E2ENs {
+				return fmt.Errorf("bench: breakdown %s/r%d: p50 > p99", pt.Mode, pt.Replicas)
+			}
 		}
 	}
 	return nil

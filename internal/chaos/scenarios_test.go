@@ -41,7 +41,11 @@ type scenarioRun struct {
 func runScenario(t *testing.T, name string, kernelSeed, chaosSeed int64) *scenarioRun {
 	t.Helper()
 	r := &scenarioRun{leaders: make(map[int]bool)}
-	r.cl = p4ce.NewCluster(p4ce.Options{Nodes: 3, Mode: p4ce.ModeP4CE, Seed: kernelSeed})
+	// Causal tracing rides along on every scenario: the tracer is a pure
+	// observer (no kernel events, no wire bytes), so the determinism
+	// fingerprints are identical with it on, and an invariant failure can
+	// dump the flight recorder for the post-mortem.
+	r.cl = p4ce.NewCluster(p4ce.Options{Nodes: 3, Mode: p4ce.ModeP4CE, Seed: kernelSeed, EnableTracing: true})
 	for _, n := range r.cl.Nodes() {
 		m := make(map[uint64]string)
 		r.applied = append(r.applied, m)
@@ -83,19 +87,22 @@ func runScenario(t *testing.T, name string, kernelSeed, chaosSeed int64) *scenar
 	return r
 }
 
-// checkInvariants asserts liveness, safety and bounded recovery.
+// checkInvariants asserts liveness, safety, bounded recovery and span
+// causality. Any violation dumps the flight recorder (and the Perfetto
+// trace) before failing, so the post-mortem starts with the last
+// operations in flight rather than a bare assertion message.
 func (r *scenarioRun) checkInvariants(t *testing.T, name string) {
 	t.Helper()
 	if r.committed == 0 {
-		t.Fatalf("%s: nothing committed across the whole horizon", name)
+		r.failDump(t, name, "nothing committed across the whole horizon")
 	}
 	// Commits must still be flowing near the horizon — i.e. after every
 	// fault window closed and recovery completed. The tail is measured
 	// from scenario application (the cluster spends ~40 ms reaching its
 	// first accelerated leader before faults start).
 	if tail := r.start + r.horizon - r.horizon/4; r.lastAt < tail {
-		t.Fatalf("%s: last commit at %v, want after %v (cluster never recovered)",
-			name, r.lastAt, tail)
+		r.failDump(t, name, fmt.Sprintf("last commit at %v, want after %v (cluster never recovered)",
+			r.lastAt, tail))
 	}
 	// No committed-entry divergence: any index applied on two machines
 	// must carry the same bytes.
@@ -103,8 +110,8 @@ func (r *scenarioRun) checkInvariants(t *testing.T, name string) {
 		for j := i + 1; j < len(r.applied); j++ {
 			for idx, data := range r.applied[i] {
 				if other, ok := r.applied[j][idx]; ok && other != data {
-					t.Fatalf("%s: divergence at index %d: node%d=%q node%d=%q",
-						name, idx, i, data, j, other)
+					r.failDump(t, name, fmt.Sprintf("divergence at index %d: node%d=%q node%d=%q",
+						idx, i, data, j, other))
 				}
 			}
 		}
@@ -117,7 +124,14 @@ func (r *scenarioRun) checkInvariants(t *testing.T, name string) {
 		retransmits += n.NICStats().Retransmits
 	}
 	if retransmits > 50_000 {
-		t.Fatalf("%s: %d retransmits: storm", name, retransmits)
+		r.failDump(t, name, fmt.Sprintf("%d retransmits: storm", retransmits))
+	}
+	// Span causality: every traced operation must have monotone stage
+	// boundaries that sum to its end-to-end latency, and no span may
+	// land in another shard's component — across every fault schedule
+	// the sweep throws at the cluster.
+	if err := r.cl.Tracer().Validate(); err != nil {
+		r.failDump(t, name, fmt.Sprintf("trace causality: %v", err))
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"p4ce/internal/cm"
 	"p4ce/internal/mu"
+	"p4ce/internal/otrace"
 	"p4ce/internal/p4ce"
 	"p4ce/internal/rnic"
 	"p4ce/internal/roce"
@@ -60,14 +61,14 @@ func (t *switchTransport) Ready() bool {
 	return t.conn != nil && t.conn.QP.State() == rnic.StateReady
 }
 
-func (t *switchTransport) Replicate(data []byte, off int, ack func(error)) error {
+func (t *switchTransport) Replicate(data []byte, off int, trace otrace.ID, ack func(error)) error {
 	if !t.Ready() {
 		return mu.ErrNotReady
 	}
 	// The switch advertised a zero-based virtual region: the write's VA
 	// is simply the ring offset; the egress pipeline adds each replica's
 	// real base address.
-	return t.conn.QP.PostWrite(data, uint64(off), t.conn.RemoteRKey, ack)
+	return t.conn.QP.PostWriteTraced(data, uint64(off), t.conn.RemoteRKey, trace, ack)
 }
 
 // Engine accelerates one node.

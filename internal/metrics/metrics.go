@@ -1,8 +1,10 @@
 package metrics
 
 import (
+	"fmt"
 	"math/bits"
 	"sort"
+	"strings"
 )
 
 // Counter is a monotonically increasing uint64.
@@ -325,6 +327,37 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 	}
 	return s
+}
+
+// String renders the snapshot as deterministic text: one line per
+// instrument, names sorted within each kind. Two snapshots of the same
+// deterministic run render byte-identically — like the JSON form
+// (encoding/json marshals map keys sorted), but greppable and diffable
+// without a JSON tool.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "counter %s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		g := s.Gauges[name]
+		fmt.Fprintf(&b, "gauge %s value=%d high_water=%d\n", name, g.Value, g.HighWater)
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "histogram %s count=%d mean=%d p50=%d p99=%d p999=%d max=%d\n",
+			name, h.Count, h.MeanNs, h.P50Ns, h.P99Ns, h.P999Ns, h.MaxNs)
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Names returns every instrument name, sorted, for diagnostics.

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -171,5 +172,42 @@ func TestSnapshotJSON(t *testing.T) {
 		if names[i] != want[i] {
 			t.Fatalf("names = %v, want %v", names, want)
 		}
+	}
+}
+
+func TestSnapshotStringDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		r := New()
+		// Register in an order that differs from lexical order, so the
+		// test actually exercises the sort rather than map luck.
+		r.Counter("z.last").Add(3)
+		r.Counter("a.first").Inc()
+		r.Gauge("m.mid").Set(7)
+		h := r.Histogram("b.lat")
+		for _, v := range []int64{100, 200, 300} {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+	s1, s2 := build().String(), build().String()
+	if s1 != s2 {
+		t.Fatalf("snapshot rendering not deterministic:\n%s\nvs\n%s", s1, s2)
+	}
+	lines := strings.Split(strings.TrimSuffix(s1, "\n"), "\n")
+	want := []string{
+		"counter a.first 1",
+		"counter z.last 3",
+		"gauge m.mid value=7 high_water=7",
+	}
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4:\n%s", len(lines), s1)
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+	if !strings.HasPrefix(lines[3], "histogram b.lat count=3 ") {
+		t.Fatalf("histogram line = %q", lines[3])
 	}
 }

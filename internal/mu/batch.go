@@ -207,6 +207,7 @@ func (n *Node) proposeBatch(payload []byte) {
 		p.dones = append(p.dones, n.batchQ[i].done)
 	}
 	p.proposedAt = n.k.Now()
+	p.trace = n.otr.Begin(n.oc, n.cfg.Shard, false, true, len(n.batchQ), len(p.bytes))
 	n.maxDataIdx = e.Index
 	n.sentCommit = e.CommitIndex
 	n.pendingApply.Push(Entry{

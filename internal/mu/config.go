@@ -75,6 +75,10 @@ type Config struct {
 	// counters under "mu.<label>." (sharded clusters label each group
 	// "shard<N>") next to the shared "mu.*" series.
 	MetricsLabel string
+
+	// Shard is the consensus group's shard number, used to scope causal
+	// trace IDs and component names (single-group clusters leave it 0).
+	Shard int
 }
 
 // DefaultConfig returns the calibrated testbed configuration.

@@ -346,6 +346,9 @@ func (n *Node) stepDown(cause error) {
 				}
 			}
 		}
+		// Traces of flushed proposals never reach Finish (even committed
+		// ones removed here before draining): release their state.
+		n.otr.Abort(p.trace)
 		n.putProposal(p)
 	}
 	// Operations still queued behind the flushed proposals fail too.
@@ -406,6 +409,7 @@ func (n *Node) proposeEntry(data []byte, flags uint8, done func(error)) {
 	p.noop = flags&FlagNoop != 0
 	p.done = done
 	p.proposedAt = n.k.Now()
+	p.trace = n.otr.Begin(n.oc, n.cfg.Shard, p.noop, false, 1, len(p.bytes))
 	if flags&FlagNoop == 0 {
 		n.maxDataIdx = e.Index
 	}
@@ -467,14 +471,15 @@ func (n *Node) postStep(a any) {
 	}
 	if p.markOff >= 0 {
 		// The ring wrapped: replicate the wrap marker first (ordered
-		// ahead of the entry on every path).
-		_ = t.Replicate(WrapMarkBytes(), p.markOff, nopAck)
+		// ahead of the entry on every path). Markers are protocol
+		// plumbing, not operations, so they ride untraced.
+		_ = t.Replicate(WrapMarkBytes(), p.markOff, 0, nopAck)
 	}
 	// Count expected acknowledgment events before Replicate runs: paths
 	// failing synchronously inside it still fire the callback once, but
 	// drop out of AcksExpected immediately.
 	ctx.remaining = t.AcksExpected()
-	if err := t.Replicate(p.bytes, p.off, ctx.ackFn); err != nil {
+	if err := t.Replicate(p.bytes, p.off, p.trace, ctx.ackFn); err != nil {
 		ctx.remaining = 1
 		n.ackFinish(ctx, err)
 	}
@@ -581,6 +586,7 @@ func (n *Node) drainCommits() {
 		n.mCommitted.Add(ops)
 		n.mGroupCommitted.Add(ops)
 		n.mCommitLatNs.Observe(int64(n.k.Now() - p.proposedAt))
+		n.otr.Finish(n.oc, p.trace)
 		n.applyUpTo(n.commitIndex)
 		if p.done != nil {
 			p.done(nil)

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"p4ce/internal/otrace"
 )
 
 func TestEntryEncodeDecode(t *testing.T) {
@@ -192,7 +194,7 @@ func TestDirectTransportQuorum(t *testing.T) {
 		t.Fatalf("AcksNeeded = %d, want 2", tr.AcksNeeded())
 	}
 	calls := 0
-	write := func(data []byte, off int, done func(error)) error {
+	write := func(data []byte, off int, trace otrace.ID, done func(error)) error {
 		calls++
 		done(nil)
 		return nil
@@ -204,7 +206,7 @@ func TestDirectTransportQuorum(t *testing.T) {
 		t.Fatalf("Ready=%v Requests=%d", tr.Ready(), tr.Requests())
 	}
 	acks := 0
-	if err := tr.Replicate([]byte("x"), 0, func(err error) {
+	if err := tr.Replicate([]byte("x"), 0, 0, func(err error) {
 		if err == nil {
 			acks++
 		}
@@ -223,7 +225,7 @@ func TestDirectTransportQuorum(t *testing.T) {
 	if tr.Ready() {
 		t.Fatal("transport ready below quorum")
 	}
-	if err := tr.Replicate(nil, 0, nil); err != ErrNotReady {
+	if err := tr.Replicate(nil, 0, 0, nil); err != ErrNotReady {
 		t.Fatalf("Replicate below quorum = %v", err)
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"p4ce/internal/cm"
 	"p4ce/internal/metrics"
+	"p4ce/internal/otrace"
 	"p4ce/internal/rnic"
 	"p4ce/internal/sim"
 	"p4ce/internal/simnet"
@@ -125,6 +126,10 @@ type proposal struct {
 	// FlagBatch entry, in queue order. Empty for plain entries.
 	dones      []func(error)
 	proposedAt sim.Time
+	// trace is the entry's causal trace ID (zero when tracing is off).
+	// It rides every Replicate down to the NIC and is finished (or
+	// aborted) when the proposal leaves the table.
+	trace otrace.ID
 }
 
 // dispatchCtx carries one transport drive of one proposal through the
@@ -249,6 +254,10 @@ type Node struct {
 	// Stats for experiments.
 	Stats NodeStats
 
+	// Causal tracing (nil no-ops without a tracer on the kernel).
+	otr *otrace.Tracer
+	oc  *otrace.Component
+
 	// Metric handles (nil no-ops without a registry on the kernel).
 	mProposed      *metrics.Counter
 	mCommitted     *metrics.Counter
@@ -309,6 +318,8 @@ func NewNode(cfg Config, self Peer, peers []Peer, nic *rnic.NIC) *Node {
 		n.mGroupProposed = scope.Counter("proposed")
 		n.mGroupCommitted = scope.Counter("committed")
 	}
+	n.otr = nic.Kernel().Tracer()
+	n.oc = n.otr.Component(fmt.Sprintf("s%d/mu/n%d", cfg.Shard, self.ID), cfg.Shard)
 	ctrl := make([]byte, controlRegionBytes)
 	n.controlMR = nic.RegisterMR(cfg.ControlVA, ctrl, rnic.AccessRemoteRead)
 	n.logBuf = make([]byte, cfg.LogSize)
@@ -366,6 +377,7 @@ func (n *Node) putProposal(p *proposal) {
 	p.gen++
 	p.bytes = nil
 	p.done = nil
+	p.trace = 0
 	for i := range p.dones {
 		p.dones[i] = nil
 	}
@@ -777,8 +789,8 @@ func (n *Node) addReplPath(id int, c *cm.Conn) {
 		return
 	}
 	n.replConns[id] = c
-	n.direct.AddPath(id, func(data []byte, off int, done func(error)) error {
-		return c.QP.PostWrite(data, c.RemoteVA+uint64(off), c.RemoteRKey, done)
+	n.direct.AddPath(id, func(data []byte, off int, trace otrace.ID, done func(error)) error {
+		return c.QP.PostWriteTraced(data, c.RemoteVA+uint64(off), c.RemoteRKey, trace, done)
 	})
 	c.QP.SetOnError(func(error) { n.direct.RemovePath(id) })
 	n.reReplicateTo(id, c)

@@ -1,6 +1,10 @@
 package mu
 
-import "errors"
+import (
+	"errors"
+
+	"p4ce/internal/otrace"
+)
 
 // Transport errors.
 var (
@@ -30,14 +34,16 @@ type Transport interface {
 	Ready() bool
 	// Replicate writes the encoded entry at ring offset off in every
 	// replica's log. ack is invoked once per acknowledgment event (up to
-	// AcksExpected times), with nil for a positive acknowledgment.
-	Replicate(data []byte, off int, ack func(error)) error
+	// AcksExpected times), with nil for a positive acknowledgment. trace
+	// is the entry's causal trace ID (zero when untraced); transports
+	// thread it down to the NIC so the posted write carries it.
+	Replicate(data []byte, off int, trace otrace.ID, ack func(error)) error
 }
 
 // replPath is one established leader→replica write path.
 type replPath struct {
 	id      int
-	qpWrite func(data []byte, off int, done func(error)) error
+	qpWrite func(data []byte, off int, trace otrace.ID, done func(error)) error
 	healthy bool
 }
 
@@ -58,7 +64,7 @@ func NewDirectTransport(clusterSize int) *DirectTransport {
 }
 
 // AddPath registers an established write path to one replica.
-func (t *DirectTransport) AddPath(id int, write func(data []byte, off int, done func(error)) error) {
+func (t *DirectTransport) AddPath(id int, write func(data []byte, off int, trace otrace.ID, done func(error)) error) {
 	t.paths = append(t.paths, &replPath{id: id, qpWrite: write, healthy: true})
 }
 
@@ -98,7 +104,7 @@ func (t *DirectTransport) AcksExpected() int { return t.PathCount() }
 func (t *DirectTransport) Ready() bool { return t.PathCount() >= t.f }
 
 // Replicate implements Transport.
-func (t *DirectTransport) Replicate(data []byte, off int, ack func(error)) error {
+func (t *DirectTransport) Replicate(data []byte, off int, trace otrace.ID, ack func(error)) error {
 	if !t.Ready() {
 		return ErrNotReady
 	}
@@ -107,7 +113,7 @@ func (t *DirectTransport) Replicate(data []byte, off int, ack func(error)) error
 			continue
 		}
 		p := p
-		if err := p.qpWrite(data, off, func(err error) {
+		if err := p.qpWrite(data, off, trace, func(err error) {
 			if err != nil {
 				p.healthy = false
 			}

@@ -1,0 +1,50 @@
+// Package otrace is the causal per-operation tracing layer: where the
+// metrics registry answers "how long do commits take in aggregate",
+// otrace answers "for *this* committed operation, which stage ate the
+// microseconds". It threads a trace ID through the full life of a
+// proposal — client submit at the leader (mu), WQE post and PSN
+// assignment (rnic), switch scatter / per-replica rewrite / gather
+// fire (p4ce on tofino), replica write, aggregated ACK, commit — and
+// stitches the recorded marks into a six-stage latency decomposition:
+//
+//	B0 submit ── leader-post ── B1 posted ── fabric-out ── B2 switch-in
+//	── switch-pipeline ── B3 switch-out ── replica-write ── B4 gather
+//	── gather-wait ── B5 ack-rx ── commit-notify ── B6 commit
+//
+// Boundaries are monotone and the stages telescope, so the six stage
+// durations of one operation sum exactly to its end-to-end latency.
+// In ModeMu (no switch in the path) the first replica's inbound write
+// stands in for the switch marks and the switch-local stages collapse
+// to zero width.
+//
+// # Causal correlation without wire bytes
+//
+// The sim's packets are byte-accurate RoCE, and adding a trace header
+// would change every fingerprinted run. Instead the tracer keeps a
+// side-channel annotation map keyed by (destination QP, PSN): the
+// leader NIC annotates each operation's PSN range at post time, the
+// switch egress re-annotates the per-replica rewritten (QP, PSN), and
+// any downstream layer recovers the trace with Lookup. Annotations are
+// freed when the operation finishes or aborts.
+//
+// # Determinism and cost
+//
+// Tracing is a pure observer: it schedules no kernel events and never
+// touches packet bytes, so a traced run executes the exact event
+// sequence of an untraced one and two same-seed traced runs export
+// byte-identical Perfetto JSON. Every method is nil-safe — a nil
+// *Tracer (tracing disabled, the default) reduces each instrumentation
+// site to a nil compare, preserving the zero-allocation steady state.
+//
+// # Consumers
+//
+// WritePerfetto exports component span rings as Chrome trace-event
+// JSON (p4ce-sim -trace-out, Cluster.ExportTrace). The OnFinish hook
+// streams finished OpRecords to the bench breakdown collector
+// (p4ce-bench -experiment breakdown, report schema v3). WriteFlight
+// dumps the flight recorder — recent finished ops, in-flight ops and
+// per-component span history — which the chaos harness writes to disk
+// when an invariant fails. Validate checks causal well-formedness
+// (complete, monotone, shard-isolated) and runs across the chaos seed
+// sweep.
+package otrace

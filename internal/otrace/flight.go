@@ -1,0 +1,67 @@
+package otrace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteFlight dumps the flight recorder: the last retained finished
+// operations with their stage boundaries, every still-in-flight
+// operation, and each component's recent span ring — the causal history
+// a failing chaos or safety run needs to explain itself. Plain text,
+// deterministically ordered.
+func (t *Tracer) WriteFlight(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if t == nil {
+		fmt.Fprintln(bw, "otrace flight recorder: tracing disabled")
+		return bw.Flush()
+	}
+	fmt.Fprintln(bw, "=== otrace flight recorder ===")
+
+	live := t.Live()
+	fmt.Fprintf(bw, "\n--- in-flight operations: %d ---\n", len(live))
+	for _, o := range live {
+		fmt.Fprintf(bw, "%#x shard=%d noop=%v batch=%v ops=%d bytes=%d marks=[",
+			uint64(o.Trace), o.Shard, o.Noop, o.Batch, o.Ops, o.Bytes)
+		for i, v := range o.B {
+			if i > 0 {
+				bw.WriteByte(' ')
+			}
+			if v < 0 {
+				bw.WriteByte('-')
+			} else {
+				fmt.Fprintf(bw, "%s=%d", markNames[i], v)
+			}
+		}
+		fmt.Fprintln(bw, "]")
+	}
+
+	done := t.Completed()
+	fmt.Fprintf(bw, "\n--- finished operations retained: %d (oldest first) ---\n", len(done))
+	for _, r := range done {
+		fmt.Fprintf(bw, "%#x shard=%d noop=%v batch=%v ops=%d bytes=%d e2e=%dns stages=[",
+			uint64(r.Trace), r.Shard, r.Noop, r.Batch, r.Ops, r.Bytes, r.E2E())
+		for i := 0; i < len(StageNames); i++ {
+			if i > 0 {
+				bw.WriteByte(' ')
+			}
+			fmt.Fprintf(bw, "%s=%d", StageNames[i], r.Stage(i))
+		}
+		fmt.Fprintln(bw, "]")
+	}
+
+	for _, c := range t.comps {
+		spans := c.Spans()
+		fmt.Fprintf(bw, "\n--- component %s (shard %d): %d spans (oldest first) ---\n",
+			c.name, c.shard, len(spans))
+		for _, s := range spans {
+			if s.Start == s.End {
+				fmt.Fprintf(bw, "%12d %-14s %#x\n", s.Start, markNames[s.Kind], uint64(s.Trace))
+			} else {
+				fmt.Fprintf(bw, "%12d %-14s %#x dur=%dns\n", s.Start, markNames[s.Kind], uint64(s.Trace), s.End-s.Start)
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,444 @@
+package otrace
+
+import "sort"
+
+// ID identifies one traced operation. The zero ID means "not traced":
+// every recording method drops it, so untraced paths (wrap markers,
+// disabled tracing) pay only a compare. The shard that minted the ID
+// rides in the top 16 bits (shard+1, so shard 0 IDs are nonzero), which
+// lets the causality checker prove shard isolation from the ID alone.
+type ID uint64
+
+const shardShift = 48
+
+// ShardOfID recovers the shard that minted id, or -1 for the zero ID.
+func ShardOfID(id ID) int {
+	if id == 0 {
+		return -1
+	}
+	return int(id>>shardShift) - 1
+}
+
+// psnMask mirrors roce's 24-bit packet sequence number space. otrace
+// deliberately imports nothing from the sim stack (it must be usable
+// from every layer without cycles), so the constant is restated here.
+const psnMask = 1<<24 - 1
+
+// Mark kinds: the boundary events of one operation's life, in causal
+// order. MarkReplicaRx is the Mu-mode stand-in for the switch marks —
+// with no switch in the path, the first replica's inbound write bounds
+// the fabric-out stage instead.
+const (
+	MarkSubmit        = iota // B0: client submit at the leader
+	MarkPosted               // B1: WQE posted, PSNs assigned (first-wins)
+	MarkSwitchIngress        // B2: scatter pipeline entered (last-wins)
+	MarkSwitchEgress         // B3: per-replica rewrite done (last-wins)
+	MarkGatherFire           // B4: gather slot fired the aggregated ACK (last-wins)
+	MarkAckRx                // B5: leader completed the WQE (last-wins)
+	MarkCommit               // B6: commit callback delivered
+	MarkReplicaRx            // B2 fallback: replica accepted the write (first-wins)
+	numMarks
+)
+
+// markNames label spans in exports; indices match the constants above.
+var markNames = [numMarks]string{
+	"submit", "posted", "switch-ingress", "switch-egress",
+	"gather-fire", "ack-rx", "commit", "replica-rx",
+}
+
+// firstWins marks keep the earliest observation (original transmission,
+// not a retransmit); the rest keep the latest (the attempt that
+// actually completed the op).
+var firstWins = [numMarks]bool{
+	MarkPosted:    true,
+	MarkReplicaRx: true,
+}
+
+// Stage names of the latency decomposition; stage i spans boundaries
+// B[i] to B[i+1] of an OpRecord.
+var StageNames = [6]string{
+	"leader-post", "fabric-out", "switch-pipeline",
+	"replica-write", "gather-wait", "commit-notify",
+}
+
+// OpRecord is the finished, stitched trace of one operation.
+type OpRecord struct {
+	Trace ID
+	Shard int
+	Noop  bool // heartbeat / commit-sync filler, not client work
+	Batch bool
+	Ops   int // client operations carried (batch size; 1 otherwise)
+	Bytes int
+	// B holds the seven stage boundaries B0..B6 in sim nanoseconds,
+	// monotone non-decreasing: successive differences are the six
+	// StageNames durations and telescope exactly to B6-B0.
+	B [7]int64
+}
+
+// Stage returns the duration of stage i (see StageNames).
+func (r OpRecord) Stage(i int) int64 { return r.B[i+1] - r.B[i] }
+
+// E2E returns the end-to-end submit→commit latency. Because the stages
+// telescope, it equals the sum of all six stage durations exactly.
+func (r OpRecord) E2E() int64 { return r.B[6] - r.B[0] }
+
+// Span is one recorded interval (or instant, when Start == End) in a
+// component's ring buffer.
+type Span struct {
+	Trace ID
+	Kind  uint8
+	Start int64
+	End   int64
+}
+
+// Component is one traced unit (a NIC, a mu node, a switch group) with
+// its own fixed-size span ring. A nil Component is the disabled state:
+// recording into it is a no-op.
+type Component struct {
+	name  string
+	shard int // -1 for shared components (the switch)
+	spans []Span
+	next  int
+	full  bool
+}
+
+// Name returns the component's registered name.
+func (c *Component) Name() string { return c.name }
+
+// Shard returns the component's owning shard, or -1 when shared.
+func (c *Component) Shard() int { return c.shard }
+
+func (c *Component) record(s Span) {
+	if c == nil {
+		return
+	}
+	c.spans[c.next] = s
+	c.next++
+	if c.next == len(c.spans) {
+		c.next = 0
+		c.full = true
+	}
+}
+
+// Spans returns the retained spans, oldest first (copy).
+func (c *Component) Spans() []Span {
+	if c == nil {
+		return nil
+	}
+	if !c.full {
+		return append([]Span(nil), c.spans[:c.next]...)
+	}
+	out := make([]Span, 0, len(c.spans))
+	out = append(out, c.spans[c.next:]...)
+	out = append(out, c.spans[:c.next]...)
+	return out
+}
+
+// op is one in-flight operation. Pooled; marks reset to -1 (absent).
+type op struct {
+	id    ID
+	shard int
+	noop  bool
+	batch bool
+	ops   int
+	bytes int
+	marks [numMarks]int64
+	// keys lists this op's byPSN annotations so Finish/Abort can free
+	// exactly them (and nothing a newer op re-annotated).
+	keys []uint64
+}
+
+// Tracer owns every component ring and in-flight operation of one
+// simulation. A nil Tracer is the disabled state: every method no-ops,
+// so instrumented hot paths cost one nil compare when tracing is off.
+//
+// Tracing is a pure observer: it schedules no kernel events and never
+// touches packet bytes, so a traced run replays the exact event
+// sequence of an untraced one (EventsProcessed is identical).
+type Tracer struct {
+	now       func() int64
+	seq       map[int]uint64
+	ops       map[ID]*op
+	free      []*op
+	byPSN     map[uint64]ID
+	comps     []*Component
+	completed []OpRecord
+	cnext     int
+	cfull     bool
+	onFinish  func(OpRecord)
+}
+
+// defaultSpanRing and defaultOpRing size the per-component span ring
+// and the completed-operation ring of the flight recorder.
+const (
+	defaultSpanRing = 2048
+	defaultOpRing   = 4096
+)
+
+// New returns an enabled tracer reading sim time through now (kernel
+// nanoseconds).
+func New(now func() int64) *Tracer {
+	return &Tracer{
+		now:       now,
+		seq:       make(map[int]uint64),
+		ops:       make(map[ID]*op),
+		byPSN:     make(map[uint64]ID),
+		completed: make([]OpRecord, defaultOpRing),
+	}
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// OnFinish registers a callback invoked with every finished OpRecord
+// (the bench breakdown collector). One callback at a time.
+func (t *Tracer) OnFinish(fn func(OpRecord)) {
+	if t == nil {
+		return
+	}
+	t.onFinish = fn
+}
+
+// Component registers (or returns, by exact name) a traced component.
+// shard is the owning shard, or -1 for shared infrastructure. Nil on a
+// nil tracer. Registration order is the export order, so deterministic
+// construction yields byte-identical exports.
+func (t *Tracer) Component(name string, shard int) *Component {
+	if t == nil {
+		return nil
+	}
+	for _, c := range t.comps {
+		if c.name == name {
+			return c
+		}
+	}
+	c := &Component{name: name, shard: shard, spans: make([]Span, defaultSpanRing)}
+	t.comps = append(t.comps, c)
+	return c
+}
+
+// Components returns the registered components in registration order.
+func (t *Tracer) Components() []*Component {
+	if t == nil {
+		return nil
+	}
+	return t.comps
+}
+
+// Begin mints a trace ID for a new operation on the given shard and
+// records its submit mark. Zero on a nil tracer.
+func (t *Tracer) Begin(c *Component, shard int, noop, batch bool, ops, bytes int) ID {
+	if t == nil {
+		return 0
+	}
+	t.seq[shard]++
+	id := ID(shard+1)<<shardShift | ID(t.seq[shard])
+	o := t.getOp()
+	o.id, o.shard, o.noop, o.batch, o.ops, o.bytes = id, shard, noop, batch, ops, bytes
+	now := t.now()
+	o.marks[MarkSubmit] = now
+	t.ops[id] = o
+	c.record(Span{Trace: id, Kind: MarkSubmit, Start: now, End: now})
+	return id
+}
+
+// Mark records boundary kind for id at the current sim time, into the
+// op's mark table and (as an instant span) into c's ring. Unknown or
+// zero IDs — late retransmit completions of an already-finished op,
+// untraced writes — are dropped.
+func (t *Tracer) Mark(c *Component, id ID, kind int) {
+	if t == nil || id == 0 {
+		return
+	}
+	o := t.ops[id]
+	if o == nil {
+		return
+	}
+	now := t.now()
+	if !firstWins[kind] || o.marks[kind] < 0 {
+		o.marks[kind] = now
+	}
+	c.record(Span{Trace: id, Kind: uint8(kind), Start: now, End: now})
+}
+
+// MarkSpan records boundary kind like Mark but with an explicit
+// interval (the gather path records [slot-armed, fired]).
+func (t *Tracer) MarkSpan(c *Component, id ID, kind int, start int64) {
+	if t == nil || id == 0 {
+		return
+	}
+	o := t.ops[id]
+	if o == nil {
+		return
+	}
+	now := t.now()
+	if !firstWins[kind] || o.marks[kind] < 0 {
+		o.marks[kind] = now
+	}
+	if start > now {
+		start = now
+	}
+	c.record(Span{Trace: id, Kind: uint8(kind), Start: start, End: now})
+}
+
+// Annotate associates id with count packet sequence numbers starting at
+// firstPSN on destination QP qpn, so downstream layers (the switch, a
+// replica NIC) can recover the trace from a wire packet without any
+// added header bytes. Re-annotating the same (qpn, psn) with the same
+// id — a retransmission — is free.
+func (t *Tracer) Annotate(id ID, qpn uint32, firstPSN uint32, count int) {
+	if t == nil || id == 0 {
+		return
+	}
+	o := t.ops[id]
+	if o == nil {
+		return
+	}
+	for i := 0; i < count; i++ {
+		psn := (firstPSN + uint32(i)) & psnMask
+		key := uint64(qpn)<<32 | uint64(psn)
+		if t.byPSN[key] == id {
+			continue
+		}
+		t.byPSN[key] = id
+		o.keys = append(o.keys, key)
+	}
+}
+
+// Lookup recovers the trace annotated on (qpn, psn), or 0.
+func (t *Tracer) Lookup(qpn, psn uint32) ID {
+	if t == nil {
+		return 0
+	}
+	return t.byPSN[uint64(qpn)<<32|uint64(psn&psnMask)]
+}
+
+// Finish closes id at the current sim time (the commit boundary B6),
+// stitches the recorded marks into an OpRecord, retains it in the
+// flight-recorder ring, records the full-op span into c, and releases
+// the op and its annotations.
+//
+// Marks a mode never produces fall back causally: a missing posted mark
+// collapses onto submit, missing switch marks collapse onto their
+// neighbours (Mu mode reports zero-width switch stages), and a final
+// cumulative-max pass keeps the boundaries monotone even when a
+// retransmission raced a stale mark past a later one.
+func (t *Tracer) Finish(c *Component, id ID) {
+	if t == nil || id == 0 {
+		return
+	}
+	o := t.ops[id]
+	if o == nil {
+		return
+	}
+	or := func(v, def int64) int64 {
+		if v >= 0 {
+			return v
+		}
+		return def
+	}
+	b0 := o.marks[MarkSubmit]
+	b6 := t.now()
+	b1 := or(o.marks[MarkPosted], b0)
+	b5 := or(o.marks[MarkAckRx], b6)
+	b4 := or(o.marks[MarkGatherFire], b5)
+	b2 := or(o.marks[MarkSwitchIngress], or(o.marks[MarkReplicaRx], b1))
+	b3 := or(o.marks[MarkSwitchEgress], b2)
+	rec := OpRecord{
+		Trace: id, Shard: o.shard, Noop: o.noop, Batch: o.batch,
+		Ops: o.ops, Bytes: o.bytes,
+		B: [7]int64{b0, b1, b2, b3, b4, b5, b6},
+	}
+	for i := 1; i < len(rec.B); i++ {
+		if rec.B[i] < rec.B[i-1] {
+			rec.B[i] = rec.B[i-1]
+		}
+	}
+	t.completed[t.cnext] = rec
+	t.cnext++
+	if t.cnext == len(t.completed) {
+		t.cnext = 0
+		t.cfull = true
+	}
+	c.record(Span{Trace: id, Kind: MarkCommit, Start: rec.B[0], End: rec.B[6]})
+	t.release(o)
+	if t.onFinish != nil {
+		t.onFinish(rec)
+	}
+}
+
+// Abort discards id without recording (step-down flushes, failed
+// proposals), releasing its annotations.
+func (t *Tracer) Abort(id ID) {
+	if t == nil || id == 0 {
+		return
+	}
+	o := t.ops[id]
+	if o == nil {
+		return
+	}
+	t.release(o)
+}
+
+func (t *Tracer) release(o *op) {
+	for _, k := range o.keys {
+		if t.byPSN[k] == o.id {
+			delete(t.byPSN, k)
+		}
+	}
+	delete(t.ops, o.id)
+	t.putOp(o)
+}
+
+func (t *Tracer) getOp() *op {
+	var o *op
+	if n := len(t.free); n > 0 {
+		o = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		o = &op{}
+	}
+	for i := range o.marks {
+		o.marks[i] = -1
+	}
+	return o
+}
+
+func (t *Tracer) putOp(o *op) {
+	keys := o.keys[:0]
+	*o = op{keys: keys}
+	t.free = append(t.free, o)
+}
+
+// Completed returns the retained finished operations, oldest first
+// (copy).
+func (t *Tracer) Completed() []OpRecord {
+	if t == nil {
+		return nil
+	}
+	if !t.cfull {
+		return append([]OpRecord(nil), t.completed[:t.cnext]...)
+	}
+	out := make([]OpRecord, 0, len(t.completed))
+	out = append(out, t.completed[t.cnext:]...)
+	out = append(out, t.completed[:t.cnext]...)
+	return out
+}
+
+// Live returns the in-flight operations sorted by ID (deterministic).
+func (t *Tracer) Live() []OpRecord {
+	if t == nil {
+		return nil
+	}
+	out := make([]OpRecord, 0, len(t.ops))
+	for id, o := range t.ops {
+		rec := OpRecord{
+			Trace: id, Shard: o.shard, Noop: o.noop, Batch: o.batch,
+			Ops: o.ops, Bytes: o.bytes,
+		}
+		copy(rec.B[:], o.marks[:7])
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Trace < out[j].Trace })
+	return out
+}

@@ -1,0 +1,358 @@
+package otrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fakeClock drives the tracer through hand-picked sim times.
+type fakeClock struct{ t int64 }
+
+func (c *fakeClock) now() int64 { return c.t }
+func (c *fakeClock) at(t int64) { c.t = t }
+func (c *fakeClock) tracer() *Tracer {
+	return New(c.now)
+}
+
+func TestLifecycleStagesTelescope(t *testing.T) {
+	var clk fakeClock
+	tr := clk.tracer()
+	leader := tr.Component("mu/n0", 0)
+	nic := tr.Component("rnic/0", 0)
+	sw := tr.Component("switch", -1)
+
+	clk.at(100)
+	id := tr.Begin(leader, 0, false, false, 1, 64)
+	if id == 0 {
+		t.Fatal("Begin returned the zero ID")
+	}
+	if ShardOfID(id) != 0 {
+		t.Fatalf("ShardOfID = %d, want 0", ShardOfID(id))
+	}
+	clk.at(110)
+	tr.Mark(nic, id, MarkPosted)
+	clk.at(130)
+	tr.Mark(sw, id, MarkSwitchIngress)
+	clk.at(145)
+	tr.Mark(sw, id, MarkSwitchEgress)
+	clk.at(170)
+	tr.MarkSpan(sw, id, MarkGatherFire, 150)
+	clk.at(180)
+	tr.Mark(nic, id, MarkAckRx)
+	clk.at(200)
+	tr.Finish(leader, id)
+
+	recs := tr.Completed()
+	if len(recs) != 1 {
+		t.Fatalf("Completed = %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	want := [7]int64{100, 110, 130, 145, 170, 180, 200}
+	if r.B != want {
+		t.Fatalf("boundaries = %v, want %v", r.B, want)
+	}
+	var sum int64
+	for i := 0; i < len(StageNames); i++ {
+		if r.Stage(i) < 0 {
+			t.Fatalf("stage %d negative: %d", i, r.Stage(i))
+		}
+		sum += r.Stage(i)
+	}
+	if sum != r.E2E() || r.E2E() != 100 {
+		t.Fatalf("stages sum %d, e2e %d, want both 100", sum, r.E2E())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The op is released: a late mark for the finished trace is dropped.
+	clk.at(300)
+	tr.Mark(nic, id, MarkAckRx)
+	if got := tr.Completed(); len(got) != 1 || got[0].B != want {
+		t.Fatal("late mark after Finish mutated the record")
+	}
+}
+
+func TestMissingMarksFallBackCausally(t *testing.T) {
+	var clk fakeClock
+	tr := clk.tracer()
+	c := tr.Component("mu/n0", 0)
+
+	// Mu mode: no switch marks at all, only a replica-rx observation.
+	clk.at(10)
+	id := tr.Begin(c, 0, false, false, 1, 8)
+	clk.at(12)
+	tr.Mark(c, id, MarkPosted)
+	clk.at(20)
+	tr.Mark(c, id, MarkReplicaRx)
+	clk.at(30)
+	tr.Mark(c, id, MarkAckRx)
+	clk.at(34)
+	tr.Finish(c, id)
+
+	r := tr.Completed()[0]
+	// B2 falls back to replica-rx, B3 collapses onto B2 (zero-width
+	// switch stage), B4 collapses onto B5.
+	want := [7]int64{10, 12, 20, 20, 30, 30, 34}
+	if r.B != want {
+		t.Fatalf("boundaries = %v, want %v", r.B, want)
+	}
+
+	// No marks at all: B1..B3 collapse onto submit, B4..B5 onto commit —
+	// all the unknown time lands in the replica-write stage.
+	clk.at(100)
+	id2 := tr.Begin(c, 0, true, false, 1, 0)
+	clk.at(108)
+	tr.Finish(c, id2)
+	r2 := tr.Completed()[1]
+	if r2.B != [7]int64{100, 100, 100, 100, 108, 108, 108} {
+		t.Fatalf("bare boundaries = %v", r2.B)
+	}
+	if !r2.Noop {
+		t.Fatal("noop flag lost")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstWinsMarkPolicy(t *testing.T) {
+	var clk fakeClock
+	tr := clk.tracer()
+	c := tr.Component("rnic/0", 0)
+
+	clk.at(0)
+	id := tr.Begin(c, 0, false, false, 1, 8)
+	clk.at(5)
+	tr.Mark(c, id, MarkPosted) // original post
+	clk.at(50)
+	tr.Mark(c, id, MarkPosted) // retransmit re-post: must not win
+	clk.at(60)
+	tr.Mark(c, id, MarkAckRx) // first completion attempt
+	clk.at(70)
+	tr.Mark(c, id, MarkAckRx) // the attempt that actually completed: wins
+	clk.at(80)
+	tr.Finish(c, id)
+
+	r := tr.Completed()[0]
+	if r.B[1] != 5 {
+		t.Fatalf("posted boundary = %d, want first observation 5", r.B[1])
+	}
+	if r.B[5] != 70 {
+		t.Fatalf("ack boundary = %d, want last observation 70", r.B[5])
+	}
+}
+
+func TestCumulativeMaxKeepsBoundariesMonotone(t *testing.T) {
+	var clk fakeClock
+	tr := clk.tracer()
+	c := tr.Component("mu/n0", 0)
+
+	// A stale switch-egress lands AFTER gather-fire in recorded value
+	// order (retransmission race): Finish must clamp, not go negative.
+	clk.at(0)
+	id := tr.Begin(c, 0, false, false, 1, 8)
+	clk.at(40)
+	tr.Mark(c, id, MarkGatherFire)
+	clk.at(90)
+	tr.Mark(c, id, MarkSwitchEgress) // later than the gather it feeds
+	clk.at(100)
+	tr.Finish(c, id)
+
+	r := tr.Completed()[0]
+	for i := 1; i < len(r.B); i++ {
+		if r.B[i] < r.B[i-1] {
+			t.Fatalf("boundary %d (%d) precedes boundary %d (%d): %v", i, r.B[i], i-1, r.B[i-1], r.B)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnnotateLookupRelease(t *testing.T) {
+	var clk fakeClock
+	tr := clk.tracer()
+	c := tr.Component("mu/n0", 0)
+
+	id := tr.Begin(c, 0, false, false, 1, 8)
+	tr.Annotate(id, 7, psnMask-1, 4) // wraps past the 24-bit PSN space
+	for i, psn := range []uint32{psnMask - 1, psnMask, 0, 1} {
+		if got := tr.Lookup(7, psn); got != id {
+			t.Fatalf("Lookup(7, %#x) [%d] = %#x, want %#x", psn, i, uint64(got), uint64(id))
+		}
+	}
+	if got := tr.Lookup(8, psnMask-1); got != 0 {
+		t.Fatalf("Lookup on wrong QP = %#x, want 0", uint64(got))
+	}
+	// Re-annotating the same range (a retransmission) is idempotent.
+	tr.Annotate(id, 7, psnMask-1, 4)
+
+	// A newer op reusing a PSN (sequence wrap) takes the slot over; the
+	// old op's release must not strip the new owner's annotation.
+	id2 := tr.Begin(c, 0, false, false, 1, 8)
+	tr.Annotate(id2, 7, psnMask-1, 1)
+	if got := tr.Lookup(7, psnMask-1); got != id2 {
+		t.Fatalf("reused PSN = %#x, want newer op %#x", uint64(got), uint64(id2))
+	}
+	tr.Finish(c, id)
+	if got := tr.Lookup(7, psnMask-1); got != id2 {
+		t.Fatal("finishing the old op released the new op's annotation")
+	}
+	if got := tr.Lookup(7, 0); got != 0 {
+		t.Fatalf("Lookup after release = %#x, want 0", uint64(got))
+	}
+	tr.Abort(id2)
+	if got := tr.Lookup(7, psnMask-1); got != 0 {
+		t.Fatal("Abort did not release annotations")
+	}
+}
+
+func TestAbortRecordsNothing(t *testing.T) {
+	var clk fakeClock
+	tr := clk.tracer()
+	c := tr.Component("mu/n0", 0)
+
+	id := tr.Begin(c, 0, false, false, 1, 8)
+	tr.Abort(id)
+	if n := len(tr.Completed()); n != 0 {
+		t.Fatalf("Completed after Abort = %d records, want 0", n)
+	}
+	if n := len(tr.Live()); n != 0 {
+		t.Fatalf("Live after Abort = %d ops, want 0", n)
+	}
+	// The released op is pooled; a fresh Begin must start from clean marks.
+	clk.at(77)
+	id2 := tr.Begin(c, 0, false, false, 1, 8)
+	clk.at(80)
+	tr.Finish(c, id2)
+	if r := tr.Completed()[0]; r.B[0] != 77 {
+		t.Fatalf("pooled op leaked marks: %v", r.B)
+	}
+}
+
+func TestRingsWrapOldestFirst(t *testing.T) {
+	var clk fakeClock
+	tr := clk.tracer()
+	c := tr.Component("mu/n0", 0)
+
+	total := defaultOpRing + 10
+	for i := 0; i < total; i++ {
+		clk.at(int64(i))
+		id := tr.Begin(c, 0, false, false, 1, 8)
+		tr.Finish(c, id)
+	}
+	recs := tr.Completed()
+	if len(recs) != defaultOpRing {
+		t.Fatalf("Completed retains %d, want %d", len(recs), defaultOpRing)
+	}
+	if recs[0].B[0] != int64(total-defaultOpRing) {
+		t.Fatalf("oldest retained op at t=%d, want %d", recs[0].B[0], total-defaultOpRing)
+	}
+	if recs[len(recs)-1].B[0] != int64(total-1) {
+		t.Fatalf("newest retained op at t=%d, want %d", recs[len(recs)-1].B[0], total-1)
+	}
+
+	spans := c.Spans()
+	if len(spans) != defaultSpanRing {
+		t.Fatalf("span ring retains %d, want %d", len(spans), defaultSpanRing)
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].Start {
+			t.Fatalf("span ring not oldest-first at %d: %d then %d", i, spans[i-1].Start, spans[i].Start)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardIsolationDetected(t *testing.T) {
+	var clk fakeClock
+	tr := clk.tracer()
+	s0 := tr.Component("s0/mu/n0", 0)
+	s1 := tr.Component("s1/mu/n0", 1)
+
+	id := tr.Begin(s0, 0, false, false, 1, 8)
+	// A shard-1 component recording a shard-0 trace is exactly the bug
+	// Validate exists to catch.
+	tr.Mark(s1, id, MarkPosted)
+	err := tr.Validate()
+	if err == nil {
+		t.Fatal("cross-shard span passed validation")
+	}
+	if !strings.Contains(err.Error(), "shard-1") {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+}
+
+func TestNilTracerAndComponentAreNoops(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	c := tr.Component("x", 0)
+	if c != nil {
+		t.Fatal("nil tracer returned a component")
+	}
+	if id := tr.Begin(c, 0, false, false, 1, 8); id != 0 {
+		t.Fatalf("nil Begin = %#x, want 0", uint64(id))
+	}
+	tr.Mark(c, 1, MarkPosted)
+	tr.MarkSpan(c, 1, MarkGatherFire, 0)
+	tr.Annotate(1, 1, 1, 1)
+	if got := tr.Lookup(1, 1); got != 0 {
+		t.Fatal("nil Lookup nonzero")
+	}
+	tr.Finish(c, 1)
+	tr.Abort(1)
+	tr.OnFinish(nil)
+	if tr.Completed() != nil || tr.Live() != nil || tr.Components() != nil {
+		t.Fatal("nil tracer retained state")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteFlight(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "disabled") {
+		t.Fatalf("nil flight dump = %q", buf.String())
+	}
+	buf.Reset()
+	if err := tr.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "traceEvents") {
+		t.Fatalf("nil perfetto dump = %q", buf.String())
+	}
+
+	// Zero trace IDs (untraced wrap markers) are dropped everywhere.
+	live := New(func() int64 { return 0 })
+	lc := live.Component("x", 0)
+	live.Mark(lc, 0, MarkPosted)
+	live.Finish(lc, 0)
+	if n := len(lc.Spans()); n != 0 {
+		t.Fatalf("zero-ID mark recorded %d spans", n)
+	}
+}
+
+func TestOnFinishDeliversRecords(t *testing.T) {
+	var clk fakeClock
+	tr := clk.tracer()
+	c := tr.Component("mu/n0", 0)
+	var got []OpRecord
+	tr.OnFinish(func(r OpRecord) { got = append(got, r) })
+
+	clk.at(3)
+	id := tr.Begin(c, 0, false, true, 5, 320)
+	clk.at(9)
+	tr.Finish(c, id)
+	if len(got) != 1 {
+		t.Fatalf("OnFinish fired %d times, want 1", len(got))
+	}
+	if !got[0].Batch || got[0].Ops != 5 || got[0].Bytes != 320 || got[0].E2E() != 6 {
+		t.Fatalf("OnFinish record = %+v", got[0])
+	}
+}

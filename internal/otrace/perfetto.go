@@ -1,0 +1,73 @@
+package otrace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePerfetto renders every component's retained spans as Chrome
+// trace-event JSON (the "JSON Array Format" Perfetto and chrome://
+// tracing both open). Components become threads, shards become
+// processes (pid = shard+1; shared infrastructure is pid 0), instant
+// marks become 'i' events and intervals become 'X' events.
+//
+// Output order is registration order then ring order, and timestamps
+// are formatted with fixed precision, so two same-seed runs export
+// byte-identical files.
+func (t *Tracer) WritePerfetto(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if t == nil {
+		fmt.Fprint(bw, `{"displayTimeUnit":"ns","traceEvents":[]}`)
+		fmt.Fprintln(bw)
+		return bw.Flush()
+	}
+	fmt.Fprint(bw, `{"displayTimeUnit":"ns","traceEvents":[`)
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		} else {
+			bw.WriteString("\n")
+			first = false
+		}
+		fmt.Fprintf(bw, format, args...)
+	}
+	pidOf := func(shard int) int { return shard + 1 }
+	seenPid := map[int]bool{}
+	for tid, c := range t.comps {
+		pid := pidOf(c.shard)
+		if !seenPid[pid] {
+			seenPid[pid] = true
+			name := "shared"
+			if c.shard >= 0 {
+				name = fmt.Sprintf("shard %d", c.shard)
+			}
+			emit(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%q}}`, pid, name)
+		}
+		emit(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%q}}`, pid, tid, c.name)
+	}
+	for tid, c := range t.comps {
+		pid := pidOf(c.shard)
+		for _, s := range c.Spans() {
+			name := markNames[s.Kind]
+			ts := usec(s.Start)
+			if s.Start == s.End {
+				emit(`{"name":%q,"cat":"mark","ph":"i","s":"t","ts":%s,"pid":%d,"tid":%d,"args":{"trace":"%#x"}}`,
+					name, ts, pid, tid, uint64(s.Trace))
+				continue
+			}
+			emit(`{"name":%q,"cat":"span","ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":{"trace":"%#x"}}`,
+				name, ts, usec(s.End-s.Start), pid, tid, uint64(s.Trace))
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// usec renders sim nanoseconds as the trace-event format's fractional
+// microseconds, with fixed precision for byte-stable exports.
+func usec(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e3, 'f', 3, 64)
+}

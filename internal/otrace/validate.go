@@ -1,0 +1,62 @@
+package otrace
+
+import "fmt"
+
+// Validate checks the causal invariants of everything the tracer
+// retains and returns the first violation found, or nil. The chaos
+// seed sweep runs it after every scenario:
+//
+//   - every finished operation's boundaries are present and monotone
+//     non-decreasing in sim time, so its stage durations are
+//     non-negative and telescope exactly to the end-to-end latency;
+//   - every finished operation's ID encodes the shard it reports;
+//   - every span is well-formed (Start <= End, known kind);
+//   - every span recorded by a shard-owned component belongs to a
+//     trace minted by that shard (shard isolation — trace IDs never
+//     cross consensus groups).
+func (t *Tracer) Validate() error {
+	if t == nil {
+		return nil
+	}
+	for _, r := range t.Completed() {
+		if r.B[0] < 0 {
+			return fmt.Errorf("otrace: op %#x finished without a submit mark", uint64(r.Trace))
+		}
+		for i := 1; i < len(r.B); i++ {
+			if r.B[i] < r.B[i-1] {
+				return fmt.Errorf("otrace: op %#x boundary %d (%d) precedes boundary %d (%d)",
+					uint64(r.Trace), i, r.B[i], i-1, r.B[i-1])
+			}
+		}
+		var sum int64
+		for i := 0; i < len(StageNames); i++ {
+			sum += r.Stage(i)
+		}
+		if sum != r.E2E() {
+			return fmt.Errorf("otrace: op %#x stages sum to %d, e2e is %d", uint64(r.Trace), sum, r.E2E())
+		}
+		if got := ShardOfID(r.Trace); got != r.Shard {
+			return fmt.Errorf("otrace: op %#x reports shard %d but its ID encodes shard %d",
+				uint64(r.Trace), r.Shard, got)
+		}
+	}
+	for _, c := range t.comps {
+		for _, s := range c.Spans() {
+			if int(s.Kind) >= numMarks {
+				return fmt.Errorf("otrace: component %s has span with unknown kind %d", c.name, s.Kind)
+			}
+			if s.End < s.Start {
+				return fmt.Errorf("otrace: component %s span %s@%d ends (%d) before it starts",
+					c.name, markNames[s.Kind], s.Start, s.End)
+			}
+			if s.Trace == 0 {
+				return fmt.Errorf("otrace: component %s recorded a span with the zero trace ID", c.name)
+			}
+			if c.shard >= 0 && ShardOfID(s.Trace) != c.shard {
+				return fmt.Errorf("otrace: shard-%d component %s recorded trace %#x from shard %d",
+					c.shard, c.name, uint64(s.Trace), ShardOfID(s.Trace))
+			}
+		}
+	}
+	return nil
+}

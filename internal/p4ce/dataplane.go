@@ -1,9 +1,11 @@
 package p4ce
 
 import (
+	"fmt"
 	"math/bits"
 
 	"p4ce/internal/metrics"
+	"p4ce/internal/otrace"
 	"p4ce/internal/roce"
 	"p4ce/internal/sim"
 	"p4ce/internal/simnet"
@@ -70,6 +72,10 @@ type group struct {
 	// measurement. Simulation-side observability only: no hardware
 	// equivalent is claimed, and the protocol never reads it.
 	armedAt []sim.Time
+
+	// oc is the group's trace component (spans for scatter, rewrite and
+	// gather-fire), resolved lazily; nil when tracing is disabled.
+	oc *otrace.Component
 
 	enabled bool
 }
@@ -187,6 +193,10 @@ type Dataplane struct {
 	mDrops        *metrics.Counter
 	mTableHits    *metrics.Counter
 	mGatherLatNs  *metrics.Histogram // scatter arm → aggregated-ACK forward
+
+	// otr is the causal tracer, bound lazily with the metric handles;
+	// nil (every call a no-op) when the kernel carries no tracer.
+	otr *otrace.Tracer
 }
 
 // bindMetrics resolves the program's instrument handles from the
@@ -242,6 +252,7 @@ func ridFor(g tofino.GroupID, ep uint8) uint16 { return uint16(g)<<8 | uint16(ep
 func (dp *Dataplane) Ingress(sw *tofino.Switch, in tofino.PortID, pkt *roce.Packet) tofino.IngressResult {
 	if !dp.mBound {
 		dp.bindMetrics(sw.Kernel().Metrics())
+		dp.otr = sw.Kernel().Tracer()
 	}
 	// Packets not addressed to the switch are ordinary traffic: forward.
 	if pkt.DstIP != sw.IP() {
@@ -302,10 +313,22 @@ func (dp *Dataplane) ingressScatter(sw *tofino.Switch, g *group, pkt *roce.Packe
 		g.numRecv.Write(slot, 0)
 	}
 	g.armSlot(slot, sw.Kernel().Now())
+	// B2: the write entered the scatter pipeline. The leader annotated
+	// its PSNs under the BCast QP, which is exactly this packet's DestQP.
+	dp.otr.Mark(dp.groupComp(g), dp.otr.Lookup(pkt.DestQP, pkt.PSN), otrace.MarkSwitchIngress)
 	dp.Stats.Scattered++
 	dp.mScattered.Inc()
 	dp.mFanout.Observe(int64(len(g.replicas)))
 	return tofino.IngressResult{Verdict: tofino.VerdictMulticast, Group: g.id}
+}
+
+// groupComp resolves the group's trace component lazily (groups are
+// installed by the control plane, which has no tracer reference).
+func (dp *Dataplane) groupComp(g *group) *otrace.Component {
+	if g.oc == nil && dp.otr != nil {
+		g.oc = dp.otr.Component(fmt.Sprintf("switch/g%d", g.id), -1)
+	}
+	return g.oc
 }
 
 func (dp *Dataplane) ingressGather(sw *tofino.Switch, g *group, pkt *roce.Packet) tofino.IngressResult {
@@ -352,9 +375,28 @@ func (dp *Dataplane) ingressGather(sw *tofino.Switch, g *group, pkt *roce.Packet
 	dp.Stats.AcksForwarded++
 	dp.mAcksFwd.Inc()
 	dp.observeGatherLatency(g, leaderPSN, sw.Kernel().Now())
+	dp.markGatherFire(sw, g, leaderPSN)
 	syn := roce.MakeSyndrome(roce.AckPositive, clampCredit(g.minCredit()))
 	dp.rewriteAckForLeader(g, pkt, leaderPSN, syn)
 	return tofino.IngressResult{Verdict: tofino.VerdictForward, OutPort: g.leaderPort}
+}
+
+// markGatherFire records B4 — the quorum completed and the aggregated
+// ACK leaves for the leader — as a span stretching back to when the
+// scatter armed the slot (the gather wait itself).
+func (dp *Dataplane) markGatherFire(sw *tofino.Switch, g *group, leaderPSN uint32) {
+	if dp.otr == nil {
+		return
+	}
+	id := dp.otr.Lookup(g.bcastQP, leaderPSN)
+	if id == 0 {
+		return
+	}
+	start := int64(sw.Kernel().Now())
+	if slot := int(leaderPSN) % numRecvSlots; slot < len(g.armedAt) {
+		start = int64(g.armedAt[slot])
+	}
+	dp.otr.MarkSpan(dp.groupComp(g), id, otrace.MarkGatherFire, start)
 }
 
 // armSlot stamps the start of a gather round for latency measurement.
@@ -436,7 +478,16 @@ func (dp *Dataplane) rewriteAckForLeader(g *group, pkt *roce.Packet, leaderPSN u
 func (dp *Dataplane) Egress(sw *tofino.Switch, out tofino.PortID, rid uint16, pkt *roce.Packet) bool {
 	if pkt.OpCode.IsWrite() {
 		if ent, ok := dp.rids.Lookup(rid); ok {
+			// B3: the copy is tailored for its replica. The trace is keyed
+			// under the pre-rewrite (BCast QP, leader PSN); re-annotate the
+			// rewritten (replica QP, replica PSN) afterwards so the
+			// replica's NIC can recover it from the wire.
+			id := dp.otr.Lookup(pkt.DestQP, pkt.PSN)
 			dp.rewriteWriteForReplica(sw, ent, pkt)
+			if id != 0 {
+				dp.otr.Mark(dp.groupComp(ent.g), id, otrace.MarkSwitchEgress)
+				dp.otr.Annotate(id, pkt.DestQP, pkt.PSN, 1)
+			}
 			return true
 		}
 		return true // ordinary forwarded write
@@ -462,6 +513,7 @@ func (dp *Dataplane) Egress(sw *tofino.Switch, out tofino.PortID, rid uint16, pk
 			dp.Stats.AcksForwarded++
 			dp.mAcksFwd.Inc()
 			dp.observeGatherLatency(g, pkt.PSN, sw.Kernel().Now())
+			dp.markGatherFire(sw, g, pkt.PSN)
 			pkt.Syndrome = roce.MakeSyndrome(roce.AckPositive, clampCredit(g.minCredit()))
 			return true
 		}

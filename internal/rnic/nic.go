@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"p4ce/internal/metrics"
+	"p4ce/internal/otrace"
 	"p4ce/internal/roce"
 	"p4ce/internal/sim"
 	"p4ce/internal/simnet"
@@ -115,6 +116,10 @@ type NIC struct {
 	mCreditStalls *metrics.Counter
 	mPSNGaps      *metrics.Counter
 	mRNRNaks      *metrics.Counter
+
+	// Causal tracing (nil no-ops when the kernel has no tracer).
+	otr *otrace.Tracer
+	oc  *otrace.Component
 }
 
 // Stats are the NIC's datapath counters.
@@ -153,6 +158,11 @@ func New(k *sim.Kernel, cfg Config, ip simnet.Addr) *NIC {
 		mPSNGaps:      m.Counter("rnic.psn_gaps"),
 		mRNRNaks:      m.Counter("rnic.rnr_naks"),
 	}
+	// The third address octet is the shard's /24 block (10.0.<shard>.0),
+	// which scopes this NIC's trace component to its consensus group.
+	_, _, shard, _ := ip.Octets()
+	n.otr = k.Tracer()
+	n.oc = n.otr.Component(fmt.Sprintf("s%d/rnic/%v", shard, ip), int(shard))
 	n.sendFn = n.sendDelayed
 	return n
 }

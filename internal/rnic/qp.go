@@ -1,6 +1,7 @@
 package rnic
 
 import (
+	"p4ce/internal/otrace"
 	"p4ce/internal/roce"
 	"p4ce/internal/sim"
 	"p4ce/internal/simnet"
@@ -58,6 +59,9 @@ type workRequest struct {
 	firstPSN  uint32 // assigned when the request starts transmitting
 	lastPSN   uint32
 	completed bool
+	// trace carries the originating operation's causal trace ID (zero
+	// when untraced); putWR's struct reset clears it with the rest.
+	trace otrace.ID
 }
 
 // wrQueue is a FIFO of work requests backed by a reusable array: popped
@@ -214,11 +218,20 @@ func (qp *QP) Connect(remoteIP simnet.Addr, remoteQPN, localPSN, remotePSN uint3
 // address. done is invoked with nil once the write is acknowledged, or
 // with an error if it fails.
 func (qp *QP) PostWrite(data []byte, remoteVA uint64, rkey uint32, done func(error)) error {
+	return qp.PostWriteTraced(data, remoteVA, rkey, 0, done)
+}
+
+// PostWriteTraced is PostWrite carrying a causal trace ID: the request
+// marks the posted boundary when its PSNs are assigned and annotates
+// them so downstream layers can recover the trace from the wire. A
+// zero trace (or disabled tracing) makes it identical to PostWrite.
+func (qp *QP) PostWriteTraced(data []byte, remoteVA uint64, rkey uint32, trace otrace.ID, done func(error)) error {
 	if qp.state != StateReady {
 		return ErrQPState
 	}
 	wr := qp.nic.getWR()
 	wr.typ, wr.remoteVA, wr.rkey, wr.done = wrWrite, remoteVA, rkey, done
+	wr.trace = trace
 	wr.data, wr.dataPooled = qp.nic.captureData(data)
 	return qp.post(wr)
 }
@@ -303,6 +316,13 @@ func (qp *QP) pump() {
 		wr.firstPSN = qp.sndPSN
 		wr.lastPSN = roce.PSNAdd(qp.sndPSN, span-1)
 		qp.sndPSN = roce.PSNAdd(qp.sndPSN, span)
+		if wr.trace != 0 {
+			// B1: the WQE reached the wire pipeline. The PSN range is
+			// keyed under the destination QP, which is what the switch
+			// (or the replica, in direct mode) sees inbound.
+			qp.nic.otr.Mark(qp.nic.oc, wr.trace, otrace.MarkPosted)
+			qp.nic.otr.Annotate(wr.trace, qp.remoteQPN, wr.firstPSN, span)
+		}
 		qp.inflight.Push(wr)
 		qp.transmitWR(wr)
 	}
@@ -457,6 +477,10 @@ func (qp *QP) completeThrough(psn uint32) {
 			break
 		}
 		qp.inflight.PopFront()
+		if wr.trace != 0 {
+			// B5: the (aggregated) acknowledgment completed the WQE.
+			qp.nic.otr.Mark(qp.nic.oc, wr.trace, otrace.MarkAckRx)
+		}
 		wr.complete(nil)
 		qp.nic.putWR(wr)
 	}
@@ -649,6 +673,12 @@ func (qp *QP) handleInboundWrite(p *roce.Packet) {
 	if qp.curMR == nil {
 		qp.sendNak(p.PSN, roce.NakInvalidRequest)
 		return
+	}
+	if qp.nic.otr != nil {
+		// B2 fallback (first-wins): a replica accepted the write. In
+		// switch mode the egress rewrite re-annotated the per-replica
+		// (QP, PSN); in direct mode this is the leader's own annotation.
+		qp.nic.otr.Mark(qp.nic.oc, qp.nic.otr.Lookup(qp.num, p.PSN), otrace.MarkReplicaRx)
 	}
 	qp.curMR.write(qp.curVA, p.Payload)
 	qp.curVA += uint64(len(p.Payload))

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"p4ce/internal/metrics"
+	"p4ce/internal/otrace"
 )
 
 // Time is a simulated instant, measured in nanoseconds since the start of
@@ -107,6 +108,7 @@ type Kernel struct {
 	processed uint64
 	stopped   bool
 	metrics   *metrics.Registry
+	tracer    *otrace.Tracer
 	bufs      Buffers
 }
 
@@ -128,6 +130,15 @@ func (k *Kernel) SetMetrics(r *metrics.Registry) { k.metrics = r }
 // Metrics returns the attached registry, or nil when disabled. The nil
 // registry is safe to use: it hands out nil no-op handles.
 func (k *Kernel) Metrics() *metrics.Registry { return k.metrics }
+
+// SetTracer attaches the causal operation tracer. Like SetMetrics,
+// attach it before wiring up devices: components register their trace
+// components at construction. A nil tracer (the default) disables
+// tracing; every otrace method is a no-op on it.
+func (k *Kernel) SetTracer(t *otrace.Tracer) { k.tracer = t }
+
+// Tracer returns the attached operation tracer, or nil when disabled.
+func (k *Kernel) Tracer() *otrace.Tracer { return k.tracer }
 
 // Rand returns the kernel's deterministic random source.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"p4ce/internal/mu"
 	"p4ce/internal/roce"
 	"p4ce/internal/sim"
 	"p4ce/internal/simnet"
@@ -48,6 +49,11 @@ func (e Event) String() string {
 		}
 	} else if n := len(p.Payload); n > 0 {
 		fmt.Fprintf(&b, " payload=%dB", n)
+		// A replication write carries an encoded log entry; a FlagBatch
+		// one coalesces several client operations — surface how many.
+		if ent, _, _, ok := mu.DecodeEntryAt(p.Payload, 0); ok && ent.Flags&mu.FlagBatch != 0 {
+			fmt.Fprintf(&b, " batch(n=%d, bytes=%d)", mu.BatchOpCount(ent.Data), len(ent.Data))
+		}
 	}
 	return b.String()
 }
@@ -70,6 +76,9 @@ type Filter struct {
 	Sites []string
 	// OpCodes restricts to these operation codes.
 	OpCodes []roce.OpCode
+	// QPs restricts to these destination queue pair numbers (e.g. one
+	// replica's log QP, to follow a single replication path).
+	QPs []uint32
 	// CMOnly keeps only connection-manager datagrams.
 	CMOnly bool
 	// DropsOnly keeps only lost frames.
@@ -93,7 +102,7 @@ func (f *Filter) keep(e Event) bool {
 		}
 	}
 	if e.Pkt == nil {
-		return len(f.OpCodes) == 0 && !f.CMOnly
+		return len(f.OpCodes) == 0 && len(f.QPs) == 0 && !f.CMOnly
 	}
 	if f.CMOnly && e.Pkt.DestQP != roce.CMQPN {
 		return false
@@ -102,6 +111,18 @@ func (f *Filter) keep(e Event) bool {
 		ok := false
 		for _, op := range f.OpCodes {
 			if op == e.Pkt.OpCode {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(f.QPs) > 0 {
+		ok := false
+		for _, qp := range f.QPs {
+			if qp == e.Pkt.DestQP {
 				ok = true
 				break
 			}

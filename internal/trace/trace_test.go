@@ -1,11 +1,14 @@
 package trace_test
 
 import (
+	"encoding/binary"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
 
 	"p4ce"
+	"p4ce/internal/mu"
 	"p4ce/internal/roce"
 	"p4ce/internal/trace"
 )
@@ -120,5 +123,64 @@ func TestTraceDropsOnly(t *testing.T) {
 	}
 	if s := tr.Summary(); !strings.Contains(s, "lost") {
 		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestTraceFilterByQP(t *testing.T) {
+	cl := p4ce.NewCluster(p4ce.Options{Nodes: 3, Mode: p4ce.ModeMu, Seed: 2})
+	all := cl.EnableTrace(nil, 256, trace.Filter{OpCodes: []roce.OpCode{roce.OpWriteOnly}})
+	leader, err := cl.RunUntilLeader(200 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Propose([]byte("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(time.Millisecond)
+	events := all.Events()
+	if len(events) == 0 {
+		t.Fatal("no writes captured")
+	}
+	qp := events[0].Pkt.DestQP
+	flt := cl.EnableTrace(nil, 256, trace.Filter{QPs: []uint32{qp}})
+	if err := leader.Propose([]byte("y"), nil); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(time.Millisecond)
+	if flt.Total() == 0 {
+		t.Fatalf("QP filter %#x captured nothing", qp)
+	}
+	for _, e := range flt.Events() {
+		if e.Pkt == nil || e.Pkt.DestQP != qp {
+			t.Fatalf("QP filter leaked event %v", e)
+		}
+	}
+}
+
+func TestTraceBatchPayloadDecode(t *testing.T) {
+	// A FlagBatch entry's wire payload must render its operation count
+	// and payload size, not just the raw byte length.
+	var data []byte
+	for _, op := range []string{"alpha", "omega!"} {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(op)))
+		data = append(data, hdr[:]...)
+		data = append(data, op...)
+	}
+	payload := mu.EncodeEntry(&mu.Entry{Term: 1, Index: 7, Flags: mu.FlagBatch, Data: data})
+	e := trace.Event{
+		Site: "host0",
+		Pkt:  &roce.Packet{OpCode: roce.OpWriteOnly, DestQP: 0x11, Payload: payload},
+		Size: len(payload),
+	}
+	want := fmt.Sprintf("batch(n=2, bytes=%d)", len(data))
+	if s := e.String(); !strings.Contains(s, want) {
+		t.Fatalf("String() = %q, want it to contain %q", s, want)
+	}
+	// A plain entry must not be mislabelled as a batch.
+	plain := mu.EncodeEntry(&mu.Entry{Term: 1, Index: 8, Data: []byte("solo")})
+	e.Pkt = &roce.Packet{OpCode: roce.OpWriteOnly, DestQP: 0x11, Payload: plain}
+	if s := e.String(); strings.Contains(s, "batch(") {
+		t.Fatalf("plain entry rendered as batch: %q", s)
 	}
 }

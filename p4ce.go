@@ -89,6 +89,14 @@ type Options struct {
 	// mu) records into it. Off by default: the disabled registry hands
 	// out nil no-op handles, so the hot paths pay nothing.
 	EnableMetrics bool
+	// EnableTracing attaches the causal tracer (package otrace) to the
+	// kernel before any component is built: every operation's life from
+	// client submit through switch pipeline to commit is recorded as
+	// spans in per-component ring buffers, exportable as Perfetto JSON
+	// (Cluster.ExportTrace) and a flight-recorder dump
+	// (Cluster.DumpFlightRecorder). Off by default: the nil tracer
+	// no-ops everywhere and the hot paths pay nothing.
+	EnableTracing bool
 	// LogSize overrides the per-machine replicated log ring size.
 	LogSize int
 	// PipelineDepth overrides how many requests a queue pair keeps in

@@ -33,11 +33,15 @@ func TestSafetyUnderRandomCrashes(t *testing.T) {
 func runSafetySchedule(t *testing.T, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
 	nodes := 3 + 2*rng.Intn(2) // 3 or 5
+	// Tracing is a pure observer (identical event sequence on or off),
+	// so the fuzz runs with it on: an invariant failure dumps the flight
+	// recorder with the last operations' per-stage timings.
 	cl := NewCluster(Options{
 		Nodes:         nodes,
 		Mode:          ModeP4CE,
 		Seed:          seed,
 		AsyncReconfig: rng.Intn(2) == 0,
+		EnableTracing: true,
 	})
 	records := make([]applyRecord, nodes)
 	for i, n := range cl.Nodes() {
@@ -123,12 +127,14 @@ func runSafetySchedule(t *testing.T, seed int64) {
 		seq := records[i].seq
 		for j, v := range seq {
 			if v != longest[j] {
-				t.Fatalf("seed %d: node %d applied %q at position %d, another machine applied %q",
+				failWithFlightDump(t, cl, fmt.Sprintf("safety-seed%d", seed),
+					"seed %d: node %d applied %q at position %d, another machine applied %q",
 					seed, i, v, j, longest[j])
 			}
 		}
 		if len(longest)-len(seq) > 2 {
-			t.Fatalf("seed %d: node %d lags %d entries behind after quiescence",
+			failWithFlightDump(t, cl, fmt.Sprintf("safety-seed%d", seed),
+				"seed %d: node %d lags %d entries behind after quiescence",
 				seed, i, len(longest)-len(seq))
 		}
 	}
@@ -141,7 +147,8 @@ func runSafetySchedule(t *testing.T, seed int64) {
 	}
 	for v := range acked {
 		if !appliedSet[v] {
-			t.Fatalf("seed %d: acknowledged value %q lost", seed, v)
+			failWithFlightDump(t, cl, fmt.Sprintf("safety-seed%d", seed),
+				"seed %d: acknowledged value %q lost", seed, v)
 		}
 	}
 

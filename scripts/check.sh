@@ -30,6 +30,16 @@ echo "== allocs/op gate =="
 # P4CE path performs no heap allocations, metrics on or off.
 go test ./internal/bench -run TestZeroAllocSteadyState -count=1
 
+echo "== trace export gate =="
+# The causal tracer must stay a pure observer with deterministic
+# exports: the dedicated tests pin both properties, then a simulator
+# run proves the CLI path end to end (writes and re-reads a Perfetto
+# trace).
+go test . -run 'TestTracingIsPureObserver|TestTraceExportDeterministic' -count=1
+go run ./cmd/p4ce-sim -rate 10000 -duration 20ms -trace-out /tmp/p4ce-trace-check.json >/dev/null
+grep -q traceEvents /tmp/p4ce-trace-check.json
+rm -f /tmp/p4ce-trace-check.json
+
 echo "== bench regression gate =="
 go run ./cmd/p4ce-bench -json -profile quick -out BENCH_p4ce.json
 ./scripts/bench_compare.sh
