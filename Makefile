@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race vet check chaos bench bench-smoke bench-micro trace-demo
+.PHONY: build test race vet check chaos bench bench-smoke bench-micro trace-demo test-race-parallel
 
 build:
 	go build ./...
@@ -13,6 +13,14 @@ race:
 
 vet:
 	go vet ./...
+
+# Race-detector pass over the parallel kernel surface: the partitioned
+# scheduler itself, the cross-partition integration tests, and the
+# partitioned chaos sweep (short seed set; drop -short for the full one).
+test-race-parallel:
+	go test -race ./internal/sim -count=1
+	go test -race . -run 'TestParallelKernelDeterminism|TestShardClock' -count=1
+	go test -race ./internal/chaos -run TestParallelSeedSweep -short -count=1
 
 # The full verification gate (vet + build + test + race).
 check:

@@ -148,12 +148,15 @@ func (c *Cluster) NewClient() *Client { return c.NewClientForShard(0) }
 // NewClientForShard opens a session pinned to shard s: every command
 // the session submits is proposed on that shard's leader. Pinning
 // whole sessions (rather than individual commands) keeps the per-
-// session exactly-once state on a single group.
+// session exactly-once state on a single group. The session identifier
+// comes from the shard domain's random stream and retries reschedule on
+// the shard's domain, so on a partitioned cluster a client driven
+// through Shard.After stays entirely on its shard's partition.
 func (c *Cluster) NewClientForShard(s int) *Client {
 	return &Client{
 		cluster:    c,
 		shard:      s,
-		session:    c.kernel.Rand().Uint32(),
+		session:    c.shards[s].kernel.Rand().Uint32(),
 		RetryDelay: time.Millisecond,
 		MaxRetries: 100,
 	}
@@ -190,7 +193,7 @@ func (cl *Client) attempt(cmd []byte, tries int, done func(error)) {
 			return
 		}
 		cl.Retries++
-		cl.cluster.After(cl.RetryDelay, func() { cl.attempt(cmd, tries+1, done) })
+		cl.cluster.shards[cl.shard].After(cl.RetryDelay, func() { cl.attempt(cmd, tries+1, done) })
 	}
 	leader := cl.cluster.ShardLeader(cl.shard)
 	if leader == nil {

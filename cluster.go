@@ -31,7 +31,8 @@ var (
 // clock that only advances through the Run methods.
 type Cluster struct {
 	opts   Options
-	kernel *sim.Kernel
+	kernel *sim.Kernel // fabric domain (and, classically, the only one)
+	group  *sim.Group  // non-nil with Options.Partitions >= 1
 	sw     *tofino.Switch
 	backup *tofino.Switch
 	dp     *swp4ce.Dataplane
@@ -43,18 +44,45 @@ type Cluster struct {
 // NewCluster builds the testbed. Nothing runs until Run is called.
 func NewCluster(opts Options) *Cluster {
 	opts = opts.withDefaults()
-	k := sim.NewKernel(opts.Seed)
+	var (
+		k *sim.Kernel
+		g *sim.Group
+	)
+	if opts.Partitions > 0 {
+		// Partitioned kernel: domain 0 carries the switch fabric and
+		// the management plane, domain 1+s carries shard s. The
+		// conservative lookahead is the minimum link propagation delay
+		// — every cross-domain frame is at least one cable flight away,
+		// so partitions may execute one flight time ahead of each other
+		// without reordering anything.
+		g = sim.NewGroup(opts.Seed, 1+opts.Shards, opts.Partitions,
+			simnet.DefaultLinkConfig().Propagation)
+		k = g.Root()
+	} else {
+		k = sim.NewKernel(opts.Seed)
+	}
 	if opts.EnableMetrics {
 		// Attach before any device is constructed: components resolve
 		// their instrument handles exactly once, at build time.
-		k.SetMetrics(metrics.New())
+		if g != nil {
+			g.SetMetrics(metrics.New())
+		} else {
+			k.SetMetrics(metrics.New())
+		}
 	}
 	if opts.EnableTracing {
 		// Same rule as metrics: the tracer must exist before NICs and
 		// nodes are built, because they bind their trace components once.
-		k.SetTracer(otrace.New(func() int64 { return int64(k.Now()) }))
+		// The fallback clock is the fabric domain's; components on shard
+		// domains register their own clock through ComponentAt.
+		tr := otrace.New(func() int64 { return int64(k.Now()) })
+		if g != nil {
+			g.SetTracer(tr)
+		} else {
+			k.SetTracer(tr)
+		}
 	}
-	c := &Cluster{opts: opts, kernel: k}
+	c := &Cluster{opts: opts, kernel: k, group: g}
 
 	swCfg := tofino.DefaultConfig()
 	if opts.TuneSwitch != nil {
@@ -91,11 +119,17 @@ func NewCluster(opts Options) *Cluster {
 // the global machine index s*Nodes+i.
 func (c *Cluster) buildShard(s int) {
 	opts, k := c.opts, c.kernel
+	if c.group != nil {
+		// Each shard's machines — NICs, host ports, protocol nodes —
+		// live on the shard's own scheduling domain; only the switch
+		// side of each cable stays on the fabric domain.
+		k = c.group.Kernel(1 + s)
+	}
 	peers := make([]mu.Peer, opts.Nodes)
 	for i := range peers {
 		peers[i] = mu.Peer{ID: i, Addr: simnet.AddrFrom(10, 0, byte(s), byte(i+1))}
 	}
-	shard := &Shard{cluster: c, index: s}
+	shard := &Shard{cluster: c, index: s, kernel: k}
 
 	for i := 0; i < opts.Nodes; i++ {
 		g := s*opts.Nodes + i // global machine index
@@ -167,6 +201,11 @@ func (c *Cluster) buildShard(s int) {
 			engCfg = core.DefaultConfig(c.sw.IP())
 			engCfg.AsyncReconfig = opts.AsyncReconfig
 			engCfg.Management = c.cp
+			if c.group != nil {
+				// The control plane lives on the fabric domain;
+				// membership RPCs must hop domains instead of calling in.
+				engCfg.ManagementKernel = c.kernel
+			}
 		}
 		engine := core.New(node, engCfg)
 		engine.SetPeers(others)
@@ -192,18 +231,32 @@ func (c *Cluster) Run(d time.Duration) { c.kernel.RunFor(simDuration(d)) }
 func (c *Cluster) Step() bool { return c.kernel.Step() }
 
 // After schedules fn to run d from now on the simulated clock (workload
-// generators use it for open-loop arrivals).
+// generators use it for open-loop arrivals). On a partitioned cluster
+// (Options.Partitions >= 1) the callback runs on the fabric domain;
+// callbacks that touch a shard's machines — Propose, Client.Submit —
+// belong on that shard's domain instead, through Shard.After.
 func (c *Cluster) After(d time.Duration, fn func()) {
 	c.kernel.Schedule(simDuration(d), fn)
 }
 
-// Now returns the current simulated time.
+// Now returns the current simulated time (on a partitioned cluster: the
+// fabric domain's clock, which every Run advances to the same horizon
+// as the shard domains).
 func (c *Cluster) Now() time.Duration { return time.Duration(c.kernel.Now()) }
 
 // EventsProcessed reports how many simulation events have executed.
 // Two same-seed runs must agree on it exactly; determinism tests use it
 // as a cheap whole-run fingerprint of the event schedule.
 func (c *Cluster) EventsProcessed() uint64 { return c.kernel.Processed() }
+
+// Partitions reports how many kernel partitions execute the simulation
+// concurrently, or 0 for the classic single-kernel scheduler.
+func (c *Cluster) Partitions() int {
+	if c.group == nil {
+		return 0
+	}
+	return c.group.Partitions()
+}
 
 // Metrics returns the cluster-wide registry, or nil unless the cluster
 // was built with Options.EnableMetrics. The nil registry is safe to

@@ -11,6 +11,7 @@
 //	p4ce-bench -experiment ablations  # credit + async-reconfig ablations
 //	p4ce-bench -experiment sharded    # shard scaling + adaptive batching
 //	p4ce-bench -experiment breakdown  # per-stage latency decomposition
+//	p4ce-bench -experiment scaling    # parallel kernel: wall-clock vs partitions
 //
 // -ops scales the per-point operation count (the paper averages one
 // million operations per point; the default here keeps full sweeps fast).
@@ -34,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"text/tabwriter"
 	"time"
@@ -45,7 +47,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id: all, fig5, maxcps, fig6, fig7, tab4, lesson1, ablations, sharded, breakdown")
+		experiment = flag.String("experiment", "all", "experiment id: all, fig5, maxcps, fig6, fig7, tab4, lesson1, ablations, sharded, breakdown, scaling")
 		ops        = flag.Int("ops", 4000, "operations per measured point")
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		csvDir     = flag.String("csv", "", "also write one CSV per experiment into this directory (for plotting)")
@@ -157,6 +159,7 @@ func run(experiment string, ops int, seed int64) error {
 		{"ablations", ablations},
 		{"sharded", sharded},
 		{"breakdown", breakdown},
+		{"scaling", scaling},
 	} {
 		if all || experiment == exp.id {
 			didAny = true
@@ -433,6 +436,42 @@ func sharded(ops int, seed int64) error {
 			p.BatchMaxOps, p.ThroughputMops, p.MeanLat, p.P99Lat, p.MeanOpsPerEntry)
 	}
 	w.Flush()
+	return nil
+}
+
+func scaling(ops int, seed int64) error {
+	header("Kernel scaling — one simulation, more partitions")
+	cfg := bench.DefaultScalingConfig()
+	cfg.Ops = ops
+	cfg.Seed = seed
+	points, err := bench.RunScaling(cfg)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			strconv.Itoa(p.Partitions), strconv.Itoa(p.Shards),
+			strconv.FormatUint(p.Events, 10),
+			strconv.FormatFloat(p.AggregateOpsPerS, 'f', 0, 64),
+			strconv.FormatInt(p.Wall.Nanoseconds(), 10),
+		})
+	}
+	writeCSV("kernel_scaling.csv", []string{"partitions", "shards", "events", "sim_ops_per_s", "wall_ns"}, rows)
+	w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "partitions\tevents\tsim ops/s\twall time\twall events/s\tspeedup")
+	baseWall := points[0].Wall
+	for _, p := range points {
+		fmt.Fprintf(w, "%d\t%d\t%.2fM\t%v\t%.2fM\t%.2f×\n",
+			p.Partitions, p.Events, p.AggregateOpsPerS/1e6,
+			p.Wall.Round(time.Millisecond),
+			float64(p.Events)/p.Wall.Seconds()/1e6,
+			float64(baseWall)/float64(p.Wall))
+	}
+	w.Flush()
+	fmt.Printf("\n(GOMAXPROCS=%d. Events and sim ops/s are identical at every partition count —\n"+
+		" that is the determinism guarantee. Only wall time may change, and speedup\n"+
+		" requires as many free cores as partitions.)\n", runtime.GOMAXPROCS(0))
 	return nil
 }
 

@@ -47,6 +47,7 @@ func main() {
 		rate     = flag.Float64("rate", 50_000, "offered load, consensus/s (0 = idle)")
 		size     = flag.Int("size", 64, "value size in bytes")
 		seed     = flag.Int64("seed", 42, "simulation seed")
+		parts    = flag.Int("partitions", 0, "kernel partitions: 0 = classic single-heap kernel, N>=1 = partitioned parallel kernel (same-seed runs bit-identical at any N>=1)")
 		backup   = flag.Bool("backup", false, "cable a backup fabric")
 		async    = flag.Bool("async-reconfig", false, "reconfigure the switch asynchronously (Lesson 3)")
 		crash    = flag.String("crash", "", "failure schedule, e.g. leader@50ms,replica4@80ms,switch@120ms")
@@ -63,7 +64,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*nodes, *mode, *duration, *rate, *size, *seed, *backup, *async, *crash, *chaosSc, *chaosSd, *doTrace, *traceOut, *metricsF); err != nil {
+	if err := run(*nodes, *mode, *duration, *rate, *size, *seed, *parts, *backup, *async, *crash, *chaosSc, *chaosSd, *doTrace, *traceOut, *metricsF); err != nil {
 		fmt.Fprintln(os.Stderr, "p4ce-sim:", err)
 		os.Exit(1)
 	}
@@ -104,7 +105,7 @@ func parseCrashes(spec string) ([]crashEvent, error) {
 	return out, nil
 }
 
-func run(nodes int, modeStr string, duration time.Duration, rate float64, size int, seed int64, backup, async bool, crashSpec, chaosName string, chaosSeed int64, doTrace bool, traceOut string, withMetrics bool) error {
+func run(nodes int, modeStr string, duration time.Duration, rate float64, size int, seed int64, partitions int, backup, async bool, crashSpec, chaosName string, chaosSeed int64, doTrace bool, traceOut string, withMetrics bool) error {
 	var mode p4ce.Mode
 	switch strings.ToLower(modeStr) {
 	case "p4ce":
@@ -123,11 +124,17 @@ func run(nodes int, modeStr string, duration time.Duration, rate float64, size i
 		Nodes:         nodes,
 		Mode:          mode,
 		Seed:          seed,
+		Partitions:    partitions,
 		BackupFabric:  backup,
 		AsyncReconfig: async,
 		EnableMetrics: withMetrics,
 		EnableTracing: traceOut != "",
 	})
+	// Everything that touches the nodes — the workload and the node
+	// crash script — schedules on the shard's own domain, the calling
+	// convention the partitioned kernel requires (and a no-op on the
+	// classic kernel, where every domain is the one event loop).
+	sh := cl.Shard(0)
 	var tracer *trace.Tracer
 	if doTrace {
 		tracer = cl.EnableTrace(os.Stderr, 1024, trace.Filter{})
@@ -145,6 +152,13 @@ func run(nodes int, modeStr string, duration time.Duration, rate float64, size i
 	var chaosEng *chaos.Engine
 	if chaosName != "" {
 		logf := func(format string, args ...any) {
+			// Fault callbacks run on their target's domain; on a
+			// partitioned kernel the fabric clock isn't readable from
+			// there, and the messages carry their own local timestamps.
+			if partitions >= 1 {
+				fmt.Printf("[   chaos  ] %s\n", fmt.Sprintf(format, args...))
+				return
+			}
 			fmt.Printf("[%9v] %s\n", cl.Now().Round(10*time.Microsecond), fmt.Sprintf(format, args...))
 		}
 		eng, horizon, err := cl.ApplyChaosScenario(chaosName, chaosSeed, logf)
@@ -158,26 +172,32 @@ func run(nodes int, modeStr string, duration time.Duration, rate float64, size i
 		fmt.Printf("chaos: scenario %q armed (seed %d, horizon %v)\n", chaosName, chaosSeed, horizon)
 	}
 
-	// Schedule the failure script.
+	// Schedule the failure script. Node crashes run on the shard's
+	// domain (they touch node state); the switch crash runs on the
+	// fabric domain, which Cluster.After schedules on.
 	for _, ev := range crashes {
 		ev := ev
-		cl.After(ev.at, func() {
-			switch ev.target {
-			case "leader":
+		switch ev.target {
+		case "leader":
+			sh.After(ev.at, func() {
 				if l := cl.Leader(); l != nil {
-					fmt.Printf("[%9v] crash: leader (node %d)\n", cl.Now().Round(10*time.Microsecond), l.ID())
+					fmt.Printf("[%9v] crash: leader (node %d)\n", sh.Now().Round(10*time.Microsecond), l.ID())
 					l.Crash()
 				}
-			case "switch":
+			})
+		case "switch":
+			cl.After(ev.at, func() {
 				fmt.Printf("[%9v] crash: programmable switch\n", cl.Now().Round(10*time.Microsecond))
 				cl.CrashSwitch()
-			case "replica":
+			})
+		case "replica":
+			sh.After(ev.at, func() {
 				if ev.id < nodes {
-					fmt.Printf("[%9v] crash: node %d\n", cl.Now().Round(10*time.Microsecond), ev.id)
+					fmt.Printf("[%9v] crash: node %d\n", sh.Now().Round(10*time.Microsecond), ev.id)
 					cl.Node(ev.id).Crash()
 				}
-			}
-		})
+			})
+		}
 	}
 
 	// Offered load: Poisson arrivals, retried on leader changes.
@@ -192,7 +212,7 @@ func run(nodes int, modeStr string, duration time.Duration, rate float64, size i
 	if rate > 0 {
 		var arrive func()
 		arrive = func() {
-			if cl.Now() >= end {
+			if sh.Now() >= end {
 				return
 			}
 			offered++
@@ -200,14 +220,14 @@ func run(nodes int, modeStr string, duration time.Duration, rate float64, size i
 			if l == nil {
 				stale++
 			} else {
-				at := cl.Now()
+				at := sh.Now()
 				if err := l.Propose(payload, func(err error) {
 					if err != nil {
 						rejected++
 						return
 					}
 					acked++
-					latencySum += cl.Now() - at
+					latencySum += sh.Now() - at
 				}); err != nil {
 					stale++
 				}
@@ -216,9 +236,9 @@ func run(nodes int, modeStr string, duration time.Duration, rate float64, size i
 			if gap <= 0 {
 				gap = time.Nanosecond
 			}
-			cl.After(gap, arrive)
+			sh.After(gap, arrive)
 		}
-		arrive()
+		sh.After(0, arrive)
 	}
 
 	cl.Run(duration + 50*time.Millisecond)

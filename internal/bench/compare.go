@@ -186,5 +186,26 @@ func CompareReports(base, cand *Report) []Regression {
 		out = check(out, "breakdown/"+key+"/p50_e2e_ns", float64(bp.P50.E2ENs), float64(cp.P50.E2ENs), lowerIsBetter)
 		out = check(out, "breakdown/"+key+"/p99_e2e_ns", float64(bp.P99.E2ENs), float64(cp.P99.E2ENs), lowerIsBetter)
 	}
+
+	// The kernel-scaling section arrived with schema v4; a pre-v4
+	// baseline has no points and this loop is a no-op. Only sim-time
+	// rates and latencies gate — the wall-clock speedup that motivates
+	// the sweep is machine-dependent and never enters a report.
+	candScaling := make(map[int]ScalingPointJSON)
+	for _, pt := range cand.Scaling.Points {
+		candScaling[pt.Partitions] = pt
+	}
+	for _, bp := range base.Scaling.Points {
+		key := fmt.Sprintf("p%d", bp.Partitions)
+		cp, ok := candScaling[bp.Partitions]
+		if !ok {
+			cp.AggregateOpsPerS = math.NaN()
+		}
+		out = check(out, "scaling/"+key+"/aggregate_ops_per_s", bp.AggregateOpsPerS, cp.AggregateOpsPerS, higherIsBetter)
+		if ok {
+			out = check(out, "scaling/"+key+"/mean_ns", float64(bp.MeanNs), float64(cp.MeanNs), lowerIsBetter)
+			out = check(out, "scaling/"+key+"/p99_ns", float64(bp.P99Ns), float64(cp.P99Ns), lowerIsBetter)
+		}
+	}
 	return out
 }

@@ -18,8 +18,9 @@ import (
 
 // SchemaVersion identifies the BENCH_p4ce.json layout. Version 2 added
 // the sharded-scaling and batch-sweep sections; version 3 added the
-// per-stage latency breakdown section (causal tracing).
-const SchemaVersion = 3
+// per-stage latency breakdown section (causal tracing); version 4 added
+// the kernel-scaling section (partitioned scheduler).
+const SchemaVersion = 4
 
 // Report is the root of BENCH_p4ce.json.
 type Report struct {
@@ -34,6 +35,7 @@ type Report struct {
 	Sharded       ShardedSection    `json:"sharded"`
 	BatchSweep    BatchSweepSection `json:"batch_sweep"`
 	Breakdown     BreakdownSection  `json:"breakdown"`
+	Scaling       ScalingSection    `json:"scaling"`
 }
 
 // GoodputSection is the Fig. 5 sweep.
@@ -220,6 +222,41 @@ type BreakdownOpJSON struct {
 	StagesNs []int64 `json:"stages_ns"`
 }
 
+// ScalingSection is the kernel-scaling sweep (schema v4): the same
+// sharded workload at a range of partition counts. Every recorded field
+// is sim-derived, so the points must agree on everything except the
+// partition count itself — the report-level statement of the
+// partitioned scheduler's determinism guarantee, which Validate
+// enforces. Wall-clock speedup is deliberately absent: it would break
+// bit-reproducibility.
+type ScalingSection struct {
+	Seed   int64              `json:"seed"`
+	Config ScalingConfigJSON  `json:"config"`
+	Points []ScalingPointJSON `json:"points"`
+}
+
+// ScalingConfigJSON records the sweep parameters.
+type ScalingConfigJSON struct {
+	Partitions []int `json:"partitions"`
+	Shards     int   `json:"shards"`
+	Nodes      int   `json:"nodes"`
+	ItemSize   int   `json:"item_size"`
+	Depth      int   `json:"depth"`
+	Warmup     int   `json:"warmup"`
+	Ops        int   `json:"ops"`
+}
+
+// ScalingPointJSON is one measured partition count.
+type ScalingPointJSON struct {
+	Partitions       int     `json:"partitions"`
+	AggregateOpsPerS float64 `json:"aggregate_ops_per_s"`
+	MeanNs           int64   `json:"mean_ns"`
+	P99Ns            int64   `json:"p99_ns"`
+	CommittedOps     int     `json:"committed_ops"`
+	Events           uint64  `json:"events"`
+	SimDurationNs    int64   `json:"sim_duration_ns"`
+}
+
 // Profile bundles the section configurations of one report flavor.
 type Profile struct {
 	Name             string
@@ -231,6 +268,7 @@ type Profile struct {
 	Sharded          ShardedConfig
 	BatchSweep       BatchSweepConfig
 	Breakdown        BreakdownConfig
+	Scaling          ScalingConfig
 }
 
 // FullProfile is the paper-shaped sweep; it takes a few minutes of
@@ -246,6 +284,7 @@ func FullProfile() Profile {
 		Sharded:          DefaultShardedConfig(),
 		BatchSweep:       DefaultBatchSweepConfig(),
 		Breakdown:        DefaultBreakdownConfig(),
+		Scaling:          DefaultScalingConfig(),
 	}
 }
 
@@ -299,6 +338,16 @@ func QuickProfile() Profile {
 			Ops:      2000,
 			Seed:     1,
 		},
+		Scaling: ScalingConfig{
+			Partitions: []int{1, 2, 4},
+			Shards:     4,
+			Nodes:      3,
+			ItemSize:   64,
+			Depth:      8,
+			Warmup:     100,
+			Ops:        1000,
+			Seed:       1,
+		},
 	}
 }
 
@@ -349,6 +398,16 @@ func SmokeProfile() Profile {
 			Warmup:   100,
 			Ops:      400,
 			Seed:     1,
+		},
+		Scaling: ScalingConfig{
+			Partitions: []int{1, 2},
+			Shards:     2,
+			Nodes:      3,
+			ItemSize:   64,
+			Depth:      8,
+			Warmup:     50,
+			Ops:        300,
+			Seed:       1,
 		},
 	}
 }
@@ -549,6 +608,36 @@ func BuildReport(seed int64, p Profile) (*Report, error) {
 			P99:      BreakdownOpJSON{E2ENs: pt.P99.E2ENs, StagesNs: pt.P99.StageNs[:]},
 		})
 	}
+
+	p.Scaling.Seed = seed
+	kp, err := RunScaling(p.Scaling)
+	if err != nil {
+		return nil, fmt.Errorf("scaling: %w", err)
+	}
+	rep.Scaling = ScalingSection{
+		Seed: seed,
+		Config: ScalingConfigJSON{
+			Partitions: p.Scaling.Partitions,
+			Shards:     p.Scaling.Shards,
+			Nodes:      p.Scaling.Nodes,
+			ItemSize:   p.Scaling.ItemSize,
+			Depth:      p.Scaling.Depth,
+			Warmup:     p.Scaling.Warmup,
+			Ops:        p.Scaling.Ops,
+		},
+	}
+	for _, pt := range kp {
+		// pt.Wall is wall-clock and must never enter the report.
+		rep.Scaling.Points = append(rep.Scaling.Points, ScalingPointJSON{
+			Partitions:       pt.Partitions,
+			AggregateOpsPerS: pt.AggregateOpsPerS,
+			MeanNs:           pt.MeanLat.Nanoseconds(),
+			P99Ns:            pt.P99Lat.Nanoseconds(),
+			CommittedOps:     pt.CommittedOps,
+			Events:           pt.Events,
+			SimDurationNs:    pt.SimDuration.Nanoseconds(),
+		})
+	}
 	return rep, nil
 }
 
@@ -671,6 +760,27 @@ func (r *Report) Validate() error {
 			}
 			if pt.P50.E2ENs > pt.P99.E2ENs {
 				return fmt.Errorf("bench: breakdown %s/r%d: p50 > p99", pt.Mode, pt.Replicas)
+			}
+		}
+	}
+	if r.SchemaVersion >= 4 {
+		if len(r.Scaling.Points) == 0 {
+			return fmt.Errorf("bench: scaling section empty")
+		}
+		first := r.Scaling.Points[0]
+		for _, pt := range r.Scaling.Points {
+			if pt.Partitions < 1 || pt.AggregateOpsPerS <= 0 || pt.CommittedOps <= 0 {
+				return fmt.Errorf("bench: scaling p%d: non-positive measurement", pt.Partitions)
+			}
+			// The partitioned scheduler's contract: partition count must
+			// not change the simulation, only wall-clock time — so every
+			// sim-derived field matches the first point exactly.
+			if pt.Events != first.Events || pt.SimDurationNs != first.SimDurationNs ||
+				pt.AggregateOpsPerS != first.AggregateOpsPerS ||
+				pt.CommittedOps != first.CommittedOps ||
+				pt.MeanNs != first.MeanNs || pt.P99Ns != first.P99Ns {
+				return fmt.Errorf("bench: scaling p%d: sim-derived fields diverge from p%d (determinism violated)",
+					pt.Partitions, first.Partitions)
 			}
 		}
 	}

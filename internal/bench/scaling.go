@@ -1,0 +1,233 @@
+package bench
+
+// Kernel-scaling sweep. RunScaling drives the same sharded workload at
+// a range of partition counts (Options.Partitions) and records the
+// deterministic outputs: committed ops, sim-time rates, latency
+// quantiles and the kernel's event fingerprint. Because the partitioned
+// scheduler replays bit-identically at every partition count, every
+// deterministic field must be equal across the sweep — Validate
+// enforces that on the report — and the only thing partitions may
+// change is wall-clock time. Wall time is measured here for the CLI
+// table (events/s, speedup) but never enters the JSON report, which
+// stays bit-reproducible.
+
+import (
+	"fmt"
+	"time"
+
+	"p4ce"
+	"p4ce/internal/sim"
+)
+
+// ScalingConfig parameterizes the kernel-scaling sweep.
+type ScalingConfig struct {
+	// Partitions lists the partition counts to sweep. Every entry must be
+	// >= 1 (partitioned mode); the legacy single-heap kernel (0) keys
+	// events differently and is deliberately excluded so the equality
+	// invariant across the sweep holds.
+	Partitions []int
+	// Shards is the fixed shard count; parallelism comes from running the
+	// same shards on more partitions, not from adding shards.
+	Shards int
+	// Nodes is the machine count per shard, leader included.
+	Nodes    int
+	ItemSize int
+	// Depth is the per-shard closed-loop depth.
+	Depth int
+	// Warmup and Ops are per-shard completion counts.
+	Warmup int
+	Ops    int
+	Seed   int64
+}
+
+// DefaultScalingConfig is the EXPERIMENTS.md sweep.
+func DefaultScalingConfig() ScalingConfig {
+	return ScalingConfig{
+		Partitions: []int{1, 2, 4},
+		Shards:     4,
+		Nodes:      3,
+		ItemSize:   64,
+		Depth:      8,
+		Warmup:     200,
+		Ops:        4000,
+		Seed:       1,
+	}
+}
+
+// ScalingPoint is one measured partition count. All fields except Wall
+// are sim-derived and identical across partition counts by the
+// determinism guarantee.
+type ScalingPoint struct {
+	Partitions int
+	Shards     int
+	// CommittedOps counts every completed proposal across shards,
+	// warmup included.
+	CommittedOps int
+	// AggregateOpsPerS sums the per-shard committed-op rates over each
+	// shard's measurement window, in sim time.
+	AggregateOpsPerS float64
+	MeanLat          time.Duration
+	P99Lat           time.Duration
+	// Events is the kernel fingerprint for the whole run; equal across
+	// partition counts or the scheduler is broken.
+	Events uint64
+	// SimDuration is the simulated time the run covered.
+	SimDuration time.Duration
+	// Wall is the host wall-clock time for the run. CLI-only: it is the
+	// one field that partitions are allowed to change, and it must never
+	// be written into a report.
+	Wall time.Duration
+}
+
+// scalingLoop is one shard's closed-loop driver state. Everything in
+// here is touched only from the owning shard's domain while the kernel
+// runs; the main goroutine reads it only between Run calls, when the
+// partition workers are quiesced.
+type scalingLoop struct {
+	leader     *p4ce.Node
+	issued     int
+	completed  int
+	proposedAt []time.Duration
+	lat        *sim.LatencyRecorder
+	startAt    time.Duration
+	endAt      time.Duration
+	finished   bool
+	stalled    error
+}
+
+// RunScaling sweeps the partition count at a fixed shard count and
+// fixed per-shard load.
+func RunScaling(cfg ScalingConfig) ([]ScalingPoint, error) {
+	var out []ScalingPoint
+	for _, parts := range cfg.Partitions {
+		if parts < 1 {
+			return nil, fmt.Errorf("bench: scaling partitions must be >= 1, got %d", parts)
+		}
+		pt, err := runScalingPoint(cfg, parts)
+		if err != nil {
+			return nil, fmt.Errorf("partitions=%d: %w", parts, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// runScalingPoint measures one partition count. The workload is the
+// sharded closed loop, but driven entirely through Shard.After so every
+// issue/completion callback runs on its shard's own domain — the only
+// safe calling convention when partitions execute concurrently.
+func runScalingPoint(cfg ScalingConfig, partitions int) (ScalingPoint, error) {
+	pt := ScalingPoint{Partitions: partitions, Shards: cfg.Shards}
+	wallStart := time.Now()
+	cl := p4ce.NewCluster(p4ce.Options{
+		Nodes:         cfg.Nodes,
+		Shards:        cfg.Shards,
+		Mode:          p4ce.ModeP4CE,
+		Seed:          cfg.Seed,
+		Partitions:    partitions,
+		PipelineDepth: cfg.Depth,
+	})
+	if _, err := cl.RunUntilAllLeaders(500 * time.Millisecond); err != nil {
+		return pt, err
+	}
+
+	total := cfg.Warmup + cfg.Ops
+	payload := make([]byte, cfg.ItemSize)
+	loops := make([]*scalingLoop, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		lp := &scalingLoop{
+			leader:     cl.ShardLeader(s),
+			proposedAt: make([]time.Duration, cfg.Depth),
+			lat:        sim.NewLatencyRecorder(cfg.Ops),
+		}
+		if lp.leader == nil {
+			return pt, &stalledError{stage: "scaling leader lookup"}
+		}
+		loops[s] = lp
+		sh := cl.Shard(s)
+		var issue func()
+		var done func(error)
+		issue = func() {
+			if lp.stalled != nil || lp.issued >= total {
+				return
+			}
+			lp.proposedAt[lp.issued%cfg.Depth] = sh.Now()
+			lp.issued++
+			if err := lp.leader.Propose(payload, done); err != nil {
+				lp.stalled = err
+			}
+		}
+		done = func(err error) {
+			if err != nil {
+				lp.stalled = err
+				return
+			}
+			at := lp.proposedAt[lp.completed%cfg.Depth]
+			lp.completed++
+			switch {
+			case lp.completed == cfg.Warmup:
+				lp.startAt = sh.Now()
+			case lp.completed > cfg.Warmup:
+				lp.lat.Record(sim.Time(sh.Now() - at))
+				if lp.completed == total {
+					lp.endAt = sh.Now()
+					lp.finished = true
+				}
+			}
+			issue()
+		}
+		sh.After(time.Microsecond, func() {
+			if cfg.Warmup == 0 {
+				lp.startAt = sh.Now()
+			}
+			for i := 0; i < cfg.Depth; i++ {
+				issue()
+			}
+		})
+	}
+
+	// Run in fixed sim-time windows and inspect the loops only at the
+	// quiesce points between Run calls. The window count is decided by
+	// sim state alone, so it — and therefore Events and SimDuration — is
+	// identical at every partition count.
+	const window = 5 * time.Millisecond
+	const budget = 2 * time.Second
+	for {
+		cl.Run(window)
+		finished := 0
+		for _, lp := range loops {
+			if lp.stalled != nil {
+				return pt, lp.stalled
+			}
+			if lp.finished {
+				finished++
+			}
+		}
+		if finished == len(loops) {
+			break
+		}
+		if cl.Now() >= budget {
+			return pt, &stalledError{stage: "kernel scaling closed loop"}
+		}
+	}
+	pt.Wall = time.Since(wallStart)
+
+	var latSum, latCount float64
+	for _, lp := range loops {
+		elapsed := lp.endAt - lp.startAt
+		if elapsed <= 0 {
+			return pt, &stalledError{stage: "scaling measurement window"}
+		}
+		pt.CommittedOps += lp.completed
+		pt.AggregateOpsPerS += float64(cfg.Ops) / elapsed.Seconds()
+		latSum += float64(lp.lat.Mean()) * float64(cfg.Ops)
+		latCount += float64(cfg.Ops)
+		if p99 := time.Duration(lp.lat.Percentile(99)); p99 > pt.P99Lat {
+			pt.P99Lat = p99
+		}
+	}
+	pt.MeanLat = time.Duration(latSum / latCount)
+	pt.Events = cl.EventsProcessed()
+	pt.SimDuration = cl.Now()
+	return pt, nil
+}

@@ -2,6 +2,8 @@ package chaos
 
 import (
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"p4ce/internal/rnic"
 	"p4ce/internal/sim"
@@ -55,7 +57,10 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
-// Stats counts injected faults.
+// Stats counts injected faults. Under a partitioned kernel the
+// counters are bumped from several scheduling domains, so the engine
+// updates them atomically; read them only while the kernel is quiesced
+// (between runs), where plain loads — and %+v formatting — are exact.
 type Stats struct {
 	ScriptedDrops uint64 // frames discarded by loss faults
 	JitteredSends uint64 // frames given extra latency
@@ -68,17 +73,30 @@ type Stats struct {
 // portMux fans a port's single LossFunc/DelayFunc slot out to any
 // number of concurrently scheduled faults: loss deciders are OR-ed
 // (first match wins), jitter contributions add up.
+//
+// Each mux carries its own random stream, seeded from the engine seed
+// and the order the port was claimed in (a deterministic property of
+// the scenario, not of the run). Faults on one port therefore draw in
+// that port's frame order alone — under a partitioned kernel a shared
+// stream would be consumed in goroutine-interleaving order, making
+// drops depend on the partition count.
 type portMux struct {
+	rng   *rand.Rand
 	loss  []simnet.LossFunc
 	delay []simnet.DelayFunc
 }
 
-// Engine schedules faults on the simulation clock.
+// Engine schedules faults on the simulation clock. Scenarios are
+// applied while the kernel is quiesced; the fault closures then run on
+// whichever scheduling domain owns the afflicted port, so the engine
+// keeps no mutable state shared across closures beyond the atomic
+// Stats and the mutex-guarded log.
 type Engine struct {
-	k     *sim.Kernel
-	cfg   Config
-	rng   *rand.Rand
-	muxes map[*simnet.Port]*portMux
+	k       *sim.Kernel
+	cfg     Config
+	muxes   map[*simnet.Port]*portMux
+	nextMux int64
+	logMu   sync.Mutex
 
 	// Stats counts what was actually injected.
 	Stats Stats
@@ -89,7 +107,6 @@ func NewEngine(k *sim.Kernel, cfg Config) *Engine {
 	return &Engine{
 		k:     k,
 		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		muxes: make(map[*simnet.Port]*portMux),
 	}
 }
@@ -102,20 +119,27 @@ func (e *Engine) Nodes() []NodeTarget { return e.cfg.Nodes }
 
 func (e *Engine) logf(format string, args ...any) {
 	if e.cfg.Logf != nil {
+		e.logMu.Lock()
 		e.cfg.Logf(format, args...)
+		e.logMu.Unlock()
 	}
 }
+
+// muxSeedMix decorrelates per-mux streams (splitmix64's golden-ratio
+// increment).
+const muxSeedMix = int64(-7046029254386353131)
 
 // mux lazily claims a port's LossFunc/DelayFunc slots for the engine.
 func (e *Engine) mux(p *simnet.Port) *portMux {
 	m, ok := e.muxes[p]
 	if !ok {
-		m = &portMux{}
+		e.nextMux++
+		m = &portMux{rng: rand.New(rand.NewSource(e.cfg.Seed ^ (e.nextMux * muxSeedMix)))}
 		e.muxes[p] = m
 		p.SetLossFunc(func(frame []byte) bool {
 			for _, f := range m.loss {
 				if f(frame) {
-					e.Stats.ScriptedDrops++
+					atomic.AddUint64(&e.Stats.ScriptedDrops, 1)
 					return true
 				}
 			}
@@ -127,7 +151,7 @@ func (e *Engine) mux(p *simnet.Port) *portMux {
 				d += f(frame)
 			}
 			if d > 0 {
-				e.Stats.JitteredSends++
+				atomic.AddUint64(&e.Stats.JitteredSends, 1)
 			}
 			return d
 		})
@@ -136,12 +160,14 @@ func (e *Engine) mux(p *simnet.Port) *portMux {
 }
 
 // window wraps a loss decider so it is active only during
-// [now+start, now+start+dur).
-func (e *Engine) window(start, dur sim.Time, f simnet.LossFunc) simnet.LossFunc {
+// [now+start, now+start+dur). The in-window test reads the clock of
+// the port's own domain — the one the Send path runs on.
+func (e *Engine) window(p *simnet.Port, start, dur sim.Time, f simnet.LossFunc) simnet.LossFunc {
+	k := p.Kernel()
 	from := e.k.Now() + start
 	to := from + dur
 	return func(frame []byte) bool {
-		now := e.k.Now()
+		now := k.Now()
 		if now < from || now >= to {
 			return false
 		}
@@ -153,8 +179,8 @@ func (e *Engine) window(start, dur sim.Time, f simnet.LossFunc) simnet.LossFunc 
 // window [now+start, now+start+dur).
 func (e *Engine) LossBurst(p *simnet.Port, start, dur sim.Time, prob float64) {
 	m := e.mux(p)
-	m.loss = append(m.loss, e.window(start, dur, func([]byte) bool {
-		return e.rng.Float64() < prob
+	m.loss = append(m.loss, e.window(p, start, dur, func([]byte) bool {
+		return m.rng.Float64() < prob
 	}))
 	e.logf("chaos: loss burst p=%.2f on %s during [%v,%v)", prob, p.Name(), start, start+dur)
 }
@@ -180,19 +206,19 @@ func DefaultGEParams() GEParams {
 func (e *Engine) GilbertElliott(p *simnet.Port, start, dur sim.Time, ge GEParams) {
 	bad := false
 	m := e.mux(p)
-	m.loss = append(m.loss, e.window(start, dur, func([]byte) bool {
+	m.loss = append(m.loss, e.window(p, start, dur, func([]byte) bool {
 		if bad {
-			if e.rng.Float64() < ge.BadToGood {
+			if m.rng.Float64() < ge.BadToGood {
 				bad = false
 			}
-		} else if e.rng.Float64() < ge.GoodToBad {
+		} else if m.rng.Float64() < ge.GoodToBad {
 			bad = true
 		}
 		loss := ge.LossGood
 		if bad {
 			loss = ge.LossBad
 		}
-		return e.rng.Float64() < loss
+		return m.rng.Float64() < loss
 	}))
 	e.logf("chaos: gilbert-elliott loss on %s during [%v,%v)", p.Name(), start, start+dur)
 }
@@ -205,34 +231,43 @@ func (e *Engine) Jitter(p *simnet.Port, start, dur, max sim.Time) {
 	}
 	from := e.k.Now() + start
 	to := from + dur
+	pk := p.Kernel()
 	m := e.mux(p)
 	m.delay = append(m.delay, func([]byte) sim.Time {
-		now := e.k.Now()
+		now := pk.Now()
 		if now < from || now >= to {
 			return 0
 		}
-		return sim.Time(e.rng.Int63n(int64(max)))
+		return sim.Time(m.rng.Int63n(int64(max)))
 	})
 	e.logf("chaos: jitter ≤%v on %s during [%v,%v)", max, p.Name(), start, start+dur)
 }
 
 // FlapLink takes both ends of a cable down at now+start and back up
 // downFor later — a transceiver losing carrier. In-flight frames toward
-// a downed port are lost.
+// a downed port are lost. Each end's state change is scheduled on that
+// port's own domain (scenarios apply while the kernel is quiesced, so
+// cross-domain scheduling is safe here), keeping the port's up flag
+// single-domain under a partitioned kernel.
 func (e *Engine) FlapLink(l Link, start, downFor sim.Time) {
-	e.k.Schedule(start, func() {
-		e.logf("chaos: link %s down at %v", l.Name, e.k.Now())
-		for _, p := range l.ports() {
+	for i, p := range l.ports() {
+		p := p
+		first := i == 0
+		pk := p.Kernel()
+		pk.Schedule(start, func() {
+			if first {
+				e.logf("chaos: link %s down at %v", l.Name, pk.Now())
+			}
 			p.SetUp(false)
-		}
-	})
-	e.k.Schedule(start+downFor, func() {
-		e.logf("chaos: link %s up at %v", l.Name, e.k.Now())
-		for _, p := range l.ports() {
+		})
+		pk.Schedule(start+downFor, func() {
 			p.SetUp(true)
-		}
-		e.Stats.LinkFlaps++
-	})
+			if first {
+				e.logf("chaos: link %s up at %v", l.Name, pk.Now())
+				atomic.AddUint64(&e.Stats.LinkFlaps, 1)
+			}
+		})
+	}
 }
 
 // Partition blackholes every frame crossing the given links — in both
@@ -243,11 +278,11 @@ func (e *Engine) Partition(links []Link, start, dur sim.Time) {
 	for _, l := range links {
 		for _, p := range l.ports() {
 			m := e.mux(p)
-			m.loss = append(m.loss, e.window(start, dur, drop))
+			m.loss = append(m.loss, e.window(p, start, dur, drop))
 		}
 	}
 	e.k.Schedule(start, func() {
-		e.Stats.Partitions++
+		atomic.AddUint64(&e.Stats.Partitions, 1)
 		e.logf("chaos: partition of %d links at %v for %v", len(links), e.k.Now(), dur)
 	})
 }
@@ -259,9 +294,16 @@ func (e *Engine) Partition(links []Link, start, dur sim.Time) {
 // (the protocol layer is expected to re-dial its connections; mu's
 // monitors do this on their own).
 func (e *Engine) NodeOutage(n NodeTarget, start, downFor sim.Time) {
-	e.k.Schedule(start, func() {
-		e.Stats.NodeOutages++
-		e.logf("chaos: node %s outage at %v for %v", n.Name, e.k.Now(), downFor)
+	// The host port and the NIC live on the machine's shard domain:
+	// schedule the outage there so a partitioned run mutates them from
+	// their own partition.
+	k := e.k
+	if n.Link.Host != nil {
+		k = n.Link.Host.Kernel()
+	}
+	k.Schedule(start, func() {
+		atomic.AddUint64(&e.Stats.NodeOutages, 1)
+		e.logf("chaos: node %s outage at %v for %v", n.Name, k.Now(), downFor)
 		if n.Link.Host != nil {
 			n.Link.Host.SetUp(false)
 		}
@@ -269,8 +311,8 @@ func (e *Engine) NodeOutage(n NodeTarget, start, downFor sim.Time) {
 			n.NIC.Reset()
 		}
 	})
-	e.k.Schedule(start+downFor, func() {
-		e.logf("chaos: node %s back at %v", n.Name, e.k.Now())
+	k.Schedule(start+downFor, func() {
+		e.logf("chaos: node %s back at %v", n.Name, k.Now())
 		if n.Link.Host != nil {
 			n.Link.Host.SetUp(true)
 		}
@@ -286,7 +328,7 @@ func (e *Engine) RebootSwitch(start, downFor sim.Time) {
 		return
 	}
 	e.k.Schedule(start, func() {
-		e.Stats.SwitchReboots++
+		atomic.AddUint64(&e.Stats.SwitchReboots, 1)
 		e.logf("chaos: switch power off at %v for %v", e.k.Now(), downFor)
 		e.cfg.PowerOffSwitch()
 	})

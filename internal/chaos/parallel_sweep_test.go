@@ -1,0 +1,116 @@
+package chaos_test
+
+// Parallel-kernel chaos sweep: every registered scenario replays on a
+// partitioned cluster (Options.Partitions >= 1) across seed pairs, with
+// the same liveness / safety / bounded-recovery invariants as the
+// classic sweep plus the partitioned kernel's defining property — the
+// fingerprint at two partitions is byte-identical to the fingerprint at
+// one. Fault injection itself is partition-aware (each fault schedules
+// on its target port's domain), so this sweep exercises chaos, the
+// consensus stack and the conservative-lookahead scheduler together.
+// `make test-race-parallel` runs it under the race detector.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	p4ce "p4ce"
+	"p4ce/internal/chaos"
+)
+
+// runScenarioPartitioned mirrors runScenario on a partitioned cluster.
+// The workload drives through Shard.After/Shard.Now — the only safe way
+// to call into a shard's machines when partitions execute concurrently.
+func runScenarioPartitioned(t *testing.T, name string, kernelSeed, chaosSeed int64, partitions int) *scenarioRun {
+	t.Helper()
+	r := &scenarioRun{leaders: make(map[int]bool)}
+	r.cl = p4ce.NewCluster(p4ce.Options{
+		Nodes: 3, Mode: p4ce.ModeP4CE, Seed: kernelSeed,
+		Partitions: partitions, EnableTracing: true,
+	})
+	for _, n := range r.cl.Nodes() {
+		m := make(map[uint64]string)
+		r.applied = append(r.applied, m)
+		n.OnApply(func(index uint64, data []byte) { m[index] = string(data) })
+		n.OnLeaderChange(func(_ uint64, leaderID int) { r.leaders[leaderID] = true })
+	}
+	if _, err := r.cl.RunUntilLeader(200 * time.Millisecond); err != nil {
+		t.Fatalf("%s: no leader before faults: %v", name, err)
+	}
+
+	sh := r.cl.Shard(0)
+	seq := 0
+	var tick func()
+	tick = func() {
+		if l := r.cl.Leader(); l != nil {
+			seq++
+			payload := []byte(fmt.Sprintf("entry-%d", seq))
+			_ = l.Propose(payload, func(err error) {
+				if err != nil {
+					r.failed++
+					return
+				}
+				r.committed++
+				r.lastAt = sh.Now()
+			})
+		}
+		sh.After(100*time.Microsecond, tick)
+	}
+	sh.After(100*time.Microsecond, tick)
+
+	eng, horizon, err := r.cl.ApplyChaosScenario(name, chaosSeed, nil)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	r.eng, r.horizon, r.start = eng, horizon, r.cl.Now()
+	r.cl.Run(horizon)
+	return r
+}
+
+// parallelSweepSeeds scales like sweepSeeds but smaller: each seed pair
+// costs two full runs (one and two partitions) and the partitioned
+// scheduler always spawns worker goroutines, which the race detector
+// makes expensive.
+func parallelSweepSeeds() int {
+	if testing.Short() || raceEnabled {
+		return 4
+	}
+	return 8
+}
+
+// TestParallelSeedSweep replays every scenario on the partitioned
+// kernel: invariants at one partition, then a two-partition run that
+// must reproduce the single-partition fingerprint byte for byte.
+func TestParallelSeedSweep(t *testing.T) {
+	if raceEnabled && !testing.Short() {
+		// Under the race detector this sweep runs in its own dedicated
+		// -short invocation (scripts/check.sh, make test-race-parallel):
+		// stacked on top of TestSeedSweep's race pass it pushes the
+		// package past the 10-minute test timeout.
+		t.Skip("race mode: covered by the dedicated -short gate")
+	}
+	names := chaos.Names()
+	if len(names) == 0 {
+		t.Fatal("no chaos scenarios registered")
+	}
+	n := parallelSweepSeeds()
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < n; i++ {
+				kernelSeed := int64(4001 + 7*i)
+				chaosSeed := int64(733 + 13*i)
+				t.Run(fmt.Sprintf("seed%02d", i), func(t *testing.T) {
+					one := runScenarioPartitioned(t, name, kernelSeed, chaosSeed, 1)
+					one.checkInvariants(t, name)
+					two := runScenarioPartitioned(t, name, kernelSeed, chaosSeed, 2)
+					if a, b := one.fingerprint(), two.fingerprint(); a != b {
+						t.Fatalf("%s seeds (%d,%d): partitions=1 vs partitions=2 diverged:\n  p1: %s\n  p2: %s",
+							name, kernelSeed, chaosSeed, a, b)
+					}
+				})
+			}
+		})
+	}
+}

@@ -34,6 +34,11 @@ type Config struct {
 	// system). It is optional: without it, crashed replicas simply stop
 	// contributing acknowledgments.
 	Management *p4ce.ControlPlane
+	// ManagementKernel is the scheduling domain the control plane lives
+	// on (the fabric domain of a partitioned kernel). When set,
+	// management RPCs hop domains through sim.Kernel.Call instead of
+	// calling in; nil keeps the classic direct call on a single kernel.
+	ManagementKernel *sim.Kernel
 }
 
 // DefaultConfig returns paper-faithful behaviour for the given switch.
@@ -244,6 +249,23 @@ func (e *Engine) onReplicaExcluded(id int) {
 		}
 	}
 	if addr == 0 {
+		return
+	}
+	if mk := e.cfg.ManagementKernel; mk != nil && mk != e.k {
+		// The control plane lives on the fabric domain: hop over for
+		// the RPC and hop back for the completion, so both sides run
+		// on — and only read the clock of — their own domain.
+		leader := e.node.Addr()
+		e.k.Call(mk, func() {
+			e.cfg.Management.RemoveReplica(leader, addr, func(err error) {
+				if err != nil {
+					return
+				}
+				mk.Call(e.k, func() {
+					e.Stats.LastGroupUpdateAt = e.k.Now()
+				})
+			})
+		})
 		return
 	}
 	e.cfg.Management.RemoveReplica(e.node.Addr(), addr, func(err error) {

@@ -5,11 +5,20 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Counter is a monotonically increasing uint64.
+//
+// Every instrument in this package records atomically: handles are
+// shared fabric-wide (every port of a topology shares one tx_frames
+// counter, say), and under a partitioned kernel those call sites run on
+// different goroutines. Additions commute, so counter and histogram
+// totals stay invariant under the partition count; see Gauge for the
+// one partition-sensitive exception.
 type Counter struct {
-	n uint64
+	n atomic.Uint64
 }
 
 // Inc adds one.
@@ -17,7 +26,7 @@ func (c *Counter) Inc() {
 	if c == nil {
 		return
 	}
-	c.n++
+	c.n.Add(1)
 }
 
 // Add adds d.
@@ -25,7 +34,7 @@ func (c *Counter) Add(d uint64) {
 	if c == nil {
 		return
 	}
-	c.n += d
+	c.n.Add(d)
 }
 
 // Value returns the current count (0 on a nil handle).
@@ -33,14 +42,19 @@ func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
-	return c.n
+	return c.n.Load()
 }
 
 // Gauge is an instantaneous level (queue depth, credits, backlog) that
 // also tracks its high-water mark.
+//
+// Under a partitioned kernel, a gauge touched from several domains has
+// a last-writer-wins Value (and a Set-race-sensitive HighWater), so its
+// instantaneous reading may differ between partition counts; sums
+// (Add) and the high-water mark of Add-driven gauges still commute.
 type Gauge struct {
-	v  int64
-	hi int64
+	v  atomic.Int64
+	hi atomic.Int64
 }
 
 // Set stores v.
@@ -48,10 +62,8 @@ func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
 	}
-	g.v = v
-	if v > g.hi {
-		g.hi = v
-	}
+	g.v.Store(v)
+	g.raise(v)
 }
 
 // Add moves the level by d (negative to decrease).
@@ -59,9 +71,16 @@ func (g *Gauge) Add(d int64) {
 	if g == nil {
 		return
 	}
-	g.v += d
-	if g.v > g.hi {
-		g.hi = g.v
+	g.raise(g.v.Add(d))
+}
+
+// raise lifts the high-water mark to at least v.
+func (g *Gauge) raise(v int64) {
+	for {
+		hi := g.hi.Load()
+		if v <= hi || g.hi.CompareAndSwap(hi, v) {
+			return
+		}
 	}
 }
 
@@ -70,7 +89,7 @@ func (g *Gauge) Value() int64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return g.v.Load()
 }
 
 // HighWater returns the largest level ever set.
@@ -78,7 +97,7 @@ func (g *Gauge) HighWater() int64 {
 	if g == nil {
 		return 0
 	}
-	return g.hi
+	return g.hi.Load()
 }
 
 // histBuckets is one bucket per possible bit length of a uint64 (0..64):
@@ -91,10 +110,10 @@ const histBuckets = 65
 // Histogram is a log2-bucketed distribution of non-negative int64
 // samples (typically nanoseconds). Recording is allocation-free.
 type Histogram struct {
-	count   uint64
-	sum     int64
-	max     int64
-	buckets [histBuckets]uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Uint64
 }
 
 // Observe records one sample. Negative samples clamp to zero.
@@ -105,12 +124,15 @@ func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0
 	}
-	h.count++
-	h.sum += v
-	if v > h.max {
-		h.max = v
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
 	}
-	h.buckets[bits.Len64(uint64(v))]++
+	h.buckets[bits.Len64(uint64(v))].Add(1)
 }
 
 // Count returns how many samples were recorded.
@@ -118,7 +140,7 @@ func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
 	}
-	return h.count
+	return h.count.Load()
 }
 
 // Sum returns the running total of all samples.
@@ -126,7 +148,7 @@ func (h *Histogram) Sum() int64 {
 	if h == nil {
 		return 0
 	}
-	return h.sum
+	return h.sum.Load()
 }
 
 // Max returns the largest sample seen.
@@ -134,46 +156,55 @@ func (h *Histogram) Max() int64 {
 	if h == nil {
 		return 0
 	}
-	return h.max
+	return h.max.Load()
 }
 
 // Mean returns the arithmetic mean, or 0 with no samples.
 func (h *Histogram) Mean() int64 {
-	if h == nil || h.count == 0 {
+	if h == nil {
 		return 0
 	}
-	return h.sum / int64(h.count)
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.sum.Load() / int64(n)
 }
 
 // Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
 // top edge of the bucket containing the q-th sample, clamped to the
 // true maximum. With no samples it returns 0.
 func (h *Histogram) Quantile(q float64) int64 {
-	if h == nil || h.count == 0 {
+	if h == nil {
+		return 0
+	}
+	count := h.count.Load()
+	if count == 0 {
 		return 0
 	}
 	if q > 1 {
 		q = 1
 	}
-	target := uint64(q * float64(h.count))
+	target := uint64(q * float64(count))
 	if target < 1 {
 		target = 1
 	}
+	max := h.max.Load()
 	var cum uint64
 	for i := 0; i < histBuckets; i++ {
-		cum += h.buckets[i]
+		cum += h.buckets[i].Load()
 		if cum >= target {
 			if i == 0 {
 				return 0
 			}
 			upper := int64(1)<<uint(i) - 1
-			if upper > h.max {
-				return h.max
+			if upper > max {
+				return max
 			}
 			return upper
 		}
 	}
-	return h.max
+	return max
 }
 
 // P50 returns the median upper bound.
@@ -187,7 +218,12 @@ func (h *Histogram) P999() int64 { return h.Quantile(0.999) }
 
 // Registry owns all named instruments of one simulation. A nil Registry
 // is the disabled state: it hands out nil handles and empty snapshots.
+// Create-or-get and snapshotting are mutex-guarded so components built
+// or read from different goroutines (chaos tooling around a partitioned
+// kernel, say) stay safe; the instruments themselves record atomically
+// without touching the lock.
 type Registry struct {
+	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
@@ -211,6 +247,8 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	c := r.counters[name]
 	if c == nil {
 		c = &Counter{}
@@ -224,6 +262,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	g := r.gauges[name]
 	if g == nil {
 		g = &Gauge{}
@@ -237,6 +277,8 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	h := r.histograms[name]
 	if h == nil {
 		h = &Histogram{}
@@ -301,6 +343,8 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return s
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if len(r.counters) > 0 {
 		s.Counters = make(map[string]uint64, len(r.counters))
 		for name, c := range r.counters {
@@ -365,6 +409,8 @@ func (r *Registry) Names() []string {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
 	for n := range r.counters {
 		names = append(names, n)

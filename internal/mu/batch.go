@@ -184,6 +184,7 @@ func (n *Node) flushBatch() {
 func (n *Node) proposeBatch(payload []byte) {
 	e := Entry{
 		Term:        uint32(n.term),
+		PrevTerm:    n.lastTerm,
 		Index:       n.lastIndex + 1,
 		CommitIndex: n.commitIndex,
 		Flags:       FlagBatch,

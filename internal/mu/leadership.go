@@ -164,6 +164,9 @@ func (n *Node) catchUp(seq int, granted map[int]*cm.Conn) {
 		}
 		scan := NewConsumer(snapshot, n.lastIndex+1)
 		scan.readOff = myOff
+		// The donor's first missing entry chains off this machine's own
+		// last entry (both extend the same prefix).
+		scan.lastTerm = n.lastTerm
 		scan.OnReceive = func(e Entry) { n.adoptEntry(&e) }
 		scan.Poll()
 		n.finishTakeover(seq, granted)
@@ -232,6 +235,13 @@ func (n *Node) adoptEntry(e *Entry) {
 // are ordered on the queue pair, so subsequent proposals land after.
 func (n *Node) reReplicateTo(id int, c *cm.Conn) {
 	ps := n.peerStates[id]
+	if n.suffixDiverged(ps) {
+		// The peer's tail is not a prefix of this log: a plain rewrite
+		// from lastIndex+1 would leave its stale suffix in place (and,
+		// worse, realign the ring so the stale entries later apply).
+		n.repairReplica(ps, c)
+		return
+	}
 	if ps.lastIndex >= n.lastIndex {
 		return
 	}
@@ -248,6 +258,140 @@ func (n *Node) reReplicateTo(id int, c *cm.Conn) {
 			return
 		}
 		_ = c.QP.PostWrite(ent.bytes, c.RemoteVA+uint64(ent.off), c.RemoteRKey, nil)
+	}
+}
+
+// suffixDiverged reports whether the replica's published log tail is
+// provably not a prefix of this leader's log: it claims entries beyond
+// the leader's last index, or its last entry's term differs from the
+// leader's entry at the same index. The values come from asynchronous
+// control-region reads, so staleness can delay detection or produce a
+// false positive — both are benign: repairs rewind to the replica's
+// committed prefix, which is byte-identical on every machine, and
+// rewrite it with the leader's own entries, so a redundant repair
+// writes the bytes the replica already holds.
+func (n *Node) suffixDiverged(ps *peerState) bool {
+	if ps.lastIndex == 0 {
+		return false
+	}
+	if ps.lastIndex > n.lastIndex {
+		return true
+	}
+	ent, ok := n.recent[ps.lastIndex]
+	if !ok {
+		return false // below the cache window: not checkable here
+	}
+	e, _, _, decOK := decodeEntryView(ent.bytes, 0)
+	if !decOK {
+		return false
+	}
+	return uint64(e.Term) != ps.lastTerm
+}
+
+// repairMinInterval rate-limits divergence repairs per replica: the
+// control-region reads that would clear the verdict lag a repair by
+// several round-trips, so the stale verdict would otherwise re-trigger
+// the (idempotent, but not free) rewrite every monitor tick.
+const repairMinInterval = sim.Millisecond
+
+// repairReplica rewinds a diverged replica to its committed prefix and
+// rewrites the leader's suffix over the stale one. Committed entries
+// are byte-identical on every machine, so the replica's ring layout
+// matches the leader's through its commit index; everything after it is
+// replaced. Three ordered write groups on the replication queue pair:
+//
+//  1. Zero the stale region — no divergent entry may survive with a
+//     valid CRC where the consumer could later mistake it for fresh.
+//  2. A rewind marker at the replica's consume position, directing its
+//     consumer back to the end of the committed prefix. The (term, seq)
+//     identity makes leftover markers inert (Consumer.processRewind).
+//  3. The leader's entries from the rewind point on, at their home
+//     offsets, with wrap markers reconstructed between them.
+//
+// Replicas whose rewind point fell out of the re-replication cache are
+// excluded like any deep laggard (snapshots out of scope).
+func (n *Node) repairReplica(ps *peerState, c *cm.Conn) {
+	if ps.lastRepair != 0 && n.k.Now()-ps.lastRepair < repairMinInterval {
+		return
+	}
+	id := ps.peer.ID
+	target := ps.commit + 1
+	logLen := int(ps.logLen)
+	if ps.commit > n.lastIndex || logLen != len(n.logBuf) || target < n.lowestCached() {
+		n.direct.RemovePath(id)
+		return
+	}
+	var keptTerm uint32
+	if ps.commit > 0 {
+		ent, ok := n.recent[ps.commit]
+		if !ok {
+			n.direct.RemovePath(id)
+			return
+		}
+		e, _, _, decOK := decodeEntryView(ent.bytes, 0)
+		if !decOK {
+			n.direct.RemovePath(id)
+			return
+		}
+		keptTerm = e.Term
+	}
+	// Ring offset of entry target in this leader's layout — identical to
+	// the replica's, since both built the same committed prefix.
+	var tOff int
+	if target <= n.lastIndex {
+		ent, ok := n.recent[target]
+		if !ok {
+			n.direct.RemovePath(id)
+			return
+		}
+		tOff = ent.off
+	} else {
+		tOff = n.ring.Offset()
+	}
+	staleEnd := int(ps.ringOff)
+	if staleEnd == tOff {
+		// Equal offsets with a divergence verdict mean a full ring lap of
+		// stale bytes — unrecoverable from the cache.
+		n.direct.RemovePath(id)
+		return
+	}
+	ps.lastRepair = n.k.Now()
+	n.Stats.SuffixRepairs++
+	zero := func(off, length int) {
+		if length > 0 {
+			_ = c.QP.PostWrite(make([]byte, length), c.RemoteVA+uint64(off), c.RemoteRKey, nil)
+		}
+	}
+	if staleEnd > tOff {
+		zero(tOff, staleEnd-tOff)
+	} else {
+		zero(tOff, logLen-tOff)
+		zero(0, staleEnd)
+	}
+	n.rewindSeq++
+	mark := EncodeRewindMark(target, keptTerm, tOff, uint32(n.term), n.rewindSeq)
+	markOff := staleEnd
+	if markOff+rewindMarkBytes > logLen {
+		// No room for the marker at the consume position: wrap it to
+		// offset zero the same way entries wrap.
+		if logLen-markOff >= 4 {
+			_ = c.QP.PostWrite(WrapMarkBytes(), c.RemoteVA+uint64(markOff), c.RemoteRKey, nil)
+		}
+		markOff = 0
+	}
+	_ = c.QP.PostWrite(mark, c.RemoteVA+uint64(markOff), c.RemoteRKey, nil)
+	prevEnd := -1
+	for idx := target; idx <= n.lastIndex; idx++ {
+		ent, ok := n.recent[idx]
+		if !ok {
+			n.direct.RemovePath(id)
+			return
+		}
+		if prevEnd >= 0 && ent.off < prevEnd && logLen-prevEnd >= 4 {
+			_ = c.QP.PostWrite(WrapMarkBytes(), c.RemoteVA+uint64(prevEnd), c.RemoteRKey, nil)
+		}
+		_ = c.QP.PostWrite(ent.bytes, c.RemoteVA+uint64(ent.off), c.RemoteRKey, nil)
+		prevEnd = ent.off + len(ent.bytes)
 	}
 }
 
@@ -359,6 +503,7 @@ func (n *Node) stepDown(cause error) {
 	n.discardUncommittedSuffix()
 	n.consumer.readOff = n.ring.Offset()
 	n.consumer.nextIndex = n.lastIndex + 1
+	n.consumer.lastTerm = n.lastTerm
 	if n.OnLostLeader != nil {
 		n.OnLostLeader()
 	}
@@ -390,6 +535,7 @@ func (n *Node) Propose(data []byte, done func(error)) error {
 func (n *Node) proposeEntry(data []byte, flags uint8, done func(error)) {
 	e := Entry{
 		Term:        uint32(n.term),
+		PrevTerm:    n.lastTerm,
 		Index:       n.lastIndex + 1,
 		CommitIndex: n.commitIndex,
 		Flags:       flags,

@@ -19,7 +19,14 @@ const (
 
 // Entry is one decided (or proposed) log record.
 type Entry struct {
-	Term        uint32
+	Term uint32
+	// PrevTerm is the term of the entry immediately before this one
+	// (zero for the first entry). The consumer refuses an entry whose
+	// PrevTerm differs from the term it last consumed — the byte-stream
+	// version of Raft's log-matching check. Without it, a write from a
+	// deposed leader landing at exactly the offset the consumer expects
+	// next would be accepted onto a log it does not extend.
+	PrevTerm    uint32
 	Index       uint64
 	CommitIndex uint64 // leader's commit index when the entry was appended
 	Flags       uint8
@@ -34,12 +41,38 @@ func (e *Entry) IsNoop() bool { return e.Flags&FlagNoop != 0 }
 func (e *Entry) IsBatch() bool { return e.Flags&FlagBatch != 0 }
 
 const (
-	entryHeaderBytes  = 4 + 4 + 8 + 8 + 1 // len, term, index, commit, flags
-	entryTrailerBytes = 4                 // CRC-32 over header+data
+	entryHeaderBytes  = 4 + 4 + 4 + 8 + 8 + 1 // len, term, prevTerm, index, commit, flags
+	entryTrailerBytes = 4                     // CRC-32 over header+data
 	// wrapMark written in the length field tells the consumer the ring
 	// wrapped to offset zero.
 	wrapMark = uint32(0xFFFFFFFF)
+	// rewindMark written in the length field is a rewind marker: a
+	// leader found this replica's uncommitted log suffix divergent from
+	// its own and is about to overwrite it (see Node.repairReplica). The
+	// record directs the consumer back to the end of the committed
+	// prefix before the replacement entries arrive.
+	rewindMark = uint32(0xFFFFFFFE)
+	// rewindMarkBytes is the fixed rewind-marker layout: mark u32,
+	// target index u64, kept term u32, target offset u32, marker term
+	// u32, marker sequence u32, CRC-32 u32.
+	rewindMarkBytes = 32
 )
+
+// EncodeRewindMark serializes a rewind marker: the consumer should
+// resume at ring offset off expecting entry index target, whose
+// predecessor carries term keptTerm. (term, seq) identify the marker so
+// a consumer never acts on the same (or an older) marker twice.
+func EncodeRewindMark(target uint64, keptTerm uint32, off int, term, seq uint32) []byte {
+	buf := make([]byte, rewindMarkBytes)
+	binary.BigEndian.PutUint32(buf[0:4], rewindMark)
+	binary.BigEndian.PutUint64(buf[4:12], target)
+	binary.BigEndian.PutUint32(buf[12:16], keptTerm)
+	binary.BigEndian.PutUint32(buf[16:20], uint32(off))
+	binary.BigEndian.PutUint32(buf[20:24], term)
+	binary.BigEndian.PutUint32(buf[24:28], seq)
+	binary.BigEndian.PutUint32(buf[28:32], crc32.ChecksumIEEE(buf[:28]))
+	return buf
+}
 
 // EncodedSize returns the ring footprint of the entry.
 func (e *Entry) EncodedSize() int {
@@ -59,9 +92,10 @@ func EncodeEntry(e *Entry) []byte {
 func EncodeEntryInto(buf []byte, e *Entry) {
 	binary.BigEndian.PutUint32(buf[0:4], uint32(len(e.Data)))
 	binary.BigEndian.PutUint32(buf[4:8], e.Term)
-	binary.BigEndian.PutUint64(buf[8:16], e.Index)
-	binary.BigEndian.PutUint64(buf[16:24], e.CommitIndex)
-	buf[24] = e.Flags
+	binary.BigEndian.PutUint32(buf[8:12], e.PrevTerm)
+	binary.BigEndian.PutUint64(buf[12:20], e.Index)
+	binary.BigEndian.PutUint64(buf[20:28], e.CommitIndex)
+	buf[28] = e.Flags
 	copy(buf[entryHeaderBytes:], e.Data)
 	crc := crc32.ChecksumIEEE(buf[:entryHeaderBytes+len(e.Data)])
 	binary.BigEndian.PutUint32(buf[entryHeaderBytes+len(e.Data):], crc)
@@ -91,6 +125,11 @@ func decodeEntryView(buf []byte, off int) (e Entry, next int, wrapped, ok bool) 
 	if length == wrapMark {
 		return Entry{}, 0, true, false
 	}
+	if length == rewindMark {
+		// A rewind marker is not an entry; only Poll (with rewinds
+		// enabled) interprets it. Everyone else stops scanning here.
+		return Entry{}, 0, false, false
+	}
 	total := entryHeaderBytes + int(length) + entryTrailerBytes
 	if int(length) > len(buf) || off+total > len(buf) {
 		return Entry{}, 0, false, false
@@ -102,9 +141,10 @@ func decodeEntryView(buf []byte, off int) (e Entry, next int, wrapped, ok bool) 
 	}
 	e = Entry{
 		Term:        binary.BigEndian.Uint32(buf[off+4 : off+8]),
-		Index:       binary.BigEndian.Uint64(buf[off+8 : off+16]),
-		CommitIndex: binary.BigEndian.Uint64(buf[off+16 : off+24]),
-		Flags:       buf[off+24],
+		PrevTerm:    binary.BigEndian.Uint32(buf[off+8 : off+12]),
+		Index:       binary.BigEndian.Uint64(buf[off+12 : off+20]),
+		CommitIndex: binary.BigEndian.Uint64(buf[off+20 : off+28]),
+		Flags:       buf[off+28],
 	}
 	if length > 0 {
 		e.Data = buf[off+entryHeaderBytes : end]
@@ -227,6 +267,16 @@ type Consumer struct {
 	lastTerm  uint32
 	commit    uint64
 	pending   entryQueue // consumed but not yet committed (OnApply users)
+	// allowRewind lets Poll act on rewind markers. Only a machine's live
+	// consumer sets it; scan consumers (catch-up over a snapshot) must
+	// treat a marker as end-of-stream instead of jumping around a buffer
+	// whose owner the marker was never addressed to.
+	allowRewind bool
+	// markTerm/markSeq identify the last rewind marker acted on; older
+	// or equal markers are leftovers awaiting overwrite and are parked
+	// on, never re-processed.
+	markTerm uint32
+	markSeq  uint32
 
 	// OnReceive fires for every entry as it becomes visible. The
 	// entry's Data aliases the scanned region and is valid only for the
@@ -240,6 +290,11 @@ type Consumer struct {
 	// index, in index order, exactly once. Entries delivered here carry
 	// private Data copies.
 	OnApply func(Entry)
+	// OnRewind fires after a rewind marker moved the consumer: a leader
+	// declared everything from index target on divergent and will
+	// rewrite it. The owner must discard its own bookkeeping for the
+	// dropped suffix (apply queues, caches, append position).
+	OnRewind func(target uint64, keptTerm uint32, off int)
 }
 
 // NewConsumer scans buf starting at entry index first.
@@ -264,6 +319,13 @@ func (c *Consumer) ReadOffset() int { return c.readOff }
 func (c *Consumer) Poll() int {
 	n := 0
 	for {
+		if c.allowRewind && len(c.buf)-c.readOff >= rewindMarkBytes &&
+			binary.BigEndian.Uint32(c.buf[c.readOff:c.readOff+4]) == rewindMark {
+			if !c.processRewind() {
+				return n
+			}
+			continue
+		}
 		e, next, wrapped, ok := decodeEntryView(c.buf, c.readOff)
 		if wrapped {
 			if c.readOff == 0 {
@@ -278,6 +340,14 @@ func (c *Consumer) Poll() int {
 		if e.Index != c.nextIndex {
 			// Stale bytes from a previous lap (or an overwrite racing the
 			// scan): not our entry yet.
+			return n
+		}
+		if e.PrevTerm != c.lastTerm {
+			// The entry does not extend the log this consumer built: a
+			// write from a deposed leader landed exactly where the next
+			// entry was expected. Refuse it; the live leader's repair (a
+			// rewind marker plus its own suffix) or its next append
+			// overwrites these bytes.
 			return n
 		}
 		entryOff := c.readOff
@@ -301,6 +371,35 @@ func (c *Consumer) Poll() int {
 		}
 		c.advanceCommit(e.CommitIndex)
 	}
+}
+
+// processRewind validates and acts on the rewind marker at the read
+// offset. It returns false when the consumer should park instead: the
+// marker is torn (CRC mismatch mid-write) or already acted on — in both
+// cases a later write resolves the situation by completing, replacing
+// or overwriting the bytes.
+func (c *Consumer) processRewind() bool {
+	rec := c.buf[c.readOff : c.readOff+rewindMarkBytes]
+	if crc32.ChecksumIEEE(rec[:rewindMarkBytes-4]) != binary.BigEndian.Uint32(rec[rewindMarkBytes-4:]) {
+		return false
+	}
+	term := binary.BigEndian.Uint32(rec[20:24])
+	seq := binary.BigEndian.Uint32(rec[24:28])
+	if term < c.markTerm || (term == c.markTerm && seq <= c.markSeq) {
+		return false
+	}
+	c.markTerm, c.markSeq = term, seq
+	target := binary.BigEndian.Uint64(rec[4:12])
+	keptTerm := binary.BigEndian.Uint32(rec[12:16])
+	off := int(binary.BigEndian.Uint32(rec[16:20]))
+	c.pending.Filter(func(e *Entry) bool { return e.Index < target })
+	c.readOff = off
+	c.nextIndex = target
+	c.lastTerm = keptTerm
+	if c.OnRewind != nil {
+		c.OnRewind(target, keptTerm, off)
+	}
+	return true
 }
 
 // AdvanceCommit raises the commit index (e.g. from a side channel) and

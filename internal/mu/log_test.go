@@ -111,10 +111,12 @@ func TestRingConsumerAgreementProperty(t *testing.T) {
 
 		var want []Entry
 		commit := uint64(0)
+		prevTerm := uint32(0)
 		for i := uint64(1); i <= 60; i++ {
 			data := make([]byte, rng.Intn(200))
 			rng.Read(data)
-			e := &Entry{Term: 1, Index: i, CommitIndex: commit, Data: data}
+			e := &Entry{Term: 1, PrevTerm: prevTerm, Index: i, CommitIndex: commit, Data: data}
+			prevTerm = e.Term
 			off, markOff, mark, err := ring.Place(e.EncodedSize())
 			if err != nil {
 				return false
@@ -155,7 +157,11 @@ func TestConsumerAppliesOnCommitOnly(t *testing.T) {
 	cons.OnApply = func(e Entry) { applied = append(applied, e.Index) }
 
 	append1 := func(idx, commit uint64) {
-		e := &Entry{Term: 1, Index: idx, CommitIndex: commit, Data: []byte{byte(idx)}}
+		prevTerm := uint32(1)
+		if idx == 1 {
+			prevTerm = 0
+		}
+		e := &Entry{Term: 1, PrevTerm: prevTerm, Index: idx, CommitIndex: commit, Data: []byte{byte(idx)}}
 		off, _, _, _ := ring.Place(e.EncodedSize())
 		copy(buf[off:], EncodeEntry(e))
 	}
@@ -185,6 +191,122 @@ func TestConsumerIgnoresStaleBytes(t *testing.T) {
 	cons := NewConsumer(buf, 7) // expecting index 7
 	if n := cons.Poll(); n != 0 {
 		t.Fatalf("consumed %d stale entries", n)
+	}
+}
+
+// TestConsumerRejectsBrokenChain covers the log-matching guard: an
+// entry whose PrevTerm disagrees with the last consumed term must not
+// be consumed, even when it sits exactly where the next entry is
+// expected — the scenario of a deposed leader's write racing a new
+// leader's.
+func TestConsumerRejectsBrokenChain(t *testing.T) {
+	buf := make([]byte, 4096)
+	ring := NewRing(len(buf))
+	cons := NewConsumer(buf, 1)
+	put := func(e *Entry) int {
+		off, _, _, _ := ring.Place(e.EncodedSize())
+		copy(buf[off:], EncodeEntry(e))
+		return off
+	}
+	put(&Entry{Term: 2, PrevTerm: 0, Index: 1, Data: []byte("a")})
+	if n := cons.Poll(); n != 1 {
+		t.Fatalf("consumed %d, want 1", n)
+	}
+	// A dead term-1 leader's entry 2 lands at the expected offset but
+	// chains off a different entry 1 (term 1, not term 2).
+	off := put(&Entry{Term: 1, PrevTerm: 1, Index: 2, Data: []byte("stale")})
+	if n := cons.Poll(); n != 0 {
+		t.Fatalf("consumed %d stale-chain entries", n)
+	}
+	// The live leader overwrites it with the real entry 2.
+	real := &Entry{Term: 2, PrevTerm: 2, Index: 2, Data: []byte("real")}
+	copy(buf[off:], EncodeEntry(real))
+	if n := cons.Poll(); n != 1 {
+		t.Fatalf("consumed %d, want 1 after overwrite", n)
+	}
+	if cons.LastTerm() != 2 || cons.NextIndex() != 3 {
+		t.Fatalf("lastTerm=%d nextIndex=%d", cons.LastTerm(), cons.NextIndex())
+	}
+}
+
+// TestConsumerRewindMarker covers the divergence-repair protocol from
+// the replica's side: a rewind marker moves the consumer back to the
+// committed prefix, drops the discarded suffix from the apply queue,
+// and the leader's replacement entries then consume and apply. Leftover
+// (already-processed) markers must park the consumer, not loop it.
+func TestConsumerRewindMarker(t *testing.T) {
+	buf := make([]byte, 4096)
+	ring := NewRing(len(buf))
+	cons := NewConsumer(buf, 1)
+	cons.allowRewind = true
+	var applied []string
+	cons.OnApply = func(e Entry) { applied = append(applied, string(e.Data)) }
+	var rewinds int
+	cons.OnRewind = func(target uint64, keptTerm uint32, off int) {
+		if target != 2 || keptTerm != 1 {
+			t.Fatalf("OnRewind(target=%d keptTerm=%d)", target, keptTerm)
+		}
+		rewinds++
+	}
+	put := func(e *Entry) int {
+		off, _, _, _ := ring.Place(e.EncodedSize())
+		copy(buf[off:], EncodeEntry(e))
+		return off
+	}
+	put(&Entry{Term: 1, PrevTerm: 0, Index: 1, CommitIndex: 0, Data: []byte("committed")})
+	tOff := put(&Entry{Term: 1, PrevTerm: 1, Index: 2, CommitIndex: 1, Data: []byte("stale-2")})
+	put(&Entry{Term: 1, PrevTerm: 1, Index: 3, CommitIndex: 1, Data: []byte("stale-3")})
+	if n := cons.Poll(); n != 3 {
+		t.Fatalf("consumed %d, want 3", n)
+	}
+	markOff := ring.Offset()
+	if got := len(applied); got != 1 || applied[0] != "committed" {
+		t.Fatalf("applied %v before repair", applied)
+	}
+	// The new leader (term 2) zeroes the stale suffix, writes the rewind
+	// marker at the consume position, and rewrites its own suffix at the
+	// same offsets.
+	for i := tOff; i < markOff; i++ {
+		buf[i] = 0
+	}
+	copy(buf[markOff:], EncodeRewindMark(2, 1, tOff, 2, 1))
+	if n := cons.Poll(); n != 0 {
+		t.Fatalf("consumed %d entries processing the marker", n)
+	}
+	if rewinds != 1 || cons.NextIndex() != 2 || cons.ReadOffset() != tOff || cons.LastTerm() != 1 {
+		t.Fatalf("after marker: rewinds=%d nextIndex=%d readOff=%d lastTerm=%d",
+			rewinds, cons.NextIndex(), cons.ReadOffset(), cons.LastTerm())
+	}
+	ring.SetOffset(tOff)
+	repl2 := put(&Entry{Term: 2, PrevTerm: 1, Index: 2, CommitIndex: 1, Data: []byte("repl-2")})
+	if repl2 != tOff {
+		t.Fatalf("replacement landed at %d, want %d", repl2, tOff)
+	}
+	put(&Entry{Term: 2, PrevTerm: 2, Index: 3, CommitIndex: 1, Data: []byte("repl-3")})
+	put(&Entry{Term: 2, PrevTerm: 2, Index: 4, CommitIndex: 3, Data: []byte("repl-4")})
+	if n := cons.Poll(); n != 3 {
+		t.Fatalf("consumed %d replacements, want 3", n)
+	}
+	cons.AdvanceCommit(4)
+	want := []string{"committed", "repl-2", "repl-3", "repl-4"}
+	if len(applied) != len(want) {
+		t.Fatalf("applied %v, want %v", applied, want)
+	}
+	for i := range want {
+		if applied[i] != want[i] {
+			t.Fatalf("applied %v, want %v", applied, want)
+		}
+	}
+	// A consumer that runs onto a leftover marker with an already-seen
+	// identity must park on it (awaiting overwrite), never re-process.
+	leftOff := ring.Offset()
+	copy(buf[leftOff:], EncodeRewindMark(2, 1, tOff, 2, 1))
+	cons.readOff = leftOff
+	if n := cons.Poll(); n != 0 {
+		t.Fatalf("consumed %d on leftover marker", n)
+	}
+	if rewinds != 1 || cons.NextIndex() != 5 {
+		t.Fatalf("leftover marker re-processed (rewinds=%d nextIndex=%d)", rewinds, cons.NextIndex())
 	}
 }
 

@@ -99,6 +99,9 @@ type peerState struct {
 	// Replication-connection bookkeeping (leader side).
 	replDialing  bool
 	lastReplDial sim.Time
+	// lastRepair rate-limits divergence repairs: the control-region
+	// reads that would clear the verdict lag the repair by round-trips.
+	lastRepair sim.Time
 }
 
 // recentEntry is a re-replication cache record.
@@ -206,6 +209,7 @@ type Node struct {
 	sentCommit  uint64 // highest commit index embedded in an appended entry
 	firstOwnIdx uint64 // first index proposed in this leadership
 	takeoverSeq int    // invalidates stale takeover timers
+	rewindSeq   uint32 // rewind markers issued (repairReplica), per term
 
 	// Adaptive batcher state (see batch.go).
 	batchQ     []batchedOp
@@ -281,6 +285,14 @@ type NodeStats struct {
 	// LastExclusionAt is when the leader last dropped a dead replica
 	// from its replication set (Table IV's replica-crash hand-off).
 	LastExclusionAt sim.Time
+	// SuffixRepairs counts divergence repairs this machine issued as
+	// leader: a replica's uncommitted log suffix provably disagreed with
+	// the leader's log and was rewound and rewritten (repairReplica).
+	SuffixRepairs uint64
+	// SuffixRewinds counts rewind markers this machine's consumer acted
+	// on: a leader discarded this machine's uncommitted suffix before
+	// replacing it with its own.
+	SuffixRewinds uint64
 }
 
 // NewNode builds (but does not start) a machine. The NIC must already
@@ -319,7 +331,8 @@ func NewNode(cfg Config, self Peer, peers []Peer, nic *rnic.NIC) *Node {
 		n.mGroupCommitted = scope.Counter("committed")
 	}
 	n.otr = nic.Kernel().Tracer()
-	n.oc = n.otr.Component(fmt.Sprintf("s%d/mu/n%d", cfg.Shard, self.ID), cfg.Shard)
+	n.oc = n.otr.ComponentAt(fmt.Sprintf("s%d/mu/n%d", cfg.Shard, self.ID), cfg.Shard,
+		func() int64 { return int64(nic.Kernel().Now()) })
 	ctrl := make([]byte, controlRegionBytes)
 	n.controlMR = nic.RegisterMR(cfg.ControlVA, ctrl, rnic.AccessRemoteRead)
 	n.logBuf = make([]byte, cfg.LogSize)
@@ -335,12 +348,40 @@ func NewNode(cfg Config, self Peer, peers []Peer, nic *rnic.NIC) *Node {
 		size := e.EncodedSize()
 		enc := n.k.Buffers().Get(size)
 		copy(enc, n.logBuf[off:off+size])
+		if old, dup := n.recent[e.Index]; dup && e.Index > n.appliedIdx {
+			// Re-consumption after a rewind repair replaces the cache
+			// record; its pendingApply alias was filtered by OnRewind, so
+			// the old buffer can recycle. (Applied entries may still be
+			// aliased by an OnApply consumer: leave those to the GC.)
+			n.k.Buffers().Put(old.bytes)
+		}
 		n.recent[e.Index] = recentEntry{off: off, bytes: enc}
 		n.pruneRecent(e.Index)
 		// Queue for application against the cached copy: the ring bytes
 		// can be overwritten by a wrap before the commit index arrives.
 		e.Data = entryData(enc)
 		n.pendingApply.Push(e)
+	}
+	// A leader that finds this machine's uncommitted suffix divergent
+	// rewinds the consumer to the committed prefix before rewriting it
+	// (repairReplica); drop every piece of local bookkeeping that covered
+	// the discarded suffix — the rewrite re-delivers all of it.
+	n.consumer.allowRewind = true
+	n.consumer.OnRewind = func(target uint64, keptTerm uint32, off int) {
+		n.pendingApply.Filter(func(e *Entry) bool { return e.Index < target })
+		for idx := target; idx <= n.lastIndex; idx++ {
+			if ent, ok := n.recent[idx]; ok {
+				delete(n.recent, idx)
+				n.k.Buffers().Put(ent.bytes)
+			}
+		}
+		if n.lastIndex >= target {
+			n.lastIndex = target - 1
+			n.lastTerm = keptTerm
+		}
+		n.ring.SetOffset(off)
+		n.Stats.SuffixRewinds++
+		n.publishState()
 	}
 	n.logMR.SetOnWrite(func(int, int) { n.consumeInbound() })
 	n.postFn = n.postStep
@@ -756,6 +797,13 @@ func (n *Node) reconcileReplicas() {
 		case !connected && alive && !ps.replDialing &&
 			n.k.Now()-ps.lastReplDial > 500*sim.Microsecond:
 			n.dialRepl(ps)
+		case connected && alive:
+			// A connected replica whose published log tail contradicts
+			// this leader's log kept an uncommitted suffix from a dead
+			// leader; rewind and rewrite it before it can be applied.
+			if n.suffixDiverged(ps) {
+				n.repairReplica(ps, n.replConns[id])
+			}
 		}
 	}
 }

@@ -1,6 +1,9 @@
 package otrace
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // ID identifies one traced operation. The zero ID means "not traced":
 // every recording method drops it, so untraced paths (wrap markers,
@@ -94,9 +97,17 @@ type Span struct {
 // Component is one traced unit (a NIC, a mu node, a switch group) with
 // its own fixed-size span ring. A nil Component is the disabled state:
 // recording into it is a no-op.
+//
+// A component may carry its own clock (see Tracer.ComponentAt): under a
+// partitioned kernel each scheduling domain has its own simulated time,
+// and a mark must read the clock of the domain that observes it — the
+// switch marks on the fabric clock, a NIC on its shard's — both for
+// race-freedom and so the recorded times do not depend on how far an
+// unrelated domain happened to have advanced.
 type Component struct {
 	name  string
-	shard int // -1 for shared components (the switch)
+	shard int          // -1 for shared components (the switch)
+	now   func() int64 // domain clock; nil falls back to the tracer's
 	spans []Span
 	next  int
 	full  bool
@@ -155,16 +166,25 @@ type op struct {
 // Tracing is a pure observer: it schedules no kernel events and never
 // touches packet bytes, so a traced run replays the exact event
 // sequence of an untraced one (EventsProcessed is identical).
+//
+// The tracer is shared by every scheduling domain of a partitioned
+// kernel, so its mutable state is guarded by one mutex; recording
+// methods take it briefly and never block on anything else. Completed
+// operations are retained in per-shard rings and merged on export,
+// sorted by (commit time, trace ID) — an order that is a pure function
+// of the simulation, not of which domain's Finish ran first — so
+// exports stay byte-identical across partition counts.
 type Tracer struct {
+	mu        sync.Mutex
 	now       func() int64
 	seq       map[int]uint64
 	ops       map[ID]*op
 	free      []*op
 	byPSN     map[uint64]ID
 	comps     []*Component
-	completed []OpRecord
-	cnext     int
-	cfull     bool
+	completed [][]OpRecord // per shard
+	cnext     []int
+	cfull     []bool
 	onFinish  func(OpRecord)
 }
 
@@ -179,11 +199,10 @@ const (
 // nanoseconds).
 func New(now func() int64) *Tracer {
 	return &Tracer{
-		now:       now,
-		seq:       make(map[int]uint64),
-		ops:       make(map[ID]*op),
-		byPSN:     make(map[uint64]ID),
-		completed: make([]OpRecord, defaultOpRing),
+		now:   now,
+		seq:   make(map[int]uint64),
+		ops:   make(map[ID]*op),
+		byPSN: make(map[uint64]ID),
 	}
 }
 
@@ -191,28 +210,46 @@ func New(now func() int64) *Tracer {
 func (t *Tracer) Enabled() bool { return t != nil }
 
 // OnFinish registers a callback invoked with every finished OpRecord
-// (the bench breakdown collector). One callback at a time.
+// (the bench breakdown collector). One callback at a time. The callback
+// runs under the tracer's lock — it must not call back into the tracer
+// — and, under a partitioned kernel, on the finishing shard's
+// goroutine.
 func (t *Tracer) OnFinish(fn func(OpRecord)) {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.onFinish = fn
 }
 
 // Component registers (or returns, by exact name) a traced component.
 // shard is the owning shard, or -1 for shared infrastructure. Nil on a
 // nil tracer. Registration order is the export order, so deterministic
-// construction yields byte-identical exports.
+// construction yields byte-identical exports. The component reads the
+// tracer's clock; components living on a partitioned kernel's domain
+// should use ComponentAt with their domain clock instead.
 func (t *Tracer) Component(name string, shard int) *Component {
+	return t.ComponentAt(name, shard, nil)
+}
+
+// ComponentAt is Component with the component's own clock: marks
+// recorded through it read now rather than the tracer's root clock.
+// Components built on a scheduling domain of a partitioned kernel must
+// register this way so their timestamps come from — and only from —
+// their own domain.
+func (t *Tracer) ComponentAt(name string, shard int, now func() int64) *Component {
 	if t == nil {
 		return nil
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, c := range t.comps {
 		if c.name == name {
 			return c
 		}
 	}
-	c := &Component{name: name, shard: shard, spans: make([]Span, defaultSpanRing)}
+	c := &Component{name: name, shard: shard, now: now, spans: make([]Span, defaultSpanRing)}
 	t.comps = append(t.comps, c)
 	return c
 }
@@ -225,17 +262,29 @@ func (t *Tracer) Components() []*Component {
 	return t.comps
 }
 
+// clockOf returns the clock marks through c should read: the
+// component's own domain clock when it has one, the tracer's otherwise.
+// Callers hold t.mu.
+func (t *Tracer) clockOf(c *Component) int64 {
+	if c != nil && c.now != nil {
+		return c.now()
+	}
+	return t.now()
+}
+
 // Begin mints a trace ID for a new operation on the given shard and
 // records its submit mark. Zero on a nil tracer.
 func (t *Tracer) Begin(c *Component, shard int, noop, batch bool, ops, bytes int) ID {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.seq[shard]++
 	id := ID(shard+1)<<shardShift | ID(t.seq[shard])
 	o := t.getOp()
 	o.id, o.shard, o.noop, o.batch, o.ops, o.bytes = id, shard, noop, batch, ops, bytes
-	now := t.now()
+	now := t.clockOf(c)
 	o.marks[MarkSubmit] = now
 	t.ops[id] = o
 	c.record(Span{Trace: id, Kind: MarkSubmit, Start: now, End: now})
@@ -250,11 +299,13 @@ func (t *Tracer) Mark(c *Component, id ID, kind int) {
 	if t == nil || id == 0 {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	o := t.ops[id]
 	if o == nil {
 		return
 	}
-	now := t.now()
+	now := t.clockOf(c)
 	if !firstWins[kind] || o.marks[kind] < 0 {
 		o.marks[kind] = now
 	}
@@ -267,11 +318,13 @@ func (t *Tracer) MarkSpan(c *Component, id ID, kind int, start int64) {
 	if t == nil || id == 0 {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	o := t.ops[id]
 	if o == nil {
 		return
 	}
-	now := t.now()
+	now := t.clockOf(c)
 	if !firstWins[kind] || o.marks[kind] < 0 {
 		o.marks[kind] = now
 	}
@@ -281,22 +334,33 @@ func (t *Tracer) MarkSpan(c *Component, id ID, kind int, start int64) {
 	c.record(Span{Trace: id, Kind: uint8(kind), Start: start, End: now})
 }
 
+// annKey builds the (shard, qpn, psn) annotation key. QPNs are
+// per-NIC, minted from the same starting number on every shard, so the
+// shard qualifier is what keeps one shard's annotations from colliding
+// with — and under a partitioned kernel, racing against — another's.
+func annKey(shard int, qpn, psn uint32) uint64 {
+	return uint64(shard+1)<<48 | uint64(qpn&psnMask)<<24 | uint64(psn&psnMask)
+}
+
 // Annotate associates id with count packet sequence numbers starting at
 // firstPSN on destination QP qpn, so downstream layers (the switch, a
 // replica NIC) can recover the trace from a wire packet without any
-// added header bytes. Re-annotating the same (qpn, psn) with the same
+// added header bytes. The key is scoped to the op's shard: QPNs are
+// only unique per NIC. Re-annotating the same (qpn, psn) with the same
 // id — a retransmission — is free.
 func (t *Tracer) Annotate(id ID, qpn uint32, firstPSN uint32, count int) {
 	if t == nil || id == 0 {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	o := t.ops[id]
 	if o == nil {
 		return
 	}
 	for i := 0; i < count; i++ {
 		psn := (firstPSN + uint32(i)) & psnMask
-		key := uint64(qpn)<<32 | uint64(psn)
+		key := annKey(o.shard, qpn, psn)
 		if t.byPSN[key] == id {
 			continue
 		}
@@ -305,12 +369,14 @@ func (t *Tracer) Annotate(id ID, qpn uint32, firstPSN uint32, count int) {
 	}
 }
 
-// Lookup recovers the trace annotated on (qpn, psn), or 0.
-func (t *Tracer) Lookup(qpn, psn uint32) ID {
+// Lookup recovers the trace annotated on shard's (qpn, psn), or 0.
+func (t *Tracer) Lookup(shard int, qpn, psn uint32) ID {
 	if t == nil {
 		return 0
 	}
-	return t.byPSN[uint64(qpn)<<32|uint64(psn&psnMask)]
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byPSN[annKey(shard, qpn, psn)]
 }
 
 // Finish closes id at the current sim time (the commit boundary B6),
@@ -327,6 +393,8 @@ func (t *Tracer) Finish(c *Component, id ID) {
 	if t == nil || id == 0 {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	o := t.ops[id]
 	if o == nil {
 		return
@@ -338,7 +406,7 @@ func (t *Tracer) Finish(c *Component, id ID) {
 		return def
 	}
 	b0 := o.marks[MarkSubmit]
-	b6 := t.now()
+	b6 := t.clockOf(c)
 	b1 := or(o.marks[MarkPosted], b0)
 	b5 := or(o.marks[MarkAckRx], b6)
 	b4 := or(o.marks[MarkGatherFire], b5)
@@ -354,16 +422,34 @@ func (t *Tracer) Finish(c *Component, id ID) {
 			rec.B[i] = rec.B[i-1]
 		}
 	}
-	t.completed[t.cnext] = rec
-	t.cnext++
-	if t.cnext == len(t.completed) {
-		t.cnext = 0
-		t.cfull = true
-	}
+	t.retain(rec)
 	c.record(Span{Trace: id, Kind: MarkCommit, Start: rec.B[0], End: rec.B[6]})
 	t.release(o)
 	if t.onFinish != nil {
 		t.onFinish(rec)
+	}
+}
+
+// retain writes rec into its shard's flight-recorder ring, growing the
+// per-shard ring table on first use. Callers hold t.mu.
+func (t *Tracer) retain(rec OpRecord) {
+	sh := rec.Shard
+	if sh < 0 {
+		sh = 0
+	}
+	for len(t.completed) <= sh {
+		t.completed = append(t.completed, nil)
+		t.cnext = append(t.cnext, 0)
+		t.cfull = append(t.cfull, false)
+	}
+	if t.completed[sh] == nil {
+		t.completed[sh] = make([]OpRecord, defaultOpRing)
+	}
+	t.completed[sh][t.cnext[sh]] = rec
+	t.cnext[sh]++
+	if t.cnext[sh] == len(t.completed[sh]) {
+		t.cnext[sh] = 0
+		t.cfull[sh] = true
 	}
 }
 
@@ -373,6 +459,8 @@ func (t *Tracer) Abort(id ID) {
 	if t == nil || id == 0 {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	o := t.ops[id]
 	if o == nil {
 		return
@@ -410,18 +498,32 @@ func (t *Tracer) putOp(o *op) {
 	t.free = append(t.free, o)
 }
 
-// Completed returns the retained finished operations, oldest first
-// (copy).
+// Completed returns the retained finished operations (copy), merged
+// across the per-shard rings and ordered by (commit time, trace ID) —
+// oldest first, and independent of which shard's Finish ran first under
+// a partitioned kernel.
 func (t *Tracer) Completed() []OpRecord {
 	if t == nil {
 		return nil
 	}
-	if !t.cfull {
-		return append([]OpRecord(nil), t.completed[:t.cnext]...)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []OpRecord
+	for sh, ring := range t.completed {
+		if ring == nil {
+			continue
+		}
+		if t.cfull[sh] {
+			out = append(out, ring[t.cnext[sh]:]...)
+		}
+		out = append(out, ring[:t.cnext[sh]]...)
 	}
-	out := make([]OpRecord, 0, len(t.completed))
-	out = append(out, t.completed[t.cnext:]...)
-	out = append(out, t.completed[:t.cnext]...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].B[6] != out[j].B[6] {
+			return out[i].B[6] < out[j].B[6]
+		}
+		return out[i].Trace < out[j].Trace
+	})
 	return out
 }
 
@@ -430,6 +532,8 @@ func (t *Tracer) Live() []OpRecord {
 	if t == nil {
 		return nil
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	out := make([]OpRecord, 0, len(t.ops))
 	for id, o := range t.ops {
 		rec := OpRecord{

@@ -178,11 +178,11 @@ func TestAnnotateLookupRelease(t *testing.T) {
 	id := tr.Begin(c, 0, false, false, 1, 8)
 	tr.Annotate(id, 7, psnMask-1, 4) // wraps past the 24-bit PSN space
 	for i, psn := range []uint32{psnMask - 1, psnMask, 0, 1} {
-		if got := tr.Lookup(7, psn); got != id {
-			t.Fatalf("Lookup(7, %#x) [%d] = %#x, want %#x", psn, i, uint64(got), uint64(id))
+		if got := tr.Lookup(0, 7, psn); got != id {
+			t.Fatalf("Lookup(0, 7, %#x) [%d] = %#x, want %#x", psn, i, uint64(got), uint64(id))
 		}
 	}
-	if got := tr.Lookup(8, psnMask-1); got != 0 {
+	if got := tr.Lookup(0, 8, psnMask-1); got != 0 {
 		t.Fatalf("Lookup on wrong QP = %#x, want 0", uint64(got))
 	}
 	// Re-annotating the same range (a retransmission) is idempotent.
@@ -192,18 +192,18 @@ func TestAnnotateLookupRelease(t *testing.T) {
 	// old op's release must not strip the new owner's annotation.
 	id2 := tr.Begin(c, 0, false, false, 1, 8)
 	tr.Annotate(id2, 7, psnMask-1, 1)
-	if got := tr.Lookup(7, psnMask-1); got != id2 {
+	if got := tr.Lookup(0, 7, psnMask-1); got != id2 {
 		t.Fatalf("reused PSN = %#x, want newer op %#x", uint64(got), uint64(id2))
 	}
 	tr.Finish(c, id)
-	if got := tr.Lookup(7, psnMask-1); got != id2 {
+	if got := tr.Lookup(0, 7, psnMask-1); got != id2 {
 		t.Fatal("finishing the old op released the new op's annotation")
 	}
-	if got := tr.Lookup(7, 0); got != 0 {
+	if got := tr.Lookup(0, 7, 0); got != 0 {
 		t.Fatalf("Lookup after release = %#x, want 0", uint64(got))
 	}
 	tr.Abort(id2)
-	if got := tr.Lookup(7, psnMask-1); got != 0 {
+	if got := tr.Lookup(0, 7, psnMask-1); got != 0 {
 		t.Fatal("Abort did not release annotations")
 	}
 }
@@ -301,7 +301,7 @@ func TestNilTracerAndComponentAreNoops(t *testing.T) {
 	tr.Mark(c, 1, MarkPosted)
 	tr.MarkSpan(c, 1, MarkGatherFire, 0)
 	tr.Annotate(1, 1, 1, 1)
-	if got := tr.Lookup(1, 1); got != 0 {
+	if got := tr.Lookup(0, 1, 1); got != 0 {
 		t.Fatal("nil Lookup nonzero")
 	}
 	tr.Finish(c, 1)

@@ -315,11 +315,20 @@ func (dp *Dataplane) ingressScatter(sw *tofino.Switch, g *group, pkt *roce.Packe
 	g.armSlot(slot, sw.Kernel().Now())
 	// B2: the write entered the scatter pipeline. The leader annotated
 	// its PSNs under the BCast QP, which is exactly this packet's DestQP.
-	dp.otr.Mark(dp.groupComp(g), dp.otr.Lookup(pkt.DestQP, pkt.PSN), otrace.MarkSwitchIngress)
+	dp.otr.Mark(dp.groupComp(g), dp.otr.Lookup(g.shard(), pkt.DestQP, pkt.PSN), otrace.MarkSwitchIngress)
 	dp.Stats.Scattered++
 	dp.mScattered.Inc()
 	dp.mFanout.Observe(int64(len(g.replicas)))
 	return tofino.IngressResult{Verdict: tofino.VerdictMulticast, Group: g.id}
+}
+
+// shard recovers the group's consensus shard from its leader address:
+// the third octet is the shard's /24 block. Trace annotations are keyed
+// per shard (QPNs are only unique per NIC), so every switch-side trace
+// lookup qualifies with it.
+func (g *group) shard() int {
+	_, _, s, _ := g.leaderIP.Octets()
+	return int(s)
 }
 
 // groupComp resolves the group's trace component lazily (groups are
@@ -388,7 +397,7 @@ func (dp *Dataplane) markGatherFire(sw *tofino.Switch, g *group, leaderPSN uint3
 	if dp.otr == nil {
 		return
 	}
-	id := dp.otr.Lookup(g.bcastQP, leaderPSN)
+	id := dp.otr.Lookup(g.shard(), g.bcastQP, leaderPSN)
 	if id == 0 {
 		return
 	}
@@ -482,7 +491,7 @@ func (dp *Dataplane) Egress(sw *tofino.Switch, out tofino.PortID, rid uint16, pk
 			// under the pre-rewrite (BCast QP, leader PSN); re-annotate the
 			// rewritten (replica QP, replica PSN) afterwards so the
 			// replica's NIC can recover it from the wire.
-			id := dp.otr.Lookup(pkt.DestQP, pkt.PSN)
+			id := dp.otr.Lookup(ent.g.shard(), pkt.DestQP, pkt.PSN)
 			dp.rewriteWriteForReplica(sw, ent, pkt)
 			if id != 0 {
 				dp.otr.Mark(dp.groupComp(ent.g), id, otrace.MarkSwitchEgress)

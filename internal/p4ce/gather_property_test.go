@@ -134,8 +134,8 @@ func TestGatherPropertyRandomInterleavings(t *testing.T) {
 
 	for trial := 0; trial < trials; trial++ {
 		rng := rand.New(rand.NewSource(int64(1000 + trial)))
-		nRep := 2 + rng.Intn(4)          // 2..5 replicas
-		f := 1 + rng.Intn(nRep)          // 1..nRep
+		nRep := 2 + rng.Intn(4) // 2..5 replicas
+		f := 1 + rng.Intn(nRep) // 1..nRep
 		dp, sw, g := newRegressGroup(t, DropInIngress, nRep, f)
 		m := newGatherModel(nRep, f)
 

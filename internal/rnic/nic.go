@@ -118,8 +118,9 @@ type NIC struct {
 	mRNRNaks      *metrics.Counter
 
 	// Causal tracing (nil no-ops when the kernel has no tracer).
-	otr *otrace.Tracer
-	oc  *otrace.Component
+	otr   *otrace.Tracer
+	oc    *otrace.Component
+	shard int // the /24 block of the NIC's address, keys trace lookups
 }
 
 // Stats are the NIC's datapath counters.
@@ -161,8 +162,10 @@ func New(k *sim.Kernel, cfg Config, ip simnet.Addr) *NIC {
 	// The third address octet is the shard's /24 block (10.0.<shard>.0),
 	// which scopes this NIC's trace component to its consensus group.
 	_, _, shard, _ := ip.Octets()
+	n.shard = int(shard)
 	n.otr = k.Tracer()
-	n.oc = n.otr.Component(fmt.Sprintf("s%d/rnic/%v", shard, ip), int(shard))
+	n.oc = n.otr.ComponentAt(fmt.Sprintf("s%d/rnic/%v", shard, ip), int(shard),
+		func() int64 { return int64(k.Now()) })
 	n.sendFn = n.sendDelayed
 	return n
 }

@@ -678,7 +678,7 @@ func (qp *QP) handleInboundWrite(p *roce.Packet) {
 		// B2 fallback (first-wins): a replica accepted the write. In
 		// switch mode the egress rewrite re-annotated the per-replica
 		// (QP, PSN); in direct mode this is the leader's own annotation.
-		qp.nic.otr.Mark(qp.nic.oc, qp.nic.otr.Lookup(qp.num, p.PSN), otrace.MarkReplicaRx)
+		qp.nic.otr.Mark(qp.nic.oc, qp.nic.otr.Lookup(qp.nic.shard, qp.num, p.PSN), otrace.MarkReplicaRx)
 	}
 	qp.curMR.write(qp.curVA, p.Payload)
 	qp.curVA += uint64(len(p.Payload))

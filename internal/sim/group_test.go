@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// pingDomains wires a synthetic workload over a group: every shard
+// domain ping-pongs frames with the fabric domain through SendTo at
+// lookahead distance, mixes in local timers and per-domain random
+// draws, and records a history string per domain. The history is the
+// determinism witness: it must be byte-identical at every partition
+// count.
+func pingDomains(g *Group, shards int, horizon Time) []string {
+	hist := make([]string, shards+1)
+	fabric := g.Root()
+	var pong func(a any, buf []byte)
+	var ping func(a any, buf []byte)
+	pong = func(a any, buf []byte) {
+		d := a.(int)
+		k := g.Kernel(d)
+		hist[d] += fmt.Sprintf("pong@%d r%d;", k.Now(), k.Rand().Intn(1000))
+		k.Buffers().Put(buf) // frames release into the receiving domain's pool
+		if k.Now() < horizon {
+			b := k.Buffers().Get(64)
+			k.SendTo(fabric, k.Now()+g.Lookahead(), ping, d, b)
+		}
+	}
+	ping = func(a any, buf []byte) {
+		d := a.(int)
+		hist[0] += fmt.Sprintf("ping%d@%d r%d;", d, fabric.Now(), fabric.Rand().Intn(1000))
+		fabric.Buffers().Put(buf)
+		b := fabric.Buffers().Get(64)
+		fabric.SendTo(g.Kernel(d), fabric.Now()+g.Lookahead(), pong, d, b)
+	}
+	for d := 1; d <= shards; d++ {
+		k := g.Kernel(d)
+		dd := d
+		// Local timer chatter on each shard domain.
+		k.NewTicker(70*Nanosecond, func() {
+			hist[dd] += fmt.Sprintf("t@%d;", k.Now())
+		})
+		b := k.Buffers().Get(64)
+		k.SendTo(fabric, k.Now()+g.Lookahead(), ping, dd, b)
+	}
+	return hist
+}
+
+func runGroup(t *testing.T, shards, partitions int, horizon Time, step bool) ([]string, uint64) {
+	t.Helper()
+	g := NewGroup(7, shards+1, partitions, 300*Nanosecond)
+	hist := pingDomains(g, shards, horizon)
+	if step {
+		for {
+			// Interleave Step with short Run spans to exercise both drivers.
+			for i := 0; i < 50; i++ {
+				if !g.Step() {
+					break
+				}
+			}
+			if g.Now() >= horizon {
+				break
+			}
+			g.RunUntil(g.Now() + 500*Nanosecond)
+		}
+		g.RunUntil(horizon + 10*g.Lookahead())
+	} else {
+		g.RunUntil(horizon + 10*g.Lookahead())
+	}
+	return hist, g.Processed()
+}
+
+func TestGroupDeterminismAcrossPartitions(t *testing.T) {
+	const shards = 4
+	const horizon = 20 * Microsecond
+	baseHist, baseN := runGroup(t, shards, 1, horizon, false)
+	if baseN == 0 {
+		t.Fatal("no events processed")
+	}
+	for _, parts := range []int{2, 3, 5} {
+		hist, n := runGroup(t, shards, parts, horizon, false)
+		if n != baseN {
+			t.Fatalf("partitions=%d processed %d events, want %d", parts, n, baseN)
+		}
+		for d := range hist {
+			if hist[d] != baseHist[d] {
+				t.Fatalf("partitions=%d domain %d history diverged:\n got %q\nwant %q", parts, d, hist[d], baseHist[d])
+			}
+		}
+	}
+}
+
+func TestGroupStepMatchesRun(t *testing.T) {
+	const shards = 3
+	const horizon = 5 * Microsecond
+	baseHist, baseN := runGroup(t, shards, 1, horizon, false)
+	for _, parts := range []int{1, 4} {
+		hist, n := runGroup(t, shards, parts, horizon, true)
+		if n != baseN {
+			t.Fatalf("step partitions=%d processed %d events, want %d", parts, n, baseN)
+		}
+		for d := range hist {
+			if hist[d] != baseHist[d] {
+				t.Fatalf("step partitions=%d domain %d history diverged:\n got %q\nwant %q", parts, d, hist[d], baseHist[d])
+			}
+		}
+	}
+}
+
+func TestGroupClocksAfterRun(t *testing.T) {
+	g := NewGroup(1, 3, 2, 300*Nanosecond)
+	g.Kernel(1).Schedule(time100(), func() {})
+	g.RunUntil(50 * Microsecond)
+	for d := 0; d < g.Domains(); d++ {
+		if got := g.Kernel(d).Now(); got != 50*Microsecond {
+			t.Fatalf("domain %d clock = %v, want 50µs", d, got)
+		}
+	}
+	if g.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", g.Pending())
+	}
+}
+
+func time100() Time { return 100 * Nanosecond }
+
+func TestGroupCallUniformAcrossPartitions(t *testing.T) {
+	run := func(parts int) string {
+		g := NewGroup(3, 4, parts, 300*Nanosecond)
+		var log string
+		k1, k2 := g.Kernel(1), g.Kernel(2)
+		k1.Schedule(time100(), func() {
+			k1.Call(k2, func() {
+				log += fmt.Sprintf("call@%d;", k2.Now())
+				k2.Call(k1, func() {
+					log += fmt.Sprintf("back@%d;", k1.Now())
+				})
+			})
+		})
+		g.RunUntil(10 * Microsecond)
+		return log
+	}
+	want := run(1)
+	if want == "" {
+		t.Fatal("no calls ran")
+	}
+	for _, parts := range []int{2, 3, 4} {
+		if got := run(parts); got != want {
+			t.Fatalf("partitions=%d call log %q, want %q", parts, got, want)
+		}
+	}
+}

@@ -40,24 +40,35 @@ func (t Time) String() string {
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
 // event is a single scheduled callback. Events are pooled: once popped
-// (executed or canceled) the record goes back on the kernel's free list
-// and its gen counter is bumped, which invalidates any Timer handle still
-// pointing at it.
+// (executed or canceled) the record goes back on the scheduler's free
+// list and its gen counter is bumped, which invalidates any Timer handle
+// still pointing at it.
 type event struct {
 	at  Time
-	seq uint64 // tie-breaker: FIFO among events at the same instant
+	dom int32  // scheduling domain; ties at the same instant break by (dom, seq)
+	seq uint64 // per-domain tie-breaker: FIFO among same-domain events at one instant
 	gen uint64 // recycle generation, guards stale Timer handles
-	// Exactly one of fn / afn is set. afn runs with arg, letting hot
-	// paths reuse a persistent callback instead of allocating a closure
-	// per schedule.
+	// Exactly one of fn / afn / bfn is set. afn runs with arg, letting
+	// hot paths reuse a persistent callback instead of allocating a
+	// closure per schedule; bfn additionally carries a byte slice so
+	// frame deliveries cross partitions without boxing the slice.
 	fn       func()
 	afn      func(any)
 	arg      any
+	bfn      func(any, []byte)
+	buf      []byte
+	k        *Kernel // run domain: its clock advances to at when the event fires
 	canceled bool
 	index    int // position in the heap, -1 once popped
 }
 
-// eventHeap orders events by (at, seq).
+// eventHeap orders events by (at, dom, seq). For a standalone kernel
+// every event carries dom 0, so the order degenerates to the classic
+// (at, seq) FIFO; in a partitioned Group the triple is a strict total
+// order over all events of the simulation that depends only on where an
+// event was *scheduled* (domain), never on how domains are packed into
+// partitions — which is what makes same-seed runs bit-identical across
+// partition counts.
 type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -65,6 +76,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].dom != h[j].dom {
+		return h[i].dom < h[j].dom
 	}
 	return h[i].seq < h[j].seq
 }
@@ -95,31 +109,171 @@ func (h *eventHeap) Pop() any {
 // considered; below it the canceled residue is too small to matter.
 const compactThreshold = 64
 
-// Kernel is a discrete-event simulation driver. The zero value is not
-// usable; construct with NewKernel.
-type Kernel struct {
-	now       Time
-	seq       uint64
+// sched is the per-partition scheduler: the event heap, the recycled
+// record pool, and the bookkeeping counters. A standalone Kernel owns a
+// private sched; in a Group every domain kernel of the same partition
+// shares one, so the partition's worker goroutine is the only toucher
+// during a run (the coordinator touches it only between windows, after
+// a barrier, which establishes the necessary happens-before edges).
+type sched struct {
 	events    eventHeap
 	free      []*event // recycled event records
 	live      int      // scheduled and not canceled
 	ncanceled int      // canceled events still resident in the heap
-	rng       *rand.Rand
 	processed uint64
 	stopped   bool
-	metrics   *metrics.Registry
-	tracer    *otrace.Tracer
-	bufs      Buffers
+	// out holds cross-partition events produced during the current
+	// window, one mailbox per destination partition. Nil for a
+	// standalone kernel. The coordinator drains every mailbox between
+	// windows, so ordering is a pure function of the event keys.
+	out [][]xev
 }
 
-// NewKernel returns a kernel whose clock reads zero and whose random
-// source is seeded with seed, so identical schedules replay identically.
+// xev is a cross-partition event in flight: the full (at, dom, seq) key
+// assigned at schedule time plus the callback. Because the key is fixed
+// by the sender, delivery order in the destination heap is a
+// deterministic function of (time, source domain, sequence) and never of
+// goroutine scheduling.
+type xev struct {
+	at  Time
+	dom int32
+	seq uint64
+	k   *Kernel
+	fn  func()
+	afn func(any)
+	arg any
+	bfn func(any, []byte)
+	buf []byte
+}
+
+// alloc returns a fresh or recycled event record.
+func (sc *sched) alloc() *event {
+	if n := len(sc.free); n > 0 {
+		ev := sc.free[n-1]
+		sc.free[n-1] = nil
+		sc.free = sc.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// release returns a popped event record to the free list. Bumping gen
+// here is what makes stale Timer handles inert.
+func (sc *sched) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	ev.bfn = nil
+	ev.buf = nil
+	ev.k = nil
+	ev.canceled = false
+	ev.index = -1
+	sc.free = append(sc.free, ev)
+}
+
+// step executes the single next event in this partition, advancing the
+// run domain's clock to its timestamp. It reports whether an event was
+// executed.
+func (sc *sched) step() bool {
+	for len(sc.events) > 0 {
+		ev := heap.Pop(&sc.events).(*event)
+		if ev.canceled {
+			sc.ncanceled--
+			sc.release(ev)
+			continue
+		}
+		sc.live--
+		ev.k.now = ev.at
+		sc.processed++
+		// Copy the callback out and recycle the record before invoking
+		// it, so the callback's own scheduling can reuse it.
+		fn, afn, arg, bfn, buf := ev.fn, ev.afn, ev.arg, ev.bfn, ev.buf
+		sc.release(ev)
+		switch {
+		case bfn != nil:
+			bfn(arg, buf)
+		case afn != nil:
+			afn(arg)
+		default:
+			fn()
+		}
+		return true
+	}
+	return false
+}
+
+// peek returns the timestamp of the next non-canceled event.
+func (sc *sched) peek() (Time, bool) {
+	for len(sc.events) > 0 {
+		if !sc.events[0].canceled {
+			return sc.events[0].at, true
+		}
+		ev := heap.Pop(&sc.events).(*event)
+		sc.ncanceled--
+		sc.release(ev)
+	}
+	return 0, false
+}
+
+// compact drops canceled events once they outnumber the live ones, so a
+// stopped long-deadline timer (a retransmission timeout re-armed on
+// every ACK, say) does not pin heap memory until its deadline. Filtering
+// preserves each survivor's (at, dom, seq) key, and re-heapifying cannot
+// change pop order — the comparator is a strict total order on those
+// keys — so compaction is invisible to a seeded run.
+func (sc *sched) compact() {
+	kept := sc.events[:0]
+	for _, ev := range sc.events {
+		if ev.canceled {
+			sc.release(ev)
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	// Clear the tail so dropped records do not linger in the backing array.
+	for i := len(kept); i < len(sc.events); i++ {
+		sc.events[i] = nil
+	}
+	sc.events = kept
+	sc.ncanceled = 0
+	heap.Init(&sc.events)
+}
+
+// Kernel is a discrete-event simulation driver and, in a partitioned
+// Group, the identity of one scheduling domain (its clock, sequence
+// counter, random stream and buffer pool). The zero value is not usable;
+// construct with NewKernel, or obtain domain kernels from NewGroup.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	dom     int32
+	rng     *rand.Rand
+	metrics *metrics.Registry
+	tracer  *otrace.Tracer
+	bufs    Buffers
+	sc      *sched // partition scheduler (private for a standalone kernel)
+	g       *Group // nil for a standalone kernel
+	part    int    // partition index within the group (0 standalone)
+}
+
+// NewKernel returns a standalone kernel whose clock reads zero and whose
+// random source is seeded with seed, so identical schedules replay
+// identically.
 func NewKernel(seed int64) *Kernel {
-	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+	return &Kernel{rng: rand.New(rand.NewSource(seed)), sc: &sched{}}
 }
 
-// Now returns the current simulated time.
+// Now returns the current simulated time of this kernel's domain.
 func (k *Kernel) Now() Time { return k.now }
+
+// Domain returns the kernel's scheduling-domain index (0 for a
+// standalone kernel and for the fabric domain of a Group).
+func (k *Kernel) Domain() int { return int(k.dom) }
+
+// Group returns the partitioned group this kernel belongs to, or nil for
+// a standalone kernel.
+func (k *Kernel) Group() *Group { return k.g }
 
 // SetMetrics attaches a metrics registry. Components built on this
 // kernel resolve their instrument handles from it at construction, so
@@ -140,48 +294,45 @@ func (k *Kernel) SetTracer(t *otrace.Tracer) { k.tracer = t }
 // Tracer returns the attached operation tracer, or nil when disabled.
 func (k *Kernel) Tracer() *otrace.Tracer { return k.tracer }
 
-// Rand returns the kernel's deterministic random source.
+// Rand returns this domain's deterministic random source. In a Group
+// every domain kernel carries its own stream, derived from the root
+// seed and the domain index, so draws on one domain never perturb
+// another and the sequence seen by a domain is independent of how many
+// partitions the group runs on.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
-// Buffers returns the kernel-wide frame buffer pool shared by the
-// devices of this simulation.
+// Buffers returns this domain's frame buffer pool. Devices of one
+// domain share it; a frame that crosses domains is released into the
+// receiving domain's pool (any pool accepts any class-sized slice, and
+// Get zeroes, so migration is harmless).
 func (k *Kernel) Buffers() *Buffers { return &k.bufs }
 
-// Processed reports how many events have executed so far.
-func (k *Kernel) Processed() uint64 { return k.processed }
+// Processed reports how many events have executed so far. On a grouped
+// kernel it aggregates across all partitions; see Group.Processed for
+// the memory-ordering contract.
+func (k *Kernel) Processed() uint64 {
+	if k.g != nil {
+		return k.g.Processed()
+	}
+	return k.sc.processed
+}
 
 // Pending reports how many events are scheduled and not yet canceled.
-// It is O(1): the kernel maintains a live counter across schedule,
-// cancel and execution.
-func (k *Kernel) Pending() int { return k.live }
+// It is O(partitions): each scheduler maintains a live counter across
+// schedule, cancel and execution. On a grouped kernel it aggregates
+// across all partitions; see Group.Pending for the memory-ordering
+// contract.
+func (k *Kernel) Pending() int {
+	if k.g != nil {
+		return k.g.Pending()
+	}
+	return k.sc.live
+}
 
 // queueLen reports how many event records (live or canceled) are
 // resident in the heap; the excess over Pending is canceled residue
 // awaiting compaction. Exposed for tests.
-func (k *Kernel) queueLen() int { return len(k.events) }
-
-// alloc returns a fresh or recycled event record.
-func (k *Kernel) alloc() *event {
-	if n := len(k.free); n > 0 {
-		ev := k.free[n-1]
-		k.free[n-1] = nil
-		k.free = k.free[:n-1]
-		return ev
-	}
-	return &event{}
-}
-
-// release returns a popped event record to the free list. Bumping gen
-// here is what makes stale Timer handles inert.
-func (k *Kernel) release(ev *event) {
-	ev.gen++
-	ev.fn = nil
-	ev.afn = nil
-	ev.arg = nil
-	ev.canceled = false
-	ev.index = -1
-	k.free = append(k.free, ev)
-}
+func (k *Kernel) queueLen() int { return len(k.sc.events) }
 
 // Schedule runs fn after delay d. A negative delay is treated as zero.
 // The returned Timer may be used to cancel the call before it fires.
@@ -204,13 +355,18 @@ func (k *Kernel) ScheduleArg(d Time, fn func(any), arg any) Timer {
 
 // At runs fn at absolute time t. Scheduling in the past runs at the
 // current instant (after already-queued events for this instant).
+//
+// In a Group, At on a domain kernel must be called either from an event
+// running on that kernel's partition or while the group is quiesced
+// (no Run in progress); cross-partition scheduling from inside a
+// running event goes through SendTo / Call.
 func (k *Kernel) At(t Time, fn func()) Timer {
 	if fn == nil {
 		panic("sim: At called with nil function")
 	}
 	ev := k.push(t)
 	ev.fn = fn
-	return Timer{k: k, ev: ev, gen: ev.gen}
+	return Timer{sc: k.sc, ev: ev, gen: ev.gen}
 }
 
 // AtArg is At for a callback taking one argument; see ScheduleArg.
@@ -221,122 +377,160 @@ func (k *Kernel) AtArg(t Time, fn func(any), arg any) Timer {
 	ev := k.push(t)
 	ev.afn = fn
 	ev.arg = arg
-	return Timer{k: k, ev: ev, gen: ev.gen}
+	return Timer{sc: k.sc, ev: ev, gen: ev.gen}
 }
 
 func (k *Kernel) push(t Time) *event {
 	if t < k.now {
 		t = k.now
 	}
-	ev := k.alloc()
+	sc := k.sc
+	ev := sc.alloc()
 	ev.at = t
+	ev.dom = k.dom
 	ev.seq = k.seq
+	ev.k = k
 	k.seq++
-	heap.Push(&k.events, ev)
-	k.live++
+	heap.Push(&sc.events, ev)
+	sc.live++
 	return ev
 }
 
-// Step executes the single next event, advancing the clock to its
-// timestamp. It reports whether an event was executed.
-func (k *Kernel) Step() bool {
-	for len(k.events) > 0 {
-		ev := heap.Pop(&k.events).(*event)
-		if ev.canceled {
-			k.ncanceled--
-			k.release(ev)
-			continue
-		}
-		k.live--
-		k.now = ev.at
-		k.processed++
-		// Copy the callback out and recycle the record before invoking
-		// it, so the callback's own scheduling can reuse it.
-		fn, afn, arg := ev.fn, ev.afn, ev.arg
-		k.release(ev)
-		if afn != nil {
-			afn(arg)
-		} else {
-			fn()
-		}
-		return true
+// SendTo schedules a frame delivery on another domain's kernel at
+// absolute time at. The event keeps this domain's (time, domain,
+// sequence) key, so its position in the global order is fixed here, at
+// schedule time — delivery order at the destination is a deterministic
+// function of that key, never of goroutine scheduling.
+//
+// When the destination lives in another partition, at must be at least
+// the group's lookahead past this domain's clock (the conservative
+// window contract); link propagation delay guarantees that for every
+// simnet send. Same-partition and standalone destinations take the
+// direct heap push with the identical key, so the global event order —
+// and therefore the simulation — does not depend on the partition
+// layout.
+func (k *Kernel) SendTo(dst *Kernel, at Time, fn func(any, []byte), arg any, buf []byte) {
+	if fn == nil {
+		panic("sim: SendTo called with nil function")
 	}
-	return false
+	if at < k.now {
+		at = k.now
+	}
+	if dst.sc == k.sc {
+		ev := k.push(at)
+		ev.bfn = fn
+		ev.arg = arg
+		ev.buf = buf
+		ev.k = dst
+		return
+	}
+	g := k.g
+	if g == nil || g != dst.g {
+		panic("sim: SendTo across unrelated kernels")
+	}
+	if at < k.now+g.lookahead {
+		panic("sim: SendTo inside the lookahead horizon")
+	}
+	box := &k.sc.out[dst.part]
+	*box = append(*box, xev{at: at, dom: k.dom, seq: k.seq, k: dst, bfn: fn, arg: arg, buf: buf})
+	k.seq++
+}
+
+// Call runs fn on another domain. On a standalone kernel (or when dst
+// is the calling kernel) it invokes fn synchronously, preserving the
+// classic single-kernel semantics. In a Group it always schedules fn
+// one lookahead ahead on dst — even when src and dst share a partition
+// — so the hop's latency, and with it the event history, is identical
+// at every partition count.
+func (k *Kernel) Call(dst *Kernel, fn func()) {
+	if k == dst || k.g == nil {
+		fn()
+		return
+	}
+	if k.g != dst.g {
+		panic("sim: Call across unrelated kernels")
+	}
+	at := k.now + k.g.lookahead
+	if dst.sc == k.sc {
+		ev := k.push(at)
+		ev.fn = fn
+		ev.k = dst
+		return
+	}
+	box := &k.sc.out[dst.part]
+	*box = append(*box, xev{at: at, dom: k.dom, seq: k.seq, k: dst, fn: fn})
+	k.seq++
+}
+
+// Step executes the single next event, advancing the clock to its
+// timestamp. It reports whether an event was executed. On a grouped
+// kernel it delegates to the group's sequential stepper.
+func (k *Kernel) Step() bool {
+	if k.g != nil {
+		return k.g.Step()
+	}
+	return k.sc.step()
 }
 
 // Run executes events until the queue drains or Stop is called.
 func (k *Kernel) Run() {
-	k.stopped = false
-	for !k.stopped && k.Step() {
+	if k.g != nil {
+		k.g.Run()
+		return
+	}
+	k.sc.stopped = false
+	for !k.sc.stopped && k.sc.step() {
 	}
 }
 
 // RunUntil executes every event scheduled at or before t and then sets the
 // clock to t (even if the queue drained earlier), unless Stop was called.
 func (k *Kernel) RunUntil(t Time) {
-	k.stopped = false
-	for !k.stopped {
-		next, ok := k.peek()
+	if k.g != nil {
+		k.g.RunUntil(t)
+		return
+	}
+	sc := k.sc
+	sc.stopped = false
+	for !sc.stopped {
+		next, ok := sc.peek()
 		if !ok || next > t {
 			break
 		}
-		k.Step()
+		sc.step()
 	}
-	if !k.stopped && k.now < t {
+	if !sc.stopped && k.now < t {
 		k.now = t
 	}
 }
 
 // RunFor advances the simulation by duration d. See RunUntil.
-func (k *Kernel) RunFor(d Time) { k.RunUntil(k.now + d) }
-
-// Stop makes the innermost Run/RunUntil return after the current event.
-func (k *Kernel) Stop() { k.stopped = true }
-
-// peek returns the timestamp of the next non-canceled event.
-func (k *Kernel) peek() (Time, bool) {
-	for len(k.events) > 0 {
-		if !k.events[0].canceled {
-			return k.events[0].at, true
-		}
-		ev := heap.Pop(&k.events).(*event)
-		k.ncanceled--
-		k.release(ev)
+func (k *Kernel) RunFor(d Time) {
+	if k.g != nil {
+		k.g.RunFor(d)
+		return
 	}
-	return 0, false
+	k.RunUntil(k.now + d)
 }
 
-// compact drops canceled events once they outnumber the live ones, so a
-// stopped long-deadline timer (a retransmission timeout re-armed on
-// every ACK, say) does not pin heap memory until its deadline. Filtering
-// preserves each survivor's (at, seq) key, and re-heapifying cannot
-// change pop order — the comparator is a strict total order on those
-// keys — so compaction is invisible to a seeded run.
-func (k *Kernel) compact() {
-	kept := k.events[:0]
-	for _, ev := range k.events {
-		if ev.canceled {
-			k.release(ev)
-			continue
-		}
-		kept = append(kept, ev)
+// Stop makes the innermost Run/RunUntil return after the current event
+// (after the current window, in a Group).
+func (k *Kernel) Stop() {
+	if k.g != nil {
+		k.g.Stop()
+		return
 	}
-	// Clear the tail so dropped records do not linger in the backing array.
-	for i := len(kept); i < len(k.events); i++ {
-		k.events[i] = nil
-	}
-	k.events = kept
-	k.ncanceled = 0
-	heap.Init(&k.events)
+	k.sc.stopped = true
 }
 
 // Timer is a handle to a scheduled event. It is a plain value (copying
 // it is fine); the zero Timer is inert: Stop reports false and Active
 // reports false. Handles do not pin the event record — once the event
 // fires or is compacted away the record is recycled and the handle
-// becomes inert automatically.
+// becomes inert automatically. A Timer must be used from the partition
+// that scheduled it.
 type Timer struct {
-	k   *Kernel
+	sc  *sched
 	ev  *event
 	gen uint64
 }
@@ -348,10 +542,10 @@ func (t Timer) Stop() bool {
 		return false
 	}
 	t.ev.canceled = true
-	t.k.live--
-	t.k.ncanceled++
-	if t.k.ncanceled > t.k.live && len(t.k.events) >= compactThreshold {
-		t.k.compact()
+	t.sc.live--
+	t.sc.ncanceled++
+	if t.sc.ncanceled > t.sc.live && len(t.sc.events) >= compactThreshold {
+		t.sc.compact()
 	}
 	return true
 }

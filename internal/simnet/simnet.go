@@ -179,6 +179,9 @@ func (p *Port) putDelivery(d *delivery) {
 // Name returns the port's diagnostic name.
 func (p *Port) Name() string { return p.name }
 
+// Kernel returns the kernel (scheduling domain) the port lives on.
+func (p *Port) Kernel() *sim.Kernel { return p.k }
+
 // SetHandler installs the frame receiver.
 func (p *Port) SetHandler(h Handler) { p.handler = h }
 
@@ -300,10 +303,43 @@ func (p *Port) Send(frame []byte) bool {
 	if p.delayFn != nil {
 		jitter = p.delayFn(frame)
 	}
+	arriveAt := doneAt + p.cfg.Propagation + jitter
+	if p.k != p.peer.k {
+		// The peer lives on another scheduling domain: hand the frame
+		// across with the sender's (time, domain, sequence) key. The
+		// link's propagation delay is what funds the group's lookahead,
+		// so the arrival always clears the window horizon. Receive-side
+		// bookkeeping runs on the peer's domain (see deliverRemote).
+		p.k.SendTo(p.peer.k, arriveAt, deliverRemoteFn, p.peer, frame)
+		return true
+	}
 	d := p.getDelivery()
 	d.dst, d.frame = p.peer, frame
-	p.k.AtArg(doneAt+p.cfg.Propagation+jitter, p.deliverFn, d)
+	p.k.AtArg(arriveAt, p.deliverFn, d)
 	return true
+}
+
+// deliverRemoteFn is deliverRemote as a reusable func value, so a
+// cross-domain send does not allocate per frame.
+var deliverRemoteFn = deliverRemote
+
+// deliverRemote completes a frame that crossed scheduling domains. It
+// runs on the receiving port's domain, so every touch — stats, taps,
+// the handler, and the buffer pool the frame is released into — stays
+// domain-local.
+func deliverRemote(a any, frame []byte) {
+	dst := a.(*Port)
+	if !dst.up {
+		dst.observe(TapDrop, frame)
+		dst.k.Buffers().Put(frame)
+		return
+	}
+	dst.stats.RxFrames++
+	dst.stats.RxBytes += uint64(len(frame))
+	dst.mRxFrames.Inc()
+	dst.mRxBytes.Add(uint64(len(frame)))
+	dst.observe(TapRx, frame)
+	dst.handler.HandleFrame(dst, frame)
 }
 
 // deliver completes one in-flight frame at the receiving port.

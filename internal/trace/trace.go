@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"p4ce/internal/mu"
 	"p4ce/internal/roce"
@@ -134,17 +135,26 @@ func (f *Filter) keep(e Event) bool {
 	return true
 }
 
-// Tracer collects events from any number of tapped ports.
+// Tracer collects events from any number of tapped ports. Taps fire on
+// each port's own scheduling domain — on a partitioned kernel, several
+// domains at once — so the shared ring is mutex-guarded. Event
+// timestamps come from the tapped port's domain clock. Note that with
+// more than one partition the interleaving of events from different
+// shards in the ring is not deterministic (the per-domain timestamps
+// and counters are); the packet tracer is a debugging aid, not a
+// fingerprint source.
 type Tracer struct {
 	k      *sim.Kernel
 	filter Filter
 	out    io.Writer
-	ring   []Event
-	next   int
-	full   bool
-	total  uint64
-	byOp   map[roce.OpCode]uint64
-	drops  uint64
+
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	full  bool
+	total uint64
+	byOp  map[roce.OpCode]uint64
+	drops uint64
 }
 
 // New returns a tracer keeping the last ringSize matching events.
@@ -167,8 +177,9 @@ func (t *Tracer) StreamTo(w io.Writer) { t.out = w }
 // tracer chains alongside any observer already on the port (a chaos
 // drop logger, another tracer) instead of replacing it.
 func (t *Tracer) Tap(p *simnet.Port, site string) {
+	pk := p.Kernel() // the tap runs on — and reads the clock of — the port's domain
 	p.AddTap(func(dir simnet.TapDirection, frame []byte) {
-		e := Event{At: t.k.Now(), Site: site, Dir: dir, Size: len(frame)}
+		e := Event{At: pk.Now(), Site: site, Dir: dir, Size: len(frame)}
 		if pkt, err := roce.Unmarshal(frame); err == nil {
 			e.Pkt = pkt
 		}
@@ -180,6 +191,8 @@ func (t *Tracer) record(e Event) {
 	if !t.filter.keep(e) {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.total++
 	if e.Pkt != nil {
 		t.byOp[e.Pkt.OpCode]++
@@ -200,6 +213,8 @@ func (t *Tracer) record(e Event) {
 
 // Events returns the retained events, oldest first.
 func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if !t.full {
 		return append([]Event(nil), t.ring[:t.next]...)
 	}
@@ -210,13 +225,23 @@ func (t *Tracer) Events() []Event {
 }
 
 // Total returns how many events matched since creation.
-func (t *Tracer) Total() uint64 { return t.total }
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
 
 // Drops returns how many matching frames were lost.
-func (t *Tracer) Drops() uint64 { return t.drops }
+func (t *Tracer) Drops() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.drops
+}
 
 // CountByOpCode returns the per-opcode counters (copy).
 func (t *Tracer) CountByOpCode() map[roce.OpCode]uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	out := make(map[roce.OpCode]uint64, len(t.byOp))
 	for k, v := range t.byOp {
 		out[k] = v
@@ -226,6 +251,8 @@ func (t *Tracer) CountByOpCode() map[roce.OpCode]uint64 {
 
 // Summary renders the counters, highest first-ish (stable by opcode).
 func (t *Tracer) Summary() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d frames observed (%d lost)\n", t.total, t.drops)
 	for op := roce.OpCode(0); op < 0x20; op++ {

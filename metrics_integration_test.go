@@ -49,11 +49,11 @@ func TestClusterMetricsCoverEveryLayer(t *testing.T) {
 	// One instrument per layer proves the layer is wired; the layer's
 	// own unit tests cover the rest of its counters.
 	for _, name := range []string{
-		"simnet.tx_frames",    // fabric
-		"rnic.tx_packets",     // NIC
+		"simnet.tx_frames",       // fabric
+		"rnic.tx_packets",        // NIC
 		"tofino.ingress_packets", // switch
-		"p4ce.acks_forwarded", // switch program (gather pipeline)
-		"mu.committed",        // consensus
+		"p4ce.acks_forwarded",    // switch program (gather pipeline)
+		"mu.committed",           // consensus
 	} {
 		if snap.Counters[name] == 0 {
 			t.Errorf("counter %q is zero after a committed workload (layer not instrumented?)", name)

@@ -40,6 +40,13 @@ go run ./cmd/p4ce-sim -rate 10000 -duration 20ms -trace-out /tmp/p4ce-trace-chec
 grep -q traceEvents /tmp/p4ce-trace-check.json
 rm -f /tmp/p4ce-trace-check.json
 
+echo "== parallel kernel determinism gate =="
+# The partitioned scheduler's contract: same seed, any partition count,
+# bit-identical commits, event totals and trace exports — checked under
+# the race detector, chaos scenarios included.
+go test -race . -run TestParallelKernelDeterminism -count=1
+go test -race ./internal/chaos -run TestParallelSeedSweep -short -count=1
+
 echo "== bench regression gate =="
 go run ./cmd/p4ce-bench -json -profile quick -out BENCH_p4ce.json
 ./scripts/bench_compare.sh

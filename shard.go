@@ -1,5 +1,11 @@
 package p4ce
 
+import (
+	"time"
+
+	"p4ce/internal/sim"
+)
+
 // Shard is one independent consensus group of a sharded cluster: its
 // own machines, logs and leader, replicated through its own multicast/
 // gather group on the shared switch. Shards fail and recover
@@ -9,6 +15,7 @@ package p4ce
 type Shard struct {
 	cluster *Cluster
 	index   int
+	kernel  *sim.Kernel // the shard's scheduling domain
 	nodes   []*Node
 }
 
@@ -22,6 +29,22 @@ func (s *Shard) Nodes() []*Node { return s.nodes }
 
 // Node returns the shard's machine i.
 func (s *Shard) Node(i int) *Node { return s.nodes[i] }
+
+// After schedules fn to run d from now on the shard's scheduling
+// domain. On a partitioned cluster this is the only safe place to call
+// into the shard's machines (Propose, Client.Submit, stats reads) from
+// a workload callback: the callback executes on the shard's domain,
+// under its clock, never racing another partition. On a classic
+// cluster it is identical to Cluster.After.
+func (s *Shard) After(d time.Duration, fn func()) {
+	s.kernel.Schedule(simDuration(d), fn)
+}
+
+// Now returns the shard domain's current simulated time. Inside an
+// After callback this is the shard's own clock (which may run up to one
+// lookahead ahead of or behind other domains mid-window); between Run
+// calls every domain agrees.
+func (s *Shard) Now() time.Duration { return time.Duration(s.kernel.Now()) }
 
 // Leader returns the shard's current leader, or nil. Crashed machines
 // are skipped; among live claimants the highest term wins.
