@@ -52,9 +52,15 @@ trace-demo:
 	go run ./cmd/p4ce-sim -rate 10000 -duration 50ms -trace-out trace.json
 	go run ./cmd/p4ce-bench -experiment breakdown -ops 2000
 
-# Run every named chaos scenario through the simulator.
+# Run every named chaos scenario through the simulator. The fabric
+# scenarios need the leaf-spine topology (with a standby for the ToR
+# failover), so they run on a 5-node 2-rack cluster.
 chaos:
-	@for s in lossy-gather replica-flap leader-partition switch-reboot; do \
+	@for s in lossy-gather replica-flap leader-partition shard-leader-outage switch-reboot; do \
 		echo "== $$s =="; \
 		go run ./cmd/p4ce-sim -nodes 3 -chaos $$s -chaos-seed 99 -rate 10000 || exit 1; \
+	done
+	@for s in spine-loss rack-partition tor-failover-under-load; do \
+		echo "== $$s =="; \
+		go run ./cmd/p4ce-sim -nodes 5 -topology leaf-spine -racks 2 -standby -chaos $$s -chaos-seed 99 -rate 10000 || exit 1; \
 	done

@@ -8,6 +8,7 @@ import (
 
 	"p4ce/internal/chaos"
 	"p4ce/internal/core"
+	"p4ce/internal/fabric"
 	"p4ce/internal/metrics"
 	"p4ce/internal/mu"
 	"p4ce/internal/otrace"
@@ -39,6 +40,14 @@ type Cluster struct {
 	cp     *swp4ce.ControlPlane
 	nodes  []*Node  // all machines, shard-major
 	shards []*Shard // one consensus group each, sharing the switch
+
+	// Leaf-spine fabric state (Options.Topology != nil); sw/dp above are
+	// nil in this mode and every per-switch access goes through these.
+	fabric       *fabric.Topology
+	dps          map[*tofino.Switch]*swp4ce.Dataplane
+	reconfig     sim.Time // control-plane reconfiguration delay (40 ms)
+	spineHandled []bool   // supervisor: spine failovers already scheduled
+	rackHandled  []bool   // supervisor: rack adoptions already scheduled
 }
 
 // NewCluster builds the testbed. Nothing runs until Run is called.
@@ -88,16 +97,41 @@ func NewCluster(opts Options) *Cluster {
 	if opts.TuneSwitch != nil {
 		opts.TuneSwitch(&swCfg)
 	}
-	c.sw = tofino.New(k, "tofino", simnet.AddrFrom(10, 0, 0, 254), swCfg)
 	dropMode := swp4ce.DropInIngress
 	if opts.AckDropInLeaderEgress {
 		dropMode = swp4ce.DropInLeaderEgress
 	}
-	c.dp = swp4ce.NewDataplane(dropMode)
-	c.sw.SetProgram(c.dp)
-	c.cp = swp4ce.NewControlPlane(c.sw, c.dp, swp4ce.DefaultCPConfig())
+	cpCfg := swp4ce.DefaultCPConfig()
+	c.reconfig = cpCfg.ReconfigDelay
+	if t := opts.Topology; t != nil {
+		// Leaf-spine fabric: every ToR (and the standby, which must be
+		// ready the instant it adopts a rack) runs its own instance of
+		// the P4CE program; the spines stay plain L3. One control plane
+		// spans them all, the way one operator drives every BfRt target.
+		c.fabric = fabric.Build(k, fabric.Spec{Racks: t.Racks, Spines: t.Spines, Standby: t.Standby}, swCfg)
+		c.dps = make(map[*tofino.Switch]*swp4ce.Dataplane)
+		for r := 0; r < c.fabric.Racks(); r++ {
+			dp := swp4ce.NewDataplane(dropMode)
+			c.fabric.ToR(r).SetProgram(dp)
+			c.dps[c.fabric.ToR(r)] = dp
+		}
+		if sb := c.fabric.Standby(); sb != nil {
+			dp := swp4ce.NewDataplane(dropMode)
+			sb.SetProgram(dp)
+			c.dps[sb] = dp
+		}
+		cpCfg.FlatGather = t.FlatGather
+		c.cp = swp4ce.NewFabricControlPlane(c.fabric, func(sw *tofino.Switch) *swp4ce.Dataplane { return c.dps[sw] }, cpCfg)
+		c.spineHandled = make([]bool, c.fabric.SpineCount())
+		c.rackHandled = make([]bool, c.fabric.Racks())
+	} else {
+		c.sw = tofino.New(k, "tofino", simnet.AddrFrom(10, 0, 0, 254), swCfg)
+		c.dp = swp4ce.NewDataplane(dropMode)
+		c.sw.SetProgram(c.dp)
+		c.cp = swp4ce.NewControlPlane(c.sw, c.dp, cpCfg)
+	}
 
-	if opts.BackupFabric {
+	if opts.BackupFabric && c.fabric == nil {
 		c.backup = tofino.New(k, "backup", simnet.AddrFrom(10, 0, 1, 254), tofino.DefaultConfig())
 		c.backup.SetProgram(&tofino.L3Program{})
 	}
@@ -107,6 +141,9 @@ func NewCluster(opts Options) *Cluster {
 	}
 	for _, n := range c.nodes {
 		n.mu.Start()
+	}
+	if c.fabric != nil {
+		c.startFabricSupervisor()
 	}
 	return c
 }
@@ -145,19 +182,38 @@ func (c *Cluster) buildShard(s int) {
 		}
 		nic := rnic.New(k, nicCfg, peers[i].Addr)
 
+		rack := -1
 		hostPort := simnet.NewPort(k, peers[i].Addr.String(), nil)
-		pid, swPort := c.sw.AddPort(fmt.Sprintf("eth%d", g))
-		simnet.Connect(hostPort, swPort, simnet.DefaultLinkConfig())
-		c.sw.BindAddr(peers[i].Addr, pid)
-		nic.AttachPort(hostPort)
+		var backupPort, standbyPort *simnet.Port
+		if c.fabric != nil {
+			// Machines are dealt round-robin onto racks, so every rack
+			// holds a near-equal share of each shard and a single rack
+			// never holds a majority of a 2-rack, odd-sized group.
+			rack = i % c.fabric.Racks()
+			c.fabric.AttachHost(rack, peers[i].Addr, hostPort)
+			nic.AttachPort(hostPort)
+			if c.fabric.Standby() != nil {
+				// Dual-homed spare leg; stays dark until a ToR dies and
+				// the supervisor flips this NIC onto it. Attach after
+				// AttachHost: the standby's local binding must win over
+				// its via-spine route for this host.
+				standbyPort = simnet.NewPort(k, peers[i].Addr.String()+"-sb", nil)
+				c.fabric.AttachStandbyHost(peers[i].Addr, standbyPort)
+				nic.AttachStandbyPort(standbyPort)
+			}
+		} else {
+			pid, swPort := c.sw.AddPort(fmt.Sprintf("eth%d", g))
+			simnet.Connect(hostPort, swPort, simnet.DefaultLinkConfig())
+			c.sw.BindAddr(peers[i].Addr, pid)
+			nic.AttachPort(hostPort)
 
-		var backupPort *simnet.Port
-		if c.backup != nil {
-			backupPort = simnet.NewPort(k, peers[i].Addr.String()+"-bk", nil)
-			bpid, bswPort := c.backup.AddPort(fmt.Sprintf("eth%d", g))
-			simnet.Connect(backupPort, bswPort, simnet.DefaultLinkConfig())
-			c.backup.BindAddr(peers[i].Addr, bpid)
-			nic.AttachBackupPort(backupPort)
+			if c.backup != nil {
+				backupPort = simnet.NewPort(k, peers[i].Addr.String()+"-bk", nil)
+				bpid, bswPort := c.backup.AddPort(fmt.Sprintf("eth%d", g))
+				simnet.Connect(backupPort, bswPort, simnet.DefaultLinkConfig())
+				c.backup.BindAddr(peers[i].Addr, bpid)
+				nic.AttachBackupPort(backupPort)
+			}
 		}
 
 		muCfg := mu.DefaultConfig()
@@ -198,7 +254,14 @@ func (c *Cluster) buildShard(s int) {
 
 		engCfg := core.Config{}
 		if opts.Mode == ModeP4CE {
-			engCfg = core.DefaultConfig(c.sw.IP())
+			switchAddr := fabric.ToRIP(rack)
+			if c.fabric == nil {
+				switchAddr = c.sw.IP()
+			}
+			// On a fabric each machine talks management to its own rack's
+			// ToR *identity* address — which survives a standby adoption,
+			// so re-acceleration after a ToR failover dials unchanged.
+			engCfg = core.DefaultConfig(switchAddr)
 			engCfg.AsyncReconfig = opts.AsyncReconfig
 			engCfg.Management = c.cp
 			if c.group != nil {
@@ -217,6 +280,8 @@ func (c *Cluster) buildShard(s int) {
 			engine:  engine,
 			port:    hostPort,
 			backup:  backupPort,
+			standby: standbyPort,
+			rack:    rack,
 		}
 		c.nodes = append(c.nodes, n)
 		shard.nodes = append(shard.nodes, n)
@@ -375,20 +440,185 @@ func (c *Cluster) ForceLeader(id int) {
 	}
 }
 
-// CrashSwitch powers the programmable switch off.
-func (c *Cluster) CrashSwitch() { c.sw.Crash() }
+// CrashSwitch powers the programmable switch off. On a fabric it
+// crashes rack 0's ToR — the switch serving the default leader, whose
+// loss exercises the standby adoption path.
+func (c *Cluster) CrashSwitch() {
+	if c.fabric != nil {
+		c.fabric.OriginalToR(0).Crash()
+		return
+	}
+	c.sw.Crash()
+}
 
 // RestoreSwitch powers it back on.
-func (c *Cluster) RestoreSwitch() { c.sw.Restore() }
+func (c *Cluster) RestoreSwitch() {
+	if c.fabric != nil {
+		c.fabric.OriginalToR(0).Restore()
+		return
+	}
+	c.sw.Restore()
+}
 
-// SwitchCrashed reports the programmable switch's state.
-func (c *Cluster) SwitchCrashed() bool { return c.sw.Crashed() }
+// SwitchCrashed reports the programmable switch's state (on a fabric:
+// rack 0's ToR).
+func (c *Cluster) SwitchCrashed() bool {
+	if c.fabric != nil {
+		return c.fabric.OriginalToR(0).Crashed()
+	}
+	return c.sw.Crashed()
+}
 
-// SwitchStats returns the data-plane program counters.
-func (c *Cluster) SwitchStats() swp4ce.DataplaneStats { return c.dp.Stats }
+// Fabric returns the leaf-spine topology, or nil on the classic
+// single-switch testbed.
+func (c *Cluster) Fabric() *fabric.Topology { return c.fabric }
 
-// FabricStats returns the switch pipeline counters.
-func (c *Cluster) FabricStats() tofino.Stats { return c.sw.Stats }
+// CrashToR powers rack r's original ToR switch off (fabric mode).
+func (c *Cluster) CrashToR(r int) { c.fabric.OriginalToR(r).Crash() }
+
+// CrashSpine powers spine m off (fabric mode).
+func (c *Cluster) CrashSpine(m int) { c.fabric.Spine(m).Crash() }
+
+// fabricDataplanes lists every P4CE program instance on the fabric in
+// a fixed order: ToRs by rack, then the standby.
+func (c *Cluster) fabricDataplanes() []*swp4ce.Dataplane {
+	var dps []*swp4ce.Dataplane
+	for r := 0; r < c.fabric.Racks(); r++ {
+		dps = append(dps, c.dps[c.fabric.OriginalToR(r)])
+	}
+	if sb := c.fabric.Standby(); sb != nil {
+		dps = append(dps, c.dps[sb])
+	}
+	return dps
+}
+
+// SwitchStats returns the data-plane program counters — on a fabric,
+// summed across every ToR and the standby, so AcksUpForwarded counts
+// all spine crossings fabric-wide.
+func (c *Cluster) SwitchStats() swp4ce.DataplaneStats {
+	if c.fabric == nil {
+		return c.dp.Stats
+	}
+	var sum swp4ce.DataplaneStats
+	for _, dp := range c.fabricDataplanes() {
+		s := dp.Stats
+		sum.Scattered += s.Scattered
+		sum.ScatterRetransmits += s.ScatterRetransmits
+		sum.AcksAggregated += s.AcksAggregated
+		sum.AcksForwarded += s.AcksForwarded
+		sum.AcksUpForwarded += s.AcksUpForwarded
+		sum.PartialsAggregated += s.PartialsAggregated
+		sum.NaksForwarded += s.NaksForwarded
+		sum.BadRKeyDrops += s.BadRKeyDrops
+		sum.UnknownQPDrops += s.UnknownQPDrops
+		sum.StaleAckDrops += s.StaleAckDrops
+	}
+	return sum
+}
+
+// ToRStats returns rack r's data-plane counters alone (fabric mode).
+func (c *Cluster) ToRStats(r int) swp4ce.DataplaneStats {
+	return c.dps[c.fabric.OriginalToR(r)].Stats
+}
+
+// FabricStats returns the switch pipeline counters — on a fabric,
+// summed across every switch (ToRs, spines, standby).
+func (c *Cluster) FabricStats() tofino.Stats {
+	if c.fabric == nil {
+		return c.sw.Stats
+	}
+	var sum tofino.Stats
+	for _, sw := range c.fabric.Switches() {
+		s := sw.Stats
+		sum.IngressPackets += s.IngressPackets
+		sum.EgressPackets += s.EgressPackets
+		sum.Forwarded += s.Forwarded
+		sum.MulticastIn += s.MulticastIn
+		sum.Copies += s.Copies
+		sum.Punted += s.Punted
+		sum.DroppedIngress += s.DroppedIngress
+		sum.DroppedEgress += s.DroppedEgress
+		sum.ParseErrors += s.ParseErrors
+	}
+	return sum
+}
+
+// startFabricSupervisor begins the fabric management plane's health
+// poll: every few milliseconds (BFD-style liveness, coarse enough to
+// stay cheap) it scans the switch tier for crashes and schedules the
+// paper's 40 ms control-plane reconfiguration for whatever it finds —
+// rerouting around a dead spine, or having the standby adopt a dead
+// ToR's rack. Runs on the fabric scheduling domain, so every decision
+// is a plain deterministic event regardless of partition count.
+func (c *Cluster) startFabricSupervisor() {
+	const poll = 5 * sim.Millisecond
+	var tick func()
+	tick = func() {
+		c.superviseFabric()
+		c.kernel.Schedule(poll, tick)
+	}
+	c.kernel.Schedule(poll, tick)
+}
+
+// superviseFabric is one health-poll pass.
+func (c *Cluster) superviseFabric() {
+	f := c.fabric
+	for m := 0; m < f.SpineCount(); m++ {
+		if c.spineHandled[m] || !f.Spine(m).Crashed() {
+			continue
+		}
+		c.spineHandled[m] = true
+		m := m
+		c.kernel.Schedule(c.reconfig, func() {
+			if !f.Spine(m).Crashed() {
+				c.spineHandled[m] = false // came back before reconfig
+				return
+			}
+			f.RerouteAroundSpine(m)
+			// Re-resolve every group's forwarding ports on the rerouted
+			// tables. Register state is untouched: in-flight gathers
+			// survive, the leader's go-back-N refills whatever the dead
+			// spine swallowed.
+			c.cp.ReresolveFabricPorts()
+		})
+	}
+	if f.Standby() == nil || f.AdoptedRack() >= 0 || f.Standby().Crashed() {
+		return
+	}
+	for r := 0; r < f.Racks(); r++ {
+		if c.rackHandled[r] || !f.ToR(r).Crashed() {
+			continue
+		}
+		c.rackHandled[r] = true
+		r := r
+		c.kernel.Schedule(c.reconfig, func() {
+			if !f.ToR(r).Crashed() {
+				c.rackHandled[r] = false // rebooted before reconfig
+				return
+			}
+			if !f.AdoptRack(r) {
+				return
+			}
+			// Order matters: the standby owns the rack's routes and
+			// identity first, then the consensus groups move onto its
+			// fresh registers, then the hosts' NICs flip to their spare
+			// legs. Gather state restarts empty — safe, because the
+			// leader's go-back-N replays every unacknowledged PSN.
+			c.cp.RehomeRack(r)
+			for _, n := range c.nodes {
+				if n.rack != r {
+					continue
+				}
+				nic := n.mu.NIC()
+				if nk := nic.Kernel(); nk != c.kernel {
+					c.kernel.Call(nk, nic.FailoverToStandby)
+				} else {
+					nic.FailoverToStandby()
+				}
+			}
+		})
+	}
+}
 
 // Groups lists the communication groups installed on the switch.
 func (c *Cluster) Groups() []swp4ce.GroupInfo { return c.cp.Groups() }
@@ -400,17 +630,48 @@ func (c *Cluster) Groups() []swp4ce.GroupInfo { return c.cp.Groups() }
 // tables are lost, then the control plane reinstalls every group from
 // its shadow state after one reconfiguration delay. logf may be nil.
 func (c *Cluster) ChaosEngine(seed int64, logf func(string, ...any)) *chaos.Engine {
-	cfg := chaos.Config{
-		Seed: seed,
-		PowerOffSwitch: func() {
+	cfg := chaos.Config{Seed: seed, Logf: logf}
+	if c.fabric != nil {
+		// Power-cycling "the switch" on a fabric means rack 0's ToR (the
+		// default leader's): wipe its program state, reboot, reinstall.
+		tor0 := c.fabric.OriginalToR(0)
+		cfg.PowerOffSwitch = func() {
+			c.dps[tor0].Reset()
+			tor0.Reboot()
+		}
+		cfg.PowerOnSwitch = func() {
+			tor0.Restore()
+			c.cp.ReinstallGroups(nil)
+		}
+		for r := 0; r < c.fabric.Racks(); r++ {
+			sw := c.fabric.OriginalToR(r)
+			cfg.Switches = append(cfg.Switches, chaos.SwitchTarget{
+				Name: fmt.Sprintf("tor%d", r), Rack: r, Spine: -1,
+				Crash: sw.Crash, Restore: sw.Restore,
+			})
+		}
+		for m := 0; m < c.fabric.SpineCount(); m++ {
+			sw := c.fabric.Spine(m)
+			cfg.Switches = append(cfg.Switches, chaos.SwitchTarget{
+				Name: fmt.Sprintf("spine%d", m), Rack: -1, Spine: m,
+				Crash: sw.Crash, Restore: sw.Restore,
+			})
+		}
+		for _, il := range c.fabric.InterLinks() {
+			cfg.InterLinks = append(cfg.InterLinks, chaos.FabricLink{
+				Link: chaos.Link{Name: il.Name, Host: il.A, Fabric: il.B},
+				Rack: il.Rack, Spine: il.Spine,
+			})
+		}
+	} else {
+		cfg.PowerOffSwitch = func() {
 			c.dp.Reset()
 			c.sw.Reboot()
-		},
-		PowerOnSwitch: func() {
+		}
+		cfg.PowerOnSwitch = func() {
 			c.sw.Restore()
 			c.cp.ReinstallGroups(nil)
-		},
-		Logf: logf,
+		}
 	}
 	for _, n := range c.nodes {
 		name := fmt.Sprintf("node%d", n.ID())
@@ -466,6 +727,9 @@ func (c *Cluster) EnableTrace(w io.Writer, ringSize int, filter trace.Filter) *t
 		tr.Tap(n.port, fmt.Sprintf("host%d", i))
 		if n.backup != nil {
 			tr.Tap(n.backup, fmt.Sprintf("host%d-bk", i))
+		}
+		if n.standby != nil {
+			tr.Tap(n.standby, fmt.Sprintf("host%d-sb", i))
 		}
 	}
 	return tr

@@ -12,6 +12,7 @@
 //	p4ce-bench -experiment sharded    # shard scaling + adaptive batching
 //	p4ce-bench -experiment breakdown  # per-stage latency decomposition
 //	p4ce-bench -experiment scaling    # parallel kernel: wall-clock vs partitions
+//	p4ce-bench -experiment fabric     # leaf-spine: latency vs racks, fan-in savings
 //
 // -ops scales the per-point operation count (the paper averages one
 // million operations per point; the default here keeps full sweeps fast).
@@ -47,7 +48,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id: all, fig5, maxcps, fig6, fig7, tab4, lesson1, ablations, sharded, breakdown, scaling")
+		experiment = flag.String("experiment", "all", "experiment id: all, fig5, maxcps, fig6, fig7, tab4, lesson1, ablations, sharded, breakdown, scaling, fabric")
 		ops        = flag.Int("ops", 4000, "operations per measured point")
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		csvDir     = flag.String("csv", "", "also write one CSV per experiment into this directory (for plotting)")
@@ -160,6 +161,7 @@ func run(experiment string, ops int, seed int64) error {
 		{"sharded", sharded},
 		{"breakdown", breakdown},
 		{"scaling", scaling},
+		{"fabric", fabric},
 	} {
 		if all || experiment == exp.id {
 			didAny = true
@@ -472,6 +474,49 @@ func scaling(ops int, seed int64) error {
 	fmt.Printf("\n(GOMAXPROCS=%d. Events and sim ops/s are identical at every partition count —\n"+
 		" that is the determinism guarantee. Only wall time may change, and speedup\n"+
 		" requires as many free cores as partitions.)\n", runtime.GOMAXPROCS(0))
+	return nil
+}
+
+func fabric(ops int, seed int64) error {
+	header("Fabric — commit latency vs rack count, hierarchical fan-in savings")
+	cfg := bench.DefaultFabricConfig()
+	cfg.Ops = ops
+	cfg.Seed = seed
+	points, err := bench.RunFabric(cfg)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			strconv.Itoa(p.Racks),
+			strconv.FormatFloat(p.Throughput, 'f', 0, 64),
+			strconv.FormatInt(p.MeanLat.Nanoseconds(), 10),
+			strconv.FormatInt(p.P99Lat.Nanoseconds(), 10),
+			strconv.FormatUint(p.AcksUp, 10),
+			strconv.FormatUint(p.Partials, 10),
+			strconv.FormatUint(p.FlatAcksUp, 10),
+		})
+	}
+	writeCSV("fabric_topology.csv", []string{"racks", "throughput_ops_per_s", "mean_latency_ns", "p99_latency_ns", "acks_up_forwarded", "partials_aggregated", "flat_acks_up_forwarded"}, rows)
+	w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "racks\tthroughput\tmean lat\tp99 lat\tspine ACKs\tflat spine ACKs\tfan-in saving")
+	for _, p := range points {
+		label := strconv.Itoa(p.Racks)
+		saving := "—"
+		if p.Racks == 0 {
+			label = "1 switch"
+		}
+		if p.FlatAcksUp > 0 {
+			saving = fmt.Sprintf("%.1f×", float64(p.FlatAcksUp)/float64(p.AcksUp))
+		}
+		fmt.Fprintf(w, "%s\t%.2fM\t%v\t%v\t%d\t%d\t%s\n",
+			label, p.Throughput/1e6, p.MeanLat, p.P99Lat, p.AcksUp, p.FlatAcksUp, saving)
+	}
+	w.Flush()
+	fmt.Println("\n(Spine ACKs: ACK-bearing frames crossing leaf→spine→root during the measured run.")
+	fmt.Println(" Hierarchical mode forwards one partial-count ACK per rack per slot; the flat")
+	fmt.Println(" ablation relays every remote replica's ACK individually.)")
 	return nil
 }
 

@@ -5,10 +5,18 @@
 //	p4ce-sim -nodes 5 -mode p4ce -duration 200ms -rate 100000 -size 64
 //	p4ce-sim -nodes 3 -mode mu -crash leader@50ms
 //	p4ce-sim -nodes 5 -backup -crash replica4@30ms,leader@60ms,switch@120ms
+//	p4ce-sim -nodes 5 -topology leaf-spine -racks 4 -standby -crash tor1@50ms
+//
+// The -topology flag picks the switch layer: "single" (default) is the
+// paper's one programmable ToR; "leaf-spine" builds a multi-rack fabric
+// (-racks leaf switches, -spines spine switches, replicas assigned to
+// racks round-robin) with hierarchical ACK aggregation, and -standby
+// cables a spare switch that adopts a failed ToR's identity.
 //
 // The -crash flag takes a comma-separated schedule of events:
-// "leader@<t>" (whoever leads at t), "replica<N>@<t>" (machine N), and
-// "switch@<t>" (the programmable switch).
+// "leader@<t>" (whoever leads at t), "replica<N>@<t>" (machine N),
+// "switch@<t>" (the programmable switch / rack 0's ToR), and — on a
+// leaf-spine fabric — "tor<N>@<t>" and "spine<N>@<t>".
 //
 // The -chaos flag instead installs one of the named deterministic fault
 // scenarios from the chaos harness (bursty loss, node flaps, partitions,
@@ -49,6 +57,10 @@ func main() {
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		parts    = flag.Int("partitions", 0, "kernel partitions: 0 = classic single-heap kernel, N>=1 = partitioned parallel kernel (same-seed runs bit-identical at any N>=1)")
 		backup   = flag.Bool("backup", false, "cable a backup fabric")
+		topology = flag.String("topology", "single", "switch layer: single (one ToR) or leaf-spine (multi-rack fabric)")
+		racks    = flag.Int("racks", 2, "leaf-spine: number of racks (leaf ToR switches)")
+		spines   = flag.Int("spines", 2, "leaf-spine: number of spine switches")
+		standby  = flag.Bool("standby", false, "leaf-spine: cable a standby switch that adopts a failed ToR")
 		async    = flag.Bool("async-reconfig", false, "reconfigure the switch asynchronously (Lesson 3)")
 		crash    = flag.String("crash", "", "failure schedule, e.g. leader@50ms,replica4@80ms,switch@120ms")
 		chaosSc  = flag.String("chaos", "", "named fault scenario (\"list\" to enumerate)")
@@ -64,7 +76,16 @@ func main() {
 		}
 		return
 	}
-	if err := run(*nodes, *mode, *duration, *rate, *size, *seed, *parts, *backup, *async, *crash, *chaosSc, *chaosSd, *doTrace, *traceOut, *metricsF); err != nil {
+	var topo *p4ce.Topology
+	switch *topology {
+	case "single":
+	case "leaf-spine":
+		topo = &p4ce.Topology{Racks: *racks, Spines: *spines, Standby: *standby}
+	default:
+		fmt.Fprintf(os.Stderr, "p4ce-sim: unknown topology %q (want single or leaf-spine)\n", *topology)
+		os.Exit(1)
+	}
+	if err := run(*nodes, *mode, *duration, *rate, *size, *seed, *parts, *backup, *async, topo, *crash, *chaosSc, *chaosSd, *doTrace, *traceOut, *metricsF); err != nil {
 		fmt.Fprintln(os.Stderr, "p4ce-sim:", err)
 		os.Exit(1)
 	}
@@ -97,6 +118,18 @@ func parseCrashes(spec string) ([]crashEvent, error) {
 				return nil, fmt.Errorf("bad replica id %q", rest)
 			}
 			ev.target, ev.id = "replica", id
+		} else if rest, found := strings.CutPrefix(target, "tor"); found {
+			id, err := strconv.Atoi(rest)
+			if err != nil {
+				return nil, fmt.Errorf("bad ToR id %q", rest)
+			}
+			ev.target, ev.id = "tor", id
+		} else if rest, found := strings.CutPrefix(target, "spine"); found {
+			id, err := strconv.Atoi(rest)
+			if err != nil {
+				return nil, fmt.Errorf("bad spine id %q", rest)
+			}
+			ev.target, ev.id = "spine", id
 		} else if target != "leader" && target != "switch" {
 			return nil, fmt.Errorf("unknown crash target %q", target)
 		}
@@ -105,7 +138,7 @@ func parseCrashes(spec string) ([]crashEvent, error) {
 	return out, nil
 }
 
-func run(nodes int, modeStr string, duration time.Duration, rate float64, size int, seed int64, partitions int, backup, async bool, crashSpec, chaosName string, chaosSeed int64, doTrace bool, traceOut string, withMetrics bool) error {
+func run(nodes int, modeStr string, duration time.Duration, rate float64, size int, seed int64, partitions int, backup, async bool, topo *p4ce.Topology, crashSpec, chaosName string, chaosSeed int64, doTrace bool, traceOut string, withMetrics bool) error {
 	var mode p4ce.Mode
 	switch strings.ToLower(modeStr) {
 	case "p4ce":
@@ -127,6 +160,7 @@ func run(nodes int, modeStr string, duration time.Duration, rate float64, size i
 		Partitions:    partitions,
 		BackupFabric:  backup,
 		AsyncReconfig: async,
+		Topology:      topo,
 		EnableMetrics: withMetrics,
 		EnableTracing: traceOut != "",
 	})
@@ -146,6 +180,14 @@ func run(nodes int, modeStr string, duration time.Duration, rate float64, size i
 	setupTime := cl.Now()
 	fmt.Printf("cluster up: %d machines, %v mode, node %d leads after %v (accelerated=%v)\n",
 		nodes, mode, leader.ID(), setupTime.Round(10*time.Microsecond), leader.Accelerated())
+	if f := cl.Fabric(); f != nil {
+		standbyNote := "no standby"
+		if f.Standby() != nil {
+			standbyNote = "standby cabled"
+		}
+		fmt.Printf("topology: leaf-spine, %d racks × %d spines, %s; leader in rack %d\n",
+			f.Racks(), f.SpineCount(), standbyNote, leader.Rack())
+	}
 
 	// Install the named chaos scenario, if any. Its horizon extends the
 	// run so the faults and their recovery both fit.
@@ -195,6 +237,20 @@ func run(nodes int, modeStr string, duration time.Duration, rate float64, size i
 				if ev.id < nodes {
 					fmt.Printf("[%9v] crash: node %d\n", sh.Now().Round(10*time.Microsecond), ev.id)
 					cl.Node(ev.id).Crash()
+				}
+			})
+		case "tor":
+			cl.After(ev.at, func() {
+				if f := cl.Fabric(); f != nil && ev.id < f.Racks() {
+					fmt.Printf("[%9v] crash: rack %d ToR\n", cl.Now().Round(10*time.Microsecond), ev.id)
+					cl.CrashToR(ev.id)
+				}
+			})
+		case "spine":
+			cl.After(ev.at, func() {
+				if f := cl.Fabric(); f != nil && ev.id < f.SpineCount() {
+					fmt.Printf("[%9v] crash: spine %d\n", cl.Now().Round(10*time.Microsecond), ev.id)
+					cl.CrashSpine(ev.id)
 				}
 			})
 		}
@@ -272,6 +328,19 @@ func run(nodes int, modeStr string, duration time.Duration, rate float64, size i
 	fab := cl.FabricStats()
 	fmt.Printf("switch fabric: %d in, %d out, %d multicast copies, %d punted to CPU\n",
 		fab.IngressPackets, fab.EgressPackets, fab.Copies, fab.Punted)
+	if f := cl.Fabric(); f != nil {
+		liveSpines := 0
+		for m := 0; m < f.SpineCount(); m++ {
+			if !f.Spine(m).Crashed() {
+				liveSpines++
+			}
+		}
+		fmt.Printf("leaf-spine: %d partial-count ACKs crossed a spine, %d partials merged at the root, %d/%d spines live\n",
+			sw.AcksUpForwarded, sw.PartialsAggregated, liveSpines, f.SpineCount())
+		if r := f.AdoptedRack(); r >= 0 {
+			fmt.Printf("leaf-spine: standby switch adopted rack %d's identity\n", r)
+		}
+	}
 	for _, g := range cl.Groups() {
 		fmt.Printf("group: leader %v, f=%d, %d replicas\n", g.Leader, g.F, len(g.Replicas))
 	}

@@ -1,0 +1,367 @@
+package p4ce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	swp4ce "p4ce/internal/p4ce"
+)
+
+// fabricOptions is the canonical small fabric testbed: five machines
+// dealt onto two racks (0,2,4 behind ToR 0; 1,3 behind ToR 1), two
+// spines, one standby. Rack 0 holds a majority, so the cluster
+// survives losing rack 1 outright.
+func fabricOptions(seed int64) Options {
+	return Options{
+		Nodes: 5,
+		Mode:  ModeP4CE,
+		Seed:  seed,
+		Topology: &Topology{
+			Racks:   2,
+			Spines:  2,
+			Standby: true,
+		},
+	}
+}
+
+func TestFabricClusterElectsAndCommits(t *testing.T) {
+	cl := NewCluster(fabricOptions(0))
+	leader, err := cl.RunUntilLeader(300 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader.ID() != 0 {
+		t.Fatalf("leader = %d, want 0", leader.ID())
+	}
+	if !leader.Accelerated() {
+		t.Fatal("leader not accelerated on the fabric")
+	}
+	committed := 0
+	for i := 0; i < 50; i++ {
+		if err := leader.Propose([]byte(fmt.Sprintf("cmd-%d", i)), func(err error) {
+			if err != nil {
+				t.Fatalf("commit: %v", err)
+			}
+			committed++
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Run(50 * time.Millisecond)
+	if committed != 50 {
+		t.Fatalf("committed %d of 50 over the fabric", committed)
+	}
+
+	// The group spans racks: the root lists rack 1's leaf alongside the
+	// leader ToR's local replicas.
+	groups := cl.Groups()
+	if len(groups) != 1 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	if len(groups[0].Replicas) != 4 {
+		t.Fatalf("group replicas = %v, want all 4", groups[0].Replicas)
+	}
+	if len(groups[0].Racks) == 0 {
+		t.Fatalf("root group lists no remote racks: %+v", groups[0])
+	}
+
+	// Hierarchical aggregation really happened: partial counts crossed
+	// the spine and were merged at the leader's ToR — far fewer
+	// crossings than the raw per-replica ACK count.
+	st := cl.SwitchStats()
+	if st.AcksUpForwarded == 0 || st.PartialsAggregated == 0 {
+		t.Fatalf("no hierarchical aggregation observed: %+v", st)
+	}
+	if st.AcksForwarded == 0 {
+		t.Fatalf("leader never got an aggregated ACK: %+v", st)
+	}
+}
+
+// runFabricPartitioned drives a fixed two-shard workload over the
+// leaf-spine fabric at the given partition count and fingerprints
+// every observable: event totals, acked writes, per-node applied
+// histories. The hierarchical gather — leaf bitmaps, partial-count
+// ACKs, root merges — must replay bit-identically at any count.
+func runFabricPartitioned(t *testing.T, partitions int) (uint64, uint64, int) {
+	t.Helper()
+	const shards = 2
+	cl := NewCluster(Options{
+		Nodes: 5, Shards: shards, Mode: ModeP4CE, Seed: 777,
+		Partitions: partitions,
+		Topology:   &Topology{Racks: 2, Spines: 2, Standby: true},
+	})
+	type rec struct {
+		idx  uint64
+		data string
+	}
+	applied := make([][]rec, len(cl.Nodes()))
+	for gi, n := range cl.Nodes() {
+		gi := gi
+		n.OnApply(func(index uint64, data []byte) {
+			applied[gi] = append(applied[gi], rec{index, string(data)})
+		})
+	}
+	if _, err := cl.RunUntilAllLeaders(500 * time.Millisecond); err != nil {
+		t.Fatalf("partitions=%d: %v", partitions, err)
+	}
+	acked := make([]int, shards)
+	for s := 0; s < shards; s++ {
+		s := s
+		sh := cl.Shard(s)
+		c := cl.NewClientForShard(s)
+		c.RetryDelay = 500 * time.Microsecond
+		seq := 0
+		var tick func()
+		tick = func() {
+			seq++
+			c.SubmitKV(fmt.Sprintf("s%d:k%03d", s, seq), "v", func(err error) {
+				if err == nil {
+					acked[s]++
+				}
+			})
+			if seq < 60 {
+				sh.After(60*time.Microsecond, tick)
+			}
+		}
+		sh.After(time.Duration(s+1)*25*time.Microsecond, tick)
+	}
+	cl.Run(25 * time.Millisecond)
+
+	h := fnv.New64a()
+	total := 0
+	for _, a := range acked {
+		total += a
+	}
+	fmt.Fprintf(h, "events=%d acked=%v stats=%+v", cl.EventsProcessed(), acked, cl.SwitchStats())
+	for gi, n := range cl.Nodes() {
+		recs := applied[gi]
+		sort.Slice(recs, func(a, b int) bool { return recs[a].idx < recs[b].idx })
+		fmt.Fprintf(h, "|node%d commit=%d term=%d", gi, n.CommitIndex(), n.Term())
+		for _, r := range recs {
+			fmt.Fprintf(h, ";%d=%s", r.idx, r.data)
+		}
+	}
+	return cl.EventsProcessed(), h.Sum64(), total
+}
+
+// TestFabricGatherDeterminism is the fabric's partitioned-kernel gate:
+// identical options and seed replay bit-identically at partition
+// counts 1, 2 and 4, hierarchical aggregation included.
+func TestFabricGatherDeterminism(t *testing.T) {
+	ev1, fp1, acked := runFabricPartitioned(t, 1)
+	if acked == 0 {
+		t.Fatal("no write was ever acknowledged over the fabric")
+	}
+	for _, p := range []int{2, 4} {
+		ev, fp, a := runFabricPartitioned(t, p)
+		if ev != ev1 || fp != fp1 || a != acked {
+			t.Fatalf("partitions=%d diverged from partitions=1: events %d vs %d, acked %d vs %d, fp %x vs %x",
+				p, ev, ev1, a, acked, fp, fp1)
+		}
+	}
+}
+
+// TestFabricToRFailoverNoLostCommits drives a continuous workload
+// through a remote-rack ToR crash and standby adoption, and asserts
+// the strongest client-visible contract: every acknowledged operation
+// survives, exactly once, in submit order, on every machine that
+// applied it — nothing committed is lost or reordered across the 40 ms
+// reconfiguration window.
+func TestFabricToRFailoverNoLostCommits(t *testing.T) {
+	cl := NewCluster(fabricOptions(11))
+	type rec struct {
+		idx  uint64
+		data string
+	}
+	applied := make([][]rec, 5)
+	for gi, n := range cl.Nodes() {
+		gi := gi
+		n.OnApply(func(index uint64, data []byte) {
+			applied[gi] = append(applied[gi], rec{index, string(data)})
+		})
+	}
+	leader, err := cl.RunUntilLeader(300 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ackedOps []string
+	seq := 0
+	var tick func()
+	tick = func() {
+		if l := cl.Leader(); l != nil {
+			seq++
+			payload := fmt.Sprintf("op-%04d", seq)
+			_ = l.Propose([]byte(payload), func(err error) {
+				if err == nil {
+					ackedOps = append(ackedOps, payload)
+				}
+			})
+		}
+		cl.After(100*time.Microsecond, tick)
+	}
+	cl.After(100*time.Microsecond, tick)
+
+	// Rack 1's ToR dies mid-stream; the supervisor's 40 ms failover
+	// follows. The leader (rack 0) keeps its local majority throughout.
+	cl.After(10*time.Millisecond, func() { cl.CrashToR(1) })
+	cl.Run(300 * time.Millisecond)
+
+	if cl.Fabric().AdoptedRack() != 1 {
+		t.Fatalf("standby never adopted rack 1 (adopted=%d)", cl.Fabric().AdoptedRack())
+	}
+	if got := cl.Leader(); got == nil || got != leader {
+		t.Fatalf("leadership moved during a remote-rack failover: %v", got)
+	}
+	if len(ackedOps) == 0 {
+		t.Fatal("nothing acknowledged across the failover")
+	}
+
+	// Build the leader's committed history in log order.
+	recs := applied[0]
+	sort.Slice(recs, func(a, b int) bool { return recs[a].idx < recs[b].idx })
+	pos := make(map[string]int)
+	for i, r := range recs {
+		if _, dup := pos[r.data]; dup && r.data != "" {
+			t.Fatalf("entry %q applied at two log indexes", r.data)
+		}
+		pos[r.data] = i
+	}
+	// Every acked op is present, and their log order equals submit order.
+	last := -1
+	for _, op := range ackedOps {
+		p, ok := pos[op]
+		if !ok {
+			t.Fatalf("acknowledged op %q missing from the leader's applied history", op)
+		}
+		if p <= last {
+			t.Fatalf("acknowledged op %q applied out of submit order", op)
+		}
+		last = p
+	}
+	// And every machine that applied an index agrees on its contents.
+	for i := 1; i < 5; i++ {
+		other := make(map[uint64]string, len(applied[i]))
+		for _, r := range applied[i] {
+			other[r.idx] = r.data
+		}
+		for _, r := range recs {
+			if data, ok := other[r.idx]; ok && data != r.data {
+				t.Fatalf("node %d diverged at index %d: %q vs %q", i, r.idx, data, r.data)
+			}
+		}
+	}
+}
+
+// TestFabricFlatGatherAblation measures what hierarchical aggregation
+// buys: with it, a remote rack's ACKs cross the spine as one
+// partial-count ACK per round; without it (FlatGather), every replica
+// ACK crosses individually.
+func TestFabricFlatGatherAblation(t *testing.T) {
+	run := func(flat bool) (swp4ce.DataplaneStats, int) {
+		opts := fabricOptions(21)
+		opts.Topology.FlatGather = flat
+		cl := NewCluster(opts)
+		leader, err := cl.RunUntilLeader(300 * time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		committed := 0
+		for i := 0; i < 40; i++ {
+			if err := leader.Propose([]byte(fmt.Sprintf("cmd-%d", i)), func(err error) {
+				if err == nil {
+					committed++
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cl.Run(50 * time.Millisecond)
+		return cl.SwitchStats(), committed
+	}
+	hier, hierCommitted := run(false)
+	flat, flatCommitted := run(true)
+	if hierCommitted != 40 || flatCommitted != 40 {
+		t.Fatalf("committed hier=%d flat=%d, want 40 each", hierCommitted, flatCommitted)
+	}
+	if hier.PartialsAggregated == 0 {
+		t.Fatalf("hierarchical mode never merged a partial: %+v", hier)
+	}
+	if flat.PartialsAggregated != 0 {
+		t.Fatalf("flat mode merged partials: %+v", flat)
+	}
+	// Rack 1 holds two replicas: flat relays both ACKs per round where
+	// hierarchical forwards one partial, so the spine crossing count
+	// must be strictly — and substantially — higher.
+	if flat.AcksUpForwarded <= hier.AcksUpForwarded {
+		t.Fatalf("flat crossings %d not above hierarchical %d",
+			flat.AcksUpForwarded, hier.AcksUpForwarded)
+	}
+}
+
+// TestFabricSingleRackDegenerate: one rack, one spine, no standby is
+// the single-switch case routed through a (trivial) fabric — every
+// replica is ToR-local, so no partial-count machinery engages.
+func TestFabricSingleRackDegenerate(t *testing.T) {
+	cl := NewCluster(Options{
+		Nodes: 3, Mode: ModeP4CE, Seed: 5,
+		Topology: &Topology{Racks: 1, Spines: 1},
+	})
+	leader, err := cl.RunUntilLeader(300 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := 0
+	for i := 0; i < 20; i++ {
+		if err := leader.Propose([]byte{byte(i)}, func(err error) {
+			if err == nil {
+				committed++
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Run(50 * time.Millisecond)
+	if committed != 20 {
+		t.Fatalf("committed %d of 20 on a single-rack fabric", committed)
+	}
+	st := cl.SwitchStats()
+	if st.AcksUpForwarded != 0 || st.PartialsAggregated != 0 {
+		t.Fatalf("single-rack fabric crossed a spine: %+v", st)
+	}
+	if st.AcksForwarded == 0 {
+		t.Fatalf("no aggregated ACKs on a single-rack fabric: %+v", st)
+	}
+}
+
+func TestFabricReplicasConverge(t *testing.T) {
+	cl := NewCluster(fabricOptions(3))
+	stores := make([]*KV, 5)
+	for i, n := range cl.Nodes() {
+		stores[i] = NewKV()
+		n.Bind(stores[i])
+	}
+	leader, err := cl.RunUntilLeader(300 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := leader.Set(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Run(50 * time.Millisecond)
+	want := stores[0].Snapshot()
+	if len(want) != 30 {
+		t.Fatalf("leader applied %d keys, want 30", len(want))
+	}
+	for i := 1; i < 5; i++ {
+		if !reflect.DeepEqual(stores[i].Snapshot(), want) {
+			t.Fatalf("replica %d (rack %d) diverged", i, cl.Node(i).Rack())
+		}
+	}
+}

@@ -207,5 +207,27 @@ func CompareReports(base, cand *Report) []Regression {
 			out = check(out, "scaling/"+key+"/p99_ns", float64(bp.P99Ns), float64(cp.P99Ns), lowerIsBetter)
 		}
 	}
+
+	// The fabric section arrived with schema v5; a pre-v5 baseline has no
+	// points and this loop is a no-op. Spine-crossing counters gate the
+	// hierarchical aggregation itself: AcksUp growing toward FlatAcksUp
+	// means the leaf partial counting stopped absorbing ACKs.
+	candFabric := make(map[int]FabricPointJSON)
+	for _, pt := range cand.Fabric.Points {
+		candFabric[pt.Racks] = pt
+	}
+	for _, bp := range base.Fabric.Points {
+		key := fmt.Sprintf("racks%d", bp.Racks)
+		cp, ok := candFabric[bp.Racks]
+		if !ok {
+			cp.ThroughputOps = math.NaN()
+		}
+		out = check(out, "fabric/"+key+"/throughput_ops_per_s", bp.ThroughputOps, cp.ThroughputOps, higherIsBetter)
+		if ok {
+			out = check(out, "fabric/"+key+"/mean_ns", float64(bp.MeanNs), float64(cp.MeanNs), lowerIsBetter)
+			out = check(out, "fabric/"+key+"/p99_ns", float64(bp.P99Ns), float64(cp.P99Ns), lowerIsBetter)
+			out = check(out, "fabric/"+key+"/acks_up_forwarded", float64(bp.AcksUp), float64(cp.AcksUp), lowerIsBetter)
+		}
+	}
 	return out
 }

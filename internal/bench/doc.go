@@ -4,12 +4,16 @@
 // of Fig. 7, the fail-over times of Table IV, and the design-choice
 // ablations DESIGN.md calls out — plus the post-paper sweeps of this
 // repo: shard-count scaling and the adaptive-batching trade
-// (sharded.go). cmd/p4ce-bench prints the results in the paper's shape;
+// (sharded.go), per-stage latency decomposition (breakdown.go),
+// partitioned-kernel scaling (scaling.go), and the leaf-spine fabric
+// sweep with the hierarchical-aggregation fan-in ablation (fabric.go).
+// cmd/p4ce-bench prints the results in the paper's shape;
 // bench_test.go wraps them as testing.B benchmarks.
 //
-// Reports are machine-readable (report.go, schema v2 with the sharded
-// and batch-sweep sections) and bit-reproducible for a fixed (profile,
-// seed) pair: the simulation is deterministic and no wall-clock value
-// is recorded, so the committed baselines under bench/ gate regressions
-// exactly (compare.go, scripts/bench_compare.sh).
+// Reports are machine-readable (report.go, schema v5 — see the
+// SchemaVersion history there for what each revision added) and
+// bit-reproducible for a fixed (profile, seed) pair: the simulation is
+// deterministic and no wall-clock value is recorded, so the committed
+// baselines under bench/ gate regressions exactly (compare.go,
+// scripts/bench_compare.sh).
 package bench

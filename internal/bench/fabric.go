@@ -1,0 +1,134 @@
+package bench
+
+// Leaf-spine fabric sweep. RunFabric measures commit latency as the
+// same replica set spreads across more racks (each rack boundary adds
+// two switch hops to the scatter and the gather), and quantifies the
+// hierarchical-aggregation win: the number of ACKs that cross a spine
+// with the leaf partial-count aggregation on, against the same workload
+// with CPConfig.FlatGather relaying every remote ACK individually.
+// Recorded in the machine-readable report (schema v5) and gated by the
+// regression comparator.
+
+import (
+	"time"
+
+	"p4ce"
+	swp4ce "p4ce/internal/p4ce"
+)
+
+// FabricConfig parameterizes the topology sweep.
+type FabricConfig struct {
+	// Racks lists the rack counts to sweep. 0 means the classic
+	// single-switch cluster — the latency baseline every fabric point
+	// is compared against.
+	Racks []int
+	// Spines is the spine count of every fabric point (crossings are
+	// spread across spines by rack hash; the count does not change the
+	// ACK totals, only the per-link load).
+	Spines int
+	// Nodes is the machine count, leader included; replicas are
+	// assigned to racks round-robin.
+	Nodes    int
+	ItemSize int
+	// Depth is the closed-loop depth.
+	Depth  int
+	Warmup int
+	Ops    int
+	Seed   int64
+}
+
+// DefaultFabricConfig is the EXPERIMENTS.md sweep. Nine machines, so
+// even at four racks every remote rack holds at least two replicas and
+// the leaf aggregation has something to merge (with one replica per
+// rack a partial count is the replica's ACK, and the hierarchy saves
+// nothing by construction).
+func DefaultFabricConfig() FabricConfig {
+	return FabricConfig{
+		Racks:    []int{0, 2, 4},
+		Spines:   2,
+		Nodes:    9,
+		ItemSize: 512,
+		Depth:    16,
+		Warmup:   500,
+		Ops:      4000,
+		Seed:     1,
+	}
+}
+
+// FabricPoint is one measured rack count.
+type FabricPoint struct {
+	// Racks is 0 for the single-switch baseline.
+	Racks      int
+	Throughput float64 // committed consensus operations per second
+	MeanLat    time.Duration
+	P50Lat     time.Duration
+	P99Lat     time.Duration
+	// AcksUp counts the ACK-bearing frames that crossed a spine during
+	// the run with hierarchical aggregation on: one partial-count ACK
+	// per (rack, slot) instead of one per remote replica.
+	AcksUp uint64
+	// Partials counts the root-side merges of those partial counts.
+	Partials uint64
+	// FlatAcksUp is the spine-crossing ACK count of the identical
+	// workload under the FlatGather ablation, where every remote
+	// replica's ACK is relayed to the root individually. Zero on the
+	// single-switch baseline (there is no spine to cross).
+	FlatAcksUp uint64
+	// Events is the kernel's determinism fingerprint for the
+	// hierarchical run.
+	Events uint64
+}
+
+// runFabricOnce measures one closed loop on one topology.
+func runFabricOnce(cfg FabricConfig, racks int, flat bool) (ClosedLoopResult, swp4ce.DataplaneStats, uint64, error) {
+	opts := p4ce.Options{
+		Nodes:         cfg.Nodes,
+		Mode:          p4ce.ModeP4CE,
+		Seed:          cfg.Seed,
+		PipelineDepth: cfg.Depth,
+	}
+	if racks > 0 {
+		opts.Topology = &p4ce.Topology{Racks: racks, Spines: cfg.Spines, FlatGather: flat}
+	}
+	cl, leader, err := Steady(opts)
+	if err != nil {
+		return ClosedLoopResult{}, swp4ce.DataplaneStats{}, 0, err
+	}
+	res, err := ClosedLoop(cl, leader, cfg.ItemSize, cfg.Depth, cfg.Warmup, cfg.Ops)
+	if err != nil {
+		return ClosedLoopResult{}, swp4ce.DataplaneStats{}, 0, err
+	}
+	return res, cl.SwitchStats(), cl.EventsProcessed(), nil
+}
+
+// RunFabric sweeps the rack count, pairing every fabric point with a
+// FlatGather run of the same workload so the fan-in saving is measured
+// rather than derived.
+func RunFabric(cfg FabricConfig) ([]FabricPoint, error) {
+	var out []FabricPoint
+	for _, racks := range cfg.Racks {
+		res, st, events, err := runFabricOnce(cfg, racks, false)
+		if err != nil {
+			return nil, err
+		}
+		pt := FabricPoint{
+			Racks:      racks,
+			Throughput: res.Throughput,
+			MeanLat:    res.MeanLat,
+			P50Lat:     res.P50Lat,
+			P99Lat:     res.P99Lat,
+			AcksUp:     st.AcksUpForwarded,
+			Partials:   st.PartialsAggregated,
+			Events:     events,
+		}
+		if racks > 1 {
+			_, fst, _, err := runFabricOnce(cfg, racks, true)
+			if err != nil {
+				return nil, err
+			}
+			pt.FlatAcksUp = fst.AcksUpForwarded
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -19,8 +19,9 @@ import (
 // SchemaVersion identifies the BENCH_p4ce.json layout. Version 2 added
 // the sharded-scaling and batch-sweep sections; version 3 added the
 // per-stage latency breakdown section (causal tracing); version 4 added
-// the kernel-scaling section (partitioned scheduler).
-const SchemaVersion = 4
+// the kernel-scaling section (partitioned scheduler); version 5 added
+// the fabric-topology section (leaf-spine hierarchical aggregation).
+const SchemaVersion = 5
 
 // Report is the root of BENCH_p4ce.json.
 type Report struct {
@@ -36,6 +37,7 @@ type Report struct {
 	BatchSweep    BatchSweepSection `json:"batch_sweep"`
 	Breakdown     BreakdownSection  `json:"breakdown"`
 	Scaling       ScalingSection    `json:"scaling"`
+	Fabric        FabricSection     `json:"fabric"`
 }
 
 // GoodputSection is the Fig. 5 sweep.
@@ -257,6 +259,40 @@ type ScalingPointJSON struct {
 	SimDurationNs    int64   `json:"sim_duration_ns"`
 }
 
+// FabricSection is the leaf-spine topology sweep (schema v5): commit
+// latency against the rack count, with the hierarchical-aggregation
+// fan-in saving measured against a FlatGather run of the same workload.
+type FabricSection struct {
+	Seed   int64             `json:"seed"`
+	Config FabricConfigJSON  `json:"config"`
+	Points []FabricPointJSON `json:"points"`
+}
+
+// FabricConfigJSON records the sweep parameters.
+type FabricConfigJSON struct {
+	Racks    []int `json:"racks"`
+	Spines   int   `json:"spines"`
+	Nodes    int   `json:"nodes"`
+	ItemSize int   `json:"item_size"`
+	Depth    int   `json:"depth"`
+	Warmup   int   `json:"warmup"`
+	Ops      int   `json:"ops"`
+}
+
+// FabricPointJSON is one measured rack count (racks = 0 is the
+// single-switch baseline).
+type FabricPointJSON struct {
+	Racks         int     `json:"racks"`
+	ThroughputOps float64 `json:"throughput_ops_per_s"`
+	MeanNs        int64   `json:"mean_ns"`
+	P50Ns         int64   `json:"p50_ns"`
+	P99Ns         int64   `json:"p99_ns"`
+	AcksUp        uint64  `json:"acks_up_forwarded"`
+	Partials      uint64  `json:"partials_aggregated"`
+	FlatAcksUp    uint64  `json:"flat_acks_up_forwarded"`
+	Events        uint64  `json:"events"`
+}
+
 // Profile bundles the section configurations of one report flavor.
 type Profile struct {
 	Name             string
@@ -269,6 +305,7 @@ type Profile struct {
 	BatchSweep       BatchSweepConfig
 	Breakdown        BreakdownConfig
 	Scaling          ScalingConfig
+	Fabric           FabricConfig
 }
 
 // FullProfile is the paper-shaped sweep; it takes a few minutes of
@@ -285,6 +322,7 @@ func FullProfile() Profile {
 		BatchSweep:       DefaultBatchSweepConfig(),
 		Breakdown:        DefaultBreakdownConfig(),
 		Scaling:          DefaultScalingConfig(),
+		Fabric:           DefaultFabricConfig(),
 	}
 }
 
@@ -348,6 +386,16 @@ func QuickProfile() Profile {
 			Ops:        1000,
 			Seed:       1,
 		},
+		Fabric: FabricConfig{
+			Racks:    []int{0, 2, 4},
+			Spines:   2,
+			Nodes:    9,
+			ItemSize: 512,
+			Depth:    16,
+			Warmup:   200,
+			Ops:      1000,
+			Seed:     1,
+		},
 	}
 }
 
@@ -408,6 +456,16 @@ func SmokeProfile() Profile {
 			Warmup:     50,
 			Ops:        300,
 			Seed:       1,
+		},
+		Fabric: FabricConfig{
+			Racks:    []int{0, 2},
+			Spines:   2,
+			Nodes:    5,
+			ItemSize: 64,
+			Depth:    8,
+			Warmup:   50,
+			Ops:      300,
+			Seed:     1,
 		},
 	}
 }
@@ -638,6 +696,37 @@ func BuildReport(seed int64, p Profile) (*Report, error) {
 			SimDurationNs:    pt.SimDuration.Nanoseconds(),
 		})
 	}
+
+	p.Fabric.Seed = seed
+	fp, err := RunFabric(p.Fabric)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: %w", err)
+	}
+	rep.Fabric = FabricSection{
+		Seed: seed,
+		Config: FabricConfigJSON{
+			Racks:    p.Fabric.Racks,
+			Spines:   p.Fabric.Spines,
+			Nodes:    p.Fabric.Nodes,
+			ItemSize: p.Fabric.ItemSize,
+			Depth:    p.Fabric.Depth,
+			Warmup:   p.Fabric.Warmup,
+			Ops:      p.Fabric.Ops,
+		},
+	}
+	for _, pt := range fp {
+		rep.Fabric.Points = append(rep.Fabric.Points, FabricPointJSON{
+			Racks:         pt.Racks,
+			ThroughputOps: pt.Throughput,
+			MeanNs:        pt.MeanLat.Nanoseconds(),
+			P50Ns:         pt.P50Lat.Nanoseconds(),
+			P99Ns:         pt.P99Lat.Nanoseconds(),
+			AcksUp:        pt.AcksUp,
+			Partials:      pt.Partials,
+			FlatAcksUp:    pt.FlatAcksUp,
+			Events:        pt.Events,
+		})
+	}
 	return rep, nil
 }
 
@@ -781,6 +870,33 @@ func (r *Report) Validate() error {
 				pt.MeanNs != first.MeanNs || pt.P99Ns != first.P99Ns {
 				return fmt.Errorf("bench: scaling p%d: sim-derived fields diverge from p%d (determinism violated)",
 					pt.Partitions, first.Partitions)
+			}
+		}
+	}
+	if r.SchemaVersion >= 5 {
+		if len(r.Fabric.Points) == 0 {
+			return fmt.Errorf("bench: fabric section empty")
+		}
+		for _, pt := range r.Fabric.Points {
+			if pt.ThroughputOps <= 0 || pt.MeanNs <= 0 {
+				return fmt.Errorf("bench: fabric racks=%d: non-positive measurement", pt.Racks)
+			}
+			if pt.Racks <= 1 {
+				// Single switch (or single rack): no spine to cross.
+				if pt.AcksUp != 0 || pt.Partials != 0 || pt.FlatAcksUp != 0 {
+					return fmt.Errorf("bench: fabric racks=%d: spine crossings on a spineless topology", pt.Racks)
+				}
+				continue
+			}
+			// Multi-rack: the hierarchy must engage, and the aggregated
+			// crossing count must beat the per-replica relay of the flat
+			// ablation — the section's whole claim.
+			if pt.AcksUp == 0 || pt.Partials == 0 {
+				return fmt.Errorf("bench: fabric racks=%d: hierarchical aggregation never engaged", pt.Racks)
+			}
+			if pt.FlatAcksUp <= pt.AcksUp {
+				return fmt.Errorf("bench: fabric racks=%d: flat crossings %d not above hierarchical %d",
+					pt.Racks, pt.FlatAcksUp, pt.AcksUp)
 			}
 		}
 	}

@@ -41,6 +41,24 @@ type NodeTarget struct {
 	NIC  *rnic.NIC
 }
 
+// SwitchTarget is one fabric switch the engine may take down. The
+// crash/restore moves are closures so this package stays ignorant of
+// the switch model; Rack and Spine identify the switch's role (one of
+// them >= 0, or both -1 for a standby).
+type SwitchTarget struct {
+	Name           string
+	Rack, Spine    int
+	Crash, Restore func()
+}
+
+// FabricLink is one inter-switch cable of a leaf-spine core, tagged
+// with the rack and spine it connects (Rack == -1 for a standby
+// uplink).
+type FabricLink struct {
+	Link        Link
+	Rack, Spine int
+}
+
 // Config wires an Engine to a testbed.
 type Config struct {
 	// Seed drives the engine's private random source. Faults draw from
@@ -48,6 +66,14 @@ type Config struct {
 	Seed int64
 	// Nodes lists the machines, in identifier order.
 	Nodes []NodeTarget
+	// Switches lists the leaf-spine fabric's switches (empty on the
+	// classic single-switch testbed). Scenarios marked Fabric pick
+	// their victims here.
+	Switches []SwitchTarget
+	// InterLinks lists the fabric core's cables (ToR-spine, standby-
+	// spine), for partitions and flaps that cut the core rather than an
+	// access link.
+	InterLinks []FabricLink
 	// PowerOffSwitch and PowerOnSwitch power-cycle the programmable
 	// switch (wiping its volatile state) and bring it back, including
 	// whatever control-plane re-programming the owner performs. Both may
@@ -68,6 +94,7 @@ type Stats struct {
 	Partitions    uint64 // partition windows opened
 	NodeOutages   uint64 // replica crash/restart cycles started
 	SwitchReboots uint64 // switch power cycles started
+	SwitchCrashes uint64 // fabric switches crashed outright
 }
 
 // portMux fans a port's single LossFunc/DelayFunc slot out to any
@@ -116,6 +143,35 @@ func (e *Engine) Kernel() *sim.Kernel { return e.k }
 
 // Nodes returns the machines the engine can target.
 func (e *Engine) Nodes() []NodeTarget { return e.cfg.Nodes }
+
+// Switches returns the fabric switches the engine can target (empty on
+// a single-switch testbed).
+func (e *Engine) Switches() []SwitchTarget { return e.cfg.Switches }
+
+// Switch finds a fabric switch target by role: the ToR of the given
+// rack, or (rack == -1) the given spine.
+func (e *Engine) Switch(rack, spine int) (SwitchTarget, bool) {
+	for _, t := range e.cfg.Switches {
+		if t.Rack == rack && t.Spine == spine {
+			return t, true
+		}
+	}
+	return SwitchTarget{}, false
+}
+
+// InterLinks returns the fabric core's cables.
+func (e *Engine) InterLinks() []FabricLink { return e.cfg.InterLinks }
+
+// RackUplinks returns the core cables hanging off rack r's ToR.
+func (e *Engine) RackUplinks(r int) []Link {
+	var ls []Link
+	for _, fl := range e.cfg.InterLinks {
+		if fl.Rack == r {
+			ls = append(ls, fl.Link)
+		}
+	}
+	return ls
+}
 
 func (e *Engine) logf(format string, args ...any) {
 	if e.cfg.Logf != nil {
@@ -316,6 +372,22 @@ func (e *Engine) NodeOutage(n NodeTarget, start, downFor sim.Time) {
 		if n.Link.Host != nil {
 			n.Link.Host.SetUp(true)
 		}
+	})
+}
+
+// CrashSwitch powers a fabric switch off at now+start, for good — the
+// failure the leaf-spine control plane exists to survive. Switches
+// live on the fabric domain, so the crash is scheduled on the engine's
+// own kernel. Recovery (spine reroute, standby rack adoption) is the
+// fabric supervisor's job, not this engine's.
+func (e *Engine) CrashSwitch(t SwitchTarget, start sim.Time) {
+	if t.Crash == nil {
+		return
+	}
+	e.k.Schedule(start, func() {
+		atomic.AddUint64(&e.Stats.SwitchCrashes, 1)
+		e.logf("chaos: switch %s crashed at %v", t.Name, e.k.Now())
+		t.Crash()
 	})
 }
 

@@ -186,7 +186,8 @@ func TestFaultMuxLayers(t *testing.T) {
 }
 
 func TestScenarioRegistry(t *testing.T) {
-	want := []string{"leader-partition", "lossy-gather", "replica-flap", "shard-leader-outage", "switch-reboot"}
+	want := []string{"leader-partition", "lossy-gather", "rack-partition", "replica-flap",
+		"shard-leader-outage", "spine-loss", "switch-reboot", "tor-failover-under-load"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

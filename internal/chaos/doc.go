@@ -9,8 +9,14 @@
 // The engine is topology-agnostic: it operates on the two ports of each
 // cable, the host NICs, and a pair of power-cycle hooks, all supplied
 // by whoever owns the testbed (see the Cluster chaos wiring in the root
-// package). Named scenarios combining these primitives live in
-// scenarios.go, registered for Lookup/Names so tests and the CLI sweep
-// the same registry; each carries the horizon within which the cluster
-// must return to steady progress.
+// package). On a leaf-spine fabric the targets extend to the switch
+// tier itself: Switch addresses a ToR or spine by coordinate,
+// RackUplinks collects a rack's spine-facing cables for partitions, and
+// CrashSwitch kills a switch outright (no reboot), which is what the
+// fabric supervisor's reroute and standby-adoption paths recover from.
+// Named scenarios combining these primitives live in scenarios.go,
+// registered for Lookup/Names so tests and the CLI sweep the same
+// registry; each carries the horizon within which the cluster must
+// return to steady progress, and scenarios marked Fabric declare that
+// they need a leaf-spine topology to run on.
 package chaos

@@ -25,10 +25,9 @@ import (
 func runScenarioPartitioned(t *testing.T, name string, kernelSeed, chaosSeed int64, partitions int) *scenarioRun {
 	t.Helper()
 	r := &scenarioRun{leaders: make(map[int]bool)}
-	r.cl = p4ce.NewCluster(p4ce.Options{
-		Nodes: 3, Mode: p4ce.ModeP4CE, Seed: kernelSeed,
-		Partitions: partitions, EnableTracing: true,
-	})
+	opts := scenarioOptions(t, name, kernelSeed)
+	opts.Partitions = partitions
+	r.cl = p4ce.NewCluster(opts)
 	for _, n := range r.cl.Nodes() {
 		m := make(map[uint64]string)
 		r.applied = append(r.applied, m)

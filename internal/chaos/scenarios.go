@@ -14,7 +14,12 @@ type Scenario struct {
 	Name        string
 	Description string
 	Horizon     sim.Time
-	Apply       func(*Engine)
+	// Fabric marks scenarios that need a leaf-spine multi-switch
+	// topology (Config.Switches/InterLinks populated); they no-op on
+	// the classic single-switch testbed, and harnesses should build a
+	// fabric cluster for them.
+	Fabric bool
+	Apply  func(*Engine)
 }
 
 // The registry. Timescales are chosen against the stack's own
@@ -91,6 +96,54 @@ var scenarios = []Scenario{
 				return
 			}
 			e.NodeOutage(nodes[0], 5*sim.Millisecond, 40*sim.Millisecond)
+		},
+	},
+	{
+		Name: "spine-loss",
+		Description: "Spine 0 of the leaf-spine core dies outright at 10 ms, " +
+			"blackholing every route that crossed it — including the leader ToR's " +
+			"scatter copies toward remote racks and their partial-count ACKs back. " +
+			"The fabric supervisor reroutes onto the surviving spine after the " +
+			"40 ms control-plane reconfiguration; register state survives, and the " +
+			"leader's go-back-N refills what the dead spine swallowed.",
+		Horizon: 250 * sim.Millisecond,
+		Fabric:  true,
+		Apply: func(e *Engine) {
+			if t, ok := e.Switch(-1, 0); ok {
+				e.CrashSwitch(t, 10*sim.Millisecond)
+			}
+		},
+	},
+	{
+		Name: "rack-partition",
+		Description: "Rack 1's ToR keeps its rack-local traffic but loses the " +
+			"core: every uplink to every spine blackholes both directions for " +
+			"80 ms. The rack's replicas fall silent fabric-wide, the leader " +
+			"excludes them and keeps committing on the majority rack, then " +
+			"re-admits them when the core heals.",
+		Horizon: 250 * sim.Millisecond,
+		Fabric:  true,
+		Apply: func(e *Engine) {
+			if ls := e.RackUplinks(1); len(ls) > 0 {
+				e.Partition(ls, 20*sim.Millisecond, 80*sim.Millisecond)
+			}
+		},
+	},
+	{
+		Name: "tor-failover-under-load",
+		Description: "Rack 1's ToR switch dies for good at 10 ms while the " +
+			"leader is committing: its rack's replicas vanish mid-gather. The " +
+			"supervisor has the standby switch adopt the dead ToR's identity " +
+			"after the 40 ms reconfiguration — fresh registers, reinstalled " +
+			"groups, host NICs flipped to their spare legs — and in-flight " +
+			"rounds replay via the leader's go-back-N. No committed operation " +
+			"may be lost or reordered across the window.",
+		Horizon: 300 * sim.Millisecond,
+		Fabric:  true,
+		Apply: func(e *Engine) {
+			if t, ok := e.Switch(1, -1); ok {
+				e.CrashSwitch(t, 10*sim.Millisecond)
+			}
 		},
 	},
 	{

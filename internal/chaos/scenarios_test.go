@@ -38,6 +38,25 @@ type scenarioRun struct {
 	leaders   map[int]bool
 }
 
+// scenarioOptions picks the testbed a scenario needs: fabric-flagged
+// scenarios get a five-machine, two-rack leaf-spine cluster with two
+// spines and a standby switch (machines 0,2,4 behind ToR 0 — a
+// majority — and 1,3 behind ToR 1, the one the scenarios kill);
+// everything else keeps the classic three machines on one switch.
+func scenarioOptions(t *testing.T, name string, kernelSeed int64) p4ce.Options {
+	t.Helper()
+	sc, ok := chaos.Lookup(name)
+	if !ok {
+		t.Fatalf("unknown scenario %q", name)
+	}
+	opts := p4ce.Options{Nodes: 3, Mode: p4ce.ModeP4CE, Seed: kernelSeed, EnableTracing: true}
+	if sc.Fabric {
+		opts.Nodes = 5
+		opts.Topology = &p4ce.Topology{Racks: 2, Spines: 2, Standby: true}
+	}
+	return opts
+}
+
 func runScenario(t *testing.T, name string, kernelSeed, chaosSeed int64) *scenarioRun {
 	t.Helper()
 	r := &scenarioRun{leaders: make(map[int]bool)}
@@ -45,7 +64,7 @@ func runScenario(t *testing.T, name string, kernelSeed, chaosSeed int64) *scenar
 	// observer (no kernel events, no wire bytes), so the determinism
 	// fingerprints are identical with it on, and an invariant failure can
 	// dump the flight recorder for the post-mortem.
-	r.cl = p4ce.NewCluster(p4ce.Options{Nodes: 3, Mode: p4ce.ModeP4CE, Seed: kernelSeed, EnableTracing: true})
+	r.cl = p4ce.NewCluster(scenarioOptions(t, name, kernelSeed))
 	for _, n := range r.cl.Nodes() {
 		m := make(map[uint64]string)
 		r.applied = append(r.applied, m)
@@ -217,6 +236,67 @@ func TestScenarioLeaderPartition(t *testing.T) {
 		t.Fatalf("leader at horizon = %v, want machine 0 back in charge", leader)
 	}
 	checkDeterminism(t, "leader-partition", r)
+}
+
+func TestScenarioSpineLoss(t *testing.T) {
+	r := runScenario(t, "spine-loss", 1234, 99)
+	r.checkInvariants(t, "spine-loss")
+	if r.eng.Stats.SwitchCrashes != 1 {
+		t.Fatalf("SwitchCrashes = %d, want 1", r.eng.Stats.SwitchCrashes)
+	}
+	// The fabric supervisor rerouted off the dead spine: spine 0 is
+	// marked dead and every route that crossed it now rides spine 1.
+	if live := r.cl.Fabric().LiveSpine(); live != 1 {
+		t.Fatalf("LiveSpine = %d after spine-loss, want 1", live)
+	}
+	// The leader's ToR held a local majority throughout, so the
+	// accelerated path never had to fall back for quorum.
+	if leader := r.cl.Leader(); leader == nil {
+		t.Fatal("no leader at horizon")
+	}
+	checkDeterminism(t, "spine-loss", r)
+}
+
+func TestScenarioRackPartition(t *testing.T) {
+	r := runScenario(t, "rack-partition", 1234, 99)
+	r.checkInvariants(t, "rack-partition")
+	if r.eng.Stats.Partitions != 1 {
+		t.Fatalf("Partitions = %d, want 1", r.eng.Stats.Partitions)
+	}
+	// Rack 1's replicas must be back in the replication set once the
+	// core heals: the leader re-admits them and refills their logs.
+	leader := r.cl.Leader()
+	if leader == nil {
+		t.Fatal("no leader at horizon")
+	}
+	if got := leader.ReplicationPaths(); got != len(r.cl.Nodes())-1 {
+		t.Fatalf("leader replicates to %d machines at horizon, want %d (rack 1 re-admitted)",
+			got, len(r.cl.Nodes())-1)
+	}
+	checkDeterminism(t, "rack-partition", r)
+}
+
+func TestScenarioTorFailoverUnderLoad(t *testing.T) {
+	r := runScenario(t, "tor-failover-under-load", 1234, 99)
+	r.checkInvariants(t, "tor-failover-under-load")
+	if r.eng.Stats.SwitchCrashes != 1 {
+		t.Fatalf("SwitchCrashes = %d, want 1", r.eng.Stats.SwitchCrashes)
+	}
+	// The standby must have adopted the dead ToR's rack.
+	if got := r.cl.Fabric().AdoptedRack(); got != 1 {
+		t.Fatalf("AdoptedRack = %d, want 1", got)
+	}
+	// And the orphaned rack's machines must be reachable again through
+	// their standby legs: re-admitted, logs refilled.
+	leader := r.cl.Leader()
+	if leader == nil {
+		t.Fatal("no leader at horizon")
+	}
+	if got := leader.ReplicationPaths(); got != len(r.cl.Nodes())-1 {
+		t.Fatalf("leader replicates to %d machines at horizon, want %d (rack 1 back via standby)",
+			got, len(r.cl.Nodes())-1)
+	}
+	checkDeterminism(t, "tor-failover-under-load", r)
 }
 
 func TestScenarioSwitchReboot(t *testing.T) {

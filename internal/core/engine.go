@@ -6,7 +6,6 @@ import (
 	"p4ce/internal/cm"
 	"p4ce/internal/mu"
 	"p4ce/internal/otrace"
-	"p4ce/internal/p4ce"
 	"p4ce/internal/rnic"
 	"p4ce/internal/roce"
 	"p4ce/internal/sim"
@@ -15,6 +14,16 @@ import (
 
 // ErrNoSwitch reports engine operations without a configured switch.
 var ErrNoSwitch = errors.New("core: no switch configured")
+
+// Management is the engine's window onto the switch control plane — the
+// BfRt RPC channel of the real system. An interface rather than the
+// concrete control plane, because a leaf-spine fabric presents one
+// management endpoint spanning several switches.
+type Management interface {
+	// RemoveReplica excludes a crashed replica from the leader's
+	// communication group; done fires once the data plane is consistent.
+	RemoveReplica(leader, replica simnet.Addr, done func(error))
+}
 
 // Config tunes the engine.
 type Config struct {
@@ -33,7 +42,7 @@ type Config struct {
 	// the switch control plane (the BfRt RPC channel in the real
 	// system). It is optional: without it, crashed replicas simply stop
 	// contributing acknowledgments.
-	Management *p4ce.ControlPlane
+	Management Management
 	// ManagementKernel is the scheduling domain the control plane lives
 	// on (the fabric domain of a partitioned kernel). When set,
 	// management RPCs hop domains through sim.Kernel.Call instead of

@@ -1,0 +1,309 @@
+package fabric
+
+import (
+	"fmt"
+
+	"p4ce/internal/sim"
+	"p4ce/internal/simnet"
+	"p4ce/internal/tofino"
+)
+
+// Address plan: hosts keep their 10.0.<shard>.<i+1> addresses; the
+// switch tier gets its own blocks so a route table read says at a
+// glance which tier it crosses.
+const (
+	torOctet     = 254 // ToR r       → 10.254.<r>.254
+	spineOctet   = 253 // spine m     → 10.253.<m>.254
+	standbyOctet = 252 // the standby → 10.252.0.254 (until it adopts)
+)
+
+// ToRIP returns rack r's ToR identity address. The address names the
+// *role*, not the ASIC: when the standby adopts rack r it takes this
+// address over, and hosts keep dialing it unchanged.
+func ToRIP(r int) simnet.Addr { return simnet.AddrFrom(10, torOctet, byte(r), 254) }
+
+// SpineIP returns spine m's management address.
+func SpineIP(m int) simnet.Addr { return simnet.AddrFrom(10, spineOctet, byte(m), 254) }
+
+// StandbyIP returns the standby switch's address before adoption.
+func StandbyIP() simnet.Addr { return simnet.AddrFrom(10, standbyOctet, 0, 254) }
+
+// Spec sizes a leaf-spine fabric.
+type Spec struct {
+	// Racks is the number of ToR (leaf) switches; replicas are assigned
+	// to racks by the topology owner. Must be >= 1.
+	Racks int
+	// Spines is the spine-switch count; every ToR uplinks to every
+	// spine. Must be >= 1 (2 gives the fabric a spine to lose).
+	Spines int
+	// Standby cables one spare switch to every spine and (dual-homed) to
+	// every host, ready to adopt a dead ToR's identity.
+	Standby bool
+}
+
+// InterLink is one inter-switch cable, exposed so fault injectors can
+// cut or degrade the fabric core.
+type InterLink struct {
+	Name string
+	// A is the ToR/standby side, B the spine side.
+	A, B *simnet.Port
+	// Rack is the ToR's rack (-1 for the standby's uplinks).
+	Rack  int
+	Spine int
+}
+
+// Topology is a built leaf-spine fabric: N ToR switches and M spines,
+// fully meshed, plus an optional standby. It owns the route tables —
+// exact-match L3 entries on every switch — and the two reconfiguration
+// moves the control plane drives: rerouting around a dead spine and
+// having the standby adopt a dead ToR's rack.
+type Topology struct {
+	k    *sim.Kernel
+	spec Spec
+
+	tors    []*tofino.Switch
+	spines  []*tofino.Switch
+	standby *tofino.Switch
+	active  []*tofino.Switch // per rack: the switch currently serving it
+
+	// uplink[sw][m] is sw's port toward spine m (ToRs and the standby).
+	uplink map[*tofino.Switch][]tofino.PortID
+	// spineDown[m][r] is spine m's port toward rack r's ToR;
+	// spineStandby[m] its port toward the standby.
+	spineDown    [][]tofino.PortID
+	spineStandby []tofino.PortID
+
+	hosts     map[simnet.Addr]int // host address → rack
+	hostOrder []simnet.Addr
+	spineLive []bool
+	viaSpine  []int // rack r is reached across spine viaSpine[r]
+	adopted   int   // rack the standby serves, or -1
+
+	links []InterLink
+}
+
+// Build constructs the switches and the full ToR×spine mesh on kernel k
+// (the fabric scheduling domain). Hosts attach afterwards through
+// AttachHost/AttachStandbyHost; every attach updates the route tables
+// fabric-wide.
+func Build(k *sim.Kernel, spec Spec, swCfg tofino.Config) *Topology {
+	if spec.Racks < 1 || spec.Spines < 1 {
+		panic("fabric: Spec needs at least one rack and one spine")
+	}
+	t := &Topology{
+		k:         k,
+		spec:      spec,
+		uplink:    make(map[*tofino.Switch][]tofino.PortID),
+		hosts:     make(map[simnet.Addr]int),
+		spineLive: make([]bool, spec.Spines),
+		viaSpine:  make([]int, spec.Racks),
+		adopted:   -1,
+	}
+	for m := 0; m < spec.Spines; m++ {
+		sp := tofino.New(k, fmt.Sprintf("spine%d", m), SpineIP(m), swCfg)
+		sp.SetProgram(&tofino.L3Program{})
+		t.spines = append(t.spines, sp)
+		t.spineLive[m] = true
+		t.spineDown = append(t.spineDown, make([]tofino.PortID, spec.Racks))
+	}
+	for r := 0; r < spec.Racks; r++ {
+		tor := tofino.New(k, fmt.Sprintf("tor%d", r), ToRIP(r), swCfg)
+		t.tors = append(t.tors, tor)
+		t.active = append(t.active, tor)
+		t.viaSpine[r] = r % spec.Spines
+		for m := 0; m < spec.Spines; m++ {
+			t.cableToSpine(tor, r, m)
+		}
+	}
+	if spec.Standby {
+		t.standby = tofino.New(k, "standby", StandbyIP(), swCfg)
+		t.spineStandby = make([]tofino.PortID, spec.Spines)
+		for m := 0; m < spec.Spines; m++ {
+			t.cableToSpine(t.standby, -1, m)
+		}
+	}
+	// Inter-ToR routes: every switch in the leaf tier learns how to
+	// reach every rack's identity address across the chosen spine.
+	for r := 0; r < spec.Racks; r++ {
+		t.bindRackRoute(ToRIP(r), r)
+	}
+	return t
+}
+
+// cableToSpine wires one uplink (rack == -1 for the standby).
+func (t *Topology) cableToSpine(sw *tofino.Switch, rack, m int) {
+	up, upPort := sw.AddPort(fmt.Sprintf("up%d", m))
+	name := fmt.Sprintf("tor%d-spine%d", rack, m)
+	if rack < 0 {
+		name = fmt.Sprintf("standby-spine%d", m)
+	}
+	down, downPort := t.spines[m].AddPort(name)
+	simnet.Connect(upPort, downPort, simnet.DefaultLinkConfig())
+	t.uplink[sw] = append(t.uplink[sw], up)
+	if rack < 0 {
+		t.spineStandby[m] = down
+	} else {
+		t.spineDown[m][rack] = down
+	}
+	t.links = append(t.links, InterLink{Name: name, A: upPort, B: downPort, Rack: rack, Spine: m})
+}
+
+// leafTier returns every switch holding leaf-side route tables, in a
+// fixed order.
+func (t *Topology) leafTier() []*tofino.Switch {
+	sws := append([]*tofino.Switch(nil), t.tors...)
+	if t.standby != nil {
+		sws = append(sws, t.standby)
+	}
+	return sws
+}
+
+// bindRackRoute teaches the whole fabric how to reach addr, which lives
+// in rack r: spines route it down to the rack's serving switch, and
+// every other leaf-tier switch routes it up across the rack's spine.
+// Local bindings (the serving switch's own access port, the standby's
+// dual-homed host ports) are installed separately and take precedence
+// because they are bound after these.
+func (t *Topology) bindRackRoute(addr simnet.Addr, r int) {
+	for m, sp := range t.spines {
+		if t.adopted == r {
+			sp.BindAddr(addr, t.spineStandby[m])
+		} else {
+			sp.BindAddr(addr, t.spineDown[m][r])
+		}
+	}
+	for _, sw := range t.leafTier() {
+		if sw == t.active[r] {
+			continue // the serving switch delivers locally
+		}
+		sw.BindAddr(addr, t.uplink[sw][t.viaSpine[r]])
+	}
+}
+
+// AttachHost cables a host's primary access port into rack r: a new
+// access port on the rack's ToR, plus fabric-wide routes for the host's
+// address. Returns nothing; the host port's peer is the ToR port.
+func (t *Topology) AttachHost(r int, addr simnet.Addr, hostPort *simnet.Port) {
+	tor := t.tors[r]
+	pid, swPort := tor.AddPort(fmt.Sprintf("host-%v", addr))
+	simnet.Connect(hostPort, swPort, simnet.DefaultLinkConfig())
+	t.hosts[addr] = r
+	t.hostOrder = append(t.hostOrder, addr)
+	t.bindRackRoute(addr, r)
+	tor.BindAddr(addr, pid) // local binding wins over the uplink route
+}
+
+// AttachStandbyHost cables a host's spare access port to the standby
+// switch (the dual-homed second leg). Call after AttachHost: the local
+// binding must overwrite the standby's via-spine route for this host.
+func (t *Topology) AttachStandbyHost(addr simnet.Addr, hostPort *simnet.Port) {
+	if t.standby == nil {
+		return
+	}
+	pid, swPort := t.standby.AddPort(fmt.Sprintf("host-%v", addr))
+	simnet.Connect(hostPort, swPort, simnet.DefaultLinkConfig())
+	t.standby.BindAddr(addr, pid)
+}
+
+// RackOf returns the rack serving a host address.
+func (t *Topology) RackOf(addr simnet.Addr) (int, bool) {
+	r, ok := t.hosts[addr]
+	return r, ok
+}
+
+// ToR returns the switch currently serving rack r (the standby, after
+// it adopted the rack).
+func (t *Topology) ToR(r int) *tofino.Switch { return t.active[r] }
+
+// Racks returns the rack count.
+func (t *Topology) Racks() int { return t.spec.Racks }
+
+// SpineCount returns the spine count.
+func (t *Topology) SpineCount() int { return t.spec.Spines }
+
+// Spine returns spine m.
+func (t *Topology) Spine(m int) *tofino.Switch { return t.spines[m] }
+
+// Standby returns the standby switch, or nil.
+func (t *Topology) Standby() *tofino.Switch { return t.standby }
+
+// AdoptedRack returns the rack the standby serves, or -1.
+func (t *Topology) AdoptedRack() int { return t.adopted }
+
+// OriginalToR returns the ToR built for rack r, even after adoption.
+func (t *Topology) OriginalToR(r int) *tofino.Switch { return t.tors[r] }
+
+// InterLinks lists the inter-switch cables (fault-injection targets).
+func (t *Topology) InterLinks() []InterLink { return t.links }
+
+// Switches returns every switch in the fabric — ToRs, spines, standby —
+// in a fixed order (diagnostics, stats aggregation).
+func (t *Topology) Switches() []*tofino.Switch {
+	sws := append([]*tofino.Switch(nil), t.tors...)
+	sws = append(sws, t.spines...)
+	if t.standby != nil {
+		sws = append(sws, t.standby)
+	}
+	return sws
+}
+
+// LiveSpine returns the lowest-index live spine, or -1 when the whole
+// spine tier is dead.
+func (t *Topology) LiveSpine() int {
+	for m, live := range t.spineLive {
+		if live {
+			return m
+		}
+	}
+	return -1
+}
+
+// RerouteAroundSpine marks spine m dead and rebinds every route that
+// crossed it onto the lowest-index surviving spine. Traffic lost while
+// the spine was down is the transport layer's to retransmit; there is
+// no automatic failback.
+func (t *Topology) RerouteAroundSpine(m int) {
+	if m < 0 || m >= len(t.spineLive) || !t.spineLive[m] {
+		return
+	}
+	t.spineLive[m] = false
+	next := t.LiveSpine()
+	if next < 0 {
+		return // nothing to reroute onto
+	}
+	for r := 0; r < t.spec.Racks; r++ {
+		if t.viaSpine[r] != m {
+			continue
+		}
+		t.viaSpine[r] = next
+		t.bindRackRoute(ToRIP(r), r)
+		for _, addr := range t.hostOrder {
+			if t.hosts[addr] == r {
+				t.bindRackRoute(addr, r)
+			}
+		}
+	}
+}
+
+// AdoptRack has the standby switch take over rack r after its ToR died:
+// a VRRP-style identity takeover (the standby assumes the rack's ToR
+// address) plus a fabric-wide route update pointing the rack's
+// addresses at the standby's spine downlinks. The caller reprograms the
+// consensus dataplane and flips the rack's host NICs onto their standby
+// legs; the dead ToR stays dead (adoption is one-way, and there is only
+// one standby).
+func (t *Topology) AdoptRack(r int) bool {
+	if t.standby == nil || t.adopted >= 0 || r < 0 || r >= t.spec.Racks {
+		return false
+	}
+	t.adopted = r
+	t.active[r] = t.standby
+	t.standby.SetIP(ToRIP(r))
+	t.bindRackRoute(ToRIP(r), r)
+	for _, addr := range t.hostOrder {
+		if t.hosts[addr] == r {
+			t.bindRackRoute(addr, r)
+		}
+	}
+	return true
+}

@@ -25,6 +25,22 @@ type CPConfig struct {
 	// replication engine — the 40 ms the paper measures for configuring a
 	// communication group (§V-E).
 	ReconfigDelay sim.Time
+	// FlatGather disables hierarchical aggregation on a fabric (the
+	// fan-in ablation): leaves relay every replica ACK across the spine
+	// untouched and the leader's ToR counts alone. No effect on a
+	// single switch.
+	FlatGather bool
+}
+
+// FabricView is what the control plane needs to know about a
+// leaf-spine topology: which rack serves an address, which switch
+// serves a rack, and the spare. internal/fabric's Topology satisfies
+// it; the interface keeps this package free of a fabric dependency.
+type FabricView interface {
+	RackOf(addr simnet.Addr) (int, bool)
+	ToR(rack int) *tofino.Switch
+	Racks() int
+	Standby() *tofino.Switch
 }
 
 // DefaultCPConfig returns the measured testbed value.
@@ -36,8 +52,13 @@ func DefaultCPConfig() CPConfig {
 type setup struct {
 	g            *group
 	leaderCommID uint32
+	// entries is a flat view of every replica entry awaiting (or done
+	// with) its half of the handshake — across the root group and any
+	// leaf groups on a fabric. Pointers are taken only after all the
+	// member slices are fully built.
+	entries []*replicaEntry
 	// outstanding maps the control plane's per-replica comm ids to the
-	// index of the replica entry awaiting a ConnectReply.
+	// index in entries awaiting a ConnectReply.
 	outstanding map[uint32]int
 	replied     int
 	installed   bool
@@ -49,9 +70,15 @@ type setup struct {
 // opens the per-replica connections, and programs the data plane.
 type ControlPlane struct {
 	k   *sim.Kernel
-	sw  *tofino.Switch
-	dp  *Dataplane
+	sw  *tofino.Switch // classic single-switch home; nil on a fabric
+	dp  *Dataplane     // classic program instance; nil on a fabric
 	cfg CPConfig
+
+	// fabric, when set, spreads the control plane across a leaf-spine
+	// topology: CM punts arrive from every ToR, groups are homed per
+	// switch, and dpOf resolves each switch's program instance.
+	fabric FabricView
+	dpOf   func(*tofino.Switch) *Dataplane
 
 	nextGroupID tofino.GroupID
 	nextQPN     uint32
@@ -88,6 +115,47 @@ func NewControlPlane(sw *tofino.Switch, dp *Dataplane, cfg CPConfig) *ControlPla
 	return cp
 }
 
+// NewFabricControlPlane wires one control plane across a leaf-spine
+// fabric (one management endpoint spanning several switches, as BfRt
+// presents one gRPC target per device but one operator drives them
+// all). It terminates CM on every ToR and the standby, and homes each
+// group's tables and registers on the switch its members sit behind.
+func NewFabricControlPlane(view FabricView, dpOf func(*tofino.Switch) *Dataplane, cfg CPConfig) *ControlPlane {
+	cp := &ControlPlane{
+		k:           view.ToR(0).Kernel(),
+		cfg:         cfg,
+		fabric:      view,
+		dpOf:        dpOf,
+		nextGroupID: 1,
+		nextQPN:     0x800,
+		nextCommID:  0x5000,
+		setups:      make(map[setupKey]*setup),
+		replicaWait: make(map[uint32]*setup),
+		groups:      make(map[simnet.Addr]*group),
+	}
+	for r := 0; r < view.Racks(); r++ {
+		view.ToR(r).SetCPUHandler(cp.handlePunt)
+	}
+	if sb := view.Standby(); sb != nil {
+		sb.SetCPUHandler(cp.handlePunt)
+	}
+	return cp
+}
+
+// switchFor picks the switch nearest an address: the classic Tofino,
+// or the ToR currently serving the address's rack. CM replies must
+// leave from that switch — each host fences group handshakes by its
+// own ToR's identity address.
+func (cp *ControlPlane) switchFor(addr simnet.Addr) *tofino.Switch {
+	if cp.fabric == nil {
+		return cp.sw
+	}
+	if r, ok := cp.fabric.RackOf(addr); ok {
+		return cp.fabric.ToR(r)
+	}
+	return nil
+}
+
 // handlePunt receives packets the data plane sent to the CPU.
 func (cp *ControlPlane) handlePunt(_ tofino.PortID, pkt *roce.Packet) {
 	if pkt.DestQP != roce.CMQPN {
@@ -109,14 +177,20 @@ func (cp *ControlPlane) handlePunt(_ tofino.PortID, pkt *roce.Packet) {
 	}
 }
 
-// sendCM emits a control-plane-crafted CM datagram.
+// sendCM emits a control-plane-crafted CM datagram, injected from the
+// switch nearest the destination so the source address matches the
+// identity the destination host fences on.
 func (cp *ControlPlane) sendCM(dst simnet.Addr, msg *roce.CMMessage) {
 	payload, err := msg.MarshalCM()
 	if err != nil {
 		return
 	}
-	cp.sw.InjectFromCP(&roce.Packet{
-		SrcIP:   cp.sw.IP(),
+	sw := cp.switchFor(dst)
+	if sw == nil {
+		return
+	}
+	sw.InjectFromCP(&roce.Packet{
+		SrcIP:   sw.IP(),
 		DstIP:   dst,
 		SrcPort: roce.UDPPort,
 		OpCode:  roce.OpSendOnly,
@@ -151,15 +225,49 @@ func (cp *ControlPlane) handleLeaderRequest(msg *roce.CMMessage, from simnet.Add
 		cp.rejectLeader(from, msg.LocalCommID, 2)
 		return
 	}
+	var s *setup
+	if cp.fabric != nil {
+		s = cp.buildFabricSetup(msg, from, rs)
+	} else {
+		s = cp.buildClassicSetup(msg, from, rs)
+	}
+	if s == nil {
+		return // the builder already rejected the leader
+	}
+	cp.setups[key] = s
+	// Fan the handshake out: one ConnectRequest per replica, carrying the
+	// leader's identity so the replica can fence by group owner.
+	for i := range s.entries {
+		commID := cp.allocCommID()
+		s.outstanding[commID] = i
+		cp.replicaWait[commID] = s
+		cp.sendReplicaRequest(s, commID, i)
+	}
+}
+
+// quorumOf resolves the request's explicit ACK threshold, defaulting to
+// a majority of the requested membership.
+func quorumOf(rs *roce.ReplicaSet) int {
+	if f := int(rs.AcksRequired); f != 0 {
+		return f
+	}
+	return (len(rs.Replicas) + 1) / 2
+}
+
+// shardOf recovers a host's consensus shard from its address: the
+// third octet is the shard's /24 block.
+func shardOf(addr simnet.Addr) int {
+	_, _, s, _ := addr.Octets()
+	return int(s)
+}
+
+// buildClassicSetup creates the single-switch group of the original
+// design: every replica a direct member, homed on the one Tofino.
+func (cp *ControlPlane) buildClassicSetup(msg *roce.CMMessage, from simnet.Addr, rs *roce.ReplicaSet) *setup {
 	leaderPort, ok := cp.sw.L3Lookup(from)
 	if !ok {
 		cp.rejectLeader(from, msg.LocalCommID, 3)
-		return
-	}
-
-	f := int(rs.AcksRequired)
-	if f == 0 {
-		f = (len(rs.Replicas) + 1) / 2
+		return nil
 	}
 	gid := cp.nextGroupID
 	cp.nextGroupID++
@@ -172,21 +280,17 @@ func (cp *ControlPlane) handleLeaderRequest(msg *roce.CMMessage, from simnet.Add
 		leaderQPN:     msg.QPN,
 		leaderPSNBase: msg.StartPSN,
 		virtualRKey:   cp.k.Rand().Uint32(),
-		f:             f,
-		numRecv:       cp.sw.AllocRegister(fmt.Sprintf("p4ce/g%d/numRecv", gid), numRecvSlots),
-		slotPSN:       cp.sw.AllocRegister(fmt.Sprintf("p4ce/g%d/slotPSN", gid), numRecvSlots),
-		credits:       cp.sw.AllocRegister(fmt.Sprintf("p4ce/g%d/credits", gid), len(rs.Replicas)),
+		f:             quorumOf(rs),
+		sw:            cp.sw,
+		dp:            cp.dp,
+		homeRack:      -1,
+		shardID:       shardOf(from),
 	}
-	s := &setup{g: g, leaderCommID: msg.LocalCommID, outstanding: make(map[uint32]int)}
 	for i, rip := range rs.Replicas {
 		port, ok := cp.sw.L3Lookup(rip)
 		if !ok {
-			// The group was never installed, but its registers were already
-			// allocated above; free them or the leader's next attempt under
-			// a fresh group id would still leak this set.
-			cp.freeGroupRegisters(g)
 			cp.rejectLeader(from, msg.LocalCommID, 3)
-			return
+			return nil
 		}
 		g.replicas = append(g.replicas, replicaEntry{
 			EpID:    uint8(i),
@@ -195,21 +299,184 @@ func (cp *ControlPlane) handleLeaderRequest(msg *roce.CMMessage, from simnet.Add
 			PSNBase: cp.k.Rand().Uint32() & roce.PSNMask,
 		})
 	}
-	cp.setups[key] = s
-	// Fan the handshake out: one ConnectRequest per replica, carrying the
-	// leader's identity so the replica can fence by group owner.
+	cp.allocGroupRegisters(g)
+	s := &setup{g: g, leaderCommID: msg.LocalCommID, outstanding: make(map[uint32]int)}
 	for i := range g.replicas {
-		commID := cp.allocCommID()
-		s.outstanding[commID] = i
-		cp.replicaWait[commID] = s
-		cp.sendReplicaRequest(s, commID, i)
+		s.entries = append(s.entries, &g.replicas[i])
+	}
+	return s
+}
+
+// buildFabricSetup creates the hierarchical group family of the
+// leaf-spine fabric: a root group on the leader's ToR holding the
+// leader-rack replicas plus one rackEntry per remote rack, and a leaf
+// group on each remote rack's ToR holding that rack's replicas. The
+// root and every leaf share the BCast/Aggr queue-pair numbers and the
+// virtual R_key — tables are per switch, so the values never collide —
+// which keeps the leader's and the replicas' view of the group
+// identical to single-switch mode. Under CPConfig.FlatGather the root
+// instead holds every replica directly and leaves become stateless
+// relays (the fan-in ablation).
+func (cp *ControlPlane) buildFabricSetup(msg *roce.CMMessage, from simnet.Addr, rs *roce.ReplicaSet) *setup {
+	leaderRack, ok := cp.fabric.RackOf(from)
+	if !ok {
+		cp.rejectLeader(from, msg.LocalCommID, 3)
+		return nil
+	}
+	rootSw := cp.fabric.ToR(leaderRack)
+	leaderPort, ok := rootSw.L3Lookup(from)
+	if !ok {
+		cp.rejectLeader(from, msg.LocalCommID, 3)
+		return nil
+	}
+	gid := cp.nextGroupID
+	cp.nextGroupID++
+	g := &group{
+		id:            gid,
+		bcastQP:       cp.allocQPN(),
+		aggrQP:        cp.allocQPN(),
+		leaderIP:      from,
+		leaderPort:    leaderPort,
+		leaderQPN:     msg.QPN,
+		leaderPSNBase: msg.StartPSN,
+		virtualRKey:   cp.k.Rand().Uint32(),
+		f:             quorumOf(rs),
+		sw:            rootSw,
+		dp:            cp.dpOf(rootSw),
+		homeRack:      leaderRack,
+		shardID:       shardOf(from),
+	}
+	flat := cp.cfg.FlatGather
+	// ref locates one canonical replica entry; pointers into the member
+	// slices are taken only after every append is done.
+	type ref struct {
+		g   *group
+		idx int
+	}
+	var refs []ref
+	leafByRack := make(map[int]*group)
+	var leafOrder []int
+	leafFor := func(r int) *group {
+		if lg, ok := leafByRack[r]; ok {
+			return lg
+		}
+		leafSw := cp.fabric.ToR(r)
+		rootPort, _ := leafSw.L3Lookup(rootSw.IP())
+		lg := &group{
+			id:      gid,
+			bcastQP: g.bcastQP,
+			aggrQP:  g.aggrQP,
+			// The leaf's "leader" is the root ToR: partial-count ACKs
+			// (and relayed NAKs) are addressed there, in leader PSN space.
+			leaderIP:      rootSw.IP(),
+			leaderPort:    rootPort,
+			leaderQPN:     g.aggrQP,
+			leaderPSNBase: msg.StartPSN,
+			virtualRKey:   g.virtualRKey,
+			sw:            leafSw,
+			dp:            cp.dpOf(leafSw),
+			homeRack:      r,
+			shardID:       g.shardID,
+			leaf:          true,
+			flat:          flat,
+		}
+		leafByRack[r] = lg
+		leafOrder = append(leafOrder, r)
+		g.leaves = append(g.leaves, lg)
+		return lg
+	}
+	for _, rip := range rs.Replicas {
+		r, ok := cp.fabric.RackOf(rip)
+		if !ok {
+			cp.rejectLeader(from, msg.LocalCommID, 3)
+			return nil
+		}
+		psn := cp.k.Rand().Uint32() & roce.PSNMask
+		if flat || r == leaderRack {
+			port, ok := rootSw.L3Lookup(rip)
+			if !ok {
+				cp.rejectLeader(from, msg.LocalCommID, 3)
+				return nil
+			}
+			g.replicas = append(g.replicas, replicaEntry{
+				EpID:    uint8(len(g.replicas)),
+				Port:    port,
+				IP:      rip,
+				PSNBase: psn,
+			})
+			refs = append(refs, ref{g, len(g.replicas) - 1})
+			if flat && r != leaderRack {
+				// The flat leaf still needs the replica as a relay member
+				// (membership check only; the root owns the real entry).
+				// The root's copy advertises the leaf ToR as its source so
+				// the replica's ACK returns through the relay hop.
+				lg := leafFor(r)
+				g.replicas[len(g.replicas)-1].Via = lg.sw.IP()
+				lg.replicas = append(lg.replicas, replicaEntry{EpID: uint8(len(lg.replicas)), IP: rip})
+			}
+			continue
+		}
+		lg := leafFor(r)
+		port, ok := lg.sw.L3Lookup(rip)
+		if !ok {
+			cp.rejectLeader(from, msg.LocalCommID, 3)
+			return nil
+		}
+		lg.replicas = append(lg.replicas, replicaEntry{
+			EpID:    uint8(len(lg.replicas)),
+			Port:    port,
+			IP:      rip,
+			PSNBase: psn,
+		})
+		refs = append(refs, ref{lg, len(lg.replicas) - 1})
+	}
+	for _, r := range leafOrder {
+		lg := leafByRack[r]
+		lg.f = len(lg.replicas) // rack-complete, not a quorum
+		if flat {
+			continue
+		}
+		port, ok := rootSw.L3Lookup(lg.sw.IP())
+		if !ok {
+			cp.rejectLeader(from, msg.LocalCommID, 3)
+			return nil
+		}
+		g.racks = append(g.racks, rackEntry{IP: lg.sw.IP(), Expected: len(lg.replicas), Port: port})
+	}
+	cp.allocGroupRegisters(g)
+	for _, lg := range g.leaves {
+		if !lg.flat {
+			cp.allocGroupRegisters(lg)
+		}
+	}
+	s := &setup{g: g, leaderCommID: msg.LocalCommID, outstanding: make(map[uint32]int)}
+	for _, rf := range refs {
+		s.entries = append(s.entries, &rf.g.replicas[rf.idx])
+	}
+	return s
+}
+
+// allocGroupRegisters claims a group's stateful register arrays on its
+// home switch. Register names are scoped per switch, so a root and its
+// leaves can share a group id without colliding.
+func (cp *ControlPlane) allocGroupRegisters(g *group) {
+	n := len(g.replicas)
+	if n == 0 {
+		n = 1 // a root whose rack holds only the leader still allocates
+	}
+	g.numRecv = g.sw.AllocRegister(fmt.Sprintf("p4ce/g%d/numRecv", g.id), numRecvSlots)
+	g.slotPSN = g.sw.AllocRegister(fmt.Sprintf("p4ce/g%d/slotPSN", g.id), numRecvSlots)
+	g.credits = g.sw.AllocRegister(fmt.Sprintf("p4ce/g%d/credits", g.id), n)
+	if len(g.racks) > 0 {
+		g.rackCnt = g.sw.AllocRegister(fmt.Sprintf("p4ce/g%d/rackCnt", g.id), numRecvSlots*len(g.racks))
+		g.rackCred = g.sw.AllocRegister(fmt.Sprintf("p4ce/g%d/rackCred", g.id), len(g.racks))
 	}
 }
 
 // sendReplicaRequest emits the switch→replica ConnectRequest. The
 // replica will address its ACKs to the group's Aggr QP.
 func (cp *ControlPlane) sendReplicaRequest(s *setup, commID uint32, idx int) {
-	rep := &s.g.replicas[idx]
+	rep := s.entries[idx]
 	owner := roce.ReplicaSet{Replicas: []simnet.Addr{s.g.leaderIP}}
 	priv, err := owner.MarshalReplicaSet()
 	if err != nil {
@@ -239,7 +506,7 @@ func (cp *ControlPlane) handleReplicaReply(msg *roce.CMMessage, from simnet.Addr
 	}
 	delete(s.outstanding, msg.RemoteCommID)
 	delete(cp.replicaWait, msg.RemoteCommID)
-	rep := &s.g.replicas[idx]
+	rep := s.entries[idx]
 	if rep.IP != from {
 		return
 	}
@@ -253,7 +520,7 @@ func (cp *ControlPlane) handleReplicaReply(msg *roce.CMMessage, from simnet.Addr
 		LocalCommID:  msg.RemoteCommID,
 		RemoteCommID: msg.LocalCommID,
 	})
-	if s.replied == len(s.g.replicas) {
+	if s.replied == len(s.entries) {
 		cp.finishSetup(s)
 	}
 }
@@ -271,6 +538,9 @@ func (cp *ControlPlane) handleReplicaReject(msg *roce.CMMessage) {
 	delete(cp.setups, setupKey{leader: s.g.leaderIP, commID: s.leaderCommID})
 	if !s.installed {
 		cp.freeGroupRegisters(s.g)
+		for _, lg := range s.g.leaves {
+			cp.freeGroupRegisters(lg)
+		}
 	}
 	cp.rejectLeader(s.g.leaderIP, s.leaderCommID, msg.RejectReason)
 }
@@ -282,9 +552,9 @@ func (cp *ControlPlane) finishSetup(s *setup) {
 	cp.k.Schedule(cp.cfg.ReconfigDelay, func() {
 		g := s.g
 		minBuf := uint32(1<<32 - 1)
-		for i := range g.replicas {
-			if g.replicas[i].BufLen < minBuf {
-				minBuf = g.replicas[i].BufLen
+		for _, rep := range s.entries {
+			if rep.BufLen < minBuf {
+				minBuf = rep.BufLen
 			}
 		}
 		// A repeated handshake (leader re-probing through churn) can
@@ -296,6 +566,9 @@ func (cp *ControlPlane) finishSetup(s *setup) {
 		// register names cannot collide; the superseded group's state is
 		// reclaimed when the leader's group is explicitly destroyed.
 		cp.programGroup(g)
+		for _, lg := range g.leaves {
+			cp.programGroup(lg)
+		}
 		s.installed = true
 		cp.groups[g.leaderIP] = g
 		s.leaderRep = &roce.CMMessage{
@@ -312,17 +585,31 @@ func (cp *ControlPlane) finishSetup(s *setup) {
 	})
 }
 
-// programGroup writes one group's full data-plane state: gather
-// registers, replication-engine membership, match tables.
+// programGroup writes one group's full data-plane state — gather
+// registers, replication-engine membership, match tables — on the
+// group's home switch.
 func (cp *ControlPlane) programGroup(g *group) {
 	g.resetGatherState()
-	members := make([]tofino.GroupMember, len(g.replicas))
+	cp.reprogramMulticast(g)
+	g.dp.installGroup(g)
+}
+
+// reprogramMulticast rebuilds a group's replication-engine membership:
+// its replicas plus, on a fabric root, one cross-rack copy per leaf. A
+// flat leaf never scatters, so it keeps no multicast group.
+func (cp *ControlPlane) reprogramMulticast(g *group) {
+	if g.leaf && g.flat {
+		return
+	}
+	members := make([]tofino.GroupMember, 0, len(g.replicas)+len(g.racks))
 	for i := range g.replicas {
 		rep := &g.replicas[i]
-		members[i] = tofino.GroupMember{Port: rep.Port, RID: ridFor(g.id, rep.EpID)}
+		members = append(members, tofino.GroupMember{Port: rep.Port, RID: ridFor(g.id, rep.EpID)})
 	}
-	cp.sw.SetMulticastGroup(g.id, members)
-	cp.dp.installGroup(g)
+	for i := range g.racks {
+		members = append(members, tofino.GroupMember{Port: g.racks[i].Port, RID: ridFor(g.id, leafRidBase+uint8(i))})
+	}
+	g.sw.SetMulticastGroup(g.id, members)
 }
 
 // ReinstallGroups re-programs the data plane from the control plane's
@@ -336,7 +623,11 @@ func (cp *ControlPlane) programGroup(g *group) {
 func (cp *ControlPlane) ReinstallGroups(done func()) {
 	cp.k.Schedule(cp.cfg.ReconfigDelay, func() {
 		for _, leader := range cp.sortedGroupLeaders() {
-			cp.programGroup(cp.groups[leader])
+			g := cp.groups[leader]
+			cp.programGroup(g)
+			for _, lg := range g.leaves {
+				cp.programGroup(lg)
+			}
 		}
 		if done != nil {
 			done()
@@ -379,24 +670,44 @@ func (cp *ControlPlane) RemoveReplica(leader, replica simnet.Addr, done func(err
 		return
 	}
 	cp.k.Schedule(cp.cfg.ReconfigDelay, func() {
-		kept := g.replicas[:0]
-		for _, rep := range g.replicas {
-			if rep.IP == replica {
-				cp.dp.rids.Delete(ridFor(g.id, rep.EpID))
-				continue
+		if !cp.removeMember(g, replica) {
+			// Not in the root: on a fabric it may be racked behind a
+			// leaf. Shrinking the rack also shrinks the leaf's
+			// rack-complete threshold and the root's expected count —
+			// but never the root's quorum f.
+			for i, lg := range g.leaves {
+				if !cp.removeMember(lg, replica) {
+					continue
+				}
+				lg.f = len(lg.replicas)
+				if i < len(g.racks) {
+					g.racks[i].Expected = len(lg.replicas)
+				}
+				break
 			}
-			kept = append(kept, rep)
 		}
-		g.replicas = kept
-		members := make([]tofino.GroupMember, len(kept))
-		for i, rep := range kept {
-			members[i] = tofino.GroupMember{Port: rep.Port, RID: ridFor(g.id, rep.EpID)}
-		}
-		cp.sw.SetMulticastGroup(g.id, members)
 		if done != nil {
 			done(nil)
 		}
 	})
+}
+
+// removeMember drops a replica from one group's membership and
+// reprograms its multicast fan-out; reports whether it was a member.
+func (cp *ControlPlane) removeMember(g *group, replica simnet.Addr) bool {
+	found := false
+	kept := g.replicas[:0]
+	for _, rep := range g.replicas {
+		if rep.IP == replica {
+			g.dp.rids.Delete(ridFor(g.id, rep.EpID))
+			found = true
+			continue
+		}
+		kept = append(kept, rep)
+	}
+	g.replicas = kept
+	cp.reprogramMulticast(g)
+	return found
 }
 
 // DestroyGroup withdraws a leader's group (view change: the old leader's
@@ -416,23 +727,96 @@ func (cp *ControlPlane) DestroyGroup(leader simnet.Addr, done func(error)) {
 		if cur, ok := cp.groups[leader]; ok && cur == g {
 			delete(cp.groups, leader)
 		}
-		cp.dp.removeGroup(g)
-		cp.sw.DeleteMulticastGroup(g.id)
-		cp.freeGroupRegisters(g)
+		for _, tg := range append([]*group{g}, g.leaves...) {
+			tg.dp.removeGroup(tg)
+			if !(tg.leaf && tg.flat) {
+				tg.sw.DeleteMulticastGroup(tg.id)
+			}
+			cp.freeGroupRegisters(tg)
+		}
 		if done != nil {
 			done(nil)
 		}
 	})
 }
 
-// freeGroupRegisters releases a group's stateful register arrays so a
-// later group under the same identifier can allocate them again. Every
-// teardown path (destroy, setup reject, replacement) funnels here —
-// register isolation across group reboots depends on it.
+// freeGroupRegisters releases a group's stateful register arrays on its
+// home switch so a later group under the same identifier can allocate
+// them again. Every teardown path (destroy, setup reject, replacement)
+// funnels here — register isolation across group reboots depends on it.
+// FreeRegister ignores names never allocated (a flat leaf's, or the
+// rack arrays of a classic group).
 func (cp *ControlPlane) freeGroupRegisters(g *group) {
-	cp.sw.FreeRegister(fmt.Sprintf("p4ce/g%d/numRecv", g.id))
-	cp.sw.FreeRegister(fmt.Sprintf("p4ce/g%d/slotPSN", g.id))
-	cp.sw.FreeRegister(fmt.Sprintf("p4ce/g%d/credits", g.id))
+	g.sw.FreeRegister(fmt.Sprintf("p4ce/g%d/numRecv", g.id))
+	g.sw.FreeRegister(fmt.Sprintf("p4ce/g%d/slotPSN", g.id))
+	g.sw.FreeRegister(fmt.Sprintf("p4ce/g%d/credits", g.id))
+	g.sw.FreeRegister(fmt.Sprintf("p4ce/g%d/rackCnt", g.id))
+	g.sw.FreeRegister(fmt.Sprintf("p4ce/g%d/rackCred", g.id))
+}
+
+// RehomeRack re-creates every group homed on a rack's dead ToR onto
+// the switch now serving that rack — the standby, after the fabric's
+// AdoptRack — with fresh registers, re-resolved ports and reprogrammed
+// tables. Gather state restarts empty, which is safe by construction:
+// the aggregation is loss-tolerant, so the leader's go-back-N
+// retransmissions re-arm the slots and the replicas' (duplicate) ACKs
+// re-fill them. The caller schedules this behind the ReconfigDelay, as
+// with every other control-plane reprogramming.
+func (cp *ControlPlane) RehomeRack(rack int) {
+	if cp.fabric == nil {
+		return
+	}
+	newSw := cp.fabric.ToR(rack)
+	for _, leader := range cp.sortedGroupLeaders() {
+		root := cp.groups[leader]
+		for _, g := range append([]*group{root}, root.leaves...) {
+			if g.homeRack != rack || g.sw == newSw {
+				continue
+			}
+			g.sw = newSw
+			g.dp = cp.dpOf(newSw)
+			if !(g.leaf && g.flat) {
+				cp.allocGroupRegisters(g)
+			}
+			cp.resolveGroupPorts(g)
+			cp.programGroup(g)
+		}
+	}
+}
+
+// ReresolveFabricPorts refreshes every group's ports from its home
+// switch's route table after the fabric rerouted (around a dead spine)
+// and reprograms the multicast memberships, without touching register
+// state — in-flight gather rounds survive a spine loss.
+func (cp *ControlPlane) ReresolveFabricPorts() {
+	if cp.fabric == nil {
+		return
+	}
+	for _, leader := range cp.sortedGroupLeaders() {
+		root := cp.groups[leader]
+		for _, g := range append([]*group{root}, root.leaves...) {
+			cp.resolveGroupPorts(g)
+			cp.reprogramMulticast(g)
+		}
+	}
+}
+
+// resolveGroupPorts re-reads every port a group references from its
+// home switch's route table.
+func (cp *ControlPlane) resolveGroupPorts(g *group) {
+	if p, ok := g.sw.L3Lookup(g.leaderIP); ok {
+		g.leaderPort = p
+	}
+	for i := range g.replicas {
+		if p, ok := g.sw.L3Lookup(g.replicas[i].IP); ok {
+			g.replicas[i].Port = p
+		}
+	}
+	for i := range g.racks {
+		if p, ok := g.sw.L3Lookup(g.racks[i].IP); ok {
+			g.racks[i].Port = p
+		}
+	}
 }
 
 // GroupInfo describes an installed group (diagnostics and tests).
@@ -442,6 +826,9 @@ type GroupInfo struct {
 	AggrQP   uint32
 	F        int
 	Replicas []simnet.Addr
+	// Racks lists the leaf ToR identity addresses aggregating for this
+	// group's remote racks (empty on a single switch or a flat fabric).
+	Racks []simnet.Addr
 }
 
 // Groups lists installed groups, ordered by leader address.
@@ -457,6 +844,17 @@ func (cp *ControlPlane) Groups() []GroupInfo {
 		}
 		for _, rep := range g.replicas {
 			info.Replicas = append(info.Replicas, rep.IP)
+		}
+		for _, lg := range g.leaves {
+			if lg.flat {
+				continue // relay copies: the root already lists them
+			}
+			for _, rep := range lg.replicas {
+				info.Replicas = append(info.Replicas, rep.IP)
+			}
+		}
+		for _, rk := range g.racks {
+			info.Racks = append(info.Racks, rk.IP)
 		}
 		out = append(out, info)
 	}

@@ -40,6 +40,22 @@ type replicaEntry struct {
 	VA      uint64 // base virtual address of the replica's log
 	RKey    uint32 // replica's real R_key
 	BufLen  uint32
+	// Via, when set, is the identity address a scatter copy advertises
+	// as its source instead of the owning switch's own IP — the replica
+	// then addresses its ACKs there. Flat-gather fabric roots set it to
+	// the remote replica's leaf ToR so the ACK's spine crossing passes
+	// through (and is counted by) the leaf's relay stage.
+	Via simnet.Addr
+}
+
+// rackEntry is a root group's per-remote-rack aggregation state: the
+// leaf ToR identity address its partial-count ACKs arrive from, how
+// many replicas are racked behind it, and the root's port toward it (a
+// multicast member carrying the scatter across the spine).
+type rackEntry struct {
+	IP       simnet.Addr
+	Expected int
+	Port     tofino.PortID
 }
 
 // group is the per-communication-group metadata of Table II.
@@ -56,6 +72,39 @@ type group struct {
 
 	f        int // positive ACKs required before answering the leader
 	replicas []replicaEntry
+
+	// Fabric homing: the switch and program instance holding this
+	// group's tables and registers. Classic single-switch mode homes
+	// every group on the one Tofino; a leaf-spine fabric homes the root
+	// group on the leader's ToR and one leaf group per remote rack.
+	sw       *tofino.Switch
+	dp       *Dataplane
+	homeRack int // rack whose ToR the group is homed on (-1 classic)
+	shardID  int // consensus shard, for trace-annotation keys
+
+	// leaf marks a rack-local aggregation group: it counts ACKs from the
+	// replicas racked behind this ToR and forwards one partial-count ACK
+	// upward to the root ToR (whose coordinates sit in the leader*
+	// fields — the leaf's "leader" is the root). f is then the
+	// rack-complete count, not a quorum. flat disables hierarchical
+	// aggregation (the fan-in ablation): a flat leaf relays every
+	// replica ACK upward untouched and the root counts alone.
+	leaf bool
+	flat bool
+
+	// racks is the root group's remote-rack membership. rackCnt holds,
+	// per (slot, rack), the highest partial count the rack's leaf has
+	// reported for the slot's PSN — a max-merge, so duplicate partials
+	// are idempotent exactly like duplicate replica ACK bits. rackCred
+	// is the per-rack minimum credit, folded into the aggregated ACK's
+	// syndrome alongside the local replicas' credits.
+	racks    []rackEntry
+	rackCnt  *tofino.Register
+	rackCred *tofino.Register
+	// leaves are the root's per-remote-rack leaf groups, in the same
+	// order as racks (hierarchical mode) — the control plane programs,
+	// rehomes and tears them down alongside the root.
+	leaves []*group
 
 	// Stateful registers (Table II). NumRecv is the paper's per-PSN ACK
 	// aggregation state (256 slots → up to 256 un-acknowledged packets
@@ -92,9 +141,21 @@ const numRecvSlots = 256
 // (at most 24-bit) set value.
 const (
 	gatherForwarded = uint32(1) << 31
+	// gatherEager is set on a leaf slot when a go-back-N retransmission
+	// re-arms it: the leader evidently never committed, which means the
+	// leaf's partial (or the root's aggregate) may have been lost, so
+	// the leaf forwards a refreshed partial on *every* subsequent local
+	// ACK instead of once at rack-complete. The root's max-merge makes
+	// the extra partials idempotent; a fresh PSN clears the bit.
+	gatherEager = uint32(1) << 30
+	// gatherFlagMask covers both bookkeeping bits above the EpID bitmap.
+	gatherFlagMask = gatherForwarded | gatherEager
 	// maxGatherReplicas bounds a group's replica count to the bitmap
 	// width.
 	maxGatherReplicas = 24
+	// leafRidBase is the replication-id endpoint space for leaf-ToR
+	// scatter copies (above any replica EpID, below the 8-bit ceiling).
+	leafRidBase = uint8(0xE0)
 	// noSlotPSN marks an unoccupied slot; it can never collide with a
 	// real 24-bit PSN.
 	noSlotPSN = ^uint32(0)
@@ -113,16 +174,40 @@ func (g *group) replicaByIP(ip simnet.Addr) *replicaEntry {
 	return nil
 }
 
-// minCredit folds the per-replica credit registers with the
-// subtract-underflow idiom — the only way the ASIC can compare values
+// rackByIP finds the remote-rack entry a partial-count ACK arrived
+// from (the sender is the leaf ToR's identity address, which survives
+// standby adoption unchanged).
+func (g *group) rackByIP(ip simnet.Addr) int {
+	for i := range g.racks {
+		if g.racks[i].IP == ip {
+			return i
+		}
+	}
+	return -1
+}
+
+// minCredit folds the per-replica credit registers — and, on a fabric
+// root, the per-rack minimum credits the leaves reported — with the
+// subtract-underflow idiom, the only way the ASIC can compare values
 // (§IV-D).
 func (g *group) minCredit() uint32 {
-	if len(g.replicas) == 0 {
-		return 0
+	first := true
+	acc := uint32(0)
+	for i := range g.replicas {
+		c := g.credits.Read(int(g.replicas[i].EpID))
+		if first {
+			acc, first = c, false
+		} else {
+			acc = tofino.MinFold(acc, c)
+		}
 	}
-	acc := g.credits.Read(int(g.replicas[0].EpID))
-	for _, r := range g.replicas[1:] {
-		acc = tofino.MinFold(acc, g.credits.Read(int(r.EpID)))
+	for r := range g.racks {
+		c := g.rackCred.Read(r)
+		if first {
+			acc, first = c, false
+		} else {
+			acc = tofino.MinFold(acc, c)
+		}
 	}
 	return acc
 }
@@ -146,6 +231,9 @@ func clampCredit(c uint32) uint8 {
 // The control plane runs this when the group is first installed and
 // again when re-programming a rebooted switch.
 func (g *group) resetGatherState() {
+	if g.numRecv == nil {
+		return // a flat leaf relays without state
+	}
 	g.numRecv.Clear()
 	for i := 0; i < g.slotPSN.Size(); i++ {
 		g.slotPSN.Write(i, noSlotPSN)
@@ -153,13 +241,21 @@ func (g *group) resetGatherState() {
 	for i := range g.replicas {
 		g.credits.Write(int(g.replicas[i].EpID), creditSaturated)
 	}
+	if g.rackCnt != nil {
+		g.rackCnt.Clear()
+	}
+	for r := range g.racks {
+		g.rackCred.Write(r, creditSaturated)
+	}
 }
 
 // scatterEntry resolves a multicast copy's replication id to its group
-// and destination replica.
+// and destination replica — or, when rep is nil, to the leaf ToR the
+// copy is relayed to untouched (a fabric root's cross-rack copy).
 type scatterEntry struct {
-	g   *group
-	rep *replicaEntry
+	g      *group
+	rep    *replicaEntry
+	leafIP simnet.Addr
 }
 
 // Dataplane is the P4CE switch program (the 949 lines of P4₁₆ in the
@@ -188,6 +284,8 @@ type Dataplane struct {
 	mAcksAbsorbed *metrics.Counter
 	mDupAckDrops  *metrics.Counter
 	mAcksFwd      *metrics.Counter
+	mAcksUp       *metrics.Counter
+	mPartials     *metrics.Counter
 	mNaksFwd      *metrics.Counter
 	mStaleAcks    *metrics.Counter
 	mDrops        *metrics.Counter
@@ -209,6 +307,8 @@ func (dp *Dataplane) bindMetrics(m *metrics.Registry) {
 	dp.mAcksAbsorbed = m.Counter("p4ce.acks_absorbed")
 	dp.mDupAckDrops = m.Counter("p4ce.duplicate_ack_drops")
 	dp.mAcksFwd = m.Counter("p4ce.acks_forwarded")
+	dp.mAcksUp = m.Counter("p4ce.acks_up_forwarded")
+	dp.mPartials = m.Counter("p4ce.partials_aggregated")
 	dp.mNaksFwd = m.Counter("p4ce.naks_forwarded")
 	dp.mStaleAcks = m.Counter("p4ce.stale_ack_drops")
 	dp.mDrops = m.Counter("p4ce.drops")
@@ -222,6 +322,8 @@ type DataplaneStats struct {
 	ScatterRetransmits uint64 // of which go-back-N re-sends of a tracked PSN
 	AcksAggregated     uint64 // positive ACKs absorbed (sub-quorum or duplicate)
 	AcksForwarded      uint64 // aggregated ACKs forwarded to the leader
+	AcksUpForwarded    uint64 // leaf→root spine crossings (partials, or raw relays in the flat ablation)
+	PartialsAggregated uint64 // rack partial counts merged at a root
 	NaksForwarded      uint64 // NAK/RNR passed through unconditionally
 	BadRKeyDrops       uint64
 	UnknownQPDrops     uint64
@@ -302,34 +404,47 @@ func (dp *Dataplane) ingressScatter(sw *tofino.Switch, g *group, pkt *roce.Packe
 		// tracks: the leader evidently never received the aggregated
 		// ACK. Keep the membership bits — those replicas hold the data,
 		// their ACKs are history — but clear the forwarded flag so the
-		// aggregation re-arms and answers this round too.
+		// aggregation re-arms and answers this round too. A leaf also
+		// turns eager: its earlier partial (or the root's aggregate) may
+		// be what was lost, so every duplicate ACK now refreshes the
+		// root's count until a fresh PSN takes the slot.
 		dp.Stats.ScatterRetransmits++
 		dp.mScatterRetx.Inc()
-		g.numRecv.Write(slot, g.numRecv.Read(slot)&^gatherForwarded)
+		v := g.numRecv.Read(slot) &^ gatherForwarded
+		if g.leaf {
+			v |= gatherEager
+		}
+		g.numRecv.Write(slot, v)
 	default:
 		// A new PSN takes the slot over (or the slot is reused 256 PSNs
-		// later): start an empty ACK set.
+		// later): start an empty ACK set — and, on a root, empty rack
+		// partial counts.
 		g.slotPSN.Write(slot, pkt.PSN)
 		g.numRecv.Write(slot, 0)
+		for r := range g.racks {
+			g.rackCnt.Write(slot*len(g.racks)+r, 0)
+		}
 	}
 	g.armSlot(slot, sw.Kernel().Now())
-	// B2: the write entered the scatter pipeline. The leader annotated
-	// its PSNs under the BCast QP, which is exactly this packet's DestQP.
-	dp.otr.Mark(dp.groupComp(g), dp.otr.Lookup(g.shard(), pkt.DestQP, pkt.PSN), otrace.MarkSwitchIngress)
+	if !g.leaf {
+		// B2: the write entered the scatter pipeline. The leader annotated
+		// its PSNs under the BCast QP, which is exactly this packet's
+		// DestQP. A leaf skips the mark — the root already recorded it
+		// when this same write crossed the leader's ToR.
+		dp.otr.Mark(dp.groupComp(g), dp.otr.Lookup(g.shard(), pkt.DestQP, pkt.PSN), otrace.MarkSwitchIngress)
+	}
 	dp.Stats.Scattered++
 	dp.mScattered.Inc()
-	dp.mFanout.Observe(int64(len(g.replicas)))
+	dp.mFanout.Observe(int64(len(g.replicas) + len(g.racks)))
 	return tofino.IngressResult{Verdict: tofino.VerdictMulticast, Group: g.id}
 }
 
-// shard recovers the group's consensus shard from its leader address:
-// the third octet is the shard's /24 block. Trace annotations are keyed
-// per shard (QPNs are only unique per NIC), so every switch-side trace
-// lookup qualifies with it.
-func (g *group) shard() int {
-	_, _, s, _ := g.leaderIP.Octets()
-	return int(s)
-}
+// shard returns the group's consensus shard. Trace annotations are
+// keyed per shard (QPNs are only unique per NIC), so every switch-side
+// trace lookup qualifies with it. The control plane records it
+// explicitly: a leaf group's leader* fields hold the root ToR, whose
+// address encodes a rack, not a shard.
+func (g *group) shard() int { return g.shardID }
 
 // groupComp resolves the group's trace component lazily (groups are
 // installed by the control plane, which has no tracer reference).
@@ -343,9 +458,23 @@ func (dp *Dataplane) groupComp(g *group) *otrace.Component {
 func (dp *Dataplane) ingressGather(sw *tofino.Switch, g *group, pkt *roce.Packet) tofino.IngressResult {
 	rep := g.replicaByIP(pkt.SrcIP)
 	if rep == nil {
+		// Not a local replica — on a fabric root it may be a leaf ToR
+		// reporting its rack's partial count.
+		if rk := g.rackByIP(pkt.SrcIP); rk >= 0 {
+			return dp.ingressGatherPartial(sw, g, rk, pkt)
+		}
 		dp.Stats.StaleAckDrops++
 		dp.mStaleAcks.Inc()
 		return tofino.IngressResult{Verdict: tofino.VerdictDrop}
+	}
+	if g.leaf && g.flat {
+		// Fan-in ablation: relay the replica's ACK across the spine
+		// untouched (source identity and PSN space preserved); the root
+		// attributes and counts it as if the replica were local.
+		dp.Stats.AcksUpForwarded++
+		dp.mAcksUp.Inc()
+		pkt.DstIP = g.leaderIP
+		return tofino.IngressResult{Verdict: tofino.VerdictForward, OutPort: g.leaderPort}
 	}
 	// Translate the PSN to what the leader expects (§IV-C).
 	rel := roce.PSNDiff(pkt.PSN, rep.PSNBase)
@@ -353,6 +482,7 @@ func (dp *Dataplane) ingressGather(sw *tofino.Switch, g *group, pkt *roce.Packet
 
 	// NAKs (negative or receiver-not-ready) bypass aggregation: the
 	// leader must learn about the misbehaving replica immediately (§III).
+	// On a leaf the rewrite targets the root ToR, which relays onward.
 	if pkt.Syndrome.Type() != roce.AckPositive {
 		dp.Stats.NaksForwarded++
 		dp.mNaksFwd.Inc()
@@ -364,6 +494,10 @@ func (dp *Dataplane) ingressGather(sw *tofino.Switch, g *group, pkt *roce.Packet
 	// must throttle the leader even when its ACK is not the one
 	// forwarded (§IV-C).
 	g.credits.Write(int(rep.EpID), uint32(pkt.Syndrome.Value()))
+
+	if g.leaf {
+		return dp.leafGather(g, rep, leaderPSN, pkt)
+	}
 
 	if dp.dropMode == DropInLeaderEgress {
 		// Ablation: translate and pass every ACK to the leader's egress,
@@ -388,6 +522,102 @@ func (dp *Dataplane) ingressGather(sw *tofino.Switch, g *group, pkt *roce.Packet
 	syn := roce.MakeSyndrome(roce.AckPositive, clampCredit(g.minCredit()))
 	dp.rewriteAckForLeader(g, pkt, leaderPSN, syn)
 	return tofino.IngressResult{Verdict: tofino.VerdictForward, OutPort: g.leaderPort}
+}
+
+// leafGather folds a local replica's ACK into the leaf's slot and, when
+// the rack is complete (or the slot is eager after a retransmission),
+// forwards ONE partial-count ACK to the root ToR: PSN in leader space,
+// the rack's distinct-ACK count in the MSN field, and the rack's
+// minimum credit in the syndrome. The MSN field is ideal freight — the
+// requester side of the RoCE stack never reads it on ACKs, so the wire
+// format is unchanged and single-switch baselines stay bit-identical.
+func (dp *Dataplane) leafGather(g *group, rep *replicaEntry, leaderPSN uint32, pkt *roce.Packet) tofino.IngressResult {
+	slot := int(leaderPSN) % numRecvSlots
+	if g.slotPSN.Read(slot) != leaderPSN {
+		dp.Stats.StaleAckDrops++
+		dp.mStaleAcks.Inc()
+		return tofino.IngressResult{Verdict: tofino.VerdictDrop}
+	}
+	set := g.numRecv.Read(slot)
+	withBit := set | uint32(1)<<rep.EpID
+	g.numRecv.Write(slot, withBit)
+	if withBit == set {
+		dp.mDupAckDrops.Inc()
+	}
+	fire := set&gatherEager != 0 // eager: every ACK refreshes the root
+	if !fire {
+		if set&gatherForwarded != 0 || bits.OnesCount32(withBit&^gatherFlagMask) < g.f {
+			dp.Stats.AcksAggregated++
+			dp.mAcksAbsorbed.Inc()
+			return tofino.IngressResult{Verdict: tofino.VerdictDrop}
+		}
+		g.numRecv.Write(slot, withBit|gatherForwarded)
+	}
+	dp.Stats.AcksUpForwarded++
+	dp.mAcksUp.Inc()
+	pkt.MSN = uint32(bits.OnesCount32(withBit &^ gatherFlagMask))
+	syn := roce.MakeSyndrome(roce.AckPositive, clampCredit(g.minCredit()))
+	dp.rewriteAckForLeader(g, pkt, leaderPSN, syn) // the leaf's "leader" is the root ToR
+	return tofino.IngressResult{Verdict: tofino.VerdictForward, OutPort: g.leaderPort}
+}
+
+// ingressGatherPartial merges one rack's partial count at the root. The
+// count is max-merged per (slot, rack): a duplicate or re-ordered
+// partial can only ever confirm what is already known, never
+// double-count, so the forwarded aggregate still proves f distinct
+// replicas persisted the write — the leaf's bitmap guarantees
+// distinctness within the rack, the max-merge guarantees it across
+// retransmitted partials.
+func (dp *Dataplane) ingressGatherPartial(sw *tofino.Switch, g *group, rk int, pkt *roce.Packet) tofino.IngressResult {
+	// A relayed NAK from a leaf: pass it straight to the leader.
+	if pkt.Syndrome.Type() != roce.AckPositive {
+		dp.Stats.NaksForwarded++
+		dp.mNaksFwd.Inc()
+		dp.rewriteAckForLeader(g, pkt, pkt.PSN, pkt.Syndrome)
+		return tofino.IngressResult{Verdict: tofino.VerdictForward, OutPort: g.leaderPort}
+	}
+	leaderPSN := pkt.PSN // the leaf already translated into leader space
+	slot := int(leaderPSN) % numRecvSlots
+	if g.slotPSN.Read(slot) != leaderPSN {
+		dp.Stats.StaleAckDrops++
+		dp.mStaleAcks.Inc()
+		return tofino.IngressResult{Verdict: tofino.VerdictDrop}
+	}
+	g.rackCred.Write(rk, uint32(pkt.Syndrome.Value()))
+	cnt := pkt.MSN
+	if cnt > uint32(g.racks[rk].Expected) {
+		cnt = uint32(g.racks[rk].Expected)
+	}
+	idx := slot*len(g.racks) + rk
+	if cnt > g.rackCnt.Read(idx) {
+		g.rackCnt.Write(idx, cnt)
+	}
+	dp.Stats.PartialsAggregated++
+	dp.mPartials.Inc()
+	set := g.numRecv.Read(slot)
+	if set&gatherForwarded != 0 || g.gatherTotal(slot, set) < g.f {
+		dp.Stats.AcksAggregated++
+		dp.mAcksAbsorbed.Inc()
+		return tofino.IngressResult{Verdict: tofino.VerdictDrop}
+	}
+	g.numRecv.Write(slot, set|gatherForwarded)
+	dp.Stats.AcksForwarded++
+	dp.mAcksFwd.Inc()
+	dp.observeGatherLatency(g, leaderPSN, sw.Kernel().Now())
+	dp.markGatherFire(sw, g, leaderPSN)
+	syn := roce.MakeSyndrome(roce.AckPositive, clampCredit(g.minCredit()))
+	dp.rewriteAckForLeader(g, pkt, leaderPSN, syn)
+	return tofino.IngressResult{Verdict: tofino.VerdictForward, OutPort: g.leaderPort}
+}
+
+// gatherTotal sums a slot's distinct local ACKs and its merged rack
+// partial counts — the quorum test a fabric root applies.
+func (g *group) gatherTotal(slot int, set uint32) int {
+	total := bits.OnesCount32(set &^ gatherFlagMask)
+	for r := range g.racks {
+		total += int(g.rackCnt.Read(slot*len(g.racks) + r))
+	}
+	return total
 }
 
 // markGatherFire records B4 — the quorum completed and the aggregated
@@ -462,7 +692,10 @@ func (dp *Dataplane) gatherAggregate(g *group, rep *replicaEntry, leaderPSN uint
 		// never re-count toward the quorum).
 		dp.mDupAckDrops.Inc()
 	}
-	if set&gatherForwarded != 0 || bits.OnesCount32(withBit&^gatherForwarded) < g.f {
+	// On a fabric root the quorum test also counts the rack partials
+	// merged so far (gatherTotal); classic groups have no racks and the
+	// total is just the local bitmap's population count.
+	if set&gatherForwarded != 0 || g.gatherTotal(slot, withBit) < g.f {
 		dp.Stats.AcksAggregated++
 		dp.mAcksAbsorbed.Inc()
 		return false
@@ -487,6 +720,16 @@ func (dp *Dataplane) rewriteAckForLeader(g *group, pkt *roce.Packet, leaderPSN u
 func (dp *Dataplane) Egress(sw *tofino.Switch, out tofino.PortID, rid uint16, pkt *roce.Packet) bool {
 	if pkt.OpCode.IsWrite() {
 		if ent, ok := dp.rids.Lookup(rid); ok {
+			if ent.rep == nil {
+				// A fabric root's cross-rack copy: re-address it to the
+				// leaf ToR and leave PSN, VA and R_key in leader/virtual
+				// space — the leaf's own scatter pipeline translates them
+				// per replica. No trace marks either: the leaf's egress
+				// records B3 when it tailors the real per-replica copies.
+				pkt.SrcIP = sw.IP()
+				pkt.DstIP = ent.leafIP
+				return true
+			}
 			// B3: the copy is tailored for its replica. The trace is keyed
 			// under the pre-rewrite (BCast QP, leader PSN); re-annotate the
 			// rewritten (replica QP, replica PSN) afterwards so the
@@ -536,6 +779,9 @@ func (dp *Dataplane) rewriteWriteForReplica(sw *tofino.Switch, ent *scatterEntry
 	g, rep := ent.g, ent.rep
 	rel := roce.PSNDiff(pkt.PSN, g.leaderPSNBase)
 	pkt.SrcIP = sw.IP()
+	if rep.Via != 0 {
+		pkt.SrcIP = rep.Via
+	}
 	pkt.DstIP = rep.IP
 	pkt.DestQP = rep.QPN
 	pkt.PSN = roce.PSNAdd(rep.PSNBase, rel)
@@ -549,12 +795,19 @@ func (dp *Dataplane) rewriteWriteForReplica(sw *tofino.Switch, ent *scatterEntry
 
 // installGroup publishes a fully-built group into the match tables.
 func (dp *Dataplane) installGroup(g *group) {
-	dp.bcast.Insert(g.bcastQP, g)
+	// A flat leaf only relays ACKs: the scatter copies crossing it are
+	// already addressed to replicas, so no bcast entry must catch them.
+	if !(g.leaf && g.flat) {
+		dp.bcast.Insert(g.bcastQP, g)
+	}
 	dp.aggr.Insert(g.aggrQP, g)
 	dp.byLeaderQPN.Insert(g.leaderQPN, g)
 	for i := range g.replicas {
 		rep := &g.replicas[i]
 		dp.rids.Insert(ridFor(g.id, rep.EpID), &scatterEntry{g: g, rep: rep})
+	}
+	for i := range g.racks {
+		dp.rids.Insert(ridFor(g.id, leafRidBase+uint8(i)), &scatterEntry{g: g, leafIP: g.racks[i].IP})
 	}
 	g.enabled = true
 }
@@ -579,5 +832,8 @@ func (dp *Dataplane) removeGroup(g *group) {
 	dp.byLeaderQPN.Delete(g.leaderQPN)
 	for i := range g.replicas {
 		dp.rids.Delete(ridFor(g.id, g.replicas[i].EpID))
+	}
+	for i := range g.racks {
+		dp.rids.Delete(ridFor(g.id, leafRidBase+uint8(i)))
 	}
 }

@@ -23,5 +23,20 @@
 // names cannot collide across a leader's re-handshakes; a group's
 // registers are freed when the group is explicitly destroyed or its
 // setup is rejected. Multiple shards (independent consensus groups)
-// coexist on the one switch, each under its own group id.
+// coexist on one switch, each under its own group id.
+//
+// # Multi-switch fabrics
+//
+// The same program also runs on every ToR of a leaf-spine fabric
+// (package fabric). NewFabricControlPlane installs each group
+// hierarchically: the leader's ToR is the root (real gather registers,
+// majority decision), each remote rack's ToR holds a leaf group that
+// counts its rack's ACKs locally and forwards one partial-count ACK
+// toward the root — the count rides the ACK's MSN field, which only
+// the requester side writes, so the wire format is unchanged.
+// CPConfig.FlatGather is the ablation: leaves become stateless relays
+// and the root counts every remote ACK individually. RehomeRack and
+// ReresolveFabricPorts are the failover hooks the fabric supervisor
+// calls after a ToR death (standby adoption) or a spine death
+// (reroute).
 package p4ce

@@ -88,6 +88,7 @@ type NIC struct {
 	ip        simnet.Addr
 	port      *simnet.Port // primary path
 	bkup      *simnet.Port // alternative route, may be nil
+	standby   *simnet.Port // dual-homed spare access port, may be nil
 	useBackup bool
 
 	qps       map[uint32]*QP
@@ -252,6 +253,30 @@ func (n *NIC) AttachBackupPort(p *simnet.Port) {
 	p.SetHandler(simnet.HandlerFunc(func(_ *simnet.Port, frame []byte) {
 		n.receive(frame)
 	}))
+}
+
+// AttachStandbyPort wires a second access port cabled to a leaf-spine
+// fabric's standby switch (the host is dual-homed). Unlike the backup
+// port, which is a whole alternative fabric selected with
+// UseBackupRoute — and whose activation disables switch acceleration —
+// the standby port is a same-fabric spare: FailoverToStandby swaps it
+// in as the primary, leaving OnBackupRoute (and therefore the engine's
+// acceleration decisions) untouched. Frames arriving on it are received
+// even before failover.
+func (n *NIC) AttachStandbyPort(p *simnet.Port) {
+	n.standby = p
+	p.SetHandler(simnet.HandlerFunc(func(_ *simnet.Port, frame []byte) {
+		n.receive(frame)
+	}))
+}
+
+// FailoverToStandby makes the standby access port the primary path.
+// The fabric control plane invokes it after reprogramming the standby
+// switch; it is idempotent and a no-op when no standby port is cabled.
+func (n *NIC) FailoverToStandby() {
+	if n.standby != nil {
+		n.port = n.standby
+	}
 }
 
 // UseBackupRoute selects which path outgoing traffic takes.

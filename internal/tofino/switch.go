@@ -248,6 +248,16 @@ func (sw *Switch) dropEgressJob(j *egressJob) {
 // IP returns the switch's own address (the one P4CE leaders dial).
 func (sw *Switch) IP() simnet.Addr { return sw.ip }
 
+// SetIP rebinds the switch's management address — the VRRP-style
+// takeover a standby switch performs when it adopts a dead peer's
+// identity. Hosts keep dialing the address they were configured with;
+// only which physical ASIC answers changes. Routes and programs are the
+// control plane's to update.
+func (sw *Switch) SetIP(ip simnet.Addr) { sw.ip = ip }
+
+// Name returns the switch's human-readable name (diagnostics).
+func (sw *Switch) Name() string { return sw.name }
+
 // Kernel returns the simulation kernel.
 func (sw *Switch) Kernel() *sim.Kernel { return sw.k }
 

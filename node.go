@@ -16,7 +16,13 @@ type Node struct {
 	engine  *core.Engine
 	port    *simnet.Port
 	backup  *simnet.Port
+	standby *simnet.Port // dual-homed leg to the fabric's standby switch
+	rack    int          // fabric rack, or -1 on the classic single switch
 }
+
+// Rack returns the fabric rack this machine sits in, or -1 on the
+// classic single-switch testbed.
+func (n *Node) Rack() int { return n.rack }
 
 // Shard returns the index of the consensus group this machine belongs
 // to (always 0 in single-group clusters).

@@ -53,6 +53,50 @@ func (m Mode) String() string {
 	return "P4CE"
 }
 
+// Topology sizes an optional leaf-spine switch fabric. Nil keeps the
+// classic testbed — every machine star-cabled to one programmable
+// switch — whose event schedule and fingerprints are untouched. Non-nil
+// replaces the single switch with Racks ToR switches fully meshed to
+// Spines spine switches: machines are dealt round-robin onto racks,
+// each ToR runs the P4CE program for its local replicas, and the
+// leader's writes scatter leader ToR → spines → remote ToRs → replicas
+// while acknowledgments aggregate hierarchically (each remote ToR
+// counts its rack locally and forwards one partial-count ACK across
+// the spine; the leader's ToR makes the majority decision).
+type Topology struct {
+	// Racks is the ToR (leaf) switch count; machines of every shard are
+	// assigned to racks round-robin by machine index. Zero means 2.
+	Racks int
+	// Spines is the spine switch count; every ToR uplinks to every
+	// spine. Zero means 2 (so the fabric has a spine to lose).
+	Spines int
+	// Standby cables a spare switch into the spine mesh and dual-homes
+	// every host to it. When a ToR dies, the fabric supervisor has the
+	// standby adopt the dead switch's identity after one control-plane
+	// reconfiguration delay (40 ms), reinstalls the rack's groups on it
+	// and flips the rack's NICs onto their standby legs.
+	Standby bool
+	// FlatGather disables hierarchical aggregation (the fan-in
+	// ablation): remote ToRs relay every replica ACK across the spine
+	// untouched and the leader's ToR counts alone.
+	FlatGather bool
+}
+
+// withDefaults fills in the unset topology knobs.
+func (t *Topology) withDefaults() *Topology {
+	if t == nil {
+		return nil
+	}
+	tt := *t
+	if tt.Racks == 0 {
+		tt.Racks = 2
+	}
+	if tt.Spines == 0 {
+		tt.Spines = 2
+	}
+	return &tt
+}
+
 // Options configures a simulated cluster.
 type Options struct {
 	// Nodes is the total machine count, leader included (the paper uses
@@ -86,6 +130,12 @@ type Options struct {
 	// Shard.After/Shard.Now (not Cluster.After), so generator callbacks
 	// run on — and only observe — their shard's domain.
 	Partitions int
+	// Topology, when non-nil, builds a leaf-spine multi-switch fabric
+	// instead of the single star-cabled switch. See Topology. Mutually
+	// exclusive with BackupFabric (the standby switch plays the spare's
+	// role on a fabric) and only meaningful in ModeP4CE or ModeMu over
+	// the fabric's routed paths.
+	Topology *Topology
 	// BackupFabric cables every host to a second, plain switch — the
 	// "alternative network route" used when the programmable switch
 	// dies (§III-A).
@@ -147,6 +197,7 @@ func (o Options) withDefaults() Options {
 	if o.Shards == 0 {
 		o.Shards = 1
 	}
+	o.Topology = o.Topology.withDefaults()
 	return o
 }
 

@@ -47,6 +47,14 @@ echo "== parallel kernel determinism gate =="
 go test -race . -run TestParallelKernelDeterminism -count=1
 go test -race ./internal/chaos -run TestParallelSeedSweep -short -count=1
 
+echo "== fabric chaos sweep gate =="
+# The leaf-spine fabric's fault-tolerance contract: the three fabric
+# scenarios (spine loss, rack partition, ToR failover under load) pass
+# their invariant suite, the hierarchical gather is bit-identical
+# across partition counts, and a standby adoption loses no commits.
+go test ./internal/chaos -run 'TestScenarioSpineLoss|TestScenarioRackPartition|TestScenarioTorFailoverUnderLoad' -count=1
+go test . -run 'TestFabricGatherDeterminism|TestFabricToRFailoverNoLostCommits' -count=1
+
 echo "== bench regression gate =="
 go run ./cmd/p4ce-bench -json -profile quick -out BENCH_p4ce.json
 ./scripts/bench_compare.sh
