@@ -16,6 +16,7 @@ import (
 	"p4ce/internal/rnic"
 	"p4ce/internal/sim"
 	"p4ce/internal/simnet"
+	"p4ce/internal/telemetry"
 	"p4ce/internal/tofino"
 	"p4ce/internal/trace"
 )
@@ -48,6 +49,8 @@ type Cluster struct {
 	reconfig     sim.Time // control-plane reconfiguration delay (40 ms)
 	spineHandled []bool   // supervisor: spine failovers already scheduled
 	rackHandled  []bool   // supervisor: rack adoptions already scheduled
+
+	tl *telemetry.Timeline // non-nil with Options.EnableTelemetry
 }
 
 // NewCluster builds the testbed. Nothing runs until Run is called.
@@ -138,6 +141,11 @@ func NewCluster(opts Options) *Cluster {
 
 	for s := 0; s < opts.Shards; s++ {
 		c.buildShard(s)
+	}
+	if opts.EnableTelemetry {
+		// After every shard: the samplers resolve instrument handles
+		// that the shards' components bound during construction.
+		c.buildTelemetry()
 	}
 	for _, n := range c.nodes {
 		n.mu.Start()
@@ -236,9 +244,11 @@ func (c *Cluster) buildShard(s int) {
 			muCfg.MaxInflight = opts.PipelineDepth
 		}
 		muCfg.Shard = s
-		if opts.Shards > 1 {
-			muCfg.MetricsLabel = fmt.Sprintf("shard%d", s)
-		}
+		// Always scope, even single-shard: the telemetry sampler needs
+		// per-shard instruments it can read from the shard's own
+		// scheduling domain (the global mu.* series are written by every
+		// domain and would race under the partitioned kernel).
+		muCfg.MetricsLabel = fmt.Sprintf("shard%d", s)
 		if opts.TuneNode != nil {
 			opts.TuneNode(g, &muCfg)
 		}

@@ -30,6 +30,17 @@
 // gather, commit) as Chrome/Perfetto trace-event JSON:
 //
 //	p4ce-sim -nodes 3 -duration 5ms -trace-out trace.json
+//
+// The -telemetry-out flag enables the time-series telemetry pipeline
+// (per-shard and per-rack series sampled every -telemetry-interval of
+// sim time, with SLO burn-rate alerts) and writes the timeline at the
+// end — OpenMetrics text when the path ends in .om or .prom,
+// deterministic JSON otherwise. -metrics-every additionally prints a
+// periodic delta of the metrics registry, riding the same telemetry
+// ticker instead of adding its own event source:
+//
+//	p4ce-sim -nodes 3 -duration 50ms -telemetry-out timeline.json
+//	p4ce-sim -nodes 3 -chaos switch-reboot -telemetry-out timeline.om -metrics-every 10ms
 package main
 
 import (
@@ -68,6 +79,9 @@ func main() {
 		doTrace  = flag.Bool("trace", false, "stream decoded packet summaries to stderr")
 		traceOut = flag.String("trace-out", "", "enable causal tracing and write Perfetto trace-event JSON here at the end")
 		metricsF = flag.Bool("metrics", false, "attach the sim-wide metrics registry and dump it as JSON at the end")
+		metricsEv = flag.Duration("metrics-every", 0, "with telemetry enabled, also print a metrics delta every interval of sim time (shares the telemetry ticker; implies -metrics)")
+		telOut    = flag.String("telemetry-out", "", "enable time-series telemetry and write the timeline here at the end (.om/.prom = OpenMetrics text, else JSON)")
+		telEvery  = flag.Duration("telemetry-interval", 0, "telemetry sampling interval in sim time (0 = the 100µs default)")
 	)
 	flag.Parse()
 	if *chaosSc == "list" {
@@ -85,7 +99,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "p4ce-sim: unknown topology %q (want single or leaf-spine)\n", *topology)
 		os.Exit(1)
 	}
-	if err := run(*nodes, *mode, *duration, *rate, *size, *seed, *parts, *backup, *async, topo, *crash, *chaosSc, *chaosSd, *doTrace, *traceOut, *metricsF); err != nil {
+	if err := run(*nodes, *mode, *duration, *rate, *size, *seed, *parts, *backup, *async, topo, *crash, *chaosSc, *chaosSd, *doTrace, *traceOut, *metricsF, *metricsEv, *telOut, *telEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "p4ce-sim:", err)
 		os.Exit(1)
 	}
@@ -138,7 +152,7 @@ func parseCrashes(spec string) ([]crashEvent, error) {
 	return out, nil
 }
 
-func run(nodes int, modeStr string, duration time.Duration, rate float64, size int, seed int64, partitions int, backup, async bool, topo *p4ce.Topology, crashSpec, chaosName string, chaosSeed int64, doTrace bool, traceOut string, withMetrics bool) error {
+func run(nodes int, modeStr string, duration time.Duration, rate float64, size int, seed int64, partitions int, backup, async bool, topo *p4ce.Topology, crashSpec, chaosName string, chaosSeed int64, doTrace bool, traceOut string, withMetrics bool, metricsEvery time.Duration, telemetryOut string, telemetryInterval time.Duration) error {
 	var mode p4ce.Mode
 	switch strings.ToLower(modeStr) {
 	case "p4ce":
@@ -153,16 +167,22 @@ func run(nodes int, modeStr string, duration time.Duration, rate float64, size i
 		return err
 	}
 
+	withTelemetry := telemetryOut != "" || metricsEvery > 0 || telemetryInterval > 0
+	if metricsEvery > 0 {
+		withMetrics = true // the periodic dump reads the registry
+	}
 	cl := p4ce.NewCluster(p4ce.Options{
-		Nodes:         nodes,
-		Mode:          mode,
-		Seed:          seed,
-		Partitions:    partitions,
-		BackupFabric:  backup,
-		AsyncReconfig: async,
-		Topology:      topo,
-		EnableMetrics: withMetrics,
-		EnableTracing: traceOut != "",
+		Nodes:             nodes,
+		Mode:              mode,
+		Seed:              seed,
+		Partitions:        partitions,
+		BackupFabric:      backup,
+		AsyncReconfig:     async,
+		Topology:          topo,
+		EnableMetrics:     withMetrics,
+		EnableTracing:     traceOut != "",
+		EnableTelemetry:   withTelemetry,
+		TelemetryInterval: telemetryInterval,
 	})
 	// Everything that touches the nodes — the workload and the node
 	// crash script — schedules on the shard's own domain, the calling
@@ -187,6 +207,41 @@ func run(nodes int, modeStr string, duration time.Duration, rate float64, size i
 		}
 		fmt.Printf("topology: leaf-spine, %d racks × %d spines, %s; leader in rack %d\n",
 			f.Racks(), f.SpineCount(), standbyNote, leader.Rack())
+	}
+
+	// Periodic metrics dumps ride the telemetry ticker: every k-th
+	// sample (k = -metrics-every / sampling interval) prints the
+	// registry's delta since the previous dump as one compact JSON line.
+	// On a partitioned kernel (-partitions >= 1) the dump reads other
+	// domains' instruments mid-window — atomically, but the values may
+	// be a few events ahead or behind; the classic kernel is exact.
+	if metricsEvery > 0 {
+		interval := time.Duration(cl.Telemetry().Interval())
+		k := int(metricsEvery / interval)
+		if k < 1 {
+			k = 1
+		}
+		prev := cl.Metrics().Snapshot()
+		ticks := 0
+		cl.Telemetry().OnSample(func() {
+			ticks++
+			if ticks%k != 0 {
+				return
+			}
+			cur := cl.Metrics().Snapshot()
+			delta, err := cur.Sub(prev)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "p4ce-sim: metrics delta:", err)
+				return
+			}
+			prev = cur
+			blob, err := json.Marshal(delta)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "p4ce-sim: metrics delta:", err)
+				return
+			}
+			fmt.Printf("[metrics %9v] %s\n", cl.Now().Round(10*time.Microsecond), blob)
+		})
 	}
 
 	// Install the named chaos scenario, if any. Its horizon extends the
@@ -360,6 +415,34 @@ func run(nodes int, modeStr string, duration time.Duration, rate float64, size i
 			return err
 		}
 		fmt.Printf("\nwrote causal trace to %s (open in https://ui.perfetto.dev)\n", traceOut)
+	}
+	if telemetryOut != "" {
+		f, err := os.Create(telemetryOut)
+		if err != nil {
+			return err
+		}
+		openMetrics := strings.HasSuffix(telemetryOut, ".om") || strings.HasSuffix(telemetryOut, ".prom")
+		if openMetrics {
+			err = cl.ExportOpenMetrics(f)
+		} else {
+			err = cl.ExportTelemetryJSON(f)
+		}
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		format := "JSON"
+		if openMetrics {
+			format = "OpenMetrics"
+		}
+		alerts := cl.Telemetry().Alerts()
+		fmt.Printf("\nwrote %s telemetry timeline to %s (%d alert transitions)\n", format, telemetryOut, len(alerts))
+		for _, a := range alerts {
+			fmt.Println("  " + a.String())
+		}
 	}
 	if withMetrics {
 		blob, err := json.MarshalIndent(cl.Metrics().Snapshot(), "", "  ")

@@ -10,7 +10,10 @@ import (
 // guarantee: once the free lists are warm, one committed operation on
 // the P4CE path — leader propose, switch scatter, replica ACKs, switch
 // gather, aggregated ACK, commit, apply on every machine — performs
-// zero heap allocations, with metrics enabled or disabled.
+// zero heap allocations, with metrics enabled or disabled — and with
+// the full telemetry pipeline (sim-time sampler, SLO engine, alert
+// log) running on top, since the sampler's ring series and the SLO
+// engine's integer windows are preallocated at Start.
 //
 // The warmup must outlast CatchUpWindow (4096 entries) so the
 // re-replication caches reach their prune-and-recycle steady state on
@@ -20,17 +23,23 @@ func TestZeroAllocSteadyState(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-thousand-op warmup")
 	}
-	for _, metricsOn := range []bool{true, false} {
-		name := "metrics-off"
-		if metricsOn {
-			name = "metrics-on"
-		}
-		t.Run(name, func(t *testing.T) {
+	cases := []struct {
+		name      string
+		metrics   bool
+		telemetry bool
+	}{
+		{"metrics-on", true, false},
+		{"metrics-off", false, false},
+		{"telemetry-on", true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
 			cl, leader, err := Steady(p4ce.Options{
-				Nodes:         5, // leader + 4 replicas
-				Mode:          p4ce.ModeP4CE,
-				Seed:          7,
-				EnableMetrics: metricsOn,
+				Nodes:           5, // leader + 4 replicas
+				Mode:            p4ce.ModeP4CE,
+				Seed:            7,
+				EnableMetrics:   tc.metrics,
+				EnableTelemetry: tc.telemetry,
 			})
 			if err != nil {
 				t.Fatal(err)

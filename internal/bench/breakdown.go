@@ -56,7 +56,15 @@ type BreakdownOp struct {
 	StageNs [6]int64
 }
 
-// BreakdownPoint is one (mode, replicas) decomposition.
+// BreakdownPoint is one (mode, replicas) decomposition. HistP50Ns and
+// HistP99Ns are the same run's commit-latency quantiles as the metrics
+// registry's log2 histogram estimates them (nearest rank with
+// within-bucket interpolation, factor-of-2 error bound) — the
+// calibration column that shows how close the cheap always-on
+// estimator tracks the exact traced quantiles. The two samples differ
+// slightly by construction: the histogram sees every commit including
+// warmup, the trace quantiles only the measured window, and commit
+// latency excludes the client-side stages of the end-to-end span.
 type BreakdownPoint struct {
 	Mode     p4ce.Mode
 	Replicas int
@@ -64,6 +72,8 @@ type BreakdownPoint struct {
 	Ops      int // operations actually measured
 	P50      BreakdownOp
 	P99      BreakdownOp
+	HistP50Ns int64
+	HistP99Ns int64
 }
 
 // RunBreakdown measures the per-stage latency decomposition for both
@@ -88,6 +98,7 @@ func runBreakdownPoint(mode p4ce.Mode, replicas int, cfg BreakdownConfig) (Break
 		Mode:          mode,
 		Seed:          cfg.Seed,
 		EnableTracing: true,
+		EnableMetrics: true, // the log2-histogram estimator calibration
 	})
 	if err != nil {
 		return BreakdownPoint{}, err
@@ -130,12 +141,15 @@ func runBreakdownPoint(mode p4ce.Mode, replicas int, cfg BreakdownConfig) (Break
 		}
 		return op
 	}
+	hist := cl.Metrics().Histogram("mu.shard0.commit_latency_ns")
 	return BreakdownPoint{
-		Mode:     mode,
-		Replicas: replicas,
-		ItemSize: cfg.ItemSize,
-		Ops:      len(recs),
-		P50:      pick(50),
-		P99:      pick(99),
+		Mode:      mode,
+		Replicas:  replicas,
+		ItemSize:  cfg.ItemSize,
+		Ops:       len(recs),
+		P50:       pick(50),
+		P99:       pick(99),
+		HistP50Ns: hist.QuantileInterp(0.50),
+		HistP99Ns: hist.QuantileInterp(0.99),
 	}, nil
 }

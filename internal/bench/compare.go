@@ -229,5 +229,25 @@ func CompareReports(base, cand *Report) []Regression {
 			out = check(out, "fabric/"+key+"/acks_up_forwarded", float64(bp.AcksUp), float64(cp.AcksUp), lowerIsBetter)
 		}
 	}
+
+	// The SLO-timeline section arrived with schema v6; a pre-v6 baseline
+	// has no points and this loop is a no-op. Detection latency (fault
+	// open to first page) and all-clear latency (fault open to the last
+	// alert standing down) gate: an observability change that makes the
+	// pager slower to fire — or slower to shut up — is a regression even
+	// when every alert still brackets its window.
+	candTimeline := make(map[string]TimelinePointJSON)
+	for _, pt := range cand.Timeline.Points {
+		candTimeline[pt.Scenario] = pt
+	}
+	for _, bp := range base.Timeline.Points {
+		cp, ok := candTimeline[bp.Scenario]
+		if !ok {
+			out = append(out, Regression{Metric: "timeline/" + bp.Scenario, Base: 1, Cand: math.NaN(), Change: 1})
+			continue
+		}
+		out = check(out, "timeline/"+bp.Scenario+"/detection_ns", float64(bp.DetectionNs), float64(cp.DetectionNs), lowerIsBetter)
+		out = check(out, "timeline/"+bp.Scenario+"/all_clear_ns", float64(bp.AllClearNs), float64(cp.AllClearNs), lowerIsBetter)
+	}
 	return out
 }

@@ -20,8 +20,10 @@ import (
 // the sharded-scaling and batch-sweep sections; version 3 added the
 // per-stage latency breakdown section (causal tracing); version 4 added
 // the kernel-scaling section (partitioned scheduler); version 5 added
-// the fabric-topology section (leaf-spine hierarchical aggregation).
-const SchemaVersion = 5
+// the fabric-topology section (leaf-spine hierarchical aggregation);
+// version 6 added the SLO-timeline section (telemetry alert bracketing
+// over the chaos scenarios).
+const SchemaVersion = 6
 
 // Report is the root of BENCH_p4ce.json.
 type Report struct {
@@ -38,6 +40,7 @@ type Report struct {
 	Breakdown     BreakdownSection  `json:"breakdown"`
 	Scaling       ScalingSection    `json:"scaling"`
 	Fabric        FabricSection     `json:"fabric"`
+	Timeline      TimelineSection   `json:"timeline"`
 }
 
 // GoodputSection is the Fig. 5 sweep.
@@ -216,6 +219,11 @@ type BreakdownPointJSON struct {
 	Ops      int             `json:"ops"`
 	P50      BreakdownOpJSON `json:"p50"`
 	P99      BreakdownOpJSON `json:"p99"`
+	// HistP50Ns/HistP99Ns (schema v6) are the log2-histogram estimator's
+	// view of the same run's commit latency — the calibration columns
+	// against the exact traced quantiles above.
+	HistP50Ns int64 `json:"hist_p50_ns,omitempty"`
+	HistP99Ns int64 `json:"hist_p99_ns,omitempty"`
 }
 
 // BreakdownOpJSON is one quantile operation's decomposition.
@@ -293,6 +301,42 @@ type FabricPointJSON struct {
 	Events        uint64  `json:"events"`
 }
 
+// TimelineSection is the SLO-timeline sweep (schema v6): every
+// configured chaos scenario replayed against a telemetered cluster,
+// each reduced to its alert-log summary — detection and all-clear
+// latency relative to the fault window, and whether the log bracketed
+// the window at all (Validate demands it did).
+type TimelineSection struct {
+	Seed   int64               `json:"seed"`
+	Config TimelineConfigJSON  `json:"config"`
+	Points []TimelinePointJSON `json:"points"`
+}
+
+// TimelineConfigJSON records the sweep parameters.
+type TimelineConfigJSON struct {
+	Scenarios []string `json:"scenarios"`
+	ChaosSeed int64    `json:"chaos_seed"`
+}
+
+// TimelinePointJSON is one scenario's alert-log summary. Fault bounds
+// are relative to applied_at_ns; first_fire_ns and last_clear_ns are
+// absolute simulated timestamps.
+type TimelinePointJSON struct {
+	Scenario     string `json:"scenario"`
+	AppliedAtNs  int64  `json:"applied_at_ns"`
+	FaultStartNs int64  `json:"fault_start_ns"`
+	FaultEndNs   int64  `json:"fault_end_ns"`
+	HorizonNs    int64  `json:"horizon_ns"`
+	FirstFireNs  int64  `json:"first_fire_ns"`
+	DetectionNs  int64  `json:"detection_ns"`
+	LastClearNs  int64  `json:"last_clear_ns"`
+	AllClearNs   int64  `json:"all_clear_ns"`
+	Alerts       int    `json:"alerts"`
+	Bracketed    bool   `json:"bracketed"`
+	CommittedOps int    `json:"committed_ops"`
+	Events       uint64 `json:"events"`
+}
+
 // Profile bundles the section configurations of one report flavor.
 type Profile struct {
 	Name             string
@@ -306,6 +350,7 @@ type Profile struct {
 	Breakdown        BreakdownConfig
 	Scaling          ScalingConfig
 	Fabric           FabricConfig
+	Timeline         TimelineConfig
 }
 
 // FullProfile is the paper-shaped sweep; it takes a few minutes of
@@ -323,6 +368,7 @@ func FullProfile() Profile {
 		Breakdown:        DefaultBreakdownConfig(),
 		Scaling:          DefaultScalingConfig(),
 		Fabric:           DefaultFabricConfig(),
+		Timeline:         DefaultTimelineConfig(),
 	}
 }
 
@@ -396,6 +442,13 @@ func QuickProfile() Profile {
 			Ops:      1000,
 			Seed:     1,
 		},
+		// Three scenarios spanning the fault families — a replica flap,
+		// a full switch reboot, and the fabric's ToR failover — keep the
+		// committed baseline regenerable in seconds.
+		Timeline: TimelineConfig{
+			Scenarios: []string{"replica-flap", "switch-reboot", "tor-failover-under-load"},
+			ChaosSeed: 99,
+		},
 	}
 }
 
@@ -466,6 +519,12 @@ func SmokeProfile() Profile {
 			Warmup:   50,
 			Ops:      300,
 			Seed:     1,
+		},
+		// The cheapest scenario (60 ms horizon) keeps the smoke profile
+		// fast while still exercising fire-and-clear end to end.
+		Timeline: TimelineConfig{
+			Scenarios: []string{"replica-flap"},
+			ChaosSeed: 99,
 		},
 	}
 }
@@ -658,12 +717,14 @@ func BuildReport(seed int64, p Profile) (*Report, error) {
 	}
 	for _, pt := range dp {
 		rep.Breakdown.Points = append(rep.Breakdown.Points, BreakdownPointJSON{
-			Mode:     pt.Mode.String(),
-			Replicas: pt.Replicas,
-			ItemSize: pt.ItemSize,
-			Ops:      pt.Ops,
-			P50:      BreakdownOpJSON{E2ENs: pt.P50.E2ENs, StagesNs: pt.P50.StageNs[:]},
-			P99:      BreakdownOpJSON{E2ENs: pt.P99.E2ENs, StagesNs: pt.P99.StageNs[:]},
+			Mode:      pt.Mode.String(),
+			Replicas:  pt.Replicas,
+			ItemSize:  pt.ItemSize,
+			Ops:       pt.Ops,
+			P50:       BreakdownOpJSON{E2ENs: pt.P50.E2ENs, StagesNs: pt.P50.StageNs[:]},
+			P99:       BreakdownOpJSON{E2ENs: pt.P99.E2ENs, StagesNs: pt.P99.StageNs[:]},
+			HistP50Ns: pt.HistP50Ns,
+			HistP99Ns: pt.HistP99Ns,
 		})
 	}
 
@@ -725,6 +786,36 @@ func BuildReport(seed int64, p Profile) (*Report, error) {
 			Partials:      pt.Partials,
 			FlatAcksUp:    pt.FlatAcksUp,
 			Events:        pt.Events,
+		})
+	}
+
+	p.Timeline.Seed = seed
+	tp, err := RunTimeline(p.Timeline)
+	if err != nil {
+		return nil, fmt.Errorf("timeline: %w", err)
+	}
+	rep.Timeline = TimelineSection{
+		Seed: seed,
+		Config: TimelineConfigJSON{
+			Scenarios: p.Timeline.Scenarios,
+			ChaosSeed: p.Timeline.ChaosSeed,
+		},
+	}
+	for _, pt := range tp {
+		rep.Timeline.Points = append(rep.Timeline.Points, TimelinePointJSON{
+			Scenario:     pt.Scenario,
+			AppliedAtNs:  pt.AppliedAtNs,
+			FaultStartNs: pt.FaultStartNs,
+			FaultEndNs:   pt.FaultEndNs,
+			HorizonNs:    pt.HorizonNs,
+			FirstFireNs:  pt.FirstFireNs,
+			DetectionNs:  pt.DetectionNs,
+			LastClearNs:  pt.LastClearNs,
+			AllClearNs:   pt.AllClearNs,
+			Alerts:       pt.Alerts,
+			Bracketed:    pt.Bracketed,
+			CommittedOps: pt.Committed,
+			Events:       pt.Events,
 		})
 	}
 	return rep, nil
@@ -897,6 +988,48 @@ func (r *Report) Validate() error {
 			if pt.FlatAcksUp <= pt.AcksUp {
 				return fmt.Errorf("bench: fabric racks=%d: flat crossings %d not above hierarchical %d",
 					pt.Racks, pt.FlatAcksUp, pt.AcksUp)
+			}
+		}
+	}
+	if r.SchemaVersion >= 6 {
+		// The breakdown's estimator-calibration columns: the log2
+		// histogram's interpolated quantiles must be present and ordered.
+		for _, pt := range r.Breakdown.Points {
+			if pt.HistP50Ns <= 0 || pt.HistP99Ns < pt.HistP50Ns {
+				return fmt.Errorf("bench: breakdown %s/r%d: histogram estimate quantiles missing or unordered (p50=%d p99=%d)",
+					pt.Mode, pt.Replicas, pt.HistP50Ns, pt.HistP99Ns)
+			}
+		}
+		if len(r.Timeline.Points) == 0 {
+			return fmt.Errorf("bench: timeline section empty")
+		}
+		for _, pt := range r.Timeline.Points {
+			// The section's whole claim: every scenario's alert log
+			// brackets its declared fault window.
+			if !pt.Bracketed {
+				return fmt.Errorf("bench: timeline %s: alert log did not bracket the fault window", pt.Scenario)
+			}
+			if pt.CommittedOps <= 0 {
+				return fmt.Errorf("bench: timeline %s: nothing committed", pt.Scenario)
+			}
+			// Bracketed implies at least one fire, cleared by the
+			// horizon — so transitions pair up and the log is even.
+			if pt.Alerts < 2 || pt.Alerts%2 != 0 {
+				return fmt.Errorf("bench: timeline %s: %d alert transitions, want an even count >= 2",
+					pt.Scenario, pt.Alerts)
+			}
+			open, close := pt.AppliedAtNs+pt.FaultStartNs, pt.AppliedAtNs+pt.FaultEndNs
+			if pt.FirstFireNs <= open || pt.FirstFireNs > close {
+				return fmt.Errorf("bench: timeline %s: first fire at %d outside fault window (%d, %d]",
+					pt.Scenario, pt.FirstFireNs, open, close)
+			}
+			if pt.DetectionNs != pt.FirstFireNs-open {
+				return fmt.Errorf("bench: timeline %s: detection %d != first fire %d - window open %d",
+					pt.Scenario, pt.DetectionNs, pt.FirstFireNs, open)
+			}
+			if pt.LastClearNs <= pt.FirstFireNs {
+				return fmt.Errorf("bench: timeline %s: last clear %d not after first fire %d",
+					pt.Scenario, pt.LastClearNs, pt.FirstFireNs)
 			}
 		}
 	}

@@ -72,7 +72,10 @@ func runScenarioPartitioned(t *testing.T, name string, kernelSeed, chaosSeed int
 // scheduler always spawns worker goroutines, which the race detector
 // makes expensive.
 func parallelSweepSeeds() int {
-	if testing.Short() || raceEnabled {
+	if raceEnabled {
+		return 2
+	}
+	if testing.Short() {
 		return 4
 	}
 	return 8

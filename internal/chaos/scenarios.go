@@ -14,6 +14,15 @@ type Scenario struct {
 	Name        string
 	Description string
 	Horizon     sim.Time
+	// FaultStart/FaultEnd bracket the scenario's injury window,
+	// relative to Apply time: FaultStart is the first instant any fault
+	// is injected; FaultEnd is the latest time the fault — or the
+	// recovery it forces (elections, switch reconfiguration, go-back-N
+	// replay) — may still degrade service. The telemetry cross-check
+	// demands that the SLO alert log *brackets* this window: the first
+	// alert fires inside (FaultStart, FaultEnd], nothing fires before
+	// FaultStart, and every alert has cleared by the horizon.
+	FaultStart, FaultEnd sim.Time
 	// Fabric marks scenarios that need a leaf-spine multi-switch
 	// topology (Config.Switches/InterLinks populated); they no-op on
 	// the classic single-switch testbed, and harnesses should build a
@@ -29,15 +38,20 @@ type Scenario struct {
 // paper's 40 ms. Horizons leave room for the slowest of those paths.
 var scenarios = []Scenario{
 	{
-		Name: "lossy-gather",
+		Name:       "lossy-gather",
+		FaultStart: 1 * sim.Millisecond, FaultEnd: 120 * sim.Millisecond,
 		Description: "Gilbert-Elliott bursty loss plus delay jitter on every cable " +
 			"for 40 ms: the scatter/gather pipeline must commit through go-back-N " +
 			"retransmission with no divergence.",
 		// Loss also hits heartbeat reads, so the 60 µs failure detector
 		// flaps and leadership churns for the whole window; recovery then
 		// needs a detector settle, a takeover and the 40 ms synchronous
-		// switch reconfiguration before held proposals flush.
-		Horizon: 160 * sim.Millisecond,
+		// switch reconfiguration before held proposals flush. A leader
+		// that fell back during the churn re-probes the switch only every
+		// 100 ms, so the LAST re-acceleration (another 40 ms synchronous
+		// stall) can land as late as ~240 ms — the horizon must contain
+		// it, plus the telemetry drain that stands the pager down.
+		Horizon: 300 * sim.Millisecond,
 		Apply: func(e *Engine) {
 			const start, dur = 1 * sim.Millisecond, 40 * sim.Millisecond
 			for _, n := range e.Nodes() {
@@ -49,7 +63,8 @@ var scenarios = []Scenario{
 		},
 	},
 	{
-		Name: "replica-flap",
+		Name:       "replica-flap",
+		FaultStart: 5 * sim.Millisecond, FaultEnd: 40 * sim.Millisecond,
 		Description: "The highest-identifier replica crashes and restarts twice " +
 			"(port dark + NIC reset): the leader must exclude it, keep committing " +
 			"with the surviving majority, and re-admit it when it returns.",
@@ -65,7 +80,8 @@ var scenarios = []Scenario{
 		},
 	},
 	{
-		Name: "leader-partition",
+		Name:       "leader-partition",
+		FaultStart: 5 * sim.Millisecond, FaultEnd: 180 * sim.Millisecond,
 		Description: "The initial leader's cable blackholes both directions for " +
 			"40 ms: the survivors must elect the next machine and keep committing; " +
 			"on heal the lowest identifier takes the lead back per Mu's rule.",
@@ -79,7 +95,8 @@ var scenarios = []Scenario{
 		},
 	},
 	{
-		Name: "shard-leader-outage",
+		Name:       "shard-leader-outage",
+		FaultStart: 5 * sim.Millisecond, FaultEnd: 180 * sim.Millisecond,
 		Description: "The first machine — shard 0's initial leader in a sharded " +
 			"cluster — goes dark (port down + NIC reset) for 40 ms: shard 0 must " +
 			"elect its next machine, and every other shard must keep committing " +
@@ -99,7 +116,8 @@ var scenarios = []Scenario{
 		},
 	},
 	{
-		Name: "spine-loss",
+		Name:       "spine-loss",
+		FaultStart: 10 * sim.Millisecond, FaultEnd: 120 * sim.Millisecond,
 		Description: "Spine 0 of the leaf-spine core dies outright at 10 ms, " +
 			"blackholing every route that crossed it — including the leader ToR's " +
 			"scatter copies toward remote racks and their partial-count ACKs back. " +
@@ -115,7 +133,8 @@ var scenarios = []Scenario{
 		},
 	},
 	{
-		Name: "rack-partition",
+		Name:       "rack-partition",
+		FaultStart: 20 * sim.Millisecond, FaultEnd: 200 * sim.Millisecond,
 		Description: "Rack 1's ToR keeps its rack-local traffic but loses the " +
 			"core: every uplink to every spine blackholes both directions for " +
 			"80 ms. The rack's replicas fall silent fabric-wide, the leader " +
@@ -130,7 +149,8 @@ var scenarios = []Scenario{
 		},
 	},
 	{
-		Name: "tor-failover-under-load",
+		Name:       "tor-failover-under-load",
+		FaultStart: 10 * sim.Millisecond, FaultEnd: 200 * sim.Millisecond,
 		Description: "Rack 1's ToR switch dies for good at 10 ms while the " +
 			"leader is committing: its rack's replicas vanish mid-gather. The " +
 			"supervisor has the standby switch adopt the dead ToR's identity " +
@@ -147,7 +167,8 @@ var scenarios = []Scenario{
 		},
 	},
 	{
-		Name: "switch-reboot",
+		Name:       "switch-reboot",
+		FaultStart: 10 * sim.Millisecond, FaultEnd: 220 * sim.Millisecond,
 		Description: "The programmable switch power-cycles for 30 ms, losing its " +
 			"registers, match tables and multicast groups: the outage outlives the " +
 			"NIC retry budget, so leaders fall back to direct replication and " +

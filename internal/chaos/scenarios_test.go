@@ -17,6 +17,8 @@ package chaos_test
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -49,7 +51,11 @@ func scenarioOptions(t *testing.T, name string, kernelSeed int64) p4ce.Options {
 	if !ok {
 		t.Fatalf("unknown scenario %q", name)
 	}
-	opts := p4ce.Options{Nodes: 3, Mode: p4ce.ModeP4CE, Seed: kernelSeed, EnableTracing: true}
+	// Telemetry rides along on every scenario the same way tracing
+	// does: the sampler is consensus-neutral, and the SLO alert log is
+	// itself under test — checkInvariants demands it bracket the
+	// scenario's fault window.
+	opts := p4ce.Options{Nodes: 3, Mode: p4ce.ModeP4CE, Seed: kernelSeed, EnableTracing: true, EnableTelemetry: true}
 	if sc.Fabric {
 		opts.Nodes = 5
 		opts.Topology = &p4ce.Topology{Racks: 2, Spines: 2, Standby: true}
@@ -152,6 +158,61 @@ func (r *scenarioRun) checkInvariants(t *testing.T, name string) {
 	if err := r.cl.Tracer().Validate(); err != nil {
 		r.failDump(t, name, fmt.Sprintf("trace causality: %v", err))
 	}
+	// Telemetry bracketing: the SLO alert log must bracket the injected
+	// fault window — the on-call page fires during the fault (not
+	// before it: no false positives in the healthy lead-in), and every
+	// alert has cleared by the horizon (the pager stands down once
+	// recovery completes). This turns every chaos scenario into an
+	// end-to-end test of the observability stack itself.
+	sc, ok := chaos.Lookup(name)
+	if !ok {
+		t.Fatalf("unknown scenario %q", name)
+	}
+	alerts := r.cl.Telemetry().Alerts()
+	r.dumpTelemetry(t, name)
+	if len(alerts) == 0 {
+		r.failDump(t, name, "no SLO alert fired across the whole fault window")
+	}
+	faultStart := r.start + time.Duration(sc.FaultStart)
+	faultEnd := r.start + time.Duration(sc.FaultEnd)
+	first := time.Duration(alerts[0].AtNs)
+	if !alerts[0].Firing {
+		r.failDump(t, name, fmt.Sprintf("alert log starts with a clear: %v", alerts[0]))
+	}
+	if first <= faultStart {
+		r.failDump(t, name, fmt.Sprintf("first alert %v fired at %v, before the fault window opened at %v",
+			alerts[0], first, faultStart))
+	}
+	if first > faultEnd {
+		r.failDump(t, name, fmt.Sprintf("first alert %v fired at %v, after the fault window closed at %v",
+			alerts[0], first, faultEnd))
+	}
+	if r.cl.Telemetry().Firing() {
+		r.failDump(t, name, fmt.Sprintf("alerts still firing at the horizon: %v", alerts))
+	}
+}
+
+// dumpTelemetry writes the scenario's timeline and alert log to
+// $P4CE_TELEMETRY_DIR when set (CI uploads that directory as an
+// artifact); it is silent otherwise.
+func (r *scenarioRun) dumpTelemetry(t *testing.T, name string) {
+	t.Helper()
+	dir := os.Getenv("P4CE_TELEMETRY_DIR")
+	if dir == "" || os.MkdirAll(dir, 0o755) != nil {
+		return
+	}
+	if f, err := os.Create(filepath.Join(dir, name+"-timeline.json")); err == nil {
+		if err := r.cl.ExportTelemetryJSON(f); err != nil {
+			t.Logf("telemetry dump: %v", err)
+		}
+		f.Close()
+	}
+	if f, err := os.Create(filepath.Join(dir, name+"-alerts.txt")); err == nil {
+		for _, a := range r.cl.Telemetry().Alerts() {
+			fmt.Fprintln(f, a)
+		}
+		f.Close()
+	}
 }
 
 // fingerprint reduces a run to a string two same-seed runs must agree
@@ -162,6 +223,12 @@ func (r *scenarioRun) fingerprint() string {
 	for i, n := range r.cl.Nodes() {
 		s += fmt.Sprintf(" node%d{commit=%d applied=%d term=%d retx=%d}",
 			i, n.CommitIndex(), len(r.applied[i]), n.Term(), n.NICStats().Retransmits)
+	}
+	// The full alert log rides in the fingerprint: two same-seed runs —
+	// or the same seed at different partition counts — must page the
+	// on-call at identical instants with identical burn rates.
+	for _, a := range r.cl.Telemetry().Alerts() {
+		s += " alert{" + a.String() + "}"
 	}
 	return s
 }

@@ -15,11 +15,10 @@ import (
 )
 
 // sweepSeeds picks the sweep width for the build flavor: 32 seeds per
-// scenario normally, 8 under -short, and 8 under the race detector
-// (each run costs ~10x there, and the race schedule does not vary with
-// the simulation seed anyway).
+// scenario normally, 8 under -short. (The sweep skips entirely under
+// the race detector — see TestSeedSweep.)
 func sweepSeeds() int {
-	if testing.Short() || raceEnabled {
+	if testing.Short() {
 		return 8
 	}
 	return 32
@@ -43,6 +42,15 @@ func runSweepScenario(t *testing.T, name string, kernelSeed, chaosSeed int64) {
 // The seed pairs are fixed (not wall-clock derived): a failure names
 // its pair and reruns under -run with the same result every time.
 func TestSeedSweep(t *testing.T) {
+	if raceEnabled {
+		// Each scenario run costs ~10x under the race detector and the
+		// race schedule does not vary with the simulation seed, so the
+		// sweep buys no detector coverage beyond the fixed-seed
+		// scenario suite and TestEventCountDeterminism, which already
+		// run every scenario twice under race. Stacked on top of those
+		// the sweep pushes the package past any sane test timeout.
+		t.Skip("race mode: scenario code paths covered by the fixed-seed suite")
+	}
 	names := chaos.Names()
 	if len(names) == 0 {
 		t.Fatal("no chaos scenarios registered")

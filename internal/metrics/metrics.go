@@ -100,12 +100,14 @@ func (g *Gauge) HighWater() int64 {
 	return g.hi.Load()
 }
 
-// histBuckets is one bucket per possible bit length of a uint64 (0..64):
+// NumBuckets is one bucket per possible bit length of a uint64 (0..64):
 // bucket i holds values whose bit length is i, i.e. [2^(i-1), 2^i - 1],
 // with bucket 0 holding exactly zero. Power-of-two buckets give ~1 bit
 // of relative precision across twenty decades — plenty for latency
 // percentiles — at a fixed 65-word cost and no per-sample allocation.
-const histBuckets = 65
+const NumBuckets = 65
+
+const histBuckets = NumBuckets
 
 // Histogram is a log2-bucketed distribution of non-negative int64
 // samples (typically nanoseconds). Recording is allocation-free.
@@ -205,6 +207,98 @@ func (h *Histogram) Quantile(q float64) int64 {
 		}
 	}
 	return max
+}
+
+// Buckets copies the current bucket census into dst and returns the
+// matching (count, sum, max) triple, all loaded atomically per word. A
+// nil histogram zeroes dst. Allocation-free: the telemetry sampler
+// calls it every tick on the hot path.
+func (h *Histogram) Buckets(dst *[NumBuckets]uint64) (count uint64, sum, max int64) {
+	if h == nil {
+		*dst = [NumBuckets]uint64{}
+		return 0, 0, 0
+	}
+	for i := range dst {
+		dst[i] = h.buckets[i].Load()
+	}
+	return h.count.Load(), h.sum.Load(), h.max.Load()
+}
+
+// QuantileInterp returns the interpolated q-quantile estimate (see
+// BucketQuantile), clamped to the true observed maximum.
+func (h *Histogram) QuantileInterp(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	var b [NumBuckets]uint64
+	_, _, max := h.Buckets(&b)
+	v := BucketQuantile(&b, q)
+	if v > max {
+		v = max
+	}
+	return v
+}
+
+// BucketQuantile estimates the q-quantile (0 < q <= 1) of a log2 bucket
+// census: nearest rank to pick the bucket, then linear interpolation
+// inside it (the r-th of n samples in bucket [lo, hi] estimates as the
+// midpoint of the r-th of n equal sub-intervals). The true sample lies
+// in the same bucket as the estimate, so the absolute error is bounded
+// by the bucket width — the estimate is within a factor of 2 of the
+// true quantile (1 bit of relative precision), against the plain
+// upper-bound Quantile's one-sided factor-of-2 bias. With no samples it
+// returns 0.
+func BucketQuantile(b *[NumBuckets]uint64, q float64) int64 {
+	var count uint64
+	for _, n := range b {
+		count += n
+	}
+	if count == 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Nearest rank: the smallest sample with at least q of the census at
+	// or below it — ceil(q*count), at least 1.
+	target := q * float64(count)
+	rank := uint64(target)
+	if float64(rank) < target {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > count {
+		rank = count
+	}
+	var cum uint64
+	for i, n := range b {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if cum < rank {
+			continue
+		}
+		if i == 0 {
+			return 0
+		}
+		lo := int64(1) << uint(i-1)
+		hi := int64(1)<<uint(i) - 1
+		if i == NumBuckets-1 {
+			hi = int64(^uint64(0) >> 1) // top bucket: clamp to MaxInt64
+		}
+		pos := rank - (cum - n) // 1-based position inside the bucket
+		// Midpoint of the pos-th of n equal sub-intervals of [lo, hi],
+		// through a 128-bit intermediate: (hi-lo)*(2*pos-1) overflows
+		// uint64 for wide buckets. The quotient always fits (the factor
+		// (2*pos-1)/(2*n) is < 1).
+		phi, plo := bits.Mul64(uint64(hi-lo), 2*pos-1)
+		frac, _ := bits.Div64(phi, plo, 2*n)
+		return lo + int64(frac)
+	}
+	return 0
 }
 
 // P50 returns the median upper bound.
@@ -311,9 +405,14 @@ func (s Scoped) Gauge(name string) *Gauge { return s.r.Gauge(s.prefix + "." + na
 // Histogram returns the scoped histogram, creating it on first use.
 func (s Scoped) Histogram(name string) *Histogram { return s.r.Histogram(s.prefix + "." + name) }
 
-// HistogramSummary is the exportable digest of one histogram.
+// HistogramSummary is the exportable digest of one histogram. The
+// quantiles are interpolated estimates (BucketQuantile, within a factor
+// of 2 of the true value); SumNs carries the exact running total so
+// deltas of two summaries (Snapshot.Sub) can reconstruct an exact
+// interval mean.
 type HistogramSummary struct {
 	Count  uint64 `json:"count"`
+	SumNs  int64  `json:"sum_ns"`
 	MeanNs int64  `json:"mean_ns"`
 	P50Ns  int64  `json:"p50_ns"`
 	P99Ns  int64  `json:"p99_ns"`
@@ -362,10 +461,11 @@ func (r *Registry) Snapshot() Snapshot {
 		for name, h := range r.histograms {
 			s.Histograms[name] = HistogramSummary{
 				Count:  h.Count(),
+				SumNs:  h.Sum(),
 				MeanNs: h.Mean(),
-				P50Ns:  h.P50(),
-				P99Ns:  h.P99(),
-				P999Ns: h.P999(),
+				P50Ns:  h.QuantileInterp(0.50),
+				P99Ns:  h.QuantileInterp(0.99),
+				P999Ns: h.QuantileInterp(0.999),
 				MaxNs:  h.Max(),
 			}
 		}
@@ -402,6 +502,57 @@ func sortedKeys[V any](m map[string]V) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// Sub returns the delta snapshot s − prev: what happened between the
+// two captures. Counters subtract; a counter that decreased (prev was
+// not actually an earlier snapshot of the same run, or the instrument
+// was reset) fails the monotonicity check and returns an error naming
+// it. Gauges are instantaneous levels, so the current summary carries
+// over unchanged. Histograms subtract Count and SumNs (and recompute
+// the exact interval mean from them); the quantiles and max are
+// cumulative-only — they cannot be recovered from two digests — and
+// carry over from s, which interval consumers must treat as
+// since-start values (the telemetry sampler reads the live buckets
+// instead, precisely for this reason). Instruments that appear only in
+// s (created between the captures) delta against zero.
+func (s Snapshot) Sub(prev Snapshot) (Snapshot, error) {
+	var d Snapshot
+	if len(s.Counters) > 0 {
+		d.Counters = make(map[string]uint64, len(s.Counters))
+		for name, cur := range s.Counters {
+			was := prev.Counters[name]
+			if cur < was {
+				return Snapshot{}, fmt.Errorf("metrics: counter %s went backwards (%d -> %d): snapshots are not from one run", name, was, cur)
+			}
+			d.Counters[name] = cur - was
+		}
+	}
+	if len(s.Gauges) > 0 {
+		d.Gauges = make(map[string]GaugeSummary, len(s.Gauges))
+		for name, g := range s.Gauges {
+			d.Gauges[name] = g
+		}
+	}
+	if len(s.Histograms) > 0 {
+		d.Histograms = make(map[string]HistogramSummary, len(s.Histograms))
+		for name, cur := range s.Histograms {
+			was := prev.Histograms[name]
+			if cur.Count < was.Count {
+				return Snapshot{}, fmt.Errorf("metrics: histogram %s count went backwards (%d -> %d): snapshots are not from one run", name, was.Count, cur.Count)
+			}
+			dh := cur
+			dh.Count = cur.Count - was.Count
+			dh.SumNs = cur.SumNs - was.SumNs
+			if dh.Count > 0 {
+				dh.MeanNs = dh.SumNs / int64(dh.Count)
+			} else {
+				dh.MeanNs = 0
+			}
+			d.Histograms[name] = dh
+		}
+	}
+	return d, nil
 }
 
 // Names returns every instrument name, sorted, for diagnostics.

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -73,6 +74,147 @@ func TestHistogramEdgeCases(t *testing.T) {
 	h.Observe(1 << 40)
 	if h.Max() != 1<<40 || h.Quantile(1) != 1<<40 {
 		t.Fatalf("max sample lost: max=%d q1=%d", h.Max(), h.Quantile(1))
+	}
+}
+
+// TestBucketQuantileInterpolation checks the interpolated estimator
+// against exact quantiles of synthetic distributions: the documented
+// error bound is "within the sample's bucket", i.e. a factor of 2.
+func TestBucketQuantileInterpolation(t *testing.T) {
+	exact := func(sorted []int64, q float64) int64 {
+		idx := int(float64(len(sorted))*q+0.999999) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return sorted[idx]
+	}
+	distributions := map[string][]int64{
+		"uniform-1k":  nil, // filled below
+		"geometric":   nil,
+		"point-mass":  nil,
+		"two-cluster": nil,
+	}
+	uni := make([]int64, 0, 1000)
+	for i := int64(1); i <= 1000; i++ {
+		uni = append(uni, i)
+	}
+	distributions["uniform-1k"] = uni
+	geo := make([]int64, 0, 200)
+	for i := 0; i < 200; i++ {
+		geo = append(geo, int64(1)<<uint(i%20))
+	}
+	distributions["geometric"] = geo
+	pm := make([]int64, 500)
+	for i := range pm {
+		pm[i] = 7777
+	}
+	distributions["point-mass"] = pm
+	tc := make([]int64, 0, 400)
+	for i := 0; i < 300; i++ {
+		tc = append(tc, 100+int64(i%8))
+	}
+	for i := 0; i < 100; i++ {
+		tc = append(tc, 50_000+int64(i))
+	}
+	distributions["two-cluster"] = tc
+
+	for name, samples := range distributions {
+		h := New().Histogram(name)
+		sorted := append([]int64(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, v := range samples {
+			h.Observe(v)
+		}
+		var b [NumBuckets]uint64
+		h.Buckets(&b)
+		for _, q := range []float64{0.25, 0.5, 0.9, 0.99, 1} {
+			want := exact(sorted, q)
+			got := BucketQuantile(&b, q)
+			if want == 0 {
+				if got != 0 {
+					t.Errorf("%s q=%v: got %d, want 0", name, q, got)
+				}
+				continue
+			}
+			// Factor-of-2 bound: the estimate and the true sample share a
+			// log2 bucket.
+			if got < want/2 || got > want*2 {
+				t.Errorf("%s q=%v: estimate %d outside factor-2 bound of exact %d", name, q, got, want)
+			}
+			// And clamping through the histogram method never exceeds max.
+			if hv := h.QuantileInterp(q); hv > h.Max() {
+				t.Errorf("%s q=%v: clamped estimate %d > max %d", name, q, hv, h.Max())
+			}
+		}
+	}
+	// Empty census.
+	var empty [NumBuckets]uint64
+	if got := BucketQuantile(&empty, 0.5); got != 0 {
+		t.Fatalf("empty census quantile = %d, want 0", got)
+	}
+	// Interpolation beats the coarse upper bound on uniform data: the
+	// upper-bound p50 of 1..1000 is 511 (bucket edge); interpolation must
+	// land within 5% of the true 500.
+	h := New().Histogram("uni2")
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	if p50 := h.QuantileInterp(0.5); p50 < 475 || p50 > 525 {
+		t.Fatalf("interpolated p50 of 1..1000 = %d, want within [475, 525]", p50)
+	}
+}
+
+// TestSnapshotSub pins the delta helper: counter and histogram deltas,
+// gauge carry-over, and the monotonicity check.
+func TestSnapshotSub(t *testing.T) {
+	r := New()
+	c := r.Counter("pkts")
+	g := r.Gauge("depth")
+	h := r.Histogram("lat")
+	c.Add(10)
+	g.Set(3)
+	h.Observe(100)
+	h.Observe(300)
+	before := r.Snapshot()
+	c.Add(5)
+	g.Set(9)
+	h.Observe(500)
+	after := r.Snapshot()
+
+	d, err := after.Sub(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Counters["pkts"] != 5 {
+		t.Fatalf("counter delta = %d, want 5", d.Counters["pkts"])
+	}
+	if d.Gauges["depth"].Value != 9 {
+		t.Fatalf("gauge delta carries current value, got %d", d.Gauges["depth"].Value)
+	}
+	dh := d.Histograms["lat"]
+	if dh.Count != 1 || dh.SumNs != 500 || dh.MeanNs != 500 {
+		t.Fatalf("histogram delta = %+v, want count=1 sum=500 mean=500", dh)
+	}
+	// A new instrument deltas against zero.
+	r.Counter("late").Add(2)
+	again := r.Snapshot()
+	d2, err := again.Sub(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Counters["late"] != 2 {
+		t.Fatalf("new counter delta = %d, want 2", d2.Counters["late"])
+	}
+	// Monotonicity: subtracting in the wrong order errors.
+	if _, err := before.Sub(after); err == nil {
+		t.Fatal("Sub accepted a counter going backwards")
+	}
+	// Empty snapshots are fine.
+	if _, err := (Snapshot{}).Sub(Snapshot{}); err != nil {
+		t.Fatal(err)
 	}
 }
 

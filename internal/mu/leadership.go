@@ -732,6 +732,7 @@ func (n *Node) drainCommits() {
 		n.mCommitted.Add(ops)
 		n.mGroupCommitted.Add(ops)
 		n.mCommitLatNs.Observe(int64(n.k.Now() - p.proposedAt))
+		n.mGroupCommitLatNs.Observe(int64(n.k.Now() - p.proposedAt))
 		n.otr.Finish(n.oc, p.trace)
 		n.applyUpTo(n.commitIndex)
 		if p.done != nil {

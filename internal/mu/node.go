@@ -270,8 +270,9 @@ type Node struct {
 	mFallbacks     *metrics.Counter
 	mBatchOps      *metrics.Histogram // client ops per flushed entry
 	// Per-group series (bound only when cfg.MetricsLabel is set).
-	mGroupProposed  *metrics.Counter
-	mGroupCommitted *metrics.Counter
+	mGroupProposed    *metrics.Counter
+	mGroupCommitted   *metrics.Counter
+	mGroupCommitLatNs *metrics.Histogram
 }
 
 // NodeStats counts protocol events.
@@ -329,6 +330,7 @@ func NewNode(cfg Config, self Peer, peers []Peer, nic *rnic.NIC) *Node {
 		scope := m.Scope("mu." + cfg.MetricsLabel)
 		n.mGroupProposed = scope.Counter("proposed")
 		n.mGroupCommitted = scope.Counter("committed")
+		n.mGroupCommitLatNs = scope.Histogram("commit_latency_ns")
 	}
 	n.otr = nic.Kernel().Tracer()
 	n.oc = n.otr.ComponentAt(fmt.Sprintf("s%d/mu/n%d", cfg.Shard, self.ID), cfg.Shard,

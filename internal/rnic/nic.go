@@ -117,6 +117,12 @@ type NIC struct {
 	mCreditStalls *metrics.Counter
 	mPSNGaps      *metrics.Counter
 	mRNRNaks      *metrics.Counter
+	// Shard-scoped copies of the recovery counters. Unlike the global
+	// series above, these are written only by this NIC's scheduling
+	// domain, so the telemetry sampler can read them race-free from the
+	// same domain under the partitioned kernel.
+	mShardRetransmits *metrics.Counter
+	mShardRTOFires    *metrics.Counter
 
 	// Causal tracing (nil no-ops when the kernel has no tracer).
 	otr   *otrace.Tracer
@@ -164,6 +170,9 @@ func New(k *sim.Kernel, cfg Config, ip simnet.Addr) *NIC {
 	// which scopes this NIC's trace component to its consensus group.
 	_, _, shard, _ := ip.Octets()
 	n.shard = int(shard)
+	shardScope := m.Scope(fmt.Sprintf("rnic.shard%d", shard))
+	n.mShardRetransmits = shardScope.Counter("retransmits")
+	n.mShardRTOFires = shardScope.Counter("rto_fires")
 	n.otr = k.Tracer()
 	n.oc = n.otr.ComponentAt(fmt.Sprintf("s%d/rnic/%v", shard, ip), int(shard),
 		func() int64 { return int64(k.Now()) })

@@ -398,6 +398,8 @@ func (qp *QP) onTimeout() {
 	qp.nic.Stats.Retransmits++
 	qp.nic.mRTOFires.Inc()
 	qp.nic.mRetransmits.Inc()
+	qp.nic.mShardRTOFires.Inc()
+	qp.nic.mShardRetransmits.Inc()
 	for i := 0; i < qp.inflight.Len(); i++ { // go-back-N
 		qp.transmitWR(qp.inflight.At(i))
 	}
@@ -522,6 +524,7 @@ func (qp *QP) handleNAK(p *roce.Packet) {
 		// Retransmit everything from the NAKed PSN (go-back-N).
 		qp.nic.Stats.Retransmits++
 		qp.nic.mRetransmits.Inc()
+		qp.nic.mShardRetransmits.Inc()
 		for i := 0; i < qp.inflight.Len(); i++ {
 			wr := qp.inflight.At(i)
 			if roce.PSNDiff(wr.lastPSN, p.PSN) >= 0 {

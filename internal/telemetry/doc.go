@@ -1,0 +1,50 @@
+// Package telemetry turns the point-in-time instruments of
+// internal/metrics into deterministic time series with SLO health
+// monitoring — the operator's view of a run: what throughput, latency,
+// and retransmit rates look like over simulated time, per shard and per
+// rack, while faults come and go.
+//
+// # Sampling model
+//
+// A Timeline owns one sampler per scheduling domain. Each sampler is a
+// sim.Ticker on that domain's kernel (default period 100 µs of
+// simulated time) that reads ONLY instruments written exclusively by
+// that domain: shard s's commit counters, latency histogram, and NIC
+// recovery counters on domain 1+s; switch dataplane counters and
+// fabric gauges on the fabric domain 0. This partitioning is what makes
+// the timeline bit-identical at any partition count of the parallel
+// kernel — within a conservative window, different domains execute
+// concurrently, so a fabric-domain ticker reading a shard-domain atomic
+// would observe a race-dependent intermediate value. A domain reading
+// its own instruments always observes the same prefix of its own
+// deterministic event sequence.
+//
+// Samples land in fixed-capacity ring series (struct-of-arrays int64
+// columns, preallocated at Start), so steady-state sampling performs
+// zero heap allocations: counter series store per-interval deltas
+// (tolerating counter resets, e.g. a rebooting switch zeroing its
+// stats), gauge series store instantaneous values, and quantile series
+// store per-interval histogram-bucket deltas reduced to interval
+// count/p50/p99 via metrics.BucketQuantile.
+//
+// # SLO engine
+//
+// Each domain evaluates Objectives over its own series using sliding
+// multi-window burn rates in pure integer math: a per-tick good/bad
+// verdict feeds short (default 1 ms) and long (default 5 ms) windows
+// with O(1) running sums; an alert fires when BOTH windows exceed the
+// bad-fraction budget for FireAfter consecutive ticks, and clears when
+// both fall below half the budget for ClearAfter consecutive ticks
+// (hysteresis — a single bad sample never flaps an alert). Objectives
+// stay dormant until their activation gate reports progress (first
+// commit on the shard), so startup is not misread as an outage. State
+// transitions append to a per-domain alert log; the logs merge
+// deterministically at export, ordered by (time, domain, sequence).
+//
+// # Export
+//
+// WriteJSON emits the full timeline and merged alert log as
+// deterministic JSON; WriteOpenMetrics emits OpenMetrics text ending in
+// "# EOF". Both are byte-identical for the same seed at any partition
+// count, which scripts/check.sh enforces.
+package telemetry

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TimelineJSON is the deterministic JSON form of a timeline: slices
+// only (no maps), ordered by domain id and series registration order,
+// so equal runs marshal byte-identically.
+type TimelineJSON struct {
+	IntervalNs int64        `json:"interval_ns"`
+	Domains    []DomainJSON `json:"domains"`
+	Alerts     []Alert      `json:"alerts"`
+}
+
+// DomainJSON is one domain's slice of the timeline.
+type DomainJSON struct {
+	Domain int          `json:"domain"`
+	Ticks  int64        `json:"ticks"`
+	Series []SeriesJSON `json:"series"`
+}
+
+// SeriesJSON is one exported series. Rate and gauge series fill
+// Values; quantile series fill Counts/P50Ns/P99Ns. FirstTick is the
+// 1-based tick of the first retained sample (>1 only if the ring
+// wrapped).
+type SeriesJSON struct {
+	Name      string  `json:"name"`
+	Kind      string  `json:"kind"`
+	FirstTick int64   `json:"first_tick"`
+	Values    []int64 `json:"values,omitempty"`
+	Counts    []int64 `json:"counts,omitempty"`
+	P50Ns     []int64 `json:"p50_ns,omitempty"`
+	P99Ns     []int64 `json:"p99_ns,omitempty"`
+}
+
+// Export materializes the timeline for serialization.
+func (t *Timeline) Export() TimelineJSON {
+	out := TimelineJSON{IntervalNs: int64(t.cfg.Interval), Alerts: t.Alerts()}
+	for _, d := range t.domains {
+		dj := DomainJSON{Domain: d.id, Ticks: d.ticks}
+		for _, s := range d.series {
+			first := int64(1)
+			if d.ticks > int64(t.cfg.Capacity) {
+				first = d.ticks - int64(t.cfg.Capacity) + 1
+			}
+			sj := SeriesJSON{Name: s.name, Kind: s.kind.String(), FirstTick: first}
+			n := d.ticks - first + 1
+			switch s.kind {
+			case kindRate, kindGauge:
+				sj.Values = make([]int64, 0, n)
+				for k := first; k <= d.ticks; k++ {
+					sj.Values = append(sj.Values, s.vals[s.slot(k)])
+				}
+			case kindQuantile:
+				sj.Counts = make([]int64, 0, n)
+				sj.P50Ns = make([]int64, 0, n)
+				sj.P99Ns = make([]int64, 0, n)
+				for k := first; k <= d.ticks; k++ {
+					i := s.slot(k)
+					sj.Counts = append(sj.Counts, s.counts[i])
+					sj.P50Ns = append(sj.P50Ns, s.p50[i])
+					sj.P99Ns = append(sj.P99Ns, s.p99[i])
+				}
+			}
+			dj.Series = append(dj.Series, sj)
+		}
+		out.Domains = append(out.Domains, dj)
+	}
+	return out
+}
+
+// WriteJSON writes the timeline as indented deterministic JSON.
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(t.Export(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// sanitizeMetricName maps a series name to an OpenMetrics metric name:
+// [a-zA-Z0-9_] only, "p4ce_" prefixed.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 5)
+	b.WriteString("p4ce_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// writeOMTimestamp writes ns of simulated time as OpenMetrics seconds
+// with full nanosecond precision, in pure integer math.
+func writeOMTimestamp(w *bufio.Writer, ns int64) {
+	fmt.Fprintf(w, "%d.%09d", ns/1e9, ns%1e9)
+}
+
+// WriteOpenMetrics writes every retained sample of every series (and
+// the alert transition log) as OpenMetrics text, terminated by "# EOF".
+// Output is byte-identical for equal runs at any partition count.
+func (t *Timeline) WriteOpenMetrics(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	interval := int64(t.cfg.Interval)
+	emit := func(metric, labels string, v int64, tick int64) {
+		bw.WriteString(metric)
+		bw.WriteString(labels)
+		fmt.Fprintf(bw, " %d ", v)
+		writeOMTimestamp(bw, tick*interval)
+		bw.WriteByte('\n')
+	}
+	for _, d := range t.domains {
+		first := int64(1)
+		if d.ticks > int64(t.cfg.Capacity) {
+			first = d.ticks - int64(t.cfg.Capacity) + 1
+		}
+		for _, s := range d.series {
+			base := sanitizeMetricName(s.name)
+			labels := fmt.Sprintf("{domain=\"%d\"}", d.id)
+			switch s.kind {
+			case kindRate, kindGauge:
+				fmt.Fprintf(bw, "# TYPE %s gauge\n", base)
+				for k := first; k <= d.ticks; k++ {
+					emit(base, labels, s.vals[s.slot(k)], k)
+				}
+			case kindQuantile:
+				for _, col := range []struct {
+					suffix string
+					vals   []int64
+				}{{"_count", s.counts}, {"_p50_ns", s.p50}, {"_p99_ns", s.p99}} {
+					fmt.Fprintf(bw, "# TYPE %s%s gauge\n", base, col.suffix)
+					for k := first; k <= d.ticks; k++ {
+						emit(base+col.suffix, labels, col.vals[s.slot(k)], k)
+					}
+				}
+			}
+		}
+	}
+	bw.WriteString("# TYPE p4ce_alert gauge\n")
+	for _, a := range t.Alerts() {
+		v := int64(0)
+		if a.Firing {
+			v = 1
+		}
+		fmt.Fprintf(bw, "p4ce_alert{domain=\"%d\",objective=\"%s\"} %d ", a.Domain, a.Objective, v)
+		writeOMTimestamp(bw, a.AtNs)
+		bw.WriteByte('\n')
+	}
+	bw.WriteString("# EOF\n")
+	return bw.Flush()
+}

@@ -1,0 +1,131 @@
+package telemetry
+
+import "p4ce/internal/metrics"
+
+type seriesKind uint8
+
+const (
+	kindRate seriesKind = iota
+	kindGauge
+	kindQuantile
+)
+
+func (k seriesKind) String() string {
+	switch k {
+	case kindRate:
+		return "rate"
+	case kindGauge:
+		return "gauge"
+	case kindQuantile:
+		return "quantile"
+	}
+	return "?"
+}
+
+// series is one named column group in a domain's timeline. Storage is
+// struct-of-arrays rings preallocated at Start: rate and gauge series
+// use vals; quantile series use counts/p50/p99. Ring slot for tick k
+// (1-based) is (k-1) % capacity.
+type series struct {
+	name string
+	kind seriesKind
+
+	// exactly one source is set, per kind
+	counter *metrics.Counter
+	fn      func() uint64
+	gfn     func() int64
+	hist    *metrics.Histogram
+
+	prev        uint64 // last cumulative counter value
+	prevBuckets [metrics.NumBuckets]uint64
+	curBuckets  [metrics.NumBuckets]uint64
+	deltas      [metrics.NumBuckets]uint64
+
+	vals   []int64 // rate: per-interval delta; gauge: instantaneous
+	counts []int64 // quantile: per-interval observation count
+	p50    []int64 // quantile: interval p50 estimate
+	p99    []int64 // quantile: interval p99 estimate
+}
+
+func (s *series) alloc(capacity int) {
+	switch s.kind {
+	case kindRate, kindGauge:
+		s.vals = make([]int64, capacity)
+	case kindQuantile:
+		s.counts = make([]int64, capacity)
+		s.p50 = make([]int64, capacity)
+		s.p99 = make([]int64, capacity)
+	}
+}
+
+func (s *series) sample(tick int64) {
+	switch s.kind {
+	case kindRate:
+		var cur uint64
+		if s.counter != nil {
+			cur = s.counter.Value()
+		} else if s.fn != nil {
+			cur = s.fn()
+		}
+		delta := cur - s.prev
+		if cur < s.prev {
+			// Counter reset (e.g. a switch reboot zeroing its stats):
+			// count the restarted accumulation, not a huge wraparound.
+			delta = cur
+		}
+		s.prev = cur
+		s.vals[s.slot(tick)] = int64(delta)
+	case kindGauge:
+		var v int64
+		if s.gfn != nil {
+			v = s.gfn()
+		}
+		s.vals[s.slot(tick)] = v
+	case kindQuantile:
+		_, _, _ = s.hist.Buckets(&s.curBuckets)
+		var n uint64
+		for i := range s.curBuckets {
+			d := s.curBuckets[i] - s.prevBuckets[i]
+			s.deltas[i] = d
+			n += d
+		}
+		s.prevBuckets = s.curBuckets
+		i := s.slot(tick)
+		s.counts[i] = int64(n)
+		if n == 0 {
+			s.p50[i] = 0
+			s.p99[i] = 0
+		} else {
+			s.p50[i] = metrics.BucketQuantile(&s.deltas, 0.50)
+			s.p99[i] = metrics.BucketQuantile(&s.deltas, 0.99)
+		}
+	}
+}
+
+func (s *series) slot(tick int64) int {
+	n := int64(len(s.vals))
+	if s.kind == kindQuantile {
+		n = int64(len(s.counts))
+	}
+	return int((tick - 1) % n)
+}
+
+// at returns the primary value of the series at tick (1-based, must be
+// within the retained window): rate delta, gauge value, or interval p99
+// for quantile series. Used by the SLO engine for the current tick.
+func (s *series) at(tick int64) int64 {
+	i := s.slot(tick)
+	if s.kind == kindQuantile {
+		return s.p99[i]
+	}
+	return s.vals[i]
+}
+
+// countAt returns the interval observation count at tick for quantile
+// series (0 for others).
+func (s *series) countAt(tick int64) int64 {
+	if s.kind != kindQuantile {
+		return 0
+	}
+	return s.counts[s.slot(tick)]
+}

@@ -1,0 +1,305 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ObjectiveKind selects how a tick's sample is judged good or bad.
+type ObjectiveKind uint8
+
+const (
+	// Availability judges a rate series: a tick is bad when the
+	// per-interval delta is zero (no progress).
+	Availability ObjectiveKind = iota
+	// RateAbove judges a rate series: a tick is bad when the
+	// per-interval delta is >= Threshold (e.g. any retransmit).
+	RateAbove
+	// QuantileAbove judges a quantile series: a tick is bad when the
+	// interval p99 exceeds Threshold. Ticks with no observations are
+	// neutral (good) — an idle interval says nothing about latency;
+	// Availability is the objective that notices silence.
+	QuantileAbove
+)
+
+func (k ObjectiveKind) String() string {
+	switch k {
+	case Availability:
+		return "availability"
+	case RateAbove:
+		return "rate-above"
+	case QuantileAbove:
+		return "quantile-above"
+	}
+	return "?"
+}
+
+// ObjectiveSpec declares one SLO to monitor over a series of the same
+// domain. Zero-valued tuning fields take the documented defaults.
+type ObjectiveSpec struct {
+	Name      string        // alert name, unique within the domain
+	Kind      ObjectiveKind // how a tick is judged
+	Series    string        // name of a series registered in the same domain
+	Threshold int64         // RateAbove: delta; QuantileAbove: ns
+
+	// ShortWin/LongWin are the sliding-window lengths in ticks
+	// (defaults 10 and 50 — 1 ms and 5 ms at the default interval).
+	ShortWin, LongWin int
+	// FireMilli is the bad-tick fraction, in permille, that BOTH
+	// windows must reach to fire (default 100 = 10%). Clearing requires
+	// both windows below FireMilli/2 — the hysteresis gap.
+	FireMilli int64
+	// FireAfter/ClearAfter are the consecutive-tick debounce counts
+	// (defaults 2 and 5): a single bad or good sample never flaps.
+	FireAfter, ClearAfter int
+
+	// Gate keeps the objective dormant until it first returns nonzero
+	// (typically the shard's cumulative commit counter), so a cluster
+	// still electing its first leader is not misread as an outage.
+	// Nil means active from the first tick.
+	Gate func() uint64
+	// WarmTicks is how many CONSECUTIVE good verdicts must follow the
+	// gate before the objective goes live (default 5). This is the
+	// other half of startup suppression: the gate proves the shard has
+	// committed once, the warm-up proves progress is sustained — an
+	// idle stretch between the election's no-op commit and the first
+	// workload proposal stays dormant instead of reading as an outage.
+	WarmTicks int
+}
+
+func (s ObjectiveSpec) withDefaults() ObjectiveSpec {
+	if s.ShortWin <= 0 {
+		s.ShortWin = 10
+	}
+	if s.LongWin <= 0 {
+		s.LongWin = 50
+	}
+	if s.LongWin < s.ShortWin {
+		s.LongWin = s.ShortWin
+	}
+	if s.FireMilli <= 0 {
+		s.FireMilli = 100
+	}
+	if s.FireAfter <= 0 {
+		s.FireAfter = 2
+	}
+	if s.ClearAfter <= 0 {
+		s.ClearAfter = 5
+	}
+	if s.WarmTicks <= 0 {
+		s.WarmTicks = 5
+	}
+	return s
+}
+
+// Alert is one state transition in the alert log.
+type Alert struct {
+	AtNs       int64  `json:"at_ns"`
+	Domain     int    `json:"domain"`
+	Objective  string `json:"objective"`
+	Firing     bool   `json:"firing"` // true = fired, false = cleared
+	ShortMilli int64  `json:"short_milli"`
+	LongMilli  int64  `json:"long_milli"`
+}
+
+// State returns "firing" or "cleared".
+func (a Alert) State() string {
+	if a.Firing {
+		return "firing"
+	}
+	return "cleared"
+}
+
+func (a Alert) String() string {
+	return fmt.Sprintf("%dns d%d %s %s short=%d‰ long=%d‰",
+		a.AtNs, a.Domain, a.Objective, a.State(), a.ShortMilli, a.LongMilli)
+}
+
+// objective is the runtime state of one SLO: a bad-tick bit ring over
+// the long window with O(1) running sums for both windows, plus the
+// hysteresis state machine. Pure integer math — no floats anywhere, so
+// every platform and partition count computes the identical alert log.
+type objective struct {
+	spec ObjectiveSpec
+	s    *series
+
+	active    bool
+	warmRun   int   // consecutive good verdicts since the gate passed
+	tick      int64 // ticks since activation
+	bad       []uint8
+	shortSum  int64
+	longSum   int64
+	firing    bool
+	fireRun   int
+	clearRun  int
+	fireCount int // total times fired, for reports
+}
+
+// Objective registers spec against this domain. The referenced series
+// must already be registered.
+func (d *Domain) Objective(spec ObjectiveSpec) {
+	if d.tl.started {
+		panic("telemetry: objective registered after Start")
+	}
+	spec = spec.withDefaults()
+	for _, o := range d.objs {
+		if o.spec.Name == spec.Name {
+			panic(fmt.Sprintf("telemetry: duplicate objective %q in domain %d", spec.Name, d.id))
+		}
+	}
+	d.objs = append(d.objs, &objective{spec: spec})
+}
+
+func (o *objective) bind(d *Domain) {
+	for _, s := range d.series {
+		if s.name == o.spec.Series {
+			o.s = s
+			break
+		}
+	}
+	if o.s == nil {
+		panic(fmt.Sprintf("telemetry: objective %q references unknown series %q", o.spec.Name, o.spec.Series))
+	}
+	switch o.spec.Kind {
+	case Availability, RateAbove:
+		if o.s.kind != kindRate {
+			panic(fmt.Sprintf("telemetry: objective %q needs a rate series", o.spec.Name))
+		}
+	case QuantileAbove:
+		if o.s.kind != kindQuantile {
+			panic(fmt.Sprintf("telemetry: objective %q needs a quantile series", o.spec.Name))
+		}
+	}
+	o.bad = make([]uint8, o.spec.LongWin)
+}
+
+// verdict judges the current tick: 1 = bad.
+func (o *objective) verdict(d *Domain) uint8 {
+	switch o.spec.Kind {
+	case Availability:
+		if o.s.at(d.ticks) == 0 {
+			return 1
+		}
+	case RateAbove:
+		if o.s.at(d.ticks) >= o.spec.Threshold {
+			return 1
+		}
+	case QuantileAbove:
+		if o.s.countAt(d.ticks) > 0 && o.s.at(d.ticks) > o.spec.Threshold {
+			return 1
+		}
+	}
+	return 0
+}
+
+func (o *objective) step(d *Domain) {
+	if !o.active {
+		if o.spec.Gate != nil && o.spec.Gate() == 0 {
+			return
+		}
+		// Warm-up: demand WarmTicks consecutive good verdicts before
+		// going live.
+		if o.verdict(d) != 0 {
+			o.warmRun = 0
+			return
+		}
+		o.warmRun++
+		if o.warmRun < o.spec.WarmTicks {
+			return
+		}
+		o.active = true
+		return
+	}
+	o.tick++
+	isBad := o.verdict(d)
+
+	// Slide the windows: the long ring holds the last LongWin verdicts;
+	// the short sum additionally retires the verdict ShortWin back.
+	longWin, shortWin := int64(o.spec.LongWin), int64(o.spec.ShortWin)
+	slot := int((o.tick - 1) % longWin)
+	if o.tick > longWin {
+		o.longSum -= int64(o.bad[slot])
+	}
+	if o.tick > shortWin {
+		o.shortSum -= int64(o.bad[int((o.tick-1-shortWin)%longWin)])
+	}
+	o.bad[slot] = isBad
+	o.longSum += int64(isBad)
+	o.shortSum += int64(isBad)
+
+	// Judge only once the short window has filled — a half-filled
+	// window right after activation would let one bad tick dominate.
+	if o.tick < shortWin {
+		return
+	}
+	longN := o.tick
+	if longN > longWin {
+		longN = longWin
+	}
+	shortMilli := o.shortSum * 1000 / shortWin
+	longMilli := o.longSum * 1000 / longN
+
+	if !o.firing {
+		if shortMilli >= o.spec.FireMilli && longMilli >= o.spec.FireMilli {
+			o.fireRun++
+			if o.fireRun >= o.spec.FireAfter {
+				o.firing = true
+				o.fireCount++
+				o.clearRun = 0
+				d.alerts = append(d.alerts, Alert{
+					AtNs: int64(d.k.Now()), Domain: d.id, Objective: o.spec.Name,
+					Firing: true, ShortMilli: shortMilli, LongMilli: longMilli,
+				})
+			}
+		} else {
+			o.fireRun = 0
+		}
+		return
+	}
+	if shortMilli < o.spec.FireMilli/2 && longMilli < o.spec.FireMilli/2 {
+		o.clearRun++
+		if o.clearRun >= o.spec.ClearAfter {
+			o.firing = false
+			o.fireRun = 0
+			d.alerts = append(d.alerts, Alert{
+				AtNs: int64(d.k.Now()), Domain: d.id, Objective: o.spec.Name,
+				Firing: false, ShortMilli: shortMilli, LongMilli: longMilli,
+			})
+		}
+	} else {
+		o.clearRun = 0
+	}
+}
+
+// Alerts returns every domain's alert log merged into one
+// deterministic sequence ordered by (time, domain), preserving each
+// domain's internal order.
+func (t *Timeline) Alerts() []Alert {
+	var n int
+	for _, d := range t.domains {
+		n += len(d.alerts)
+	}
+	out := make([]Alert, 0, n)
+	for _, d := range t.domains {
+		out = append(out, d.alerts...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].AtNs != out[j].AtNs {
+			return out[i].AtNs < out[j].AtNs
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	return out
+}
+
+// Firing reports whether any objective in any domain is still firing.
+func (t *Timeline) Firing() bool {
+	for _, d := range t.domains {
+		for _, o := range d.objs {
+			if o.firing {
+				return true
+			}
+		}
+	}
+	return false
+}

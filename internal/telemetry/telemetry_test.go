@@ -1,0 +1,340 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+
+	"p4ce/internal/metrics"
+	"p4ce/internal/sim"
+)
+
+const tick = 100 * sim.Microsecond
+
+// harness builds a one-domain timeline over a bare kernel.
+type harness struct {
+	k  *sim.Kernel
+	r  *metrics.Registry
+	tl *Timeline
+	d  *Domain
+}
+
+func newHarness(capacity int) *harness {
+	h := &harness{k: sim.NewKernel(1), r: metrics.New()}
+	h.tl = New(Config{Interval: tick, Capacity: capacity})
+	h.d = h.tl.Domain(0, h.k)
+	return h
+}
+
+// addPerTick schedules fn right before every sample tick through limit.
+func (h *harness) addPerTick(limit int64, fn func(tickNo int64)) {
+	for i := int64(1); i <= limit; i++ {
+		n := i
+		h.k.At(sim.Time(n)*tick-sim.Microsecond, func() { fn(n) })
+	}
+}
+
+func TestRateGaugeQuantileSeries(t *testing.T) {
+	h := newHarness(64)
+	c := h.r.Counter("commits")
+	g := int64(0)
+	hist := h.r.Histogram("lat")
+	h.d.Rate("commits", c)
+	h.d.GaugeFn("depth", func() int64 { return g })
+	h.d.Quantile("lat", hist)
+	h.tl.Start()
+	h.addPerTick(4, func(n int64) {
+		c.Add(uint64(n))     // deltas 1,2,3,4
+		g = n * 10           // gauges 10,20,30,40
+		hist.Observe(n * 50) // one obs per interval
+	})
+	h.k.RunUntil(4 * tick)
+
+	ex := h.tl.Export()
+	if len(ex.Domains) != 1 || ex.Domains[0].Ticks != 4 {
+		t.Fatalf("export = %+v", ex.Domains)
+	}
+	s := ex.Domains[0].Series
+	if got := s[0].Values; got[0] != 1 || got[1] != 2 || got[2] != 3 || got[3] != 4 {
+		t.Fatalf("rate deltas = %v", got)
+	}
+	if got := s[1].Values; got[0] != 10 || got[3] != 40 {
+		t.Fatalf("gauge values = %v", got)
+	}
+	if got := s[2].Counts; got[0] != 1 || got[3] != 1 {
+		t.Fatalf("quantile counts = %v", got)
+	}
+	// Interval p99 tracks each interval's lone sample within factor 2.
+	for i, want := range []int64{50, 100, 150, 200} {
+		got := s[2].P99Ns[i]
+		if got < want/2 || got > want*2 {
+			t.Fatalf("interval p99[%d] = %d, want ~%d", i, got, want)
+		}
+	}
+}
+
+func TestCounterResetRestartsRate(t *testing.T) {
+	h := newHarness(16)
+	cum := uint64(0)
+	h.d.RateFn("acks", func() uint64 { return cum })
+	h.tl.Start()
+	h.k.At(1*tick-sim.Microsecond, func() { cum = 7 })
+	h.k.At(2*tick-sim.Microsecond, func() { cum = 3 }) // reset: switch rebooted
+	h.k.RunUntil(2 * tick)
+	vals := h.tl.Export().Domains[0].Series[0].Values
+	if vals[0] != 7 || vals[1] != 3 {
+		t.Fatalf("deltas across reset = %v, want [7 3]", vals)
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	h := newHarness(4)
+	c := h.r.Counter("x")
+	h.d.Rate("x", c)
+	h.tl.Start()
+	h.addPerTick(10, func(n int64) { c.Add(uint64(n)) })
+	h.k.RunUntil(10 * tick)
+	s := h.tl.Export().Domains[0].Series[0]
+	if s.FirstTick != 7 {
+		t.Fatalf("first tick = %d, want 7", s.FirstTick)
+	}
+	if len(s.Values) != 4 || s.Values[0] != 7 || s.Values[3] != 10 {
+		t.Fatalf("retained = %v, want [7 8 9 10]", s.Values)
+	}
+}
+
+// fireAndRecover drives an availability objective through badTicks of
+// silence bracketed by good progress, returning the alert log.
+func fireAndRecover(t *testing.T, goodBefore, badTicks, goodAfter int64) []Alert {
+	t.Helper()
+	h := newHarness(256)
+	c := h.r.Counter("commits")
+	h.d.Rate("commits", c)
+	h.d.Objective(ObjectiveSpec{
+		Name: "avail", Kind: Availability, Series: "commits",
+		Gate: c.Value,
+	})
+	h.tl.Start()
+	total := goodBefore + badTicks + goodAfter
+	h.addPerTick(total, func(n int64) {
+		if n <= goodBefore || n > goodBefore+badTicks {
+			c.Add(5)
+		}
+	})
+	h.k.RunUntil(sim.Time(total) * tick)
+	return h.tl.Alerts()
+}
+
+func TestAvailabilityFiresAndClears(t *testing.T) {
+	// 20 good, 30 bad, 80 good: must fire during the outage and clear
+	// after recovery, exactly once each.
+	alerts := fireAndRecover(t, 20, 30, 80)
+	if len(alerts) != 2 {
+		t.Fatalf("alert log = %v, want fire+clear", alerts)
+	}
+	if !alerts[0].Firing || alerts[1].Firing {
+		t.Fatalf("alert order = %v", alerts)
+	}
+	outageStart, outageEnd := int64(20*tick), int64(50*tick)
+	if alerts[0].AtNs <= outageStart || alerts[0].AtNs > outageEnd {
+		t.Fatalf("fired at %d, want within outage (%d, %d]", alerts[0].AtNs, outageStart, outageEnd)
+	}
+	if alerts[1].AtNs <= outageEnd {
+		t.Fatalf("cleared at %d, before outage end %d", alerts[1].AtNs, outageEnd)
+	}
+}
+
+func TestHysteresisNoFlapOnSingleBadSample(t *testing.T) {
+	// One silent tick in a sea of progress must not fire anything:
+	// FireAfter=2 consecutive over-budget evaluations are required.
+	if alerts := fireAndRecover(t, 30, 1, 30); len(alerts) != 0 {
+		t.Fatalf("single bad sample fired %v", alerts)
+	}
+}
+
+func TestActivationGateSuppressesStartup(t *testing.T) {
+	// 40 ticks of pre-first-commit silence: gate keeps the objective
+	// dormant, so no availability alert for a cluster still electing.
+	if alerts := fireAndRecover(t, 0, 40, 40); len(alerts) != 0 {
+		t.Fatalf("startup silence fired %v", alerts)
+	}
+}
+
+func TestRateAboveObjective(t *testing.T) {
+	h := newHarness(256)
+	c := h.r.Counter("retx")
+	gate := h.r.Counter("commits")
+	gate.Inc()
+	h.d.Rate("retx", c)
+	h.d.Objective(ObjectiveSpec{
+		Name: "retx", Kind: RateAbove, Series: "retx", Threshold: 1,
+		Gate: gate.Value,
+	})
+	h.tl.Start()
+	// Retransmits on ticks 20..40 only.
+	h.addPerTick(100, func(n int64) {
+		if n >= 20 && n <= 40 {
+			c.Add(2)
+		}
+	})
+	h.k.RunUntil(100 * tick)
+	alerts := h.tl.Alerts()
+	if len(alerts) != 2 || !alerts[0].Firing || alerts[1].Firing {
+		t.Fatalf("alert log = %v", alerts)
+	}
+	if h.tl.Firing() {
+		t.Fatal("still firing at end")
+	}
+}
+
+func TestQuantileAboveObjective(t *testing.T) {
+	h := newHarness(256)
+	hist := h.r.Histogram("lat")
+	gate := h.r.Counter("commits")
+	gate.Inc()
+	h.d.Quantile("lat", hist)
+	h.d.Objective(ObjectiveSpec{
+		Name: "p99", Kind: QuantileAbove, Series: "lat", Threshold: 100_000,
+		Gate: gate.Value,
+	})
+	h.tl.Start()
+	// The clear needs the 50-tick long window to drain below half the
+	// budget after the degradation ends at tick 50 — give it room.
+	h.addPerTick(160, func(n int64) {
+		v := int64(3_000) // healthy 3 µs
+		if n >= 20 && n <= 50 {
+			v = 900_000 // degraded 900 µs
+		}
+		for i := 0; i < 8; i++ {
+			hist.Observe(v)
+		}
+	})
+	h.k.RunUntil(160 * tick)
+	alerts := h.tl.Alerts()
+	if len(alerts) != 2 || !alerts[0].Firing || alerts[1].Firing {
+		t.Fatalf("alert log = %v", alerts)
+	}
+	bad0, bad1 := int64(19*tick), int64(50*tick)
+	if alerts[0].AtNs <= bad0 || alerts[0].AtNs > bad1 {
+		t.Fatalf("fired at %d outside degradation (%d, %d]", alerts[0].AtNs, bad0, bad1)
+	}
+}
+
+func TestQuantileObjectiveNeutralWhenIdle(t *testing.T) {
+	// No observations at all: QuantileAbove must stay silent (idle
+	// intervals say nothing about latency).
+	h := newHarness(256)
+	hist := h.r.Histogram("lat")
+	gate := h.r.Counter("commits")
+	gate.Inc()
+	h.d.Quantile("lat", hist)
+	h.d.Objective(ObjectiveSpec{
+		Name: "p99", Kind: QuantileAbove, Series: "lat", Threshold: 100_000,
+		Gate: gate.Value,
+	})
+	h.tl.Start()
+	h.k.RunUntil(80 * tick)
+	if alerts := h.tl.Alerts(); len(alerts) != 0 {
+		t.Fatalf("idle histogram fired %v", alerts)
+	}
+}
+
+func TestBurnRateWindowMath(t *testing.T) {
+	// Exact firing tick: availability with defaults (short=10, long=50,
+	// 100‰, FireAfter=2, WarmTicks=5). The gate passes at tick 1 and
+	// warm-up completes at tick 5, so window tick w = global tick − 5.
+	// Bad ticks start at global 21 (w=16). Short window (10) hits 100‰
+	// on the first bad tick; the long window (effective size = ticks
+	// since live, capped at 50) needs longSum*1000/longN >= 100: at
+	// w=16 that is 62‰ — not yet; at w=17 it is 2000/17 = 117‰ ≥ 100‰,
+	// fireRun=1; fireRun reaches 2 at w=18, global tick 23.
+	alerts := fireAndRecover(t, 20, 100, 0)
+	if len(alerts) == 0 || !alerts[0].Firing {
+		t.Fatalf("alert log = %v", alerts)
+	}
+	if want := int64(23 * tick); alerts[0].AtNs != want {
+		t.Fatalf("fired at %d ns, want exactly %d (tick 23)", alerts[0].AtNs, want)
+	}
+}
+
+func TestExportsDeterministic(t *testing.T) {
+	run := func() ([]byte, []byte) {
+		h := newHarness(128)
+		c := h.r.Counter("commits")
+		hist := h.r.Histogram("lat")
+		h.d.Rate("commits", c)
+		h.d.Quantile("lat", hist)
+		h.d.Objective(ObjectiveSpec{Name: "avail", Kind: Availability, Series: "commits", Gate: c.Value})
+		h.tl.Start()
+		h.addPerTick(90, func(n int64) {
+			if n < 30 || n > 60 {
+				c.Add(3)
+				hist.Observe(n * 17)
+			}
+		})
+		h.k.RunUntil(90 * tick)
+		var j, om bytes.Buffer
+		if err := h.tl.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.tl.WriteOpenMetrics(&om); err != nil {
+			t.Fatal(err)
+		}
+		return j.Bytes(), om.Bytes()
+	}
+	j1, om1 := run()
+	j2, om2 := run()
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("JSON export not byte-identical across equal runs")
+	}
+	if !bytes.Equal(om1, om2) {
+		t.Fatal("OpenMetrics export not byte-identical across equal runs")
+	}
+	if !bytes.HasSuffix(om1, []byte("# EOF\n")) {
+		t.Fatal("OpenMetrics export must end with # EOF")
+	}
+	if !bytes.Contains(j1, []byte(`"objective": "avail"`)) {
+		t.Fatal("JSON export missing alert log")
+	}
+}
+
+func TestMergedAlertOrdering(t *testing.T) {
+	// Two domains (separate kernels driven to the same horizon): the
+	// merged log is ordered by (time, domain).
+	tl := New(Config{Interval: tick, Capacity: 128})
+	type dom struct {
+		k *sim.Kernel
+		c *metrics.Counter
+	}
+	var doms []dom
+	for id := 0; id < 2; id++ {
+		k := sim.NewKernel(int64(id + 1))
+		c := metrics.New().Counter("commits")
+		d := tl.Domain(id, k)
+		d.Rate("commits", c)
+		d.Objective(ObjectiveSpec{Name: "avail", Kind: Availability, Series: "commits", Gate: c.Value})
+		doms = append(doms, dom{k, c})
+	}
+	tl.Start()
+	for _, dm := range doms {
+		c := dm.c
+		for i := int64(1); i <= 160; i++ {
+			n := i
+			dm.k.At(sim.Time(n)*tick-sim.Microsecond, func() {
+				if n <= 20 || n > 50 {
+					c.Add(1)
+				}
+			})
+		}
+		dm.k.RunUntil(160 * tick)
+	}
+	alerts := tl.Alerts()
+	if len(alerts) != 4 {
+		t.Fatalf("alert log = %v, want 2 fires + 2 clears", alerts)
+	}
+	for i := 1; i < len(alerts); i++ {
+		a, b := alerts[i-1], alerts[i]
+		if a.AtNs > b.AtNs || (a.AtNs == b.AtNs && a.Domain > b.Domain) {
+			t.Fatalf("merge order violated at %d: %v then %v", i, a, b)
+		}
+	}
+}

@@ -163,6 +163,19 @@ type Options struct {
 	// (Cluster.DumpFlightRecorder). Off by default: the nil tracer
 	// no-ops everywhere and the hot paths pay nothing.
 	EnableTracing bool
+	// EnableTelemetry builds the time-series telemetry pipeline
+	// (package telemetry) on top of the metrics registry: one sampler
+	// per scheduling domain captures per-shard and per-rack series into
+	// fixed rings every TelemetryInterval of simulated time, and an SLO
+	// engine evaluates availability/latency/retransmit objectives,
+	// emitting a deterministic alert log (Cluster.Telemetry,
+	// Cluster.ExportTelemetryJSON, Cluster.ExportOpenMetrics). Implies
+	// EnableMetrics. Sampling is consensus-neutral: commits, histories,
+	// and trace exports are identical with telemetry on or off.
+	EnableTelemetry bool
+	// TelemetryInterval overrides the sampling period (simulated time;
+	// 0 = 100µs). Only meaningful with EnableTelemetry.
+	TelemetryInterval time.Duration
 	// LogSize overrides the per-machine replicated log ring size.
 	LogSize int
 	// PipelineDepth overrides how many requests a queue pair keeps in
@@ -196,6 +209,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Shards == 0 {
 		o.Shards = 1
+	}
+	if o.EnableTelemetry {
+		// The sampler reads metric instruments; without a registry there
+		// would be nothing to sample.
+		o.EnableMetrics = true
 	}
 	o.Topology = o.Topology.withDefaults()
 	return o

@@ -12,10 +12,16 @@ echo "== go build =="
 go build ./...
 
 echo "== go test =="
-go test ./...
+# The chaos package alone runs the 32-seed sweep (~6 min); give every
+# package binary headroom over the 10-minute default.
+go test -timeout 20m ./...
 
 echo "== go test -race =="
-go test -race ./...
+# Race multiplies each scenario run ~10x; the chaos seed sweeps skip
+# themselves under race (the fixed-seed suite still runs every
+# scenario twice under the detector — see seed_sweep_test.go) but the
+# package still needs headroom over the default timeout.
+go test -race -timeout 20m ./...
 
 echo "== examples =="
 # Every example must build; the two that exercise the public surface
@@ -27,7 +33,8 @@ go run ./examples/sharded >/dev/null
 
 echo "== allocs/op gate =="
 # The zero-allocation contract: one committed op on the steady-state
-# P4CE path performs no heap allocations, metrics on or off.
+# P4CE path performs no heap allocations — metrics on or off, and with
+# the telemetry sampler and SLO engine running on top.
 go test ./internal/bench -run TestZeroAllocSteadyState -count=1
 
 echo "== trace export gate =="
@@ -40,12 +47,25 @@ go run ./cmd/p4ce-sim -rate 10000 -duration 20ms -trace-out /tmp/p4ce-trace-chec
 grep -q traceEvents /tmp/p4ce-trace-check.json
 rm -f /tmp/p4ce-trace-check.json
 
+echo "== telemetry determinism gate =="
+# The telemetry pipeline's contract: enabling it leaves consensus
+# untouched, exports are byte-identical at any partition count, and
+# per-shard SLO alerts stay isolated. The dedicated tests pin all
+# three, then a simulator run proves the CLI path: the OpenMetrics
+# export from a classic-kernel run must equal the one from a
+# two-partition run of the same seed, byte for byte.
+go test . -run 'TestTelemetryIsConsensusNeutral|TestTelemetryExportPartitionInvariant|TestTelemetryPerShardAlertIsolation' -count=1
+go run ./cmd/p4ce-sim -rate 20000 -duration 20ms -telemetry-out /tmp/p4ce-tel-p1.om >/dev/null
+go run ./cmd/p4ce-sim -rate 20000 -duration 20ms -partitions 2 -telemetry-out /tmp/p4ce-tel-p2.om >/dev/null
+cmp /tmp/p4ce-tel-p1.om /tmp/p4ce-tel-p2.om
+rm -f /tmp/p4ce-tel-p1.om /tmp/p4ce-tel-p2.om
+
 echo "== parallel kernel determinism gate =="
 # The partitioned scheduler's contract: same seed, any partition count,
 # bit-identical commits, event totals and trace exports — checked under
 # the race detector, chaos scenarios included.
-go test -race . -run TestParallelKernelDeterminism -count=1
-go test -race ./internal/chaos -run TestParallelSeedSweep -short -count=1
+go test -race -timeout 20m . -run TestParallelKernelDeterminism -count=1
+go test -race -timeout 20m ./internal/chaos -run TestParallelSeedSweep -short -count=1
 
 echo "== fabric chaos sweep gate =="
 # The leaf-spine fabric's fault-tolerance contract: the three fabric

@@ -1,0 +1,167 @@
+package p4ce
+
+// Facade-level telemetry tests: the three properties the subsystem
+// promises. Sampling is consensus-neutral (commits, histories, and
+// trace exports identical with telemetry on or off), exports are
+// byte-identical at every partition count, and a fault on one shard
+// never fires another shard's alerts.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestTelemetryIsConsensusNeutral pins the observer property. The
+// sampler adds ticker events to the kernels — so unlike tracing's
+// pure-observer test, the event COUNT differs — but no consensus
+// outcome may move: commit count, per-node commit/applied indexes, and
+// the Perfetto export must be identical with telemetry on and off.
+func TestTelemetryIsConsensusNeutral(t *testing.T) {
+	run := func(enable bool) (uint64, []string, []byte) {
+		cl := NewCluster(Options{
+			Nodes: 3, Mode: ModeP4CE, Seed: 42,
+			EnableMetrics: true, EnableTracing: true, EnableTelemetry: enable,
+		})
+		leader, err := cl.RunUntilLeader(200 * time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var commits uint64
+		for i := 0; i < 40; i++ {
+			_ = leader.Propose([]byte(fmt.Sprintf("op-%d", i)), func(err error) {
+				if err == nil {
+					commits++
+				}
+			})
+		}
+		cl.Run(20 * time.Millisecond)
+		var hist []string
+		for _, n := range cl.Nodes() {
+			hist = append(hist, fmt.Sprintf("n%d c%d a%d t%d", n.ID(), n.CommitIndex(), n.AppliedIndex(), n.Term()))
+		}
+		var trace bytes.Buffer
+		if err := cl.ExportTrace(&trace); err != nil {
+			t.Fatal(err)
+		}
+		return commits, hist, trace.Bytes()
+	}
+	cOff, hOff, trOff := run(false)
+	cOn, hOn, trOn := run(true)
+	if cOff != cOn {
+		t.Fatalf("telemetry perturbed commits: %d vs %d", cOff, cOn)
+	}
+	for i := range hOff {
+		if hOff[i] != hOn[i] {
+			t.Fatalf("telemetry perturbed node %d history: %q vs %q", i, hOff[i], hOn[i])
+		}
+	}
+	if !bytes.Equal(trOff, trOn) {
+		t.Fatal("telemetry perturbed the trace export")
+	}
+	if cOn == 0 {
+		t.Fatal("no commits — vacuous comparison")
+	}
+}
+
+// telemetryPartitionRun drives a sharded, partitioned cluster through
+// a steady workload with a mid-run leader pause on shard 0 (so the
+// alert log is non-empty), and returns both exports.
+func telemetryPartitionRun(t *testing.T, partitions int) ([]byte, []byte) {
+	t.Helper()
+	cl := NewCluster(Options{
+		Nodes: 3, Shards: 2, Partitions: partitions, Mode: ModeP4CE, Seed: 77,
+		EnableTelemetry: true,
+	})
+	if _, err := cl.RunUntilLeader(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Per-shard open-loop workload on each shard's own domain.
+	for s := 0; s < 2; s++ {
+		sh := cl.Shard(s)
+		var pump func()
+		pump = func() {
+			if ld := sh.Leader(); ld != nil {
+				_ = ld.Propose([]byte("w"), nil)
+			}
+			sh.After(100*time.Microsecond, pump)
+		}
+		sh.After(100*time.Microsecond, pump)
+	}
+	// Pause shard 0's leader at 20 ms: availability dips until the
+	// next election, firing shard 0's objective.
+	sh0 := cl.Shard(0)
+	sh0.After(20*time.Millisecond, func() {
+		if ld := sh0.Leader(); ld != nil {
+			ld.Pause()
+		}
+	})
+	cl.Run(150 * time.Millisecond)
+	var j, om bytes.Buffer
+	if err := cl.ExportTelemetryJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.ExportOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	return j.Bytes(), om.Bytes()
+}
+
+// TestTelemetryExportPartitionInvariant demands byte-identical JSON
+// and OpenMetrics exports — timeline, series, and alert log — at
+// partition counts 1, 2 and 4.
+func TestTelemetryExportPartitionInvariant(t *testing.T) {
+	j1, om1 := telemetryPartitionRun(t, 1)
+	if !bytes.Contains(j1, []byte(`"alerts": [`)) || bytes.Contains(j1, []byte(`"alerts": []`)) {
+		t.Fatal("run produced no alerts — vacuous determinism check")
+	}
+	for _, p := range []int{2, 4} {
+		j, om := telemetryPartitionRun(t, p)
+		if !bytes.Equal(j1, j) {
+			t.Fatalf("JSON export differs between partitions=1 and partitions=%d", p)
+		}
+		if !bytes.Equal(om1, om) {
+			t.Fatalf("OpenMetrics export differs between partitions=1 and partitions=%d", p)
+		}
+	}
+}
+
+// TestTelemetryPerShardAlertIsolation pins the blast radius: a fault
+// on shard 0 fires only shard 0's objectives (alert domain 1), never
+// shard 1's (domain 2).
+func TestTelemetryPerShardAlertIsolation(t *testing.T) {
+	cl := NewCluster(Options{
+		Nodes: 3, Shards: 2, Mode: ModeP4CE, Seed: 5, EnableTelemetry: true,
+	})
+	if _, err := cl.RunUntilLeader(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		sh := cl.Shard(s)
+		var pump func()
+		pump = func() {
+			if ld := sh.Leader(); ld != nil {
+				_ = ld.Propose([]byte("w"), nil)
+			}
+			sh.After(100*time.Microsecond, pump)
+		}
+		sh.After(100*time.Microsecond, pump)
+	}
+	sh0 := cl.Shard(0)
+	sh0.After(20*time.Millisecond, func() {
+		if ld := sh0.Leader(); ld != nil {
+			ld.Pause()
+		}
+	})
+	cl.Run(150 * time.Millisecond)
+	alerts := cl.Telemetry().Alerts()
+	if len(alerts) == 0 {
+		t.Fatal("shard 0 leader pause fired no alerts")
+	}
+	for _, a := range alerts {
+		if a.Domain != 1 {
+			t.Fatalf("fault on shard 0 fired %v (domain %d) — blast radius escaped the shard", a, a.Domain)
+		}
+	}
+}
